@@ -1,0 +1,169 @@
+//! Structural assertions tying each application's analyzed communication
+//! to what the paper says about it (§6) — independent of any executor.
+
+use fgdsm_apps::{cg, grav, jacobi, lu, pde, shallow, Scale};
+use fgdsm_hpf::{analysis, analyze_program, Program};
+use fgdsm_section::{Env, Var};
+
+const NP: usize = 8;
+
+fn loop_named<'p>(prog: &'p Program, name: &str) -> &'p fgdsm_hpf::ParLoop {
+    prog.par_loops()
+        .into_iter()
+        .find(|l| l.name == name)
+        .unwrap_or_else(|| panic!("no loop named {name}"))
+}
+
+#[test]
+fn lu_broadcast_shrinks_with_k() {
+    // "Since it is a triangular loop, the size of this column decreases
+    // with successive iterations" (§6).
+    let p = lu::Params { n: 128, runs: 1 };
+    let prog = lu::build(&p);
+    let update = loop_named(&prog, "update");
+    let mut last = u64::MAX;
+    for k in [0i64, 32, 64, 96, 120] {
+        let env = Env::new().bind(Var("k"), k);
+        let acc = analysis::analyze(&prog, update, &env, NP);
+        let pivot_elems: u64 = acc
+            .read_transfers
+            .iter()
+            .filter(|t| t.array == lu::A.0)
+            .map(|t| t.section.count())
+            .sum();
+        assert!(
+            pivot_elems < last,
+            "k={k}: broadcast volume must shrink ({pivot_elems} !< {last})"
+        );
+        last = pivot_elems;
+        // All transfers come from the single owner of column k.
+        let owner = (k as usize) % NP;
+        assert!(acc
+            .read_transfers
+            .iter()
+            .all(|t| t.owner == owner && t.user != owner));
+        // Every other node receives it (broadcast).
+        let users: std::collections::BTreeSet<_> =
+            acc.read_transfers.iter().map(|t| t.user).collect();
+        assert_eq!(users.len(), NP - 1);
+    }
+}
+
+#[test]
+fn lu_scale_loop_runs_on_owner_only() {
+    let p = lu::Params { n: 64, runs: 1 };
+    let prog = lu::build(&p);
+    let scale = loop_named(&prog, "scale");
+    for k in [0i64, 5, 13] {
+        let env = Env::new().bind(Var("k"), k);
+        let acc = analysis::analyze(&prog, scale, &env, NP);
+        let active: Vec<usize> = (0..NP)
+            .filter(|&n| !acc.iters[n].iter().any(|r| r.is_empty()))
+            .collect();
+        assert_eq!(active, vec![(k as usize) % NP], "k={k}");
+        // The owner's scale loop needs no communication.
+        assert!(acc.read_transfers.is_empty());
+    }
+}
+
+#[test]
+fn pde_ghosts_are_whole_planes_of_pencils() {
+    let p = pde::Params { g: 32, iters: 1 };
+    let prog = pde::build(&p);
+    let relax = loop_named(&prog, "relax");
+    let acc = analysis::analyze(&prog, relax, &Env::new(), 4);
+    // Interior nodes exchange one plane with each neighbor, in each
+    // direction, for the u array only.
+    for t in &acc.read_transfers {
+        assert_eq!(t.array, pde::U.0, "only u is communicated");
+        // Ghost sections are single planes (last dim is one index).
+        assert_eq!(t.section.dims[2].count(), 1);
+        // Owner and user are adjacent under BLOCK distribution.
+        assert_eq!(
+            t.owner.abs_diff(t.user),
+            1,
+            "plane ghosts travel between neighbors"
+        );
+    }
+    assert!(!acc.read_transfers.is_empty());
+    assert!(acc.write_transfers.is_empty(), "owner-computes: no remote writes");
+}
+
+#[test]
+fn shallow_has_wraparound_boundary_transfer() {
+    // The periodic-boundary column copies move data between the first
+    // and last nodes of the machine.
+    let p = shallow::Params::at(Scale::Test);
+    let prog = shallow::build(&p);
+    let bc = loop_named(&prog, "bc1_cols");
+    let acc = analysis::analyze(&prog, bc, &Env::new(), 4);
+    assert!(
+        acc.read_transfers
+            .iter()
+            .any(|t| t.owner == 3 && t.user == 0),
+        "column 0's owner must read column n from the last node"
+    );
+}
+
+#[test]
+fn cg_reduction_loops_need_no_communication() {
+    let p = cg::Params::at(Scale::Test);
+    let prog = cg::build(&p);
+    for name in ["pq", "rr"] {
+        let l = loop_named(&prog, name);
+        let acc = analysis::analyze(&prog, l, &Env::new(), NP);
+        assert!(
+            acc.read_transfers.is_empty(),
+            "{name}: dot products read only owned data"
+        );
+        assert!(l.reduction.is_some());
+    }
+    // The matvec is the only stencil loop with ghost traffic.
+    let mv = loop_named(&prog, "matvec");
+    let acc = analysis::analyze(&prog, mv, &Env::new(), NP);
+    assert!(!acc.read_transfers.is_empty());
+}
+
+#[test]
+fn grav_smooth_ghosts_are_boundary_heavy() {
+    // §6: "the edge effects are pronounced at 128-bytes blocksize" — at
+    // grav's small extents, a large share of each ghost column is left
+    // to the default protocol.
+    let p = grav::Params::at(Scale::Bench);
+    let prog = grav::build(&p);
+    let reports = analyze_program(&prog, &Env::new(), NP, 16);
+    let smooth = reports.iter().find(|r| r.loop_name == "smooth").unwrap();
+    let controlled_words = smooth.ctl_blocks * 16;
+    let boundary = smooth.boundary_words;
+    let frac = boundary as f64 / (controlled_words + boundary) as f64;
+    assert!(
+        frac > 0.25,
+        "grav's ghosts should be boundary-heavy, got {:.0}%",
+        frac * 100.0
+    );
+
+    // Contrast: jacobi's tall block-aligned columns are almost all
+    // controlled.
+    let jp = jacobi::Params::at(Scale::Bench);
+    let jprog = jacobi::build(&jp);
+    let jreports = analyze_program(&jprog, &Env::new(), NP, 16);
+    let sweep = jreports.iter().find(|r| r.loop_name == "sweep").unwrap();
+    let jfrac =
+        sweep.boundary_words as f64 / (sweep.ctl_blocks * 16 + sweep.boundary_words) as f64;
+    assert!(jfrac < 0.10, "jacobi boundary fraction {:.0}%", jfrac * 100.0);
+    assert!(jfrac < frac);
+}
+
+#[test]
+fn static_loops_are_detected_for_compile_time_analysis() {
+    // The stencil codes' loops have compile-time-constant access
+    // structure; lu's depend on the pivot variable k.
+    let jprog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    for l in jprog.par_loops() {
+        assert!(l.is_static(), "jacobi loop `{}` should be static", l.name);
+    }
+    let lprog = lu::build(&lu::Params { n: 32, runs: 1 });
+    let update = loop_named(&lprog, "update");
+    assert!(!update.is_static());
+    assert!(update.analysis_vars().contains(&Var("k")));
+}

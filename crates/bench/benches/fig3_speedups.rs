@@ -1,0 +1,98 @@
+//! Figure 3 — "Speedups with various configurations. Compiler-directed
+//! protocol optimizations improve shared memory speedups in all cases."
+//!
+//! For each application: speedup on 8 nodes relative to a uniprocessor
+//! run, for the five configurations the paper plots — unoptimized and
+//! optimized shared memory in single-cpu and dual-cpu protocol-processing
+//! modes, plus the message-passing backend.
+//!
+//! Shape targets from §6: optimization improves every shared-memory bar;
+//! single-cpu bars improve proportionally more; message passing beats the
+//! shared-memory versions only on `lu`; `grav` shows the weakest speedups
+//! everywhere.
+
+use fgdsm_apps::suite;
+use fgdsm_bench::{run_app, scale, scale_label, NPROCS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: &'static str,
+    sm_unopt_1cpu: f64,
+    sm_opt_1cpu: f64,
+    sm_unopt_2cpu: f64,
+    sm_opt_2cpu: f64,
+    mp: f64,
+}
+
+fn main() {
+    let s = scale();
+    println!(
+        "Figure 3: speedups on {NPROCS} nodes vs uniprocessor — {}\n",
+        scale_label(s)
+    );
+    println!(
+        "{:<10}{:>14}{:>14}{:>14}{:>14}{:>10}",
+        "app", "unopt-1cpu", "opt-1cpu", "unopt-2cpu", "opt-2cpu", "mp"
+    );
+    let mut rows = Vec::new();
+    for spec in suite(s) {
+        let r = run_app(&spec);
+        let row = Row {
+            app: r.name,
+            sm_unopt_1cpu: r.speedup(&r.unopt_single),
+            sm_opt_1cpu: r.speedup(&r.opt_single),
+            sm_unopt_2cpu: r.speedup(&r.unopt_dual),
+            sm_opt_2cpu: r.speedup(&r.opt_dual),
+            mp: r.speedup(&r.mp),
+        };
+        println!(
+            "{:<10}{:>14.2}{:>14.2}{:>14.2}{:>14.2}{:>10.2}",
+            row.app,
+            row.sm_unopt_1cpu,
+            row.sm_opt_1cpu,
+            row.sm_unopt_2cpu,
+            row.sm_opt_2cpu,
+            row.mp
+        );
+        // Shape assertions (§6).
+        assert!(
+            row.sm_opt_1cpu > row.sm_unopt_1cpu && row.sm_opt_2cpu > row.sm_unopt_2cpu,
+            "{}: optimization must improve both cpu configurations",
+            row.app
+        );
+        assert!(
+            row.sm_unopt_2cpu >= row.sm_unopt_1cpu,
+            "{}: a dedicated protocol cpu cannot hurt",
+            row.app
+        );
+        rows.push(row);
+    }
+    let get = |name: &str| rows.iter().find(|r| r.app == name).unwrap();
+    // MP wins only on lu among the suite (vs optimized dual-cpu SM).
+    assert!(
+        get("lu").mp > get("lu").sm_opt_2cpu,
+        "lu: message passing should win ({} vs {})",
+        get("lu").mp,
+        get("lu").sm_opt_2cpu
+    );
+    for app in ["pde", "shallow", "grav", "cg", "jacobi"] {
+        assert!(
+            get(app).mp < get(app).sm_opt_2cpu,
+            "{app}: dual-cpu optimized SM should beat MP ({} vs {})",
+            get(app).sm_opt_2cpu,
+            get(app).mp
+        );
+    }
+    // grav's speedups are the weakest of the suite (reduction-bound).
+    let grav = get("grav").sm_opt_2cpu;
+    for app in ["pde", "shallow", "cg", "jacobi"] {
+        assert!(
+            get(app).sm_opt_2cpu > grav,
+            "{app} should outscale grav ({} vs {grav})",
+            get(app).sm_opt_2cpu
+        );
+    }
+    println!("\nshape checks passed: opt improves all SM bars; MP wins only on lu; grav weakest");
+    fgdsm_bench::save_json("fig3", &rows);
+}

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the simulator and compiler primitives —
+//! the host-side cost of the library itself (not virtual time): protocol
+//! transactions, compiler-directed calls, section algebra, and per-loop
+//! access analysis.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fgdsm_apps::{jacobi, Scale};
+use fgdsm_hpf::{analysis, execute, ExecConfig};
+use fgdsm_protocol::Dsm;
+use fgdsm_section::{block_subset, Env, Range, Section};
+use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
+use std::hint::black_box;
+
+fn fresh_dsm(nprocs: usize) -> Dsm {
+    let cfg = CostModel::paper_dual_cpu();
+    let mut layout = SegmentLayout::new(cfg.words_per_page());
+    layout.alloc(1 << 16);
+    Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.bench_function("read_miss_clean", |b| {
+        b.iter_batched_ref(
+            || fresh_dsm(4),
+            |d| d.read_access(1, black_box(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("write_upgrade", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut d = fresh_dsm(4);
+                d.read_access(1, 0);
+                d
+            },
+            |d| d.write_access_excl(2, black_box(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("mk_writable_64_blocks", |b| {
+        b.iter_batched_ref(
+            || fresh_dsm(4),
+            |d| d.mk_writable(1, 0, black_box(64)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("send_range_bulk_64_blocks", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut d = fresh_dsm(4);
+                d.mk_writable(1, 0, 64);
+                d.implicit_writable(2, 0, 64, false);
+                d
+            },
+            |d| {
+                d.send_range(1, &[2], 0, black_box(64), true);
+                d.ready_to_recv(2);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("section");
+    let a = Section::new(vec![Range::new(0, 2047), Range::new(0, 255)]);
+    let b2 = Section::new(vec![Range::new(0, 2047), Range::new(256, 511)]);
+    g.bench_function("subtract_2d", |b| {
+        b.iter(|| black_box(&a).subtract(black_box(&b2)))
+    });
+    g.bench_function("intersect_2d", |b| {
+        b.iter(|| black_box(&a).intersect(black_box(&b2)))
+    });
+    g.bench_function("block_subset", |b| {
+        b.iter(|| block_subset(black_box(1234), black_box(987_654), 128))
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let p = jacobi::Params::at(Scale::Test);
+    let prog = jacobi::build(&p);
+    let loops = prog.par_loops();
+    let sweep = loops.iter().find(|l| l.name == "sweep").unwrap();
+    let env = Env::new();
+    c.bench_function("analysis/jacobi_sweep_8_nodes", |b| {
+        b.iter(|| analysis::analyze(black_box(&prog), black_box(sweep), &env, 8))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let p = jacobi::Params::at(Scale::Test);
+    let prog = jacobi::build(&p);
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("jacobi_test_scale_opt", |b| {
+        b.iter(|| execute(black_box(&prog), &ExecConfig::sm_opt(8)))
+    });
+    g.bench_function("jacobi_test_scale_unopt", |b| {
+        b.iter(|| execute(black_box(&prog), &ExecConfig::sm_unopt(8)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol,
+    bench_sections,
+    bench_analysis,
+    bench_end_to_end
+);
+criterion_main!(benches);

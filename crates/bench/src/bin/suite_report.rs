@@ -1,0 +1,30 @@
+//! One-line-per-application summary of absolute virtual times under every
+//! backend — the quickest way to see the whole evaluation at once.
+//!
+//!     cargo run --release -p fgdsm-bench --bin suite_report
+//!     FGDSM_FULL=1 cargo run --release -p fgdsm-bench --bin suite_report
+
+use fgdsm_apps::suite;
+use fgdsm_bench::scale;
+use fgdsm_hpf::{execute, ExecConfig};
+
+fn main() {
+    println!("suite report — {}\n", fgdsm_bench::scale_label(scale()));
+    for spec in suite(scale()) {
+        let uni = execute(&spec.program, &ExecConfig::sm_unopt(1));
+        let un = execute(&spec.program, &ExecConfig::sm_unopt(8));
+        let op = execute(&spec.program, &ExecConfig::sm_opt(8));
+        let mp = execute(&spec.program, &ExecConfig::mp(8));
+        println!(
+            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3}",
+            spec.name,
+            uni.total_s(),
+            un.total_s(),
+            un.report.comm_s(),
+            op.total_s(),
+            op.report.comm_s(),
+            mp.total_s(),
+            mp.report.comm_s(),
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Scale selection: set `FGDSM_FULL=1` for the paper's problem sizes
+//! (Table 2 — minutes of runtime), `FGDSM_TEST=1` for tiny sizes; the
+//! default is a reduced benchmark scale that preserves every qualitative
+//! effect and finishes in well under a minute per harness.
+
+use fgdsm_apps::{AppSpec, Scale};
+use fgdsm_hpf::{execute, ExecConfig, OptLevel, RunResult};
+use serde::Serialize;
+use std::io::Write;
+
+/// The cluster size the paper evaluates.
+pub const NPROCS: usize = 8;
+
+/// Problem scale from the environment.
+pub fn scale() -> Scale {
+    if std::env::var("FGDSM_FULL").is_ok_and(|v| v == "1") {
+        Scale::Paper
+    } else if std::env::var("FGDSM_TEST").is_ok_and(|v| v == "1") {
+        Scale::Test
+    } else {
+        Scale::Bench
+    }
+}
+
+/// Human label for the active scale.
+pub fn scale_label(s: Scale) -> &'static str {
+    match s {
+        Scale::Paper => "paper (Table 2) problem sizes",
+        Scale::Bench => "reduced benchmark sizes (set FGDSM_FULL=1 for paper sizes)",
+        Scale::Test => "tiny test sizes",
+    }
+}
+
+/// All configurations of Figure 3 for one application.
+pub struct AppRuns {
+    pub name: &'static str,
+    pub uni: RunResult,
+    pub unopt_single: RunResult,
+    pub unopt_dual: RunResult,
+    pub opt_single: RunResult,
+    pub opt_dual: RunResult,
+    pub mp: RunResult,
+}
+
+impl AppRuns {
+    /// Speedup of a run relative to the uniprocessor baseline.
+    pub fn speedup(&self, r: &RunResult) -> f64 {
+        self.uni.total_s() / r.total_s()
+    }
+}
+
+/// Execute every Figure 3 configuration for one application.
+pub fn run_app(spec: &AppSpec) -> AppRuns {
+    let prog = &spec.program;
+    AppRuns {
+        name: spec.name,
+        uni: execute(prog, &ExecConfig::sm_unopt(1)),
+        unopt_single: execute(prog, &ExecConfig::sm_unopt(NPROCS).single_cpu()),
+        unopt_dual: execute(prog, &ExecConfig::sm_unopt(NPROCS)),
+        opt_single: execute(prog, &ExecConfig::sm_opt(NPROCS).single_cpu()),
+        opt_dual: execute(prog, &ExecConfig::sm_opt(NPROCS)),
+        mp: execute(prog, &ExecConfig::mp(NPROCS)),
+    }
+}
+
+/// Execute one optimization-level variant (Figure 4 ablation), dual-cpu.
+pub fn run_opt_level(spec: &AppSpec, opt: OptLevel) -> RunResult {
+    execute(&spec.program, &ExecConfig::sm_opt(NPROCS).with_opt(opt))
+}
+
+/// Percent reduction from `base` to `opt`.
+pub fn pct_reduction(base: f64, opt: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - opt / base)
+    }
+}
+
+/// Persist a harness's rows as JSON under `bench_results/` so
+/// EXPERIMENTS.md can cite machine-generated numbers.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench_results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
+        let _ = writeln!(f, "{}", to_json(rows));
+    }
+}
+
+fn to_json<T: Serialize>(v: &T) -> String {
+    // Tiny hand-rolled JSON via serde's derive + a minimal serializer is
+    // overkill; use the debug-ish fallback through serde_json-free
+    // formatting: serialize into a `String` with our own compact writer.
+    json::to_string(v)
+}
+
+/// A minimal JSON serializer (avoids a serde_json dependency; only the
+/// subset our row structs need: structs, sequences, strings, numbers).
+pub mod json {
+    use serde::ser::{self, Serialize};
+    use std::fmt::Write;
+
+    /// Serialize any `Serialize` value to a JSON string.
+    pub fn to_string<T: Serialize>(v: &T) -> String {
+        let mut s = Ser { out: String::new() };
+        v.serialize(&mut s).expect("JSON serialization cannot fail");
+        s.out
+    }
+
+    pub struct Ser {
+        out: String,
+    }
+
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! num {
+        ($f:ident, $t:ty) => {
+            fn $f(self, v: $t) -> Result<(), Error> {
+                write!(self.out, "{v}").unwrap();
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a> ser::Serializer for &'a mut Ser {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = Compound<'a>;
+        type SerializeTuple = Compound<'a>;
+        type SerializeTupleStruct = Compound<'a>;
+        type SerializeTupleVariant = Compound<'a>;
+        type SerializeMap = Compound<'a>;
+        type SerializeStruct = Compound<'a>;
+        type SerializeStructVariant = Compound<'a>;
+
+        num!(serialize_i8, i8);
+        num!(serialize_i16, i16);
+        num!(serialize_i32, i32);
+        num!(serialize_i64, i64);
+        num!(serialize_u8, u8);
+        num!(serialize_u16, u16);
+        num!(serialize_u32, u32);
+        num!(serialize_u64, u64);
+
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.serialize_f64(v as f64)
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            if v.is_finite() {
+                write!(self.out, "{v}").unwrap();
+            } else {
+                self.out.push_str("null");
+            }
+            Ok(())
+        }
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            self.serialize_str(&v.to_string())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            self.out.push('"');
+            for c in v.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        write!(self.out, "\\u{:04x}", c as u32).unwrap()
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
+            Err(ser::Error::custom("bytes unsupported"))
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
+            self.serialize_unit()
+        }
+        fn serialize_unit_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+        ) -> Result<(), Error> {
+            self.serialize_str(variant)
+        }
+        fn serialize_newtype_struct<T: ?Sized + Serialize>(
+            self,
+            _: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            v.serialize(self)
+        }
+        fn serialize_newtype_variant<T: ?Sized + Serialize>(
+            self,
+            _: &'static str,
+            _: u32,
+            variant: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            self.out.push('{');
+            self.serialize_str(variant)?;
+            self.out.push(':');
+            v.serialize(&mut *self)?;
+            self.out.push('}');
+            Ok(())
+        }
+        fn serialize_seq(self, _: Option<usize>) -> Result<Compound<'a>, Error> {
+            self.out.push('[');
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: ']',
+            })
+        }
+        fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_struct(
+            self,
+            _: &'static str,
+            len: usize,
+        ) -> Result<Compound<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _: &'static str,
+            _: u32,
+            _: &'static str,
+            len: usize,
+        ) -> Result<Compound<'a>, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_map(self, _: Option<usize>) -> Result<Compound<'a>, Error> {
+            self.out.push('{');
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: '}',
+            })
+        }
+        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Compound<'a>, Error> {
+            self.out.push('{');
+            Ok(Compound {
+                ser: self,
+                first: true,
+                close: '}',
+            })
+        }
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            _: u32,
+            _: &'static str,
+            len: usize,
+        ) -> Result<Compound<'a>, Error> {
+            self.serialize_struct(name, len)
+        }
+    }
+
+    pub struct Compound<'a> {
+        ser: &'a mut Ser,
+        first: bool,
+        close: char,
+    }
+
+    impl Compound<'_> {
+        fn comma(&mut self) {
+            if self.first {
+                self.first = false;
+            } else {
+                self.ser.out.push(',');
+            }
+        }
+    }
+
+    impl ser::SerializeSeq for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+            self.comma();
+            v.serialize(&mut *self.ser)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(self.close);
+            Ok(())
+        }
+    }
+    impl ser::SerializeTuple for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+    impl ser::SerializeTupleStruct for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+    impl ser::SerializeTupleVariant for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+            ser::SerializeSeq::serialize_element(self, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeSeq::end(self)
+        }
+    }
+    impl ser::SerializeMap for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: ?Sized + Serialize>(&mut self, k: &T) -> Result<(), Error> {
+            self.comma();
+            k.serialize(&mut *self.ser)
+        }
+        fn serialize_value<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
+            self.ser.out.push(':');
+            v.serialize(&mut *self.ser)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(self.close);
+            Ok(())
+        }
+    }
+    impl ser::SerializeStruct for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            self.comma();
+            ser::Serializer::serialize_str(&mut *self.ser, key)?;
+            self.ser.out.push(':');
+            v.serialize(&mut *self.ser)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.ser.out.push(self.close);
+            Ok(())
+        }
+    }
+    impl ser::SerializeStructVariant for Compound<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            v: &T,
+        ) -> Result<(), Error> {
+            ser::SerializeStruct::serialize_field(self, key, v)
+        }
+        fn end(self) -> Result<(), Error> {
+            ser::SerializeStruct::end(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[derive(Serialize)]
+    struct Row {
+        name: &'static str,
+        x: f64,
+        n: u64,
+        tags: Vec<&'static str>,
+        opt: Option<i32>,
+    }
+
+    #[test]
+    fn json_round() {
+        let r = Row {
+            name: "a\"b",
+            x: 1.5,
+            n: 42,
+            tags: vec!["p", "q"],
+            opt: None,
+        };
+        assert_eq!(
+            json::to_string(&r),
+            r#"{"name":"a\"b","x":1.5,"n":42,"tags":["p","q"],"opt":null}"#
+        );
+    }
+
+    #[test]
+    fn pct_reduction_basic() {
+        assert_eq!(pct_reduction(10.0, 5.0), 50.0);
+        assert_eq!(pct_reduction(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn scale_defaults_to_bench() {
+        // (Environment-dependent; in the test environment neither var set.)
+        if std::env::var("FGDSM_FULL").is_err() && std::env::var("FGDSM_TEST").is_err() {
+            assert_eq!(scale(), Scale::Bench);
+        }
+    }
+}

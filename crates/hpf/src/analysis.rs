@@ -1,0 +1,368 @@
+//! Access-set analysis (§4.1).
+//!
+//! For each distributed array referenced in a parallel loop, compute per
+//! processor the *non-owner-read* and *non-owner-write* sets — "the set
+//! difference of the array sections that a processor reads or writes and
+//! the array sections it owns" — and split them by owning processor into
+//! point-to-point transfers.
+//!
+//! The symbolic half (building descriptors parametric in loop symbolics)
+//! lives in the IR; this module is the run-time half, the analogue of
+//! invoking Omega's generated code "with the values of symbolic variables
+//! to obtain the bounds of the corresponding access sets". It runs once
+//! per loop execution and costs O(P² · refs) tiny rectangle operations.
+
+use crate::dist::Dist;
+use crate::ir::{CompDist, ParLoop, Program, RefMode};
+use fgdsm_section::{Env, Range, Section};
+
+/// One point-to-point transfer obligation: `user` accesses `section` of
+/// `array`, which `owner` owns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transfer {
+    pub array: usize,
+    pub owner: usize,
+    pub user: usize,
+    pub section: Section,
+    /// True if the originating reference has an indirect subscript: the
+    /// section is then a conservative over-approximation and the transfer
+    /// must not be taken under compiler control.
+    pub indirect: bool,
+}
+
+/// The resolved access structure of one parallel loop execution.
+#[derive(Clone, Debug, Default)]
+pub struct LoopAccess {
+    /// Per node: concrete iteration ranges (empty range ⇒ node idle).
+    pub iters: Vec<Vec<Range>>,
+    /// Per node, per ref: the resolved array section it touches.
+    pub sections: Vec<Vec<Section>>,
+    /// Non-owner reads, split by owner (the producer→consumer transfers
+    /// the compiler takes under explicit control).
+    pub read_transfers: Vec<Transfer>,
+    /// Non-owner writes, split by owner (flushed back after the loop).
+    pub write_transfers: Vec<Transfer>,
+}
+
+/// Resolve the iteration partition of `l` for node `p`.
+pub fn partition(prog: &Program, l: &ParLoop, env: &Env, p: usize, nprocs: usize) -> Vec<Range> {
+    let full: Vec<Range> = l.iter.iter().map(|sr| sr.eval(env)).collect();
+    match &l.dist {
+        CompDist::Owner(aid) => {
+            let (d, c) = prog
+                .find_partition_var(l, *aid)
+                .expect("validated at build time");
+            let own = prog.array(*aid).owner_range(p, nprocs);
+            // Iterations whose target element falls in the owner range:
+            // var + c ∈ own  ⇔  var ∈ own − c.
+            let shifted = if own.is_empty() {
+                Range::empty()
+            } else {
+                Range::strided(own.lo - c, own.hi - c, own.stride)
+            };
+            let pieces = full[d].intersect(&shifted);
+            let mut out = full;
+            out[d] = match pieces.len() {
+                0 => Range::empty(),
+                1 => pieces[0],
+                _ => panic!(
+                    "iteration partition of loop `{}` split into {} pieces; \
+                     unsupported distribution/iteration combination",
+                    l.name,
+                    pieces.len()
+                ),
+            };
+            out
+        }
+        CompDist::BlockDim(d) => {
+            let d = *d;
+            let r = full[d];
+            let n = r.count() as i64;
+            let chunk = (n + nprocs as i64 - 1) / nprocs.max(1) as i64;
+            let lo = r.lo + p as i64 * chunk;
+            let hi = (r.lo + (p as i64 + 1) * chunk - 1).min(r.hi);
+            let mut out = full;
+            out[d] = if lo > hi || n == 0 {
+                Range::empty()
+            } else {
+                Range::new(lo, hi)
+            };
+            out
+        }
+        CompDist::OwnerOfIndex(aid, expr) => {
+            let j = expr.eval(env);
+            let decl = prog.array(*aid);
+            let mine = j >= 0
+                && (j as usize) < decl.dist_extent()
+                && decl.owner_of(j, nprocs) == p;
+            if mine {
+                full
+            } else {
+                full.iter().map(|_| Range::empty()).collect()
+            }
+        }
+    }
+}
+
+/// Clip a resolved reference section to the array bounds (stencil offsets
+/// step outside at the domain edge; HPF codes guard those accesses, so
+/// the analysis clips rather than faults).
+fn clip_to_array(sec: Section, extents: &[usize]) -> Section {
+    let dims = sec
+        .dims
+        .into_iter()
+        .zip(extents)
+        .map(|(r, &e)| {
+            if r.is_empty() {
+                r
+            } else {
+                let pieces = r.intersect(&Range::new(0, e as i64 - 1));
+                match pieces.len() {
+                    0 => Range::empty(),
+                    1 => pieces[0],
+                    _ => unreachable!("clipping a range against a dense range cannot split"),
+                }
+            }
+        })
+        .collect();
+    Section::new(dims)
+}
+
+/// Analyze one execution of a parallel loop under `env`.
+pub fn analyze(prog: &Program, l: &ParLoop, env: &Env, nprocs: usize) -> LoopAccess {
+    let mut acc = LoopAccess {
+        iters: Vec::with_capacity(nprocs),
+        sections: Vec::with_capacity(nprocs),
+        ..Default::default()
+    };
+    for p in 0..nprocs {
+        let iter = partition(prog, l, env, p, nprocs);
+        let idle = iter.iter().any(Range::is_empty);
+        let mut secs = Vec::with_capacity(l.refs.len());
+        for r in &l.refs {
+            let decl = prog.array(r.array);
+            let sec = if idle {
+                Section::new(vec![Range::empty(); decl.extents.len()])
+            } else {
+                let dims = r
+                    .subs
+                    .iter()
+                    .enumerate()
+                    .map(|(d, s)| s.resolve(&iter, env, decl.extents[d]))
+                    .collect();
+                clip_to_array(Section::new(dims), &decl.extents)
+            };
+            secs.push(sec);
+        }
+        acc.iters.push(iter);
+        acc.sections.push(secs);
+    }
+    // Non-owner sets, split by owner.
+    for p in 0..nprocs {
+        for (ri, r) in l.refs.iter().enumerate() {
+            let decl = prog.array(r.array);
+            if decl.dist == Dist::Replicated {
+                continue;
+            }
+            let sec = &acc.sections[p][ri];
+            if sec.is_empty() {
+                continue;
+            }
+            let owned = decl.owner_section(p, nprocs);
+            for piece in sec.subtract(&owned) {
+                for q in 0..nprocs {
+                    if q == p {
+                        continue;
+                    }
+                    for part in piece.intersect(&decl.owner_section(q, nprocs)) {
+                        if part.is_empty() {
+                            continue;
+                        }
+                        let t = Transfer {
+                            array: r.array.0,
+                            owner: q,
+                            user: p,
+                            section: part,
+                            indirect: r.is_indirect(),
+                        };
+                        match r.mode {
+                            RefMode::Read => acc.read_transfers.push(t),
+                            RefMode::Write => acc.write_transfers.push(t),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Deduplicate identical read transfers (two reads of the same ghost
+    // section in one loop need only one push).
+    acc.read_transfers.dedup();
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use crate::ir::{ARef, KernelCtx, ParLoop, Program, Stmt, Subscript};
+    use fgdsm_section::{Affine, SymRange, Var};
+
+    fn nk(_: &mut KernelCtx) {}
+
+    /// A jacobi-like program: b(i,j) = stencil of a(i,j±1), a,b 16x64 BLOCK.
+    fn stencil_prog() -> Program {
+        let mut b = Program::builder();
+        let a = b.array("a", &[16, 64], Dist::Block);
+        let bb = b.array("b", &[16, 64], Dist::Block);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "sweep",
+            iter: vec![SymRange::new(1, 14), SymRange::new(1, 62)],
+            dist: CompDist::Owner(bb),
+            refs: vec![
+                ARef::read(a, vec![Subscript::loop_var(0), Subscript::Loop(1, -1)]),
+                ARef::read(a, vec![Subscript::loop_var(0), Subscript::Loop(1, 1)]),
+                ARef::read(a, vec![Subscript::Loop(0, -1), Subscript::loop_var(1)]),
+                ARef::read(a, vec![Subscript::Loop(0, 1), Subscript::loop_var(1)]),
+                ARef::write(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
+            ],
+            kernel: nk,
+            cost_per_iter_ns: 100,
+            reduction: None,
+        }));
+        b.build()
+    }
+
+    #[test]
+    fn stencil_partition_owner_computes() {
+        let p = stencil_prog();
+        let l = &p.par_loops()[0].clone();
+        let env = Env::new();
+        // 64 cols / 4 procs = 16 each; iter dim1 clipped to 1..62.
+        let it0 = partition(&p, l, &env, 0, 4);
+        assert_eq!(it0[1], Range::new(1, 15));
+        let it3 = partition(&p, l, &env, 3, 4);
+        assert_eq!(it3[1], Range::new(48, 62));
+        let it1 = partition(&p, l, &env, 1, 4);
+        assert_eq!(it1[1], Range::new(16, 31));
+    }
+
+    #[test]
+    fn stencil_ghost_columns_found() {
+        let p = stencil_prog();
+        let l = &p.par_loops()[0].clone();
+        let acc = analyze(&p, l, &Env::new(), 4);
+        // Node 1 (cols 16..31) reads ghost col 15 from node 0 and col 32
+        // from node 2.
+        let mine: Vec<_> = acc.read_transfers.iter().filter(|t| t.user == 1).collect();
+        assert_eq!(mine.len(), 2);
+        let from0 = mine.iter().find(|t| t.owner == 0).unwrap();
+        assert_eq!(from0.section.dims[1], Range::new(15, 15));
+        assert_eq!(from0.section.dims[0], Range::new(1, 14));
+        let from2 = mine.iter().find(|t| t.owner == 2).unwrap();
+        assert_eq!(from2.section.dims[1], Range::new(32, 32));
+        // No non-owner writes in owner-computes stencil.
+        assert!(acc.write_transfers.is_empty());
+        // Edge nodes have only one ghost.
+        assert_eq!(
+            acc.read_transfers.iter().filter(|t| t.user == 0).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn idle_nodes_get_empty_sections() {
+        let p = stencil_prog();
+        let l = &p.par_loops()[0].clone();
+        // 64 cols over 40 procs: chunk=2, nodes 32.. are idle.
+        let acc = analyze(&p, l, &Env::new(), 40);
+        assert!(acc.iters[39][1].is_empty());
+        assert!(acc.sections[39].iter().all(Section::is_empty));
+    }
+
+    /// An lu-like broadcast: all nodes read column k of a CYCLIC array.
+    fn lu_prog() -> Program {
+        let k = Var("k");
+        let mut b = Program::builder();
+        let a = b.array("a", &[64, 64], Dist::Cyclic);
+        b.stmt(Stmt::Time {
+            var: k,
+            count: 63,
+            body: vec![Stmt::Par(ParLoop {
+                name: "update",
+                iter: vec![
+                    SymRange::new(Affine::var(k).plus_const(1), 63), // rows i>k
+                    SymRange::new(Affine::var(k).plus_const(1), 63), // cols j>k
+                ],
+                dist: CompDist::Owner(a),
+                refs: vec![
+                    // pivot column a(k+1:63, k): read by every node
+                    ARef::read(
+                        a,
+                        vec![
+                            Subscript::Span(SymRange::new(Affine::var(k).plus_const(1), 63)),
+                            Subscript::At(Affine::var(k)),
+                        ],
+                    ),
+                    ARef::read(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
+                    ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
+                ],
+                kernel: nk,
+                cost_per_iter_ns: 120,
+                reduction: None,
+            })],
+        });
+        b.build()
+    }
+
+    #[test]
+    fn lu_pivot_column_broadcast() {
+        let p = lu_prog();
+        let l = &p.par_loops()[0].clone();
+        let env = Env::new().bind(Var("k"), 8);
+        let acc = analyze(&p, l, &env, 4);
+        // Column 8 is owned by node 0 (8 mod 4); nodes 1..3 receive it.
+        let pivot: Vec<_> = acc
+            .read_transfers
+            .iter()
+            .filter(|t| t.section.dims[1] == Range::new(8, 8))
+            .collect();
+        let users: std::collections::BTreeSet<_> = pivot.iter().map(|t| t.user).collect();
+        assert_eq!(users, [1, 2, 3].into_iter().collect());
+        assert!(pivot.iter().all(|t| t.owner == 0));
+        // Rows k+1..63 only.
+        assert!(pivot.iter().all(|t| t.section.dims[0] == Range::new(9, 63)));
+        // The update's own-column reads/writes generate no transfers.
+        assert!(acc.write_transfers.is_empty());
+    }
+
+    #[test]
+    fn lu_partition_is_cyclic_strided() {
+        let p = lu_prog();
+        let l = &p.par_loops()[0].clone();
+        let env = Env::new().bind(Var("k"), 8);
+        // Node 1 owns columns 1,5,9,... intersected with 9..63 → 9,13,...
+        let it = partition(&p, l, &env, 1, 4);
+        assert_eq!(it[1], Range::strided(9, 61, 4));
+        // Node 0: 12,16,...,60
+        let it0 = partition(&p, l, &env, 0, 4);
+        assert_eq!(it0[1], Range::strided(12, 60, 4));
+    }
+
+    #[test]
+    fn clip_stops_stencil_overhang() {
+        // A reference i-1 over iter 0..14 would reach -1: clipped.
+        let p = stencil_prog();
+        let l = p.par_loops()[0].clone();
+        let mut l2 = l.clone();
+        l2.iter[0] = SymRange::new(0, 15);
+        let acc = analyze(&p, &l2, &Env::new(), 4);
+        for secs in &acc.sections {
+            for s in secs {
+                if !s.is_empty() {
+                    assert!(s.dims[0].lo >= 0);
+                    assert!(s.dims[0].hi <= 15);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,907 @@
+//! Executors: run a mini-HPF program over the simulated DSM.
+//!
+//! Three backends over identical programs and data:
+//!
+//! * **SmUnopt** — every remote access goes through the default protocol:
+//!   before a loop's kernels run, each node's declared read/write sections
+//!   are resolved block-by-block (faults, invalidations, 4-hop forwards),
+//!   exactly what the authors' unoptimized shared-memory compiler emits.
+//! * **SmOpt** — the compiler-orchestrated incoherence of §4.2: per-loop
+//!   access analysis finds the producer→consumer transfers, `shmem_limits`
+//!   shrinks them to whole blocks, and the §4.2 call contract
+//!   (`mk_writable` / barrier / `implicit_writable` / barrier / `send` +
+//!   `ready_to_recv` / loop / `implicit_invalidate` / barrier) moves the
+//!   data; boundary blocks and cold misses still take the default path.
+//!   [`OptLevel`] toggles bulk transfer, run-time overhead elimination and
+//!   the PRE extension (Figure 4).
+//! * **Mp** — the message-passing backend: owner-computes with direct
+//!   marshalled messages, no coherence machinery at all, paying the PGI
+//!   runtime's per-message overhead.
+//!
+//! Execution is BSP: within a superstep, sub-phases run in deterministic
+//! node order (all write accesses, all read accesses, all kernels); each
+//! node's virtual clock advances independently and barriers align them.
+
+use crate::analysis::{self, LoopAccess};
+use crate::ir::{ArrayHandle, KernelCtx, ParLoop, Program, RefMode, Stmt};
+use crate::plan::{covering_blocks, shmem_limits, ArrayMeta, OptLevel};
+use crate::redundancy::PreCache;
+use fgdsm_protocol::{CtlStats, Dsm, MpRuntime, ProtocolKind};
+use fgdsm_section::{Env, Range, Section};
+use fgdsm_tempest::{
+    CacheModel, ChargeKind, Cluster, ClusterReport, CostModel, HomePolicy, SegmentLayout,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which executor to use.
+#[derive(Clone, Copy, Debug)]
+pub enum Backend {
+    /// Default protocol only.
+    SmUnopt,
+    /// Compiler-orchestrated incoherence at the given optimization level.
+    SmOpt(OptLevel),
+    /// Message-passing backend.
+    Mp,
+}
+
+/// How page homes are assigned relative to the data distribution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HomeAssign {
+    /// The HPF runtime places pages to match each array's distribution,
+    /// so owners of BLOCK-distributed data are home to their own pages
+    /// (CYCLIC arrays still interleave owners within a page). This is how
+    /// the paper's system behaves: first writes by owners do not fault;
+    /// `lu` pays page *mapping* cost, not ownership misses.
+    #[default]
+    DataAligned,
+    /// Pages round-robin across nodes regardless of the distribution.
+    RoundRobin,
+    /// Contiguous page chunks per node.
+    Blocked,
+}
+
+/// A full execution configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    pub nprocs: usize,
+    pub cost: CostModel,
+    pub cache: CacheModel,
+    pub home: HomeAssign,
+    pub backend: Backend,
+    /// Default coherence protocol (compiler-orchestrated incoherence is
+    /// only supported over the eager-invalidate protocol).
+    pub protocol: ProtocolKind,
+    /// Bindings for problem-level symbolics referenced by the program.
+    pub base_env: Env,
+}
+
+impl ExecConfig {
+    /// Unoptimized shared memory on the paper's dual-cpu cluster.
+    pub fn sm_unopt(nprocs: usize) -> Self {
+        ExecConfig {
+            nprocs,
+            cost: CostModel::paper_dual_cpu(),
+            cache: CacheModel::paper(),
+            home: HomeAssign::DataAligned,
+            backend: Backend::SmUnopt,
+            protocol: ProtocolKind::EagerInvalidate,
+            base_env: Env::new(),
+        }
+    }
+
+    /// Optimized shared memory (full §4.2 + §4.3 optimizations).
+    pub fn sm_opt(nprocs: usize) -> Self {
+        ExecConfig {
+            backend: Backend::SmOpt(OptLevel::full()),
+            ..Self::sm_unopt(nprocs)
+        }
+    }
+
+    /// Message-passing backend.
+    pub fn mp(nprocs: usize) -> Self {
+        ExecConfig {
+            backend: Backend::Mp,
+            ..Self::sm_unopt(nprocs)
+        }
+    }
+
+    /// Switch to the single-cpu cost model.
+    pub fn single_cpu(mut self) -> Self {
+        self.cost = CostModel {
+            cpu: fgdsm_tempest::CpuMode::Single,
+            ..self.cost
+        };
+        self
+    }
+
+    /// Replace the optimization level (must be an SmOpt config).
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.backend = Backend::SmOpt(opt);
+        self
+    }
+
+    /// Run the default protocol as write-update instead of
+    /// eager-invalidate (unoptimized shared memory only).
+    pub fn write_update(mut self) -> Self {
+        self.protocol = ProtocolKind::WriteUpdate;
+        self
+    }
+}
+
+/// The result of executing a program.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub report: ClusterReport,
+    pub scalars: BTreeMap<&'static str, f64>,
+    /// Gathered canonical contents of the global segment.
+    pub data: Vec<f64>,
+    pub metas: Vec<ArrayMeta>,
+    pub ctl: CtlStats,
+    /// PRE statistics: transfers skipped as redundant / performed.
+    pub pre_skipped: u64,
+    pub pre_performed: u64,
+}
+
+impl RunResult {
+    /// Extract the gathered contents of one array.
+    pub fn array(&self, prog: &Program, id: crate::dist::ArrayId) -> Vec<f64> {
+        let meta = &self.metas[id.0];
+        let len = prog.array(id).len();
+        self.data[meta.base..meta.base + len].to_vec()
+    }
+
+    /// Total execution time in seconds (Figure 3's quantity).
+    pub fn total_s(&self) -> f64 {
+        self.report.total_s()
+    }
+}
+
+/// Execute `prog` under `cfg`.
+pub fn execute(prog: &Program, cfg: &ExecConfig) -> RunResult {
+    Engine::new(prog, cfg).run()
+}
+
+struct Engine<'p> {
+    prog: &'p Program,
+    cfg: &'p ExecConfig,
+    metas: Vec<ArrayMeta>,
+    handles: Vec<ArrayHandle>,
+    dsm: Dsm,
+    mp: MpRuntime,
+    env: Env,
+    scalars: BTreeMap<&'static str, f64>,
+    pre: PreCache,
+    wpb: usize,
+    opt: OptLevel,
+    /// Non-owner-write flushes pending for the current loop's cleanup.
+    pending_flushes: Vec<(usize, usize, usize, usize)>,
+    /// Reader invalidations pending for the current loop's cleanup.
+    pending_invalidate: Vec<(usize, usize, usize)>,
+    /// Compile-time analysis cache: loops whose access structure mentions
+    /// no symbolic variables are analyzed once (keyed by loop address,
+    /// stable for the duration of a run).
+    analysis_cache: BTreeMap<usize, std::rc::Rc<LoopAccess>>,
+}
+
+impl<'p> Engine<'p> {
+    fn new(prog: &'p Program, cfg: &'p ExecConfig) -> Self {
+        let mut layout = SegmentLayout::new(cfg.cost.words_per_page());
+        let mut metas = Vec::with_capacity(prog.arrays.len());
+        let mut handles = Vec::with_capacity(prog.arrays.len());
+        for (i, a) in prog.arrays.iter().enumerate() {
+            let base = layout.alloc(a.len());
+            metas.push(ArrayMeta {
+                id: crate::dist::ArrayId(i),
+                base,
+                layout: a.layout(),
+            });
+            handles.push(ArrayHandle::new(base, &a.extents));
+        }
+        let policy = match cfg.home {
+            HomeAssign::RoundRobin => HomePolicy::RoundRobin,
+            HomeAssign::Blocked => HomePolicy::Blocked,
+            HomeAssign::DataAligned => {
+                let wpp = cfg.cost.words_per_page();
+                let n_pages = layout.total_words().max(wpp).div_ceil(wpp);
+                let mut homes: Vec<usize> =
+                    (0..n_pages).map(|p| p % cfg.nprocs).collect(); // padding pages interleave
+                for (i, a) in prog.arrays.iter().enumerate() {
+                    let meta = &metas[i];
+                    let last_stride = meta.layout.stride(a.extents.len() - 1);
+                    let first_page = meta.base / wpp;
+                    let end_page = (meta.base + a.len()).div_ceil(wpp);
+                    #[allow(clippy::needless_range_loop)]
+                    for page in first_page..end_page {
+                        let off = (page * wpp).saturating_sub(meta.base);
+                        let j = ((off / last_stride) as i64).min(a.dist_extent() as i64 - 1);
+                        homes[page] = a.owner_of(j, cfg.nprocs);
+                    }
+                }
+                HomePolicy::Explicit(homes)
+            }
+        };
+        let cluster = Cluster::new(cfg.nprocs, cfg.cost.clone(), &layout, policy);
+        let wpb = cfg.cost.words_per_block();
+        let opt = match cfg.backend {
+            Backend::SmOpt(o) => o,
+            _ => OptLevel::unopt(),
+        };
+        Engine {
+            prog,
+            cfg,
+            metas,
+            handles,
+            dsm: Dsm::with_protocol(cluster, cfg.protocol),
+            mp: MpRuntime::new(cfg.nprocs),
+            env: cfg.base_env.clone(),
+            scalars: prog.scalars.iter().copied().collect(),
+            pre: PreCache::new(),
+            wpb,
+            opt,
+            pending_flushes: Vec::new(),
+            pending_invalidate: Vec::new(),
+            analysis_cache: BTreeMap::new(),
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        assert!(
+            !(self.opt.ctl && self.dsm.protocol() == ProtocolKind::WriteUpdate),
+            "compiler-orchestrated incoherence requires the eager-invalidate protocol"
+        );
+        let body = self.prog.body.clone();
+        self.exec_stmts(&body);
+        // Final synchronization so the report reflects a completed program.
+        if !matches!(self.cfg.backend, Backend::Mp) {
+            self.dsm.release_barrier();
+        } else {
+            self.dsm.cluster.barrier();
+        }
+        let data = self.gather();
+        RunResult {
+            report: self.dsm.cluster.report(),
+            scalars: self.scalars,
+            data,
+            metas: self.metas,
+            ctl: self.dsm.ctl_stats(),
+            pre_skipped: self.pre.skipped,
+            pre_performed: self.pre.performed,
+        }
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Par(l) => self.exec_par(l),
+                Stmt::Time { var, count, body } => {
+                    let saved = self.env.get(*var);
+                    for t in 0..*count {
+                        self.env.set(*var, t);
+                        self.exec_stmts(body);
+                    }
+                    if let Some(v) = saved {
+                        self.env.set(*var, v);
+                    }
+                }
+                Stmt::Scalar { name, f } => {
+                    let v = f(&self.scalars);
+                    self.scalars.insert(name, v);
+                    for n in 0..self.cfg.nprocs {
+                        self.dsm.cluster.charge(n, 100, ChargeKind::Compute);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Word runs (absolute) of a section, with a fallback for shapes the
+    /// linearizer declines (enumerate points; only small sections occur).
+    fn section_runs(&self, array: usize, sec: &Section) -> Vec<(usize, usize)> {
+        let meta = &self.metas[array];
+        if let Some(lr) = meta.runs(sec) {
+            return lr.iter_runs().collect();
+        }
+        assert!(
+            sec.count() <= 1 << 20,
+            "unoptimizable section too large to enumerate"
+        );
+        sec.points().iter().map(|pt| (meta.offset(pt), 1)).collect()
+    }
+
+    fn exec_par(&mut self, l: &ParLoop) {
+        let nprocs = self.cfg.nprocs;
+        // Compile-time/run-time split (§4.1): loops with a fixed access
+        // structure are analyzed once; symbolic loops re-evaluate their
+        // descriptors under the current environment.
+        let key = l as *const ParLoop as usize;
+        let acc: std::rc::Rc<LoopAccess> = if let Some(hit) = self.analysis_cache.get(&key) {
+            hit.clone()
+        } else {
+            let fresh = std::rc::Rc::new(analysis::analyze(self.prog, l, &self.env, nprocs));
+            if l.is_static() {
+                self.analysis_cache.insert(key, fresh.clone());
+            }
+            fresh
+        };
+        let acc = &*acc;
+        self.pre.tick();
+
+        match self.cfg.backend {
+            Backend::Mp => self.comm_mp(l, acc),
+            Backend::SmOpt(_) if self.opt.ctl => {
+                self.comm_ctl(l, acc);
+                self.resolve_default(l, acc);
+            }
+            _ => self.resolve_default(l, acc),
+        }
+
+        // Kernels, in node order.
+        let mut partials = vec![0.0f64; nprocs];
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..nprocs {
+            let iter = &acc.iters[p];
+            if iter.iter().any(Range::is_empty) {
+                continue;
+            }
+            let points: u64 = iter.iter().map(Range::count).product();
+            let ws_bytes: u64 = acc.sections[p].iter().map(|s| s.count() * 8).sum();
+            let factor = self.cfg.cache.factor(ws_bytes);
+            let cost = (points as f64 * l.cost_per_iter_ns as f64 * factor) as u64;
+            self.dsm.cluster.charge(p, cost, ChargeKind::Compute);
+            let mut ctx = KernelCtx {
+                mem: self.dsm.cluster.node_mem_mut(p),
+                iter,
+                env: &self.env,
+                scalars: &self.scalars,
+                partial: 0.0,
+                node: p,
+                nprocs,
+                handles: &self.handles,
+            };
+            (l.kernel)(&mut ctx);
+            partials[p] = ctx.partial;
+        }
+
+        // Record writes for PRE invalidation.
+        if self.opt.pre {
+            for p in 0..nprocs {
+                for (ri, r) in l.refs.iter().enumerate() {
+                    if r.mode == RefMode::Write && !acc.sections[p][ri].is_empty() {
+                        for (s, len) in self.section_runs(r.array.0, &acc.sections[p][ri]) {
+                            self.pre.record_write(r.array.0, s, len);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Reduction.
+        if let Some(rs) = l.reduction {
+            let v = match self.cfg.backend {
+                Backend::Mp => self.mp.allreduce(&mut self.dsm.cluster, &partials, rs.op),
+                _ => self.dsm.cluster.allreduce(&partials, rs.op),
+            };
+            self.scalars.insert(rs.target, v);
+        }
+
+        // End of loop: cleanup phase + barrier.
+        match self.cfg.backend {
+            Backend::Mp => {} // point-to-point synchronization only
+            _ => {
+                if self.opt.ctl {
+                    self.cleanup_ctl(l, acc);
+                }
+                self.dsm.release_barrier();
+            }
+        }
+    }
+
+    /// Default-protocol access resolution: make every declared section
+    /// accessible before kernels run, counting faults. Sub-phases: all
+    /// nodes' writes (with multi-writer detection for false-shared
+    /// boundary blocks), then all nodes' reads.
+    #[allow(clippy::needless_range_loop)] // per-node loops index several parallel vecs
+    fn resolve_default(&mut self, l: &ParLoop, acc: &LoopAccess) {
+        let nprocs = self.cfg.nprocs;
+        let wpb = self.wpb;
+        // Per node: merged covering block ranges for writes and reads.
+        let mut wcover: Vec<Vec<(usize, usize)>> = vec![vec![]; nprocs];
+        let mut rcover: Vec<Vec<(usize, usize)>> = vec![vec![]; nprocs];
+        // Boundary candidates: the first and last block of every raw write
+        // run (before merging). A block written by two nodes necessarily
+        // contains a section boundary of each, so it is an extremal block
+        // of at least one raw run of every writer.
+        let mut candidates: BTreeSet<usize> = BTreeSet::new();
+        for p in 0..nprocs {
+            let mut wruns = fgdsm_section::LinearRanges::empty();
+            let mut rruns = fgdsm_section::LinearRanges::empty();
+            for (ri, r) in l.refs.iter().enumerate() {
+                let sec = &acc.sections[p][ri];
+                if sec.is_empty() {
+                    continue;
+                }
+                if r.is_indirect() {
+                    // Inspector: resolve the blocks this node actually
+                    // touches by reading the index array (a real DSM
+                    // faults on demand; the conservative section would
+                    // grossly over-fault).
+                    for off in self.inspect_indirect(p, r, &acc.iters[p]) {
+                        rruns.runs.push(fgdsm_section::StridedRange {
+                            base: off,
+                            run_len: 1,
+                            stride: 0,
+                            count: 1,
+                        });
+                    }
+                    continue;
+                }
+                let runs = self.section_runs(r.array.0, sec);
+                if r.mode == RefMode::Write {
+                    for &(s, len) in &runs {
+                        if len > 0 {
+                            candidates.insert(s / wpb);
+                            candidates.insert((s + len - 1) / wpb);
+                        }
+                    }
+                }
+                let target = match r.mode {
+                    RefMode::Write => &mut wruns,
+                    RefMode::Read => &mut rruns,
+                };
+                for (s, len) in runs {
+                    target.runs.push(fgdsm_section::StridedRange {
+                        base: s,
+                        run_len: len,
+                        stride: 0,
+                        count: 1,
+                    });
+                }
+            }
+            wcover[p] = covering_blocks(&wruns, wpb);
+            rcover[p] = covering_blocks(&rruns, wpb);
+        }
+        // A candidate block needs the multiple-writer (twin/diff) path if
+        // two or more nodes write it, or if one node writes it while
+        // another reads it in the same interval — in the real system the
+        // writer would simply re-fault after the reader's downgrade; in
+        // the BSP engine the writer must keep its writable copy through
+        // the read sub-phase.
+        let contains = |ranges: &[(usize, usize)], b: usize| -> bool {
+            let idx = ranges.partition_point(|&(_, e)| e <= b);
+            idx < ranges.len() && ranges[idx].0 <= b
+        };
+        let multi: BTreeSet<usize> = candidates
+            .into_iter()
+            .filter(|&b| {
+                let writers: Vec<usize> = (0..nprocs)
+                    .filter(|&p| contains(&wcover[p], b))
+                    .collect();
+                writers.len() >= 2
+                    || (writers.len() == 1
+                        && (0..nprocs)
+                            .any(|p| p != writers[0] && contains(&rcover[p], b)))
+            })
+            .collect();
+        // Sub-phase: writes.
+        for p in 0..nprocs {
+            for &(f, e) in &wcover[p] {
+                for b in f..e {
+                    if multi.contains(&b) {
+                        self.dsm.write_access_multi(p, b);
+                    } else {
+                        self.dsm.write_access_excl(p, b);
+                    }
+                }
+            }
+        }
+        // Sub-phase: reads.
+        for p in 0..nprocs {
+            for &(f, e) in &rcover[p] {
+                for b in f..e {
+                    self.dsm.read_access(p, b);
+                }
+            }
+        }
+    }
+
+    /// Build the per-loop compiler-control schedule and execute the §4.2
+    /// contract up to (and including) the data push.
+    fn comm_ctl(&mut self, _l: &ParLoop, acc: &LoopAccess) {
+        let wpb = self.wpb;
+        // Merged send entries: (owner, array, first, end) → readers.
+        let mut sends: BTreeMap<(usize, usize, usize, usize), Vec<usize>> = BTreeMap::new();
+        // Incoming ranges per node (for implicit_writable / invalidate).
+        let mut incoming: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
+        // Non-owner-write flushes: (writer, owner, first, end).
+        let mut flushes: Vec<(usize, usize, usize, usize)> = Vec::new();
+
+        let opt = self.opt;
+        // Collect per (owner, array, user): the ctl ranges of every
+        // transfer, then merge overlapping/adjacent ranges — two stencil
+        // references to the same ghost column (e.g. `p(i,j-1)` and
+        // `p(i-1,j-1)` in shallow's loop 100) produce almost-identical
+        // sections that would otherwise be pushed twice.
+        type UserKey = (usize, usize, usize, bool); // (owner, array, user, is_write)
+        let mut per_user: BTreeMap<UserKey, Vec<(usize, usize)>> = BTreeMap::new();
+        for (t, is_write) in acc
+            .read_transfers
+            .iter()
+            .map(|t| (t, false))
+            .chain(acc.write_transfers.iter().map(|t| (t, true)))
+        {
+            if t.indirect {
+                continue; // statically unanalyzable: default protocol only
+            }
+            let Some(runs) = self.metas[t.array].runs(&t.section) else {
+                continue; // unsupported shape: left entirely to the default protocol
+            };
+            let cr = shmem_limits(&runs, wpb);
+            if !cr.ctl.is_empty() {
+                per_user
+                    .entry((t.owner, t.array, t.user, is_write))
+                    .or_default()
+                    .extend(cr.ctl.iter().copied());
+            }
+        }
+        for ((owner, array, user, is_write), mut ranges) in per_user {
+            ranges.sort_unstable();
+            let mut merged: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+            for (f, e) in ranges {
+                match merged.last_mut() {
+                    Some(last) if f <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((f, e)),
+                }
+            }
+            for (f, e) in merged {
+                if opt.pre && !is_write && self.pre.is_valid(user, array, f, e, wpb) {
+                    self.pre.skipped += 1;
+                    continue;
+                }
+                if !is_write {
+                    self.pre.performed += 1;
+                }
+                sends.entry((owner, array, f, e)).or_default().push(user);
+                incoming.entry(user).or_default().push((array, f, e));
+                if is_write {
+                    flushes.push((user, owner, f, e));
+                }
+            }
+        }
+        self.pending_flushes = flushes;
+        self.pending_invalidate = incoming
+            .iter()
+            .flat_map(|(&n, v)| v.iter().map(move |&(_, f, e)| (n, f, e)))
+            .collect();
+        if sends.is_empty() {
+            return;
+        }
+
+        // Phase A: owners acquire write ownership (skipped under RTOE —
+        // the default protocol already left owners exclusive).
+        if !self.opt.rtoe {
+            let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+            for &(o, _, f, e) in sends.keys() {
+                by_owner.entry(o).or_default().push((f, e));
+            }
+            for (o, mut ranges) in by_owner {
+                ranges.sort_unstable();
+                ranges.dedup();
+                for (f, e) in ranges {
+                    self.dsm.mk_writable(o, f, e);
+                }
+            }
+            self.dsm.release_barrier();
+        }
+
+        // Phase B: receivers tag the landing blocks writable.
+        for (&n, ranges) in &incoming {
+            let mut rs: Vec<(usize, usize)> = ranges.iter().map(|&(_, f, e)| (f, e)).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            for (f, e) in rs {
+                self.dsm.implicit_writable(n, f, e, self.opt.rtoe);
+            }
+        }
+        self.dsm.release_barrier();
+
+        // Phase C: owners push, receivers wait on the counting semaphore.
+        for (&(o, _a, f, e), readers) in &sends {
+            let mut rs = readers.clone();
+            rs.sort_unstable();
+            rs.dedup();
+            self.dsm.send_range(o, &rs, f, e, self.opt.bulk);
+            if self.opt.pre {
+                for &r in &rs {
+                    self.pre.record_delivery(r, _a, f, e);
+                }
+            }
+        }
+        for &n in incoming.keys() {
+            self.dsm.ready_to_recv(n);
+        }
+    }
+
+    /// The post-loop half of the contract: readers discard compiler-
+    /// controlled copies (skipped under RTOE), non-owner writers flush.
+    fn cleanup_ctl(&mut self, _l: &ParLoop, _acc: &LoopAccess) {
+        let flushes = std::mem::take(&mut self.pending_flushes);
+        for (w, o, f, e) in flushes {
+            self.dsm.flush_range(w, o, f, e, self.opt.bulk);
+        }
+        let inval = std::mem::take(&mut self.pending_invalidate);
+        if !self.opt.rtoe {
+            for (n, f, e) in inval {
+                self.dsm.implicit_invalidate(n, f, e);
+            }
+            // The closing barrier of the contract doubles as the loop-end
+            // barrier executed by exec_par.
+        }
+    }
+
+    /// Message-passing transfers: one marshalled message per
+    /// (owner → user, section) pair — except that a section shipped from
+    /// one owner to three or more readers (e.g. `lu`'s pivot column) goes
+    /// through the runtime's broadcast tree, as `pghpf`'s runtime does.
+    fn comm_mp(&mut self, _l: &ParLoop, acc: &LoopAccess) {
+        let mut users: BTreeSet<usize> = BTreeSet::new();
+        // Group identical sections by (owner, array, section).
+        let mut groups: BTreeMap<(usize, usize, String), Vec<usize>> = BTreeMap::new();
+        for t in acc.read_transfers.iter().chain(&acc.write_transfers) {
+            groups
+                .entry((t.owner, t.array, format!("{}", t.section)))
+                .or_default()
+                .push(t.user);
+        }
+        for t in acc.read_transfers.iter().chain(&acc.write_transfers) {
+            let meta = &self.metas[t.array];
+            let Some(runs) = meta.runs(&t.section) else {
+                // Fall back to per-point packing in one message.
+                let pts = t.section.points();
+                for pt in &pts {
+                    let off = meta.offset(pt);
+                    self.dsm.cluster.copy_words(t.owner, t.user, off, 1);
+                }
+                continue;
+            };
+            let group = &groups[&(t.owner, t.array, format!("{}", t.section))];
+            if group.len() >= 3 {
+                // Broadcast once, on behalf of the whole group.
+                if group[0] == t.user {
+                    for sr in &runs.runs {
+                        self.mp.broadcast(
+                            &mut self.dsm.cluster,
+                            t.owner,
+                            group,
+                            sr.base,
+                            sr.run_len,
+                            sr.stride.max(1),
+                            sr.count,
+                        );
+                    }
+                }
+            } else {
+                for sr in &runs.runs {
+                    self.mp.send_strided(
+                        &mut self.dsm.cluster,
+                        t.owner,
+                        t.user,
+                        sr.base,
+                        sr.run_len,
+                        sr.stride.max(1),
+                        sr.count,
+                    );
+                }
+            }
+            users.insert(t.user);
+        }
+        for &u in &users {
+            self.mp.recv_all(&mut self.dsm.cluster, u);
+        }
+        // Map each node's own written pages (first touch).
+        for p in 0..self.cfg.nprocs {
+            for (ri, r) in _l.refs.iter().enumerate() {
+                if r.mode == RefMode::Write && !acc.sections[p][ri].is_empty() {
+                    for (s, len) in self.section_runs(r.array.0, &acc.sections[p][ri]) {
+                        self.dsm.cluster.map_range(p, s, len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inspector for indirect references (`x(idx(i))`): enumerate the
+    /// element offsets node `p` will gather, by reading its (owned,
+    /// current) copy of the index array. Supports the common 1-D gather.
+    fn inspect_indirect(&self, p: usize, r: &crate::ir::ARef, iter: &[Range]) -> Vec<usize> {
+        use crate::ir::Subscript;
+        let [Subscript::Indirect(idx_aid, c)] = r.subs.as_slice() else {
+            panic!("indirect references must be 1-D gathers x(idx(i))");
+        };
+        let idx_meta = &self.metas[idx_aid.0];
+        let target = &self.metas[r.array.0];
+        let extent = self.prog.array(r.array).len() as i64;
+        let mem = self.dsm.cluster.node_mem(p);
+        let mut out = Vec::with_capacity(iter[0].count() as usize);
+        for i in iter[0].iter() {
+            let v = mem[idx_meta.base + (i + c) as usize];
+            let j = v as i64;
+            assert!(
+                (0..extent).contains(&j),
+                "indirect index {j} out of bounds (extent {extent})"
+            );
+            out.push(target.base + j as usize);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Gather the canonical segment contents: for each block, copy from
+    /// the node the directory records as holding current data (MP: from
+    /// the distribution owner).
+    fn gather(&mut self) -> Vec<f64> {
+        let words = self.dsm.cluster.seg_words();
+        let mut out = vec![0.0f64; words];
+        match self.cfg.backend {
+            Backend::Mp => {
+                for (i, a) in self.prog.arrays.iter().enumerate() {
+                    for p in 0..self.cfg.nprocs {
+                        let sec = a.owner_section(p, self.cfg.nprocs);
+                        if sec.is_empty() {
+                            continue;
+                        }
+                        for (s, len) in self.section_runs(i, &sec) {
+                            out[s..s + len].copy_from_slice(&self.dsm.cluster.node_mem(p)[s..s + len]);
+                        }
+                    }
+                }
+            }
+            _ => {
+                for b in 0..self.dsm.cluster.n_blocks() {
+                    let src = match self.dsm.dir_state(b) {
+                        fgdsm_protocol::DirState::Excl { owner } => owner,
+                        _ => self.dsm.cluster.home_of_block(b),
+                    };
+                    let (s, e) = self.dsm.cluster.block_words(b);
+                    out[s..e].copy_from_slice(&self.dsm.cluster.node_mem(src)[s..e]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use crate::ir::{ARef, KernelCtx, ParLoop, Subscript};
+    use fgdsm_section::SymRange;
+
+    const A: crate::dist::ArrayId = crate::dist::ArrayId(0);
+
+    fn fill_kernel(ctx: &mut KernelCtx) {
+        let a = ctx.h(A);
+        for j in ctx.iter[1].iter() {
+            for i in ctx.iter[0].iter() {
+                ctx.mem[a.at2(i, j)] = (i + 100 * j) as f64;
+            }
+        }
+    }
+
+    fn tiny_program(rows: usize, cols: usize, dist: Dist) -> Program {
+        let mut b = Program::builder();
+        let a = b.array("a", &[rows, cols], dist);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "fill",
+            iter: vec![
+                SymRange::new(0, rows as i64 - 1),
+                SymRange::new(0, cols as i64 - 1),
+            ],
+            dist: crate::ir::CompDist::Owner(a),
+            refs: vec![ARef::write(
+                a,
+                vec![Subscript::loop_var(0), Subscript::loop_var(1)],
+            )],
+            kernel: fill_kernel,
+            cost_per_iter_ns: 20,
+            reduction: None,
+        }));
+        b.build()
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ExecConfig::sm_opt(8).single_cpu();
+        assert!(matches!(c.backend, Backend::SmOpt(_)));
+        assert_eq!(c.cost.cpu, fgdsm_tempest::CpuMode::Single);
+        let c2 = ExecConfig::sm_unopt(4).with_opt(OptLevel::base());
+        assert!(matches!(c2.backend, Backend::SmOpt(o) if o.ctl && !o.bulk));
+        assert!(matches!(ExecConfig::mp(2).backend, Backend::Mp));
+    }
+
+    #[test]
+    fn data_aligned_homes_eliminate_owner_cold_write_faults() {
+        let prog = tiny_program(64, 64, Dist::Block);
+        let mut aligned = ExecConfig::sm_unopt(4);
+        aligned.home = HomeAssign::DataAligned;
+        let mut rr = ExecConfig::sm_unopt(4);
+        rr.home = HomeAssign::RoundRobin;
+        let ra = execute(&prog, &aligned);
+        let rb = execute(&prog, &rr);
+        // Owners are home to their data: the init writes never fault.
+        let misses_aligned: u64 = ra.report.nodes.iter().map(|n| n.misses()).sum();
+        let misses_rr: u64 = rb.report.nodes.iter().map(|n| n.misses()).sum();
+        assert_eq!(misses_aligned, 0, "aligned homes: no cold write faults");
+        assert!(misses_rr > 0, "round-robin homes: owners must fault");
+        // Same data either way.
+        assert_eq!(ra.data, rb.data);
+    }
+
+    #[test]
+    fn all_home_policies_agree_on_data() {
+        let prog = tiny_program(40, 24, Dist::Cyclic);
+        let mut results = Vec::new();
+        for home in [HomeAssign::DataAligned, HomeAssign::RoundRobin, HomeAssign::Blocked] {
+            let mut cfg = ExecConfig::sm_opt(4);
+            cfg.home = home;
+            results.push(execute(&prog, &cfg).data);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn run_result_array_extracts_values() {
+        let prog = tiny_program(8, 6, Dist::Block);
+        let r = execute(&prog, &ExecConfig::sm_unopt(2));
+        let a = r.array(&prog, A);
+        assert_eq!(a.len(), 48);
+        assert_eq!(a[0], 0.0);
+        assert_eq!(a[8], 100.0); // (0,1)
+        assert_eq!(a[7 + 5 * 8], (7 + 500) as f64);
+    }
+
+    #[test]
+    fn makespan_is_positive_and_monotone_with_work() {
+        // Page-aligned owner chunks on both sizes, so the comparison is
+        // pure compute (no boundary faults).
+        let small = tiny_program(64, 32, Dist::Block);
+        let big = tiny_program(128, 64, Dist::Block);
+        let rs = execute(&small, &ExecConfig::sm_unopt(2));
+        let rb = execute(&big, &ExecConfig::sm_unopt(2));
+        assert!(rs.total_s() > 0.0);
+        assert!(rb.total_s() > rs.total_s());
+    }
+
+    #[test]
+    fn scalar_statements_update_replicated_state() {
+        let mut b = Program::builder();
+        let a = b.array("a", &[8, 8], Dist::Block);
+        b.scalar("x", 2.0);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "fill",
+            iter: vec![SymRange::new(0, 7), SymRange::new(0, 7)],
+            dist: crate::ir::CompDist::Owner(a),
+            refs: vec![ARef::write(
+                a,
+                vec![Subscript::loop_var(0), Subscript::loop_var(1)],
+            )],
+            kernel: fill_kernel,
+            cost_per_iter_ns: 10,
+            reduction: None,
+        }));
+        b.stmt(Stmt::Scalar {
+            name: "x",
+            f: |s| s["x"] * 10.0 + 1.0,
+        });
+        b.stmt(Stmt::Scalar {
+            name: "y",
+            f: |s| s["x"] - 1.0,
+        });
+        let prog = b.build();
+        let r = execute(&prog, &ExecConfig::sm_unopt(2));
+        assert_eq!(r.scalars["x"], 21.0);
+        assert_eq!(r.scalars["y"], 20.0);
+    }
+}

@@ -1,0 +1,593 @@
+//! The mini-HPF program representation.
+//!
+//! A [`Program`] is a set of distributed array declarations plus a
+//! statement list of INDEPENDENT parallel loops, sequential time-step
+//! loops, and replicated scalar assignments. Each parallel loop carries:
+//!
+//! * its iteration space (symbolic ranges — bounds may mention time-loop
+//!   variables, as in `lu`'s triangular loops);
+//! * a computation distribution (owner-computes on a named array, or a
+//!   block partition of a loop dimension — the paper: "the compiler can
+//!   use the INDEPENDENT directive to divide a loop in any fashion");
+//! * the set of **array references with affine subscripts** that the
+//!   access analysis consumes — this is exactly the information `pghpf`
+//!   extracts from HPF source;
+//! * a native kernel that performs the arithmetic, given resolved views.
+//!
+//! The declared references are the analysis's contract with the kernel: a
+//! kernel must touch only elements covered by its references (the test
+//! suite cross-validates optimized, unoptimized and sequential executions
+//! to catch violations).
+
+use crate::dist::{ArrayDecl, ArrayId};
+use fgdsm_section::{Affine, Env, Range, SymRange, Var};
+use fgdsm_tempest::ReduceOp;
+use std::collections::BTreeMap;
+
+/// One subscript position of an array reference.
+#[derive(Clone, Debug)]
+pub enum Subscript {
+    /// Loop-index variable `iter[d]` plus a constant offset (stencils:
+    /// `a(i, j-1)`).
+    Loop(usize, i64),
+    /// A single symbolic point (e.g. the pivot column `a(_, k)` in `lu`).
+    At(Affine),
+    /// An explicit symbolic range independent of loop variables
+    /// (e.g. `a(k+1:n-1, k)`).
+    Span(SymRange),
+    /// The whole extent of this dimension.
+    All,
+    /// Indirect subscript: the index comes from element `idx(i₀ + c)` of
+    /// another (1-D, owned-read) array — `x(idx(i))` gathers. Static
+    /// analysis cannot bound these, so references containing one are never
+    /// taken under compiler control (the paper's §7 future work: codes
+    /// "that show a mix of simple affine array subscript and indirect
+    /// array subscripts, and are not amenable to purely message-passing
+    /// approaches"). The simulator resolves the actually-touched blocks
+    /// with an inspector over the index array at run time.
+    Indirect(ArrayId, i64),
+}
+
+impl Subscript {
+    /// The loop variable `iter[d]` with no offset.
+    pub fn loop_var(d: usize) -> Self {
+        Subscript::Loop(d, 0)
+    }
+
+    /// Resolve to a concrete range given this node's iteration ranges, the
+    /// environment, and the dimension extent.
+    pub fn resolve(&self, iter: &[Range], env: &Env, extent: usize) -> Range {
+        match self {
+            Subscript::Loop(d, c) => {
+                let r = iter[*d];
+                if r.is_empty() {
+                    Range::empty()
+                } else {
+                    Range::strided(r.lo + c, r.hi + c, r.stride)
+                }
+            }
+            Subscript::At(a) => {
+                let x = a.eval(env);
+                Range::new(x, x)
+            }
+            Subscript::Span(sr) => sr.eval(env),
+            // Conservative: an indirect subscript may reach anywhere.
+            Subscript::All | Subscript::Indirect(..) => Range::new(0, extent as i64 - 1),
+        }
+    }
+
+    /// True for indirect (statically unanalyzable) subscripts.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, Subscript::Indirect(..))
+    }
+}
+
+impl ARef {
+    /// True if any subscript is indirect — the reference is then excluded
+    /// from compiler-controlled communication.
+    pub fn is_indirect(&self) -> bool {
+        self.subs.iter().any(Subscript::is_indirect)
+    }
+}
+
+/// Read or write access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RefMode {
+    Read,
+    Write,
+}
+
+/// One array reference in a parallel loop.
+#[derive(Clone, Debug)]
+pub struct ARef {
+    pub array: ArrayId,
+    pub subs: Vec<Subscript>,
+    pub mode: RefMode,
+}
+
+impl ARef {
+    /// A read reference.
+    pub fn read(array: ArrayId, subs: Vec<Subscript>) -> Self {
+        ARef {
+            array,
+            subs,
+            mode: RefMode::Read,
+        }
+    }
+
+    /// A write reference.
+    pub fn write(array: ArrayId, subs: Vec<Subscript>) -> Self {
+        ARef {
+            array,
+            subs,
+            mode: RefMode::Write,
+        }
+    }
+}
+
+/// How a parallel loop's iterations are divided among processors.
+#[derive(Clone, Debug)]
+pub enum CompDist {
+    /// Owner-computes on the given array: the loop variable appearing in
+    /// the array's distributed (last) dimension subscript is partitioned
+    /// by that array's owner ranges.
+    Owner(ArrayId),
+    /// BLOCK partition of loop dimension `d` across processors.
+    BlockDim(usize),
+    /// Every iteration executes on the owner of the array's distributed
+    /// index given by the affine expression (e.g. `lu`'s pivot-column
+    /// scaling, which only the owner of column `k` performs — an ON HOME
+    /// directive in HPF terms).
+    OwnerOfIndex(ArrayId, Affine),
+}
+
+/// Reduction carried by a parallel loop: kernels accumulate into
+/// `KernelCtx::partial`; the combined value is stored in the named
+/// replicated scalar.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceSpec {
+    pub op: ReduceOp,
+    pub target: &'static str,
+}
+
+/// Resolved metadata handed to kernels for address computation.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayHandle {
+    /// Word offset of the array base in the node's segment copy.
+    pub base: usize,
+    strides: [usize; 3],
+    ndims: usize,
+}
+
+impl ArrayHandle {
+    /// Build a handle from a base offset and the array's extents.
+    pub fn new(base: usize, extents: &[usize]) -> Self {
+        assert!((1..=3).contains(&extents.len()), "1-3 dimensional arrays");
+        let mut strides = [0usize; 3];
+        let mut s = 1;
+        for (d, &e) in extents.iter().enumerate() {
+            strides[d] = s;
+            s *= e;
+        }
+        ArrayHandle {
+            base,
+            strides,
+            ndims: extents.len(),
+        }
+    }
+
+    /// Word offset of `a(i)`.
+    #[inline(always)]
+    pub fn at1(&self, i: i64) -> usize {
+        debug_assert_eq!(self.ndims, 1);
+        self.base + i as usize
+    }
+
+    /// Word offset of `a(i, j)`.
+    #[inline(always)]
+    pub fn at2(&self, i: i64, j: i64) -> usize {
+        debug_assert_eq!(self.ndims, 2);
+        self.base + i as usize + j as usize * self.strides[1]
+    }
+
+    /// Word offset of `a(i, j, k)`.
+    #[inline(always)]
+    pub fn at3(&self, i: i64, j: i64, k: i64) -> usize {
+        debug_assert_eq!(self.ndims, 3);
+        self.base + i as usize + j as usize * self.strides[1] + k as usize * self.strides[2]
+    }
+}
+
+/// Execution context passed to kernels: the node's segment memory, its
+/// iteration sub-ranges, the symbolic environment, replicated scalars and
+/// the reduction accumulator.
+pub struct KernelCtx<'a> {
+    /// This node's copy of the whole shared segment.
+    pub mem: &'a mut [f64],
+    /// Concrete per-dimension iteration ranges assigned to this node.
+    pub iter: &'a [Range],
+    /// Bindings of time-loop and problem symbolics.
+    pub env: &'a Env,
+    /// Replicated scalar values (reduction results etc.).
+    pub scalars: &'a BTreeMap<&'static str, f64>,
+    /// Reduction accumulator (combined across nodes per `ReduceSpec`).
+    pub partial: f64,
+    /// Executing node id.
+    pub node: usize,
+    /// Number of nodes.
+    pub nprocs: usize,
+    pub(crate) handles: &'a [ArrayHandle],
+}
+
+impl KernelCtx<'_> {
+    /// Address-computation handle for an array.
+    #[inline(always)]
+    pub fn h(&self, id: ArrayId) -> ArrayHandle {
+        self.handles[id.0]
+    }
+
+    /// Value of a replicated scalar.
+    pub fn scalar(&self, name: &str) -> f64 {
+        *self
+            .scalars
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown scalar `{name}`"))
+    }
+
+    /// Value of a symbolic variable.
+    pub fn sym(&self, v: Var) -> i64 {
+        self.env
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound symbolic `{v}`"))
+    }
+}
+
+/// Kernel function type: pure array arithmetic over the resolved context.
+pub type KernelFn = fn(&mut KernelCtx);
+
+/// Scalar update function: computes a new replicated scalar from the
+/// current scalar table.
+pub type ScalarFn = fn(&BTreeMap<&'static str, f64>) -> f64;
+
+/// An INDEPENDENT parallel loop.
+#[derive(Clone)]
+pub struct ParLoop {
+    pub name: &'static str,
+    /// Iteration space, one symbolic range per loop dimension.
+    pub iter: Vec<SymRange>,
+    pub dist: CompDist,
+    pub refs: Vec<ARef>,
+    pub kernel: KernelFn,
+    /// Virtual compute cost per iteration point, in ns (calibrated per
+    /// kernel to 66 MHz HyperSPARC throughput).
+    pub cost_per_iter_ns: u64,
+    pub reduction: Option<ReduceSpec>,
+}
+
+impl ParLoop {
+    /// The symbolic variables the loop's *analysis* depends on: variables
+    /// in the iteration bounds, in affine subscripts, and in an ON-HOME
+    /// owner expression. A loop with none (the common stencil case) has a
+    /// fixed access structure — the compiler analyzes it once, at compile
+    /// time; loops like `lu`'s (bounds in `k`) re-evaluate per iteration,
+    /// "invoking the code-fragments with the values of symbolic
+    /// variables" as the paper's Omega-generated code does.
+    pub fn analysis_vars(&self) -> std::collections::BTreeSet<Var> {
+        let mut vars = std::collections::BTreeSet::new();
+        let mut add_affine = |a: &Affine| vars.extend(a.vars());
+        for sr in &self.iter {
+            add_affine(&sr.lo);
+            add_affine(&sr.hi);
+        }
+        for r in &self.refs {
+            for s in &r.subs {
+                match s {
+                    Subscript::At(a) => vars.extend(a.vars()),
+                    Subscript::Span(sr) => {
+                        vars.extend(sr.lo.vars());
+                        vars.extend(sr.hi.vars());
+                    }
+                    Subscript::Loop(..) | Subscript::All | Subscript::Indirect(..) => {}
+                }
+            }
+        }
+        if let CompDist::OwnerOfIndex(_, a) = &self.dist {
+            vars.extend(a.vars());
+        }
+        vars
+    }
+
+    /// True if the access structure is compile-time constant.
+    pub fn is_static(&self) -> bool {
+        self.analysis_vars().is_empty()
+    }
+}
+
+impl std::fmt::Debug for ParLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParLoop")
+            .field("name", &self.name)
+            .field("iter", &self.iter)
+            .field("refs", &self.refs.len())
+            .finish()
+    }
+}
+
+/// A statement in the program body.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// An INDEPENDENT parallel loop (one BSP superstep).
+    Par(ParLoop),
+    /// A sequential time-step loop binding `var` to `0..count`.
+    Time {
+        var: Var,
+        count: i64,
+        body: Vec<Stmt>,
+    },
+    /// Replicated scalar assignment, computed identically on every node.
+    Scalar { name: &'static str, f: ScalarFn },
+}
+
+/// A complete mini-HPF program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub arrays: Vec<ArrayDecl>,
+    pub body: Vec<Stmt>,
+    /// Initial values of replicated scalars.
+    pub scalars: Vec<(&'static str, f64)>,
+}
+
+impl Program {
+    /// Start building a program.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Look up an array declaration.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.0]
+    }
+
+    /// Total bytes of distributed array data (Table 2's "Memory" column).
+    pub fn memory_bytes(&self) -> usize {
+        self.arrays.iter().map(ArrayDecl::bytes).sum()
+    }
+
+    /// Iterate over every parallel loop in the body (recursively).
+    pub fn par_loops(&self) -> Vec<&ParLoop> {
+        fn walk<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a ParLoop>) {
+            for s in stmts {
+                match s {
+                    Stmt::Par(l) => out.push(l),
+                    Stmt::Time { body, .. } => walk(body, out),
+                    Stmt::Scalar { .. } => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Validate structural invariants (dimensions match, ids in range).
+    pub fn validate(&self) -> Result<(), String> {
+        for l in self.par_loops() {
+            for r in &l.refs {
+                let a = self
+                    .arrays
+                    .get(r.array.0)
+                    .ok_or_else(|| format!("loop {}: unknown array id {:?}", l.name, r.array))?;
+                if r.subs.len() != a.extents.len() {
+                    return Err(format!(
+                        "loop {}: ref to `{}` has {} subscripts, array has {} dims",
+                        l.name,
+                        a.name,
+                        r.subs.len(),
+                        a.extents.len()
+                    ));
+                }
+                for s in &r.subs {
+                    if let Subscript::Loop(d, _) = s {
+                        if *d >= l.iter.len() {
+                            return Err(format!(
+                                "loop {}: subscript uses loop dim {d} but loop has {} dims",
+                                l.name,
+                                l.iter.len()
+                            ));
+                        }
+                    }
+                    if let Subscript::Indirect(idx, _) = s {
+                        if r.mode == RefMode::Write {
+                            return Err(format!(
+                                "loop {}: indirect writes (scatter) are not supported",
+                                l.name
+                            ));
+                        }
+                        if r.subs.len() != 1 || a.extents.len() != 1 {
+                            return Err(format!(
+                                "loop {}: indirect references must be 1-D gathers x(idx(i))",
+                                l.name
+                            ));
+                        }
+                        let idecl = self
+                            .arrays
+                            .get(idx.0)
+                            .ok_or_else(|| format!("loop {}: unknown index array", l.name))?;
+                        if idecl.extents.len() != 1 {
+                            return Err(format!(
+                                "loop {}: index array `{}` must be 1-D",
+                                l.name, idecl.name
+                            ));
+                        }
+                    }
+                }
+            }
+            if let CompDist::Owner(a) = &l.dist {
+                self.find_partition_var(l, *a)
+                    .map_err(|e| format!("loop {}: {e}", l.name))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// For owner-computes loops: which loop variable indexes the
+    /// distributed dimension of the partition array, and with what offset.
+    pub fn find_partition_var(&self, l: &ParLoop, a: ArrayId) -> Result<(usize, i64), String> {
+        let decl = &self.arrays[a.0];
+        let last = decl.extents.len() - 1;
+        for r in &l.refs {
+            if r.array == a {
+                if let Subscript::Loop(d, c) = r.subs[last] {
+                    return Ok((d, c));
+                }
+            }
+        }
+        Err(format!(
+            "no reference to partition array `{}` with a loop-variable subscript in its distributed dimension",
+            decl.name
+        ))
+    }
+}
+
+/// Builder for [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    arrays: Vec<ArrayDecl>,
+    body: Vec<Stmt>,
+    scalars: Vec<(&'static str, f64)>,
+}
+
+impl ProgramBuilder {
+    /// Declare a distributed array; returns its id.
+    pub fn array(&mut self, name: &'static str, extents: &[usize], dist: crate::dist::Dist) -> ArrayId {
+        let id = ArrayId(self.arrays.len());
+        self.arrays.push(ArrayDecl {
+            name,
+            extents: extents.to_vec(),
+            dist,
+        });
+        id
+    }
+
+    /// Declare a replicated scalar with an initial value.
+    pub fn scalar(&mut self, name: &'static str, init: f64) -> &mut Self {
+        self.scalars.push((name, init));
+        self
+    }
+
+    /// Append a statement.
+    pub fn stmt(&mut self, s: Stmt) -> &mut Self {
+        self.body.push(s);
+        self
+    }
+
+    /// Finish, validating the program.
+    pub fn build(self) -> Program {
+        let p = Program {
+            arrays: self.arrays,
+            body: self.body,
+            scalars: self.scalars,
+        };
+        if let Err(e) = p.validate() {
+            panic!("invalid program: {e}");
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+
+    fn noop_kernel(_: &mut KernelCtx) {}
+
+    #[test]
+    fn subscript_resolution() {
+        let iter = [Range::new(5, 10), Range::new(0, 3)];
+        let env = Env::new().bind(Var("k"), 7);
+        assert_eq!(
+            Subscript::Loop(0, -1).resolve(&iter, &env, 100),
+            Range::new(4, 9)
+        );
+        assert_eq!(
+            Subscript::At(Affine::var(Var("k"))).resolve(&iter, &env, 100),
+            Range::new(7, 7)
+        );
+        assert_eq!(Subscript::All.resolve(&iter, &env, 12), Range::new(0, 11));
+        assert_eq!(
+            Subscript::Span(SymRange::new(Affine::var(Var("k")).plus_const(1), 99))
+                .resolve(&iter, &env, 100),
+            Range::new(8, 99)
+        );
+    }
+
+    #[test]
+    fn handle_addressing_column_major() {
+        let h = ArrayHandle::new(100, &[8, 6]);
+        assert_eq!(h.at2(0, 0), 100);
+        assert_eq!(h.at2(1, 0), 101);
+        assert_eq!(h.at2(0, 1), 108);
+        let h3 = ArrayHandle::new(0, &[4, 4, 4]);
+        assert_eq!(h3.at3(1, 2, 3), 1 + 8 + 48);
+    }
+
+    #[test]
+    fn builder_and_validate() {
+        let mut b = Program::builder();
+        let a = b.array("a", &[16, 32], Dist::Block);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "touch",
+            iter: vec![SymRange::new(0, 15), SymRange::new(0, 31)],
+            dist: CompDist::Owner(a),
+            refs: vec![ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)])],
+            kernel: noop_kernel,
+            cost_per_iter_ns: 100,
+            reduction: None,
+        }));
+        let p = b.build();
+        assert_eq!(p.par_loops().len(), 1);
+        assert_eq!(p.memory_bytes(), 16 * 32 * 8);
+        let (d, c) = p.find_partition_var(p.par_loops()[0], a).unwrap();
+        assert_eq!((d, c), (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid program")]
+    fn mismatched_subscripts_rejected() {
+        let mut b = Program::builder();
+        let a = b.array("a", &[16, 32], Dist::Block);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "bad",
+            iter: vec![SymRange::new(0, 15)],
+            dist: CompDist::BlockDim(0),
+            refs: vec![ARef::read(a, vec![Subscript::loop_var(0)])], // 1 sub, 2 dims
+            kernel: noop_kernel,
+            cost_per_iter_ns: 1,
+            reduction: None,
+        }));
+        b.build();
+    }
+
+    #[test]
+    fn time_loop_nesting_found() {
+        let mut b = Program::builder();
+        let a = b.array("a", &[8, 8], Dist::Block);
+        let inner = Stmt::Par(ParLoop {
+            name: "inner",
+            iter: vec![SymRange::new(0, 7), SymRange::new(0, 7)],
+            dist: CompDist::Owner(a),
+            refs: vec![ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)])],
+            kernel: noop_kernel,
+            cost_per_iter_ns: 1,
+            reduction: None,
+        });
+        b.stmt(Stmt::Time {
+            var: Var("t"),
+            count: 10,
+            body: vec![inner],
+        });
+        let p = b.build();
+        assert_eq!(p.par_loops().len(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # fgdsm-hpf: the paper's primary contribution
+//!
+//! A mini-HPF front end and the compiler passes of §4:
+//!
+//! * [`dist`] — HPF data distributions (last-dimension BLOCK/CYCLIC) and
+//!   the owner relation;
+//! * [`ir`] — the program representation: distributed arrays,
+//!   INDEPENDENT parallel loops with affine array references, sequential
+//!   time loops, reductions, and native kernels;
+//! * [`analysis`] — access-set analysis: non-owner-read / non-owner-write
+//!   sets per processor, split into point-to-point transfers (§4.1);
+//! * [`plan`] — `shmem_limits` block subsetting and the optimization
+//!   levels of Figure 4 (base / +bulk / +run-time-overhead-elimination),
+//!   plus the PRE extension;
+//! * [`redundancy`] — the transfer cache behind redundant-communication
+//!   elimination (§4.3);
+//! * [`report`] — `-Minfo`-style diagnostics of the per-loop analysis
+//!   and planning decisions;
+//! * [`exec`] — executors: unoptimized shared memory (default protocol
+//!   only), optimized shared memory (compiler-orchestrated incoherence),
+//!   and the message-passing backend, all over the same program.
+
+pub mod analysis;
+pub mod dist;
+pub mod exec;
+pub mod ir;
+pub mod plan;
+pub mod redundancy;
+pub mod report;
+
+pub use analysis::{analyze, LoopAccess, Transfer};
+pub use dist::{ArrayDecl, ArrayId, Dist};
+pub use exec::{execute, Backend, ExecConfig, RunResult};
+pub use ir::{
+    ARef, ArrayHandle, CompDist, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder, RefMode,
+    ReduceSpec, Stmt, Subscript,
+};
+pub use plan::{covering_blocks, shmem_limits, ArrayMeta, CtlRanges, OptLevel};
+pub use redundancy::PreCache;
+pub use report::{analyze_program, render, LoopReport, TransferReport};

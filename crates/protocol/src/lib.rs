@@ -1,0 +1,31 @@
+//! # fgdsm-protocol: coherence protocols over the Tempest substrate
+//!
+//! Three pieces, mirroring §3–§4.2 of the paper:
+//!
+//! * [`Dsm`] — the **default protocol**: a directory-based,
+//!   eager-invalidate, multiple-writer release-consistency protocol at
+//!   cache-block granularity. Read misses are 2-hop when the home holds
+//!   the data and 4-hop when another node holds it exclusively (Figure
+//!   1(a)); write upgrades invalidate eagerly but do not stall the writer
+//!   (pending transactions drain at release points); false-shared blocks
+//!   are handled with per-writer twins and word-granularity diffs merged
+//!   at the home.
+//! * The **compiler-directed extension** (`ctl` module, implemented on
+//!   [`Dsm`]) — the run-time calls of §4.2's contract: `mk_writable`,
+//!   `implicit_writable`, `send_range` / `ready_to_recv`,
+//!   `implicit_invalidate`, `flush_range`, plus bulk-transfer payload
+//!   grouping and the first-time memoization used by run-time overhead
+//!   elimination (§4.3).
+//! * [`MpRuntime`] — the message-passing backend: raw Tempest messages
+//!   with the per-message software overhead of the PGI runtime the paper
+//!   measured against.
+
+pub mod ctl;
+pub mod dir;
+pub mod mp;
+pub mod proto;
+
+pub use ctl::{CtlStats, Payload};
+pub use dir::DirState;
+pub use mp::MpRuntime;
+pub use proto::{Dsm, ProtocolKind};

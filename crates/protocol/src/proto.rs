@@ -1,0 +1,873 @@
+//! The default protocol: directory-based eager-invalidate multiple-writer
+//! release consistency at cache-block granularity (§3, §5).
+
+use crate::dir::DirState;
+use fgdsm_tempest::{Access, ChargeKind, Cluster, NodeId};
+use std::collections::BTreeMap;
+
+/// Which default coherence protocol the DSM runs.
+///
+/// The paper's system uses eager-invalidate multiple-writer release
+/// consistency; §3 notes that "general update-based protocols have
+/// analogous problems" — [`ProtocolKind::WriteUpdate`] lets the benchmarks
+/// quantify that: copies stay valid (no re-fetch misses), but every
+/// release propagates each writer's dirty words to *every* sharer,
+/// whether or not it will read them again.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProtocolKind {
+    /// Directory-based eager-invalidate MW release consistency (paper §5).
+    #[default]
+    EagerInvalidate,
+    /// Write-update: writers keep sharers' copies current at each release.
+    WriteUpdate,
+}
+
+/// A fine-grain DSM: the Tempest cluster plus the default protocol's
+/// directory, twins, and the compiler-control runtime state.
+pub struct Dsm {
+    /// The underlying simulated cluster (public: executors run kernels
+    /// directly against node memory).
+    pub cluster: Cluster,
+    dir: Vec<DirState>,
+    /// Twins for blocks in `Multi` state: (block, writer) → snapshot.
+    twins: BTreeMap<(usize, NodeId), Box<[f64]>>,
+    /// Blocks currently in `Multi` state, flushed at the next release.
+    multi_blocks: Vec<usize>,
+    /// Per-receiver compiler-directed transfer inbox: latest arrival time
+    /// and pending payload/block counts (reset by `ready_to_recv`).
+    pub(crate) inbox_arrival: Vec<u64>,
+    pub(crate) inbox_payloads: Vec<u64>,
+    pub(crate) inbox_blocks: Vec<u64>,
+    /// Memo for run-time overhead elimination: ranges already made
+    /// implicitly writable at a node (§4.3's "first time around" test).
+    pub(crate) iw_memo: std::collections::BTreeSet<(NodeId, usize, usize)>,
+    kind: ProtocolKind,
+    /// Write-update protocol: (block, writer) pairs dirty this interval.
+    update_set: Vec<(usize, NodeId)>,
+}
+
+impl Dsm {
+    /// Wrap a cluster; every block starts exclusively owned by its home.
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_protocol(cluster, ProtocolKind::EagerInvalidate)
+    }
+
+    /// Wrap a cluster with an explicit default-protocol choice.
+    pub fn with_protocol(cluster: Cluster, kind: ProtocolKind) -> Self {
+        assert!(cluster.nprocs() <= 64, "directory masks support ≤64 nodes");
+        let n_blocks = cluster.n_blocks();
+        let nprocs = cluster.nprocs();
+        let dir = (0..n_blocks)
+            .map(|b| DirState::Excl {
+                owner: cluster.home_of_block(b),
+            })
+            .collect();
+        Dsm {
+            cluster,
+            dir,
+            twins: BTreeMap::new(),
+            multi_blocks: Vec::new(),
+            inbox_arrival: vec![0; nprocs],
+            inbox_payloads: vec![0; nprocs],
+            inbox_blocks: vec![0; nprocs],
+            iw_memo: std::collections::BTreeSet::new(),
+            kind,
+            update_set: Vec::new(),
+        }
+    }
+
+    /// The default protocol in force.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.kind
+    }
+
+    /// Directory state of a block (inspection/testing).
+    pub fn dir_state(&self, b: usize) -> DirState {
+        self.dir[b]
+    }
+
+    /// Overwrite a block's directory state (compiler-control transitions).
+    pub(crate) fn set_dir(&mut self, b: usize, s: DirState) {
+        self.dir[b] = s;
+    }
+
+    #[inline]
+    fn hc(&self, ns: u64) -> u64 {
+        self.cluster.cfg().handler_cost(ns)
+    }
+
+    /// Snapshot a block's current contents at `node` into a twin buffer.
+    fn make_twin(&mut self, node: NodeId, b: usize) {
+        let (s, e) = self.cluster.block_words(b);
+        let data: Box<[f64]> = self.cluster.node_mem(node)[s..e].into();
+        self.twins.insert((b, node), data);
+    }
+
+    /// Word-diff a writer's block against its twin; returns the dirty mask.
+    fn diff_mask(&self, node: NodeId, b: usize) -> u64 {
+        let twin = &self.twins[&(b, node)];
+        let (s, e) = self.cluster.block_words(b);
+        let cur = &self.cluster.node_mem(node)[s..e];
+        let mut mask = 0u64;
+        for (i, (c, t)) in cur.iter().zip(twin.iter()).enumerate() {
+            if c.to_bits() != t.to_bits() {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    // ------------------------------------------------------------------
+    // Default-protocol transactions
+    // ------------------------------------------------------------------
+
+    /// Service a read fault: bring block `b` to at least `ReadOnly` at
+    /// `p`. No-op (and no cost) if `p` already has a valid copy — "inner
+    /// cache blocks are brought once and for ever into the local memory
+    /// and pay no further overhead" (§2).
+    pub fn read_access(&mut self, p: NodeId, b: usize) {
+        if self.cluster.tag(p, b) != Access::Invalid {
+            return;
+        }
+        if self.kind == ProtocolKind::WriteUpdate {
+            return self.read_access_update(p, b);
+        }
+        let cfg = self.cluster.cfg().clone();
+        let h = self.cluster.home_of_block(b);
+        let (s, e) = self.cluster.block_words(b);
+        self.cluster.map_range(p, s, e - s);
+        self.cluster.stats_mut(p).read_misses += 1;
+        // Fault detection + request to home.
+        let mut stall = cfg.fault_detect_ns;
+        if p != h {
+            stall += cfg.one_way_ns(8) + self.hc(cfg.handler_dispatch_ns);
+            self.cluster.note_msg(p, 8);
+            self.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+        }
+        stall += self.hc(cfg.dir_lookup_ns);
+
+        match self.dir[b] {
+            DirState::Shared { readers } => {
+                // Clean: home copy is current.
+                stall += self.data_home_to(p, h, b, &mut 0);
+                self.dir[b] = DirState::Shared {
+                    readers: readers | DirState::bit(p),
+                };
+            }
+            DirState::Excl { owner } if owner == h => {
+                stall += self.data_home_to(p, h, b, &mut 0);
+                // Home downgrades to read-only so its own later writes fault.
+                self.cluster.set_tag(h, b, Access::ReadOnly);
+                self.dir[b] = DirState::Shared {
+                    readers: DirState::bit(p) | DirState::bit(h),
+                };
+            }
+            DirState::Excl { owner } => {
+                assert_ne!(owner, p, "read fault by recorded exclusive owner");
+                // 4-hop (Figure 1(a)): put-data-request to owner, data back
+                // to home, then response to requester.
+                stall += cfg.one_way_ns(8)
+                    + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
+                    + cfg.one_way_ns(cfg.block_bytes)
+                    + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns);
+                self.cluster.note_msg(h, 8);
+                self.cluster.charge_handler(
+                    owner,
+                    cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
+                );
+                self.cluster.note_msg(owner, cfg.block_bytes);
+                self.cluster.charge_handler(
+                    h,
+                    cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns,
+                );
+                // Data: owner → home, owner downgrades, home readable.
+                self.cluster.copy_words(owner, h, s, e - s);
+                self.cluster.set_tag(owner, b, Access::ReadOnly);
+                self.cluster.set_tag(h, b, Access::ReadOnly);
+                stall += self.data_home_to(p, h, b, &mut 0);
+                self.dir[b] = DirState::Shared {
+                    readers: DirState::bit(p) | DirState::bit(owner) | DirState::bit(h),
+                };
+            }
+            DirState::Multi { writers, readers } => {
+                // A non-writer reads a false-shared block mid-interval
+                // (wide stencil): every writer flushes its diff home so the
+                // merge base is current, then the home serves the reader.
+                // Element-level race freedom guarantees the reader never
+                // looks at words a writer changes after this point.
+                for w in DirState::nodes(writers) {
+                    let mask = self.diff_mask(w, b);
+                    if mask != 0 && w != h {
+                        let bytes = 8 + 8 * mask.count_ones() as usize;
+                        self.cluster.note_msg(w, bytes);
+                        self.cluster
+                            .charge_handler(w, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                        self.cluster
+                            .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                        self.cluster.merge_block_words(w, h, b, mask);
+                        stall += cfg.one_way_ns(bytes) + self.hc(2 * cfg.handler_dispatch_ns);
+                    } else if mask != 0 {
+                        self.cluster.merge_block_words(w, h, b, mask);
+                    }
+                    // Refresh the twin: subsequent diffs are relative to
+                    // the new merge base.
+                    self.make_twin(w, b);
+                }
+                stall += self.data_home_to(p, h, b, &mut 0);
+                self.dir[b] = DirState::Multi {
+                    writers,
+                    readers: readers | DirState::bit(p),
+                };
+            }
+        }
+        self.cluster.set_tag(p, b, Access::ReadOnly);
+        stall += cfg.tag_change_ns;
+        self.cluster.charge(p, stall, ChargeKind::Stall);
+    }
+
+    /// Cost and data movement for the home shipping its (current) copy of
+    /// block `b` to `p`. Returns the stall to charge at `p`.
+    fn data_home_to(&mut self, p: NodeId, h: NodeId, b: usize, _x: &mut u64) -> u64 {
+        let cfg = self.cluster.cfg().clone();
+        let (s, e) = self.cluster.block_words(b);
+        if p == h {
+            // Local: the data is already in the home's copy.
+            return cfg.tag_change_ns;
+        }
+        self.cluster.charge_handler(h, cfg.block_copy_ns);
+        self.cluster.note_msg(h, cfg.block_bytes);
+        self.cluster.copy_words(h, p, s, e - s);
+        self.hc(cfg.block_copy_ns)
+            + cfg.one_way_ns(cfg.block_bytes)
+            + self.hc(cfg.handler_dispatch_ns)
+            + cfg.block_copy_ns
+            + cfg.tag_change_ns
+    }
+
+    /// Service a write fault with *steal* semantics: `p` becomes the single
+    /// exclusive writer. Eager invalidation: `p` does not wait for
+    /// invalidation acknowledgements (they drain at the next release), so
+    /// the stall is only fault handling plus a data fetch when `p` has no
+    /// valid copy.
+    pub fn write_access_excl(&mut self, p: NodeId, b: usize) {
+        if self.kind == ProtocolKind::WriteUpdate {
+            return self.write_access_update(p, b);
+        }
+        if self.cluster.tag(p, b) == Access::ReadWrite && self.dir[b].is_excl_by(p) {
+            return;
+        }
+        let cfg = self.cluster.cfg().clone();
+        let h = self.cluster.home_of_block(b);
+        let (s, e) = self.cluster.block_words(b);
+        self.cluster.map_range(p, s, e - s);
+        self.cluster.stats_mut(p).write_misses += 1;
+
+        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
+        if p != h {
+            // Eager ownership request: injection only.
+            stall += cfg.msg_send_ns;
+            self.cluster.note_msg(p, 8);
+            self.cluster.note_pending_write(p);
+        }
+        self.cluster
+            .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+
+        let need_data = self.cluster.tag(p, b) == Access::Invalid;
+        match self.dir[b] {
+            DirState::Shared { readers } => {
+                // Invalidate every other reader, eagerly.
+                for r in DirState::nodes(readers) {
+                    if r != p {
+                        self.cluster.note_msg(h, 8);
+                        self.cluster
+                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+                        self.cluster.set_tag(r, b, Access::Invalid);
+                    }
+                }
+                if need_data {
+                    stall += self.data_home_to(p, h, b, &mut 0);
+                }
+            }
+            DirState::Excl { owner } => {
+                assert_ne!(owner, p, "write fault by a node that is already exclusive owner");
+                if owner != h {
+                    // Current data is at `owner`: flush home, invalidate.
+                    self.cluster.charge_handler(
+                        owner,
+                        cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
+                    );
+                    self.cluster.note_msg(h, 8);
+                    self.cluster.note_msg(owner, cfg.block_bytes);
+                    self.cluster
+                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    self.cluster.copy_words(owner, h, s, e - s);
+                    stall += cfg.one_way_ns(8)
+                        + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
+                        + cfg.one_way_ns(cfg.block_bytes)
+                        + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                }
+                self.cluster.set_tag(owner, b, Access::Invalid);
+                if need_data {
+                    stall += self.data_home_to(p, h, b, &mut 0);
+                }
+            }
+            DirState::Multi { .. } => {
+                unreachable!("steal write on a Multi block: use write_access_multi")
+            }
+        }
+        if h != p {
+            self.cluster.set_tag(h, b, Access::Invalid);
+        }
+        self.cluster.set_tag(p, b, Access::ReadWrite);
+        self.dir[b] = DirState::Excl { owner: p };
+        self.cluster.charge(p, stall, ChargeKind::Stall);
+    }
+
+    /// Service a write fault on a block that *multiple* nodes write in the
+    /// same interval (false sharing at array-column boundaries, §4.1
+    /// footnote): `p` joins the writer set, keeping a twin for the
+    /// word-granularity diff merged at the next release.
+    pub fn write_access_multi(&mut self, p: NodeId, b: usize) {
+        if self.kind == ProtocolKind::WriteUpdate {
+            return self.write_access_update(p, b);
+        }
+        let cfg = self.cluster.cfg().clone();
+        let h = self.cluster.home_of_block(b);
+        let (s, e) = self.cluster.block_words(b);
+        // Already a writer in Multi state?
+        if let DirState::Multi { writers, .. } = self.dir[b] {
+            if writers & DirState::bit(p) != 0 {
+                return;
+            }
+        }
+        self.cluster.map_range(p, s, e - s);
+        self.cluster.stats_mut(p).write_misses += 1;
+
+        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
+        if p != h {
+            stall += cfg.msg_send_ns;
+            self.cluster.note_msg(p, 8);
+            self.cluster.note_pending_write(p);
+        }
+        self.cluster
+            .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+
+        // First entry into Multi: normalize the previous state so the home
+        // copy is the merge base.
+        let mut cur_readers = 0u64;
+        let mut writers = match self.dir[b] {
+            DirState::Multi { writers, readers } => {
+                cur_readers = readers;
+                writers
+            }
+            DirState::Excl { owner } => {
+                if owner != h {
+                    // Owner flushes its current copy home and keeps writing.
+                    self.cluster.charge_handler(
+                        owner,
+                        cfg.handler_dispatch_ns + cfg.block_copy_ns,
+                    );
+                    self.cluster.note_msg(owner, cfg.block_bytes);
+                    self.cluster
+                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    self.cluster.copy_words(owner, h, s, e - s);
+                    stall += cfg.one_way_ns(8)
+                        + self.hc(2 * cfg.handler_dispatch_ns + 2 * cfg.block_copy_ns)
+                        + cfg.one_way_ns(cfg.block_bytes);
+                }
+                self.make_twin(owner, b);
+                self.multi_blocks.push(b);
+                DirState::bit(owner)
+            }
+            DirState::Shared { readers } => {
+                for r in DirState::nodes(readers) {
+                    if r != p {
+                        self.cluster.note_msg(h, 8);
+                        self.cluster
+                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+                        self.cluster.set_tag(r, b, Access::Invalid);
+                    }
+                }
+                self.multi_blocks.push(b);
+                0
+            }
+        };
+        // `p` joins: fetch the merge base if it has no valid copy.
+        if self.cluster.tag(p, b) == Access::Invalid {
+            stall += self.data_home_to(p, h, b, &mut 0);
+        }
+        self.make_twin(p, b);
+        self.cluster.set_tag(p, b, Access::ReadWrite);
+        writers |= DirState::bit(p);
+        cur_readers &= !DirState::bit(p);
+        if h != p && writers & DirState::bit(h) == 0 {
+            self.cluster.set_tag(h, b, Access::Invalid);
+        }
+        self.dir[b] = DirState::Multi {
+            writers,
+            readers: cur_readers,
+        };
+        self.cluster.charge(p, stall, ChargeKind::Stall);
+    }
+
+    // ------------------------------------------------------------------
+    // Write-update protocol paths
+    // ------------------------------------------------------------------
+
+    /// Update-protocol read fault: the home's copy is always current at
+    /// interval boundaries, so every miss is a clean 2-hop fetch — and
+    /// the copy then stays valid forever (writers update it in place).
+    fn read_access_update(&mut self, p: NodeId, b: usize) {
+        let cfg = self.cluster.cfg().clone();
+        let h = self.cluster.home_of_block(b);
+        let (s, e) = self.cluster.block_words(b);
+        self.cluster.map_range(p, s, e - s);
+        self.cluster.stats_mut(p).read_misses += 1;
+        let mut stall = cfg.fault_detect_ns + self.hc(cfg.dir_lookup_ns);
+        if p != h {
+            stall += cfg.one_way_ns(8) + self.hc(cfg.handler_dispatch_ns);
+            self.cluster.note_msg(p, 8);
+            self.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+        }
+        stall += self.data_home_to(p, h, b, &mut 0);
+        self.cluster.set_tag(p, b, Access::ReadOnly);
+        stall += cfg.tag_change_ns;
+        self.cluster.charge(p, stall, ChargeKind::Stall);
+        let readers = match self.dir[b] {
+            DirState::Shared { readers } => readers,
+            _ => DirState::bit(h),
+        };
+        self.dir[b] = DirState::Shared {
+            readers: readers | DirState::bit(p) | DirState::bit(h),
+        };
+    }
+
+    /// Update-protocol write fault: register as a writer for this
+    /// interval (twin for the diff), fetching the block only if the node
+    /// has no valid copy. Sharers are *not* invalidated — they receive
+    /// the dirty words at the next release.
+    fn write_access_update(&mut self, p: NodeId, b: usize) {
+        let cfg = self.cluster.cfg().clone();
+        if self.cluster.tag(p, b) == Access::ReadWrite {
+            if !self.twins.contains_key(&(b, p)) {
+                // Standing writer, new interval: local bookkeeping only.
+                self.make_twin(p, b);
+                self.update_set.push((b, p));
+                self.cluster.charge(p, cfg.tag_change_ns, ChargeKind::Stall);
+                // Normalize the directory (the home node starts out
+                // recorded as an exclusive owner).
+                let readers = match self.dir[b] {
+                    DirState::Shared { readers } => readers,
+                    _ => 0,
+                };
+                let h = self.cluster.home_of_block(b);
+                self.dir[b] = DirState::Shared {
+                    readers: readers | DirState::bit(p) | DirState::bit(h),
+                };
+            }
+            return;
+        }
+        let h = self.cluster.home_of_block(b);
+        let (s, e) = self.cluster.block_words(b);
+        self.cluster.map_range(p, s, e - s);
+        self.cluster.stats_mut(p).write_misses += 1;
+        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
+        if p != h {
+            // Eager registration with the home directory.
+            stall += cfg.msg_send_ns;
+            self.cluster.note_msg(p, 8);
+            self.cluster.note_pending_write(p);
+            self.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+        }
+        if self.cluster.tag(p, b) == Access::Invalid {
+            stall += self.data_home_to(p, h, b, &mut 0);
+        }
+        self.cluster.set_tag(p, b, Access::ReadWrite);
+        self.make_twin(p, b);
+        self.update_set.push((b, p));
+        self.cluster.charge(p, stall, ChargeKind::Stall);
+        let readers = match self.dir[b] {
+            DirState::Shared { readers } => readers,
+            _ => DirState::bit(h),
+        };
+        self.dir[b] = DirState::Shared {
+            readers: readers | DirState::bit(p) | DirState::bit(h),
+        };
+    }
+
+    /// Update-protocol release: every writer propagates its dirty words
+    /// to the home and every other sharer — the cost that grows with the
+    /// sharer set and makes update protocols expensive for migratory or
+    /// single-consumer data.
+    fn release_update(&mut self) {
+        let cfg = self.cluster.cfg().clone();
+        let mut set = std::mem::take(&mut self.update_set);
+        set.sort_unstable();
+        set.dedup();
+        for (b, w) in set {
+            let mask = self.diff_mask(w, b);
+            self.twins.remove(&(b, w));
+            if mask == 0 {
+                continue;
+            }
+            let bytes = 8 + 8 * mask.count_ones() as usize;
+            let DirState::Shared { readers } = self.dir[b] else {
+                unreachable!("update-protocol blocks are always Shared");
+            };
+            for t in DirState::nodes(readers) {
+                if t == w {
+                    continue;
+                }
+                self.cluster.note_msg(w, bytes);
+                self.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
+                self.cluster
+                    .charge_handler(t, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                self.cluster.merge_block_words(w, t, b, mask);
+            }
+        }
+        self.cluster.barrier();
+    }
+
+    /// Release point: merge all `Multi` blocks home via word diffs, then
+    /// execute the global barrier. Exclusive blocks stay with their owner
+    /// — the property run-time overhead elimination relies on (§4.3).
+    pub fn release_barrier(&mut self) {
+        if self.kind == ProtocolKind::WriteUpdate {
+            return self.release_update();
+        }
+        let cfg = self.cluster.cfg().clone();
+        let blocks = std::mem::take(&mut self.multi_blocks);
+        for b in blocks {
+            let DirState::Multi { writers, readers } = self.dir[b] else {
+                continue;
+            };
+            let h = self.cluster.home_of_block(b);
+            for r in DirState::nodes(readers) {
+                // Transient readers of the old merge base are invalidated.
+                self.cluster.set_tag(r, b, Access::Invalid);
+            }
+            for w in DirState::nodes(writers) {
+                let mask = self.diff_mask(w, b);
+                let dirty = mask.count_ones() as usize;
+                let bytes = 8 + 8 * dirty;
+                if w != h {
+                    self.cluster.note_msg(w, bytes);
+                    self.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
+                    self.cluster
+                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    self.cluster.merge_block_words(w, h, b, mask);
+                }
+                self.cluster.set_tag(w, b, Access::Invalid);
+                self.twins.remove(&(b, w));
+            }
+            self.cluster.set_tag(h, b, Access::ReadWrite);
+            self.dir[b] = DirState::Excl { owner: h };
+        }
+        self.cluster.barrier();
+    }
+
+    /// Check internal consistency between directory state and tags; used
+    /// by tests after barriers ("a final barrier assures that things are
+    /// consistent again with the information at the directory").
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.kind == ProtocolKind::WriteUpdate {
+            // After a release, every valid copy must equal the home copy.
+            for b in 0..self.cluster.n_blocks() {
+                let h = self.cluster.home_of_block(b);
+                let (s, e) = self.cluster.block_words(b);
+                for n in 0..self.cluster.nprocs() {
+                    if n != h && self.cluster.tag(n, b) != Access::Invalid {
+                        for w in s..e {
+                            if self.cluster.node_mem(n)[w].to_bits()
+                                != self.cluster.node_mem(h)[w].to_bits()
+                            {
+                                return Err(format!(
+                                    "update protocol: node {n} copy of block {b} diverges at word {w}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for b in 0..self.cluster.n_blocks() {
+            match self.dir[b] {
+                DirState::Excl { owner } => {
+                    for n in 0..self.cluster.nprocs() {
+                        let t = self.cluster.tag(n, b);
+                        if n != owner && t == Access::ReadWrite && !self.is_ctl_block(n, b) {
+                            return Err(format!(
+                                "block {b}: node {n} is ReadWrite but directory says Excl({owner})"
+                            ));
+                        }
+                    }
+                }
+                DirState::Shared { readers } => {
+                    for n in 0..self.cluster.nprocs() {
+                        let t = self.cluster.tag(n, b);
+                        if t == Access::ReadWrite {
+                            return Err(format!(
+                                "block {b}: node {n} is ReadWrite but directory says Shared"
+                            ));
+                        }
+                        if t == Access::ReadOnly && readers & DirState::bit(n) == 0 {
+                            return Err(format!(
+                                "block {b}: node {n} is ReadOnly but not in sharer mask"
+                            ));
+                        }
+                    }
+                }
+                DirState::Multi { .. } => {
+                    return Err(format!("block {b}: Multi state survived a release"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// During compiler control a reader may legitimately hold ReadWrite on
+    /// a block the directory believes exclusive elsewhere (Figure 2C/2D).
+    /// `check_consistency` is only called outside such windows, but the
+    /// hook is kept overridable for tests.
+    fn is_ctl_block(&self, _node: NodeId, _b: usize) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdsm_tempest::{CostModel, HomePolicy, SegmentLayout};
+
+    fn dsm(nprocs: usize, cfg: CostModel) -> Dsm {
+        let mut layout = SegmentLayout::new(cfg.words_per_page());
+        layout.alloc(4096);
+        Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
+    }
+
+    #[test]
+    fn clean_read_miss_costs_table1() {
+        let mut d = dsm(4, CostModel::paper_dual_cpu());
+        // Block 0 homes on node 0; node 1 reads it. Pre-map the page so the
+        // measured cost is the miss itself, not the one-time mapping.
+        d.cluster.map_range(1, 0, 16);
+        let before = d.cluster.clock_ns(1);
+        d.read_access(1, 0);
+        let delta = d.cluster.clock_ns(1) - before;
+        let expect = d.cluster.cfg().read_miss_ns();
+        assert_eq!(delta, expect, "clean read miss must match Table 1 model");
+        assert_eq!(d.cluster.stats(1).read_misses, 1);
+        assert_eq!(d.cluster.tag(1, 0), Access::ReadOnly);
+        // The home (initial exclusive owner) downgrades and joins the set.
+        assert_eq!(
+            d.dir_state(0),
+            DirState::Shared {
+                readers: DirState::bit(1) | DirState::bit(0)
+            }
+        );
+    }
+
+    #[test]
+    fn second_read_is_free() {
+        let mut d = dsm(4, CostModel::paper_dual_cpu());
+        d.read_access(1, 0);
+        let t = d.cluster.clock_ns(1);
+        d.read_access(1, 0);
+        assert_eq!(d.cluster.clock_ns(1), t);
+        assert_eq!(d.cluster.stats(1).read_misses, 1);
+    }
+
+    #[test]
+    fn four_hop_read_through_owner() {
+        let mut d = dsm(4, CostModel::paper_dual_cpu());
+        // Node 1 takes block 0 (home 0) exclusively, writes, then node 2 reads.
+        d.write_access_excl(1, 0);
+        d.cluster.node_mem_mut(1)[0] = 7.5;
+        let before = d.cluster.clock_ns(2);
+        d.read_access(2, 0);
+        assert!(d.cluster.clock_ns(2) - before > d.cluster.cfg().read_miss_ns());
+        // Data travelled owner → home → reader.
+        assert_eq!(d.cluster.node_mem(2)[0], 7.5);
+        assert_eq!(d.cluster.node_mem(0)[0], 7.5);
+        assert_eq!(d.cluster.tag(1, 0), Access::ReadOnly);
+        match d.dir_state(0) {
+            DirState::Shared { readers } => {
+                assert_ne!(readers & DirState::bit(1), 0);
+                assert_ne!(readers & DirState::bit(2), 0);
+            }
+            s => panic!("expected Shared, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn write_upgrade_invalidates_readers_eagerly() {
+        let mut d = dsm(4, CostModel::paper_dual_cpu());
+        d.read_access(1, 0);
+        d.read_access(2, 0);
+        // Node 3 writes: both readers and home lose their copies.
+        d.cluster.map_range(3, 0, 16); // exclude one-time mapping from stall
+        let stall_before = d.cluster.stats(3).stall_ns;
+        d.write_access_excl(3, 0);
+        assert_eq!(d.cluster.tag(1, 0), Access::Invalid);
+        assert_eq!(d.cluster.tag(2, 0), Access::Invalid);
+        assert_eq!(d.cluster.tag(0, 0), Access::Invalid);
+        assert_eq!(d.cluster.tag(3, 0), Access::ReadWrite);
+        assert!(d.dir_state(0).is_excl_by(3));
+        // Eager: the writer's stall is far below a full read miss.
+        let stall = d.cluster.stats(3).stall_ns - stall_before;
+        assert!(stall < d.cluster.cfg().read_miss_ns());
+    }
+
+    #[test]
+    fn producer_consumer_roundtrip_moves_data() {
+        let mut d = dsm(2, CostModel::paper_dual_cpu());
+        d.write_access_excl(1, 0);
+        d.cluster.node_mem_mut(1)[3] = 42.0;
+        d.release_barrier();
+        d.read_access(0, 0);
+        assert_eq!(d.cluster.node_mem(0)[3], 42.0);
+        d.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn multi_writer_merges_diffs_at_release() {
+        let mut d = dsm(2, CostModel::paper_dual_cpu());
+        // Both nodes write disjoint words of block 0 (home node 0).
+        d.write_access_multi(0, 0);
+        d.write_access_multi(1, 0);
+        d.cluster.node_mem_mut(0)[0] = 1.0;
+        d.cluster.node_mem_mut(1)[1] = 2.0;
+        d.release_barrier();
+        // Home (node 0) holds the merge.
+        assert_eq!(d.cluster.node_mem(0)[0], 1.0);
+        assert_eq!(d.cluster.node_mem(0)[1], 2.0);
+        assert!(d.dir_state(0).is_excl_by(0));
+        assert_eq!(d.cluster.tag(0, 0), Access::ReadWrite);
+        assert_eq!(d.cluster.tag(1, 0), Access::Invalid);
+        d.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn multi_writer_remote_home_merge() {
+        let mut d = dsm(4, CostModel::paper_dual_cpu());
+        // Block 0 homes at node 0; writers are 2 and 3.
+        d.write_access_multi(2, 0);
+        d.write_access_multi(3, 0);
+        d.cluster.node_mem_mut(2)[4] = 4.0;
+        d.cluster.node_mem_mut(3)[5] = 5.0;
+        d.release_barrier();
+        assert_eq!(d.cluster.node_mem(0)[4], 4.0);
+        assert_eq!(d.cluster.node_mem(0)[5], 5.0);
+        d.check_consistency().unwrap();
+        // A later reader sees both writes.
+        d.read_access(1, 0);
+        assert_eq!(d.cluster.node_mem(1)[4], 4.0);
+        assert_eq!(d.cluster.node_mem(1)[5], 5.0);
+    }
+
+    #[test]
+    fn exclusive_survives_release() {
+        // RTOE's precondition: owners keep blocks writable across barriers.
+        let mut d = dsm(2, CostModel::paper_dual_cpu());
+        d.write_access_excl(1, 0);
+        d.release_barrier();
+        assert!(d.dir_state(0).is_excl_by(1));
+        assert_eq!(d.cluster.tag(1, 0), Access::ReadWrite);
+        let misses = d.cluster.stats(1).write_misses;
+        d.write_access_excl(1, 0); // no-op
+        assert_eq!(d.cluster.stats(1).write_misses, misses);
+    }
+
+    #[test]
+    fn single_cpu_misses_cost_more() {
+        let mut dd = dsm(2, CostModel::paper_dual_cpu());
+        let mut ds = dsm(2, CostModel::paper_single_cpu());
+        dd.read_access(1, 0);
+        ds.read_access(1, 0);
+        assert!(ds.cluster.stats(1).stall_ns > dd.cluster.stats(1).stall_ns);
+        // Single-cpu: home's handler occupancy also advanced home's clock.
+        assert!(ds.cluster.clock_ns(0) > 0);
+        assert_eq!(dd.cluster.clock_ns(0), 0);
+    }
+
+    fn dsm_update(nprocs: usize) -> Dsm {
+        let cfg = CostModel::paper_dual_cpu();
+        let mut layout = SegmentLayout::new(cfg.words_per_page());
+        layout.alloc(4096);
+        Dsm::with_protocol(
+            Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin),
+            ProtocolKind::WriteUpdate,
+        )
+    }
+
+    #[test]
+    fn update_protocol_keeps_reader_copies_fresh() {
+        let mut d = dsm_update(4);
+        // Reader 2 fetches block 0 once …
+        d.read_access(2, 0);
+        assert_eq!(d.cluster.stats(2).read_misses, 1);
+        // … then writer 1 updates it across three intervals; the reader
+        // never faults again but always sees current data.
+        for step in 0..3 {
+            d.write_access_excl(1, 0);
+            d.cluster.node_mem_mut(1)[5] = step as f64 + 1.0;
+            d.release_barrier();
+            d.check_consistency().unwrap();
+            d.read_access(2, 0); // no-op: copy still valid
+            assert_eq!(d.cluster.node_mem(2)[5], step as f64 + 1.0);
+        }
+        assert_eq!(d.cluster.stats(2).read_misses, 1, "no re-fetch under update");
+    }
+
+    #[test]
+    fn update_protocol_pays_per_sharer_traffic() {
+        // The §3 trade-off: with three sharers, every release carries the
+        // writer's dirty words to each of them, read or not.
+        let mut d = dsm_update(4);
+        for r in [0usize, 2, 3] {
+            d.read_access(r, 0);
+        }
+        let msgs_before = d.cluster.stats(1).msgs_sent;
+        d.write_access_excl(1, 0);
+        d.cluster.node_mem_mut(1)[0] = 9.0;
+        d.release_barrier();
+        let update_msgs = d.cluster.stats(1).msgs_sent - msgs_before;
+        assert!(
+            update_msgs >= 3,
+            "writer must update home and every sharer, sent {update_msgs}"
+        );
+        d.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_protocol_multi_writer_merges() {
+        let mut d = dsm_update(2);
+        d.write_access_excl(0, 0);
+        d.write_access_excl(1, 0);
+        d.cluster.node_mem_mut(0)[0] = 1.0;
+        d.cluster.node_mem_mut(1)[1] = 2.0;
+        d.release_barrier();
+        d.check_consistency().unwrap();
+        for n in 0..2 {
+            assert_eq!(d.cluster.node_mem(n)[0], 1.0, "node {n} word 0");
+            assert_eq!(d.cluster.node_mem(n)[1], 2.0, "node {n} word 1");
+        }
+    }
+
+    #[test]
+    fn write_fault_after_invalidation_refetches_data() {
+        let mut d = dsm(2, CostModel::paper_dual_cpu());
+        d.write_access_excl(1, 0);
+        d.cluster.node_mem_mut(1)[2] = 9.0;
+        d.release_barrier();
+        // Node 0 (home) steals the block back for writing.
+        d.write_access_excl(0, 0);
+        assert_eq!(d.cluster.node_mem(0)[2], 9.0);
+        assert!(d.dir_state(0).is_excl_by(0));
+        assert_eq!(d.cluster.tag(1, 0), Access::Invalid);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the default protocol: random BSP intervals with a
+//! race-free access discipline (per interval, each block has at most one
+//! writer unless explicitly multi-written, plus any number of readers)
+//! must keep the directory consistent at every barrier and propagate
+//! values exactly like an idealized shared memory.
+#![allow(clippy::needless_range_loop)] // word loops index the model vec in parallel
+
+use fgdsm_protocol::Dsm;
+use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
+use proptest::prelude::*;
+
+const NPROCS: usize = 4;
+const BLOCKS: usize = 24;
+
+#[derive(Debug, Clone)]
+struct Interval {
+    /// Per block: Some(writer mask) — bit per node; None = not written.
+    writers: Vec<Option<u8>>,
+    /// Per block: reader mask.
+    readers: Vec<u8>,
+}
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    let per_block = (0u8..16, 0u8..16).prop_map(|(w, r)| {
+        // Bias toward at most one writer; allow multi occasionally.
+        let writers = match w {
+            0..=7 => None,
+            8..=11 => Some(1u8 << (w % 4)),                 // one writer
+            _ => Some((1u8 << (w % 4)) | (1u8 << ((w + 1) % 4))), // two writers
+        };
+        (writers, r)
+    });
+    prop::collection::vec(per_block, BLOCKS).prop_map(|v| Interval {
+        writers: v.iter().map(|&(w, _)| w).collect(),
+        readers: v.iter().map(|&(_, r)| r).collect(),
+    })
+}
+
+fn fresh() -> Dsm {
+    let cfg = CostModel::paper_dual_cpu();
+    let mut layout = SegmentLayout::new(cfg.words_per_page());
+    layout.alloc(BLOCKS * cfg.words_per_block());
+    Dsm::new(Cluster::new(NPROCS, cfg, &layout, HomePolicy::RoundRobin))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_intervals_stay_coherent(ivs in prop::collection::vec(interval_strategy(), 1..8)) {
+        let mut d = fresh();
+        let wpb = d.cluster.words_per_block();
+        // Idealized shared memory: the model value of every word.
+        let mut model = vec![0.0f64; BLOCKS * wpb];
+        let mut stamp = 1.0f64;
+
+        for iv in &ivs {
+            // Access sub-phase: writes (multi when >1 writer or when the
+            // block is also read remotely), then reads — the same
+            // discipline the executor derives from its census.
+            for b in 0..BLOCKS {
+                if let Some(wmask) = iv.writers[b] {
+                    let writers: Vec<usize> =
+                        (0..NPROCS).filter(|&n| wmask & (1 << n) != 0).collect();
+                    let remote_reader = (0..NPROCS)
+                        .any(|n| iv.readers[b] & (1 << n) != 0 && !writers.contains(&n));
+                    if writers.len() > 1 || remote_reader {
+                        for &w in &writers {
+                            d.write_access_multi(w, b);
+                        }
+                    } else {
+                        d.write_access_excl(writers[0], b);
+                    }
+                }
+            }
+            for b in 0..BLOCKS {
+                for n in 0..NPROCS {
+                    if iv.readers[b] & (1 << n) != 0 {
+                        d.read_access(n, b);
+                    }
+                }
+            }
+            // Readers observe the model values (data written in previous
+            // intervals must have propagated).
+            for b in 0..BLOCKS {
+                let (s, e) = d.cluster.block_words(b);
+                for n in 0..NPROCS {
+                    if iv.readers[b] & (1 << n) != 0 {
+                        for w in s..e {
+                            prop_assert_eq!(
+                                d.cluster.node_mem(n)[w].to_bits(),
+                                model[w].to_bits(),
+                                "reader {} of block {} word {}", n, b, w
+                            );
+                        }
+                    }
+                }
+            }
+            // Kernel sub-phase: each writer writes a disjoint word slice
+            // of the block (element-level race freedom).
+            for b in 0..BLOCKS {
+                if let Some(wmask) = iv.writers[b] {
+                    let writers: Vec<usize> =
+                        (0..NPROCS).filter(|&n| wmask & (1 << n) != 0).collect();
+                    let (s, e) = d.cluster.block_words(b);
+                    let span = (e - s) / writers.len();
+                    for (k, &w) in writers.iter().enumerate() {
+                        let lo = s + k * span;
+                        let hi = if k + 1 == writers.len() { e } else { lo + span };
+                        for word in lo..hi {
+                            let v = stamp + word as f64 * 1e-6;
+                            d.cluster.node_mem_mut(w)[word] = v;
+                            model[word] = v;
+                        }
+                    }
+                    stamp += 1.0;
+                }
+            }
+            d.release_barrier();
+            d.check_consistency().map_err(|e| {
+                TestCaseError::fail(format!("inconsistent after barrier: {e}"))
+            })?;
+        }
+        // Final gather through the directory matches the model exactly.
+        for b in 0..BLOCKS {
+            let src = match d.dir_state(b) {
+                fgdsm_protocol::DirState::Excl { owner } => owner,
+                _ => d.cluster.home_of_block(b),
+            };
+            let (s, e) = d.cluster.block_words(b);
+            for w in s..e {
+                prop_assert_eq!(
+                    d.cluster.node_mem(src)[w].to_bits(),
+                    model[w].to_bits(),
+                    "gather of block {} word {}", b, w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ctl_contract_random_ranges(
+        ranges in prop::collection::vec((0usize..BLOCKS, 1usize..8), 1..6),
+        bulk in any::<bool>(),
+        memo in any::<bool>(),
+    ) {
+        // Random compiler-controlled pushes over random (possibly
+        // overlapping) block ranges always end consistent and deliver the
+        // owner's data.
+        let mut d = fresh();
+        let wpb = d.cluster.words_per_block();
+        for (start, len) in ranges {
+            let end = (start + len).min(BLOCKS);
+            if end <= start {
+                continue;
+            }
+            d.mk_writable(1, start, end);
+            d.release_barrier();
+            d.implicit_writable(2, start, end, memo);
+            d.release_barrier();
+            for w in start * wpb..end * wpb {
+                d.cluster.node_mem_mut(1)[w] = w as f64 + 0.5;
+            }
+            d.send_range(1, &[2], start, end, bulk);
+            d.ready_to_recv(2);
+            for w in start * wpb..end * wpb {
+                prop_assert_eq!(d.cluster.node_mem(2)[w], w as f64 + 0.5);
+            }
+            if !memo {
+                d.implicit_invalidate(2, start, end);
+            }
+            d.release_barrier();
+            if !memo {
+                d.check_consistency().map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Affine expressions over named symbolic variables.
+//!
+//! The access analysis in `fgdsm-hpf` is parametric in the processor id and
+//! in loop symbolics (e.g. the pivot column `k` in `lu`). Bounds of array
+//! sections are therefore affine expressions `c0 + c1*v1 + ... + cn*vn`
+//! evaluated at run time under an [`Env`], mirroring how the Omega library
+//! "keeps access sets parametric with respect to processor number" (§4.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic variable, interned by name.
+///
+/// Variables are small and cheap to copy; two variables with the same name
+/// are the same variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub &'static str);
+
+impl Var {
+    /// Conventional variable for the executing processor's id.
+    pub const P: Var = Var("p");
+    /// Conventional variable for the number of processors.
+    pub const NPROCS: Var = Var("P");
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// A run-time binding of symbolic variables to integer values.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Env {
+    bindings: BTreeMap<Var, i64>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `var` to `value`, returning `self` for chaining.
+    pub fn bind(mut self, var: Var, value: i64) -> Self {
+        self.bindings.insert(var, value);
+        self
+    }
+
+    /// Bind `var` to `value` in place.
+    pub fn set(&mut self, var: Var, value: i64) {
+        self.bindings.insert(var, value);
+    }
+
+    /// Look up `var`.
+    pub fn get(&self, var: Var) -> Option<i64> {
+        self.bindings.get(&var).copied()
+    }
+
+    /// Iterate over all bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.bindings.iter().map(|(v, x)| (*v, *x))
+    }
+}
+
+/// An affine expression `constant + Σ coef_i · var_i`.
+///
+/// Supports the arithmetic the section algebra needs (addition, subtraction,
+/// scaling) and evaluation under an [`Env`]. Terms with zero coefficients
+/// are kept normalized away so that structural equality is semantic
+/// equality.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Affine {
+    constant: i64,
+    terms: BTreeMap<Var, i64>,
+}
+
+impl Affine {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        Affine {
+            constant: c,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The expression consisting of the single variable `v`.
+    pub fn var(v: Var) -> Self {
+        Affine::constant(0).plus_term(v, 1)
+    }
+
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Affine::constant(0)
+    }
+
+    /// Returns `self + coef·v`.
+    pub fn plus_term(mut self, v: Var, coef: i64) -> Self {
+        let entry = self.terms.entry(v).or_insert(0);
+        *entry += coef;
+        if *entry == 0 {
+            self.terms.remove(&v);
+        }
+        self
+    }
+
+    /// Returns `self + c`.
+    pub fn plus_const(mut self, c: i64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// Returns `self + other`.
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (v, c) in &other.terms {
+            out = out.plus_term(*v, *c);
+        }
+        out
+    }
+
+    /// Returns `self - other`.
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    /// Returns `k · self`.
+    pub fn scale(&self, k: i64) -> Affine {
+        let mut out = Affine::constant(self.constant * k);
+        for (v, c) in &self.terms {
+            out = out.plus_term(*v, c * k);
+        }
+        out
+    }
+
+    /// True if the expression contains no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if the expression is constant.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.constant)
+    }
+
+    /// Evaluate under `env`.
+    ///
+    /// # Panics
+    /// Panics if a variable in the expression is unbound; this indicates a
+    /// planner bug (every symbolic a plan mentions must be bound before the
+    /// plan executes).
+    pub fn eval(&self, env: &Env) -> i64 {
+        let mut acc = self.constant;
+        for (v, c) in &self.terms {
+            let x = env
+                .get(*v)
+                .unwrap_or_else(|| panic!("unbound symbolic variable `{v}` in affine expression"));
+            acc += c * x;
+        }
+        acc
+    }
+
+    /// The variables appearing in the expression.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.keys().copied()
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(c: i64) -> Self {
+        Affine::constant(c)
+    }
+}
+
+impl From<Var> for Affine {
+    fn from(v: Var) -> Self {
+        Affine::var(v)
+    }
+}
+
+impl fmt::Display for Affine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.constant != 0 || self.terms.is_empty() {
+            write!(f, "{}", self.constant)?;
+            first = false;
+        }
+        for (v, c) in &self.terms {
+            if first {
+                if *c == 1 {
+                    write!(f, "{v}")?;
+                } else {
+                    write!(f, "{c}{v}")?;
+                }
+                first = false;
+            } else if *c >= 0 {
+                if *c == 1 {
+                    write!(f, "+{v}")?;
+                } else {
+                    write!(f, "+{c}{v}")?;
+                }
+            } else if *c == -1 {
+                write!(f, "-{v}")?;
+            } else {
+                write!(f, "{c}{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_eval() {
+        assert_eq!(Affine::constant(7).eval(&Env::new()), 7);
+    }
+
+    #[test]
+    fn var_eval() {
+        let env = Env::new().bind(Var::P, 3);
+        assert_eq!(Affine::var(Var::P).eval(&env), 3);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let k = Var("k");
+        let e = Affine::var(k).scale(2).plus_const(5); // 2k + 5
+        let f = Affine::var(k).plus_const(1); // k + 1
+        let g = e.sub(&f); // k + 4
+        let env = Env::new().bind(k, 10);
+        assert_eq!(g.eval(&env), 14);
+        assert_eq!(e.add(&f).eval(&env), 25 + 11);
+    }
+
+    #[test]
+    fn zero_coefficients_normalize() {
+        let k = Var("k");
+        let e = Affine::var(k).plus_term(k, -1);
+        assert!(e.is_constant());
+        assert_eq!(e.as_constant(), Some(0));
+        assert_eq!(e, Affine::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound symbolic variable")]
+    fn unbound_var_panics() {
+        Affine::var(Var("nope")).eval(&Env::new());
+    }
+
+    #[test]
+    fn display_forms() {
+        let k = Var("k");
+        assert_eq!(Affine::constant(3).to_string(), "3");
+        assert_eq!(Affine::var(k).to_string(), "k");
+        assert_eq!(
+            Affine::var(k).scale(-2).plus_const(1).to_string(),
+            "1-2k"
+        );
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Affine = 4.into();
+        assert_eq!(a.as_constant(), Some(4));
+        let b: Affine = Var::P.into();
+        assert_eq!(b.eval(&Env::new().bind(Var::P, 2)), 2);
+    }
+}

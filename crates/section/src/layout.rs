@@ -1,0 +1,342 @@
+//! Column-major (Fortran) linearization of sections into virtual-address
+//! ranges.
+//!
+//! The paper restricts compiler-controlled optimization to "array sections
+//! that can be shown, at compile-time, to form contiguous virtual
+//! addresses", plus "two-dimensional sections, represented as contiguous
+//! ranges separated by a fixed stride" (§4.1). This module classifies a
+//! concrete [`Section`] over a given array layout into exactly those shapes
+//! and produces element-offset ranges that the planner then converts into
+//! block lists.
+
+use crate::section::Section;
+
+/// Column-major layout of a multi-dimensional array: the *first* dimension
+/// is contiguous (Fortran). Extents are per-dimension sizes; dimension `d`
+/// has stride `extents[0] * … * extents[d-1]` elements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnMajor {
+    extents: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl ColumnMajor {
+    /// Layout for an array of the given per-dimension extents.
+    pub fn new(extents: &[usize]) -> Self {
+        assert!(!extents.is_empty());
+        let mut strides = Vec::with_capacity(extents.len());
+        let mut s = 1usize;
+        for &e in extents {
+            strides.push(s);
+            s = s.checked_mul(e).expect("array too large");
+        }
+        ColumnMajor {
+            extents: extents.to_vec(),
+            strides,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// True if the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-dimension extents.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Element stride of dimension `d`.
+    pub fn stride(&self, d: usize) -> usize {
+        self.strides[d]
+    }
+
+    /// Linear element offset of a (0-based) index tuple.
+    pub fn offset(&self, index: &[i64]) -> usize {
+        assert_eq!(index.len(), self.ndims());
+        let mut off = 0usize;
+        for (d, &i) in index.iter().enumerate() {
+            debug_assert!(
+                i >= 0 && (i as usize) < self.extents[d],
+                "index {i} out of bounds in dim {d} (extent {})",
+                self.extents[d]
+            );
+            off += i as usize * self.strides[d];
+        }
+        off
+    }
+
+    /// Linearize a section to element-offset ranges.
+    ///
+    /// Returns `None` if the section is not one of the supported shapes
+    /// (dense in dim 0, at most one partially-indexed higher dim with
+    /// stride 1 over that dim) — the compiler then declines to optimize the
+    /// reference, exactly as the paper's compiler does.
+    pub fn linearize(&self, sec: &Section) -> Option<LinearRanges> {
+        if sec.ndims() != self.ndims() {
+            return None;
+        }
+        if sec.is_empty() {
+            return Some(LinearRanges::empty());
+        }
+        // Dim 0 must be dense to form contiguous runs.
+        let d0 = &sec.dims[0];
+        if d0.stride != 1 {
+            return None;
+        }
+        if d0.lo < 0 || d0.hi as usize >= self.extents[0] {
+            return None;
+        }
+        let run_base = d0.lo as usize;
+        let mut run_len = d0.count() as usize;
+
+        // Collapse leading full dimensions into longer contiguous runs.
+        let mut d = 1;
+        let full_prefix = run_len == self.extents[0] && run_base == 0;
+        while d < self.ndims() && full_prefix {
+            let r = &sec.dims[d];
+            if r.stride == 1 && r.lo == 0 && r.hi as usize == self.extents[d] - 1 {
+                run_len *= self.extents[d];
+                d += 1;
+            } else {
+                break;
+            }
+        }
+        if d == self.ndims() {
+            return Some(LinearRanges {
+                runs: vec![StridedRange {
+                    base: run_base,
+                    run_len,
+                    stride: 0,
+                    count: 1,
+                }],
+            });
+        }
+
+        // Remaining dims: exactly one may be a partial dense/strided range;
+        // any further dims must be single points.
+        let part = &sec.dims[d];
+        if part.lo < 0 || part.hi as usize >= self.extents[d] {
+            return None;
+        }
+        let part_base = part.lo as usize * self.strides[d];
+        let part_stride = part.stride as usize * self.strides[d];
+        let part_count = part.count() as usize;
+
+        let mut fixed_off = 0usize;
+        for dd in d + 1..self.ndims() {
+            let r = &sec.dims[dd];
+            if r.count() != 1 {
+                // 3-D sections with two partial dims: represent as multiple
+                // strided groups only if the outermost is small; otherwise
+                // unsupported.
+                return self.linearize_multi(sec, d);
+            }
+            if r.lo < 0 || r.lo as usize >= self.extents[dd] {
+                return None;
+            }
+            fixed_off += r.lo as usize * self.strides[dd];
+        }
+
+        Some(LinearRanges {
+            runs: vec![StridedRange {
+                base: run_base + part_base + fixed_off,
+                run_len,
+                stride: part_stride,
+                count: part_count,
+            }],
+        })
+    }
+
+    /// Fallback for sections with two or more partial higher dimensions:
+    /// enumerate the outer dims into separate strided groups.
+    fn linearize_multi(&self, sec: &Section, d: usize) -> Option<LinearRanges> {
+        // Only handle one extra level (3-D arrays) with a modest outer count.
+        let outer_dim = self.ndims() - 1;
+        if outer_dim <= d {
+            return None;
+        }
+        let outer = &sec.dims[outer_dim];
+        if outer.count() > 4096 {
+            return None;
+        }
+        let mut runs = Vec::new();
+        for x in outer.iter() {
+            let mut dims = sec.dims.clone();
+            dims[outer_dim] = crate::range::Range::new(x, x);
+            let sub = Section::new(dims);
+            let lr = self.linearize(&sub)?;
+            runs.extend(lr.runs);
+        }
+        Some(LinearRanges { runs })
+    }
+}
+
+/// A group of equally-spaced contiguous element runs:
+/// `base + i*stride .. base + i*stride + run_len` for `i in 0..count`.
+///
+/// `stride == 0` is only used for the single-run case (`count == 1`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StridedRange {
+    /// Element offset of the first run.
+    pub base: usize,
+    /// Length of each contiguous run, in elements.
+    pub run_len: usize,
+    /// Element distance between successive run starts.
+    pub stride: usize,
+    /// Number of runs.
+    pub count: usize,
+}
+
+impl StridedRange {
+    /// Total number of elements covered.
+    pub fn total_elements(&self) -> usize {
+        self.run_len * self.count
+    }
+
+    /// Iterate over `(start, len)` element runs.
+    pub fn runs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let s = *self;
+        (0..s.count).map(move |i| (s.base + i * s.stride, s.run_len))
+    }
+}
+
+/// The linearization of a section: a small list of [`StridedRange`] groups.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LinearRanges {
+    pub runs: Vec<StridedRange>,
+}
+
+impl LinearRanges {
+    /// The empty linearization.
+    pub fn empty() -> Self {
+        LinearRanges { runs: vec![] }
+    }
+
+    /// True if no elements are covered.
+    pub fn is_empty(&self) -> bool {
+        self.runs.iter().all(|r| r.total_elements() == 0)
+    }
+
+    /// Total elements covered.
+    pub fn total_elements(&self) -> usize {
+        self.runs.iter().map(StridedRange::total_elements).sum()
+    }
+
+    /// Iterate over all `(start, len)` contiguous element runs.
+    pub fn iter_runs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.runs.iter().flat_map(StridedRange::runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::Range;
+
+    #[test]
+    fn offsets_column_major() {
+        let l = ColumnMajor::new(&[4, 3]);
+        assert_eq!(l.offset(&[0, 0]), 0);
+        assert_eq!(l.offset(&[1, 0]), 1);
+        assert_eq!(l.offset(&[0, 1]), 4);
+        assert_eq!(l.offset(&[3, 2]), 11);
+        assert_eq!(l.len(), 12);
+    }
+
+    #[test]
+    fn full_column_is_contiguous() {
+        let l = ColumnMajor::new(&[8, 6]);
+        let s = Section::new(vec![Range::new(0, 7), Range::new(2, 2)]);
+        let lr = l.linearize(&s).unwrap();
+        assert_eq!(lr.runs.len(), 1);
+        assert_eq!(lr.runs[0].base, 16);
+        assert_eq!(lr.runs[0].run_len, 8);
+        assert_eq!(lr.runs[0].count, 1);
+    }
+
+    #[test]
+    fn multiple_columns_contiguous() {
+        // Full columns j=1..3 of an 8x6 array are one contiguous run
+        // because dim 0 is full.
+        let l = ColumnMajor::new(&[8, 6]);
+        let s = Section::new(vec![Range::new(0, 7), Range::new(1, 3)]);
+        let lr = l.linearize(&s).unwrap();
+        assert_eq!(lr.runs.len(), 1);
+        let r = lr.runs[0];
+        assert_eq!((r.base, r.run_len, r.count), (8, 8, 3));
+        assert_eq!(r.stride, 8);
+        // Runs are adjacent, so callers may coalesce.
+        assert_eq!(lr.total_elements(), 24);
+    }
+
+    #[test]
+    fn partial_rows_are_2d_strided() {
+        // Rows 2..5 of each column j=0..5: strided with run 4, stride 8.
+        let l = ColumnMajor::new(&[8, 6]);
+        let s = Section::new(vec![Range::new(2, 5), Range::new(0, 5)]);
+        let lr = l.linearize(&s).unwrap();
+        assert_eq!(lr.runs.len(), 1);
+        let r = lr.runs[0];
+        assert_eq!((r.base, r.run_len, r.stride, r.count), (2, 4, 8, 6));
+    }
+
+    #[test]
+    fn strided_dim0_unsupported() {
+        let l = ColumnMajor::new(&[8, 6]);
+        let s = Section::new(vec![Range::strided(0, 6, 2), Range::new(0, 5)]);
+        assert!(l.linearize(&s).is_none());
+    }
+
+    #[test]
+    fn three_d_plane() {
+        // Plane k=3 of a 4x4x4 array: contiguous 16 elements at offset 48.
+        let l = ColumnMajor::new(&[4, 4, 4]);
+        let s = Section::new(vec![
+            Range::new(0, 3),
+            Range::new(0, 3),
+            Range::new(3, 3),
+        ]);
+        let lr = l.linearize(&s).unwrap();
+        assert_eq!(lr.runs.len(), 1);
+        assert_eq!(
+            (lr.runs[0].base, lr.runs[0].run_len, lr.runs[0].count),
+            (48, 16, 1)
+        );
+    }
+
+    #[test]
+    fn three_d_two_partial_dims_enumerates() {
+        // Sub-box rows 0..3, cols 1..2, planes 0..2 of a 4x4x4 array.
+        let l = ColumnMajor::new(&[4, 4, 4]);
+        let s = Section::new(vec![
+            Range::new(0, 3),
+            Range::new(1, 2),
+            Range::new(0, 2),
+        ]);
+        let lr = l.linearize(&s).unwrap();
+        assert_eq!(lr.total_elements(), 4 * 2 * 3);
+        // All runs must land inside the array.
+        for (start, len) in lr.iter_runs() {
+            assert!(start + len <= l.len());
+        }
+    }
+
+    #[test]
+    fn empty_section_linearizes_empty() {
+        let l = ColumnMajor::new(&[8, 6]);
+        let s = Section::new(vec![Range::empty(), Range::new(0, 5)]);
+        let lr = l.linearize(&s).unwrap();
+        assert!(lr.is_empty());
+    }
+}

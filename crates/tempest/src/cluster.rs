@@ -1,0 +1,569 @@
+//! The simulated cluster: nodes, global segment, access tags, virtual
+//! clocks, barriers and reductions.
+//!
+//! A [`Cluster`] holds, for each node, a full-size private copy of the
+//! global shared segment (remote pages are *mapped* lazily, charging the
+//! first-touch cost), a per-block access tag, a virtual clock and an event
+//! counter set. Coherence protocols (crate `fgdsm-protocol`) drive state by
+//! copying block data between node copies, flipping tags, and charging
+//! message and handler costs through the methods here.
+//!
+//! All times are nanoseconds of *virtual* time; execution itself is native
+//! and sequential, so runs are deterministic.
+
+use crate::costs::{CostModel, CpuMode};
+use crate::stats::{ClusterReport, NodeStats};
+
+/// Index of a node in the cluster.
+pub type NodeId = usize;
+
+/// Fine-grain access tag of one block at one node (Tempest mechanism 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[repr(u8)]
+pub enum Access {
+    /// No valid copy; any access faults.
+    #[default]
+    Invalid = 0,
+    /// Valid read-only copy; stores fault.
+    ReadOnly = 1,
+    /// Valid writable copy.
+    ReadWrite = 2,
+}
+
+/// What a virtual-time charge is accounted as.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChargeKind {
+    /// Kernel computation.
+    Compute,
+    /// Stall waiting for remote data.
+    Stall,
+    /// Compiler-inserted protocol call overhead.
+    CtlCall,
+}
+
+/// How pages of the global segment are assigned home nodes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum HomePolicy {
+    /// Pages round-robin across nodes. A block's home is usually *not*
+    /// its owner, exercising the 3-hop protocol paths and the
+    /// `mk_writable` reasoning of §4.2.
+    #[default]
+    RoundRobin,
+    /// Pages divided into contiguous chunks, one per node.
+    Blocked,
+    /// Explicit per-page home assignment (the HPF runtime places pages to
+    /// match the data distribution, so owners of BLOCK-distributed arrays
+    /// are home to their own data; CYCLIC arrays still interleave).
+    Explicit(Vec<NodeId>),
+}
+
+/// A fixed layout of the global segment: arrays allocated page-aligned.
+#[derive(Clone, Debug)]
+pub struct SegmentLayout {
+    page_words: usize,
+    words: usize,
+}
+
+impl SegmentLayout {
+    /// Start a layout for a given page size (in f64 words).
+    pub fn new(page_words: usize) -> Self {
+        assert!(page_words.is_power_of_two());
+        SegmentLayout {
+            page_words,
+            words: 0,
+        }
+    }
+
+    /// Allocate `words` f64 elements, page-aligned; returns the word
+    /// offset of the allocation in the global segment.
+    pub fn alloc(&mut self, words: usize) -> usize {
+        let off = self.words;
+        let end = off + words;
+        // Round the next allocation up to a page boundary so distinct
+        // arrays never share a page (they may still share nothing smaller:
+        // blocks never span arrays either).
+        self.words = end.div_ceil(self.page_words) * self.page_words;
+        off
+    }
+
+    /// Total words in the segment so far.
+    pub fn total_words(&self) -> usize {
+        self.words
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    nprocs: usize,
+    cfg: CostModel,
+    seg_words: usize,
+    words_per_block: usize,
+    words_per_page: usize,
+    n_blocks: usize,
+    n_pages: usize,
+    home: Vec<NodeId>, // per page
+    mem: Vec<Vec<f64>>,
+    mapped: Vec<Vec<u64>>, // per node page bitset
+    tags: Vec<Vec<Access>>,
+    clock: Vec<u64>,
+    pending_writes: Vec<u64>, // outstanding eager-write transactions
+    stats: Vec<NodeStats>,
+    makespan_ns: u64,
+}
+
+impl Cluster {
+    /// Build a cluster of `nprocs` nodes over the given segment layout.
+    pub fn new(nprocs: usize, cfg: CostModel, layout: &SegmentLayout, policy: HomePolicy) -> Self {
+        assert!(nprocs >= 1);
+        let words_per_block = cfg.words_per_block();
+        let words_per_page = cfg.words_per_page();
+        assert_eq!(layout.page_words, words_per_page, "layout/page size mismatch");
+        let seg_words = layout.total_words().max(words_per_page);
+        let n_pages = seg_words.div_ceil(words_per_page);
+        let n_blocks = seg_words.div_ceil(words_per_block);
+        let home: Vec<NodeId> = match policy {
+            HomePolicy::RoundRobin => (0..n_pages).map(|p| p % nprocs).collect(),
+            HomePolicy::Blocked => {
+                let per = n_pages.div_ceil(nprocs);
+                (0..n_pages).map(|p| (p / per).min(nprocs - 1)).collect()
+            }
+            HomePolicy::Explicit(map) => {
+                assert_eq!(map.len(), n_pages, "explicit home map length mismatch");
+                assert!(map.iter().all(|&h| h < nprocs));
+                map
+            }
+        };
+        let mut c = Cluster {
+            nprocs,
+            cfg,
+            seg_words,
+            words_per_block,
+            words_per_page,
+            n_blocks,
+            n_pages,
+            home,
+            mem: (0..nprocs).map(|_| vec![0.0; seg_words]).collect(),
+            mapped: (0..nprocs)
+                .map(|_| vec![0u64; n_pages.div_ceil(64)])
+                .collect(),
+            tags: (0..nprocs).map(|_| vec![Access::Invalid; n_blocks]).collect(),
+            clock: vec![0; nprocs],
+            pending_writes: vec![0; nprocs],
+            stats: (0..nprocs).map(|_| NodeStats::default()).collect(),
+            makespan_ns: 0,
+        };
+        // The home node of each page starts with a mapped page and
+        // ReadWrite tags for its blocks: homes always hold the initial
+        // (zero-initialized) data.
+        for page in 0..n_pages {
+            let h = c.home[page];
+            c.mapped[h][page / 64] |= 1 << (page % 64);
+            let first_block = page * words_per_page / words_per_block;
+            let end_block = (((page + 1) * words_per_page).min(seg_words)).div_ceil(words_per_block);
+            for b in first_block..end_block.min(n_blocks) {
+                // Only if this node is the home of the block (blocks never
+                // span pages because both are powers of two and block ≤ page).
+                c.tags[h][b] = Access::ReadWrite;
+            }
+        }
+        c
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry
+    // ------------------------------------------------------------------
+
+    /// Number of nodes.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The cost model in force.
+    pub fn cfg(&self) -> &CostModel {
+        &self.cfg
+    }
+
+    /// Words per coherence block.
+    pub fn words_per_block(&self) -> usize {
+        self.words_per_block
+    }
+
+    /// Total segment words.
+    pub fn seg_words(&self) -> usize {
+        self.seg_words
+    }
+
+    /// Total number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
+    }
+
+    /// Block containing word offset `w`.
+    pub fn block_of(&self, w: usize) -> usize {
+        w / self.words_per_block
+    }
+
+    /// Word range `[start, end)` of block `b`.
+    pub fn block_words(&self, b: usize) -> (usize, usize) {
+        let s = b * self.words_per_block;
+        (s, (s + self.words_per_block).min(self.seg_words))
+    }
+
+    /// Home node of block `b` (the home of its page).
+    pub fn home_of_block(&self, b: usize) -> NodeId {
+        self.home[b * self.words_per_block / self.words_per_page]
+    }
+
+    /// Home node of the page containing word `w`.
+    pub fn home_of_word(&self, w: usize) -> NodeId {
+        self.home[w / self.words_per_page]
+    }
+
+    // ------------------------------------------------------------------
+    // Access tags (Tempest fine-grain access control)
+    // ------------------------------------------------------------------
+
+    /// Current tag of block `b` at `node`.
+    pub fn tag(&self, node: NodeId, b: usize) -> Access {
+        self.tags[node][b]
+    }
+
+    /// Set the tag of block `b` at `node` (no cost charged; protocols
+    /// charge `tag_change_ns` themselves where appropriate).
+    pub fn set_tag(&mut self, node: NodeId, b: usize, a: Access) {
+        self.tags[node][b] = a;
+    }
+
+    // ------------------------------------------------------------------
+    // Memory (per-node copies of the global segment)
+    // ------------------------------------------------------------------
+
+    /// Immutable view of a node's whole segment copy.
+    pub fn node_mem(&self, node: NodeId) -> &[f64] {
+        &self.mem[node]
+    }
+
+    /// Mutable view of a node's whole segment copy.
+    pub fn node_mem_mut(&mut self, node: NodeId) -> &mut [f64] {
+        &mut self.mem[node]
+    }
+
+    /// Copy `len` words starting at `start` from `src` node's copy to
+    /// `dst` node's copy. No cost charged (protocols charge transfer
+    /// costs); data movement is exact.
+    pub fn copy_words(&mut self, src: NodeId, dst: NodeId, start: usize, len: usize) {
+        if src == dst || len == 0 {
+            return;
+        }
+        let (a, b) = if src < dst {
+            let (lo, hi) = self.mem.split_at_mut(dst);
+            (&lo[src], &mut hi[0])
+        } else {
+            let (lo, hi) = self.mem.split_at_mut(src);
+            (&hi[0], &mut lo[dst])
+        };
+        b[start..start + len].copy_from_slice(&a[start..start + len]);
+    }
+
+    /// Merge the words of block `b` selected by `mask` (bit i = word i of
+    /// the block) from `src`'s copy into `dst`'s copy — the multiple-writer
+    /// diff application.
+    pub fn merge_block_words(&mut self, src: NodeId, dst: NodeId, b: usize, mask: u64) {
+        if src == dst || mask == 0 {
+            return;
+        }
+        let (start, end) = self.block_words(b);
+        let (s, d) = if src < dst {
+            let (lo, hi) = self.mem.split_at_mut(dst);
+            (&lo[src], &mut hi[0])
+        } else {
+            let (lo, hi) = self.mem.split_at_mut(src);
+            (&hi[0], &mut lo[dst])
+        };
+        for (i, w) in (start..end).enumerate() {
+            if mask & (1 << i) != 0 {
+                d[w] = s[w];
+            }
+        }
+    }
+
+    /// Ensure all pages covering `[start, start+len)` words are mapped at
+    /// `node`, charging the first-touch mapping cost as stall time.
+    /// Returns the number of pages newly mapped.
+    pub fn map_range(&mut self, node: NodeId, start: usize, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = start / self.words_per_page;
+        let last = (start + len - 1) / self.words_per_page;
+        let mut newly = 0u64;
+        for page in first..=last.min(self.n_pages - 1) {
+            let (w, bit) = (page / 64, page % 64);
+            if self.mapped[node][w] & (1 << bit) == 0 {
+                self.mapped[node][w] |= 1 << bit;
+                newly += 1;
+            }
+        }
+        if newly > 0 {
+            self.stats[node].pages_mapped += newly;
+            self.charge(node, newly * self.cfg.page_map_ns, ChargeKind::Stall);
+        }
+        newly
+    }
+
+    /// True if `node` has mapped the page containing word `w`.
+    pub fn is_mapped(&self, node: NodeId, w: usize) -> bool {
+        let page = w / self.words_per_page;
+        self.mapped[node][page / 64] & (1 << (page % 64)) != 0
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time and events
+    // ------------------------------------------------------------------
+
+    /// Current virtual clock of `node` in ns.
+    pub fn clock_ns(&self, node: NodeId) -> u64 {
+        self.clock[node]
+    }
+
+    /// Charge `ns` to `node`'s clock under the given accounting category.
+    pub fn charge(&mut self, node: NodeId, ns: u64, kind: ChargeKind) {
+        self.clock[node] += ns;
+        match kind {
+            ChargeKind::Compute => self.stats[node].compute_ns += ns,
+            ChargeKind::Stall => self.stats[node].stall_ns += ns,
+            ChargeKind::CtlCall => self.stats[node].ctl_call_ns += ns,
+        }
+    }
+
+    /// Charge protocol-handler occupancy executed at `node` on behalf of a
+    /// remote request. In dual-cpu mode the dedicated protocol processor
+    /// absorbs it (tracked but not added to the compute clock); in
+    /// single-cpu mode it steals time from the compute CPU.
+    pub fn charge_handler(&mut self, node: NodeId, ns: u64) {
+        let scaled = self.cfg.handler_cost(ns);
+        self.stats[node].handler_ns += scaled;
+        if self.cfg.cpu == CpuMode::Single {
+            self.clock[node] += scaled;
+        }
+    }
+
+    /// Record a message of `payload_bytes` sent from `src` (stats only;
+    /// time is charged by the caller according to the transaction shape).
+    pub fn note_msg(&mut self, src: NodeId, payload_bytes: usize) {
+        self.stats[src].msgs_sent += 1;
+        self.stats[src].bytes_sent += payload_bytes as u64;
+    }
+
+    /// Record an outstanding eager-write transaction at `node` (release
+    /// consistency: the node does not stall for the ownership grant, but
+    /// must drain at the next release point).
+    pub fn note_pending_write(&mut self, node: NodeId) {
+        self.pending_writes[node] += 1;
+    }
+
+    /// Mutable access to a node's stat block (protocol event counters).
+    pub fn stats_mut(&mut self, node: NodeId) -> &mut NodeStats {
+        &mut self.stats[node]
+    }
+
+    /// Immutable per-node stats.
+    pub fn stats(&self, node: NodeId) -> &NodeStats {
+        &self.stats[node]
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// Global barrier: drain pending eager writes, advance every node to
+    /// the common completion time and charge barrier wait.
+    pub fn barrier(&mut self) {
+        // Release point: wait for outstanding write transactions.
+        for n in 0..self.nprocs {
+            let drain = self.pending_writes[n] * self.cfg.release_drain_ns;
+            if drain > 0 {
+                self.charge(n, drain, ChargeKind::Stall);
+                self.pending_writes[n] = 0;
+            }
+        }
+        let max = self.clock.iter().copied().max().unwrap_or(0);
+        let done = max + self.cfg.barrier_cost_ns(self.nprocs);
+        for n in 0..self.nprocs {
+            self.stats[n].barrier_ns += done - self.clock[n];
+            self.clock[n] = done;
+        }
+        self.makespan_ns = done;
+    }
+
+    /// All-reduce a per-node partial value with a combining tree; every
+    /// node pays log₂(P) message rounds and the result is globally
+    /// synchronizing (like a barrier).
+    pub fn allreduce(&mut self, partials: &[f64], op: ReduceOp) -> f64 {
+        assert_eq!(partials.len(), self.nprocs);
+        let rounds = (usize::BITS - (self.nprocs - 1).leading_zeros()) as u64;
+        let per_round =
+            self.cfg.one_way_ns(8) + self.cfg.handler_cost(self.cfg.handler_dispatch_ns);
+        for n in 0..self.nprocs {
+            self.charge(n, rounds * per_round, ChargeKind::Stall);
+            self.stats[n].reductions += 1;
+            self.stats[n].msgs_sent += rounds;
+            self.stats[n].bytes_sent += 8 * rounds;
+        }
+        let max = self.clock.iter().copied().max().unwrap_or(0);
+        for n in 0..self.nprocs {
+            self.stats[n].barrier_ns += max - self.clock[n];
+            self.clock[n] = max;
+        }
+        self.makespan_ns = max;
+        match op {
+            ReduceOp::Sum => partials.iter().sum(),
+            ReduceOp::Max => partials.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            ReduceOp::Min => partials.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// Snapshot a full report of the run so far.
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            nodes: self.stats.clone(),
+            handler_in_comm: self.cfg.cpu == CpuMode::Single,
+            makespan_ns: self.makespan_ns.max(self.clock.iter().copied().max().unwrap_or(0)),
+        }
+    }
+}
+
+/// Reduction operators supported by the runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(n: usize) -> Cluster {
+        let cfg = CostModel::paper_dual_cpu();
+        let mut layout = SegmentLayout::new(cfg.words_per_page());
+        layout.alloc(2048);
+        Cluster::new(n, cfg, &layout, HomePolicy::RoundRobin)
+    }
+
+    #[test]
+    fn homes_round_robin_by_page() {
+        let c = small_cluster(4);
+        assert_eq!(c.home_of_word(0), 0);
+        assert_eq!(c.home_of_word(512), 1);
+        assert_eq!(c.home_of_word(1024), 2);
+        assert_eq!(c.home_of_word(2047), 3);
+    }
+
+    #[test]
+    fn home_starts_readwrite_others_invalid() {
+        let c = small_cluster(4);
+        let b = 0; // page 0, home node 0
+        assert_eq!(c.tag(0, b), Access::ReadWrite);
+        assert_eq!(c.tag(1, b), Access::Invalid);
+    }
+
+    #[test]
+    fn copy_words_moves_data() {
+        let mut c = small_cluster(2);
+        c.node_mem_mut(0)[10] = 42.0;
+        c.copy_words(0, 1, 8, 8);
+        assert_eq!(c.node_mem(1)[10], 42.0);
+        assert_eq!(c.node_mem(1)[7], 0.0);
+    }
+
+    #[test]
+    fn merge_block_words_respects_mask() {
+        let mut c = small_cluster(2);
+        for w in 0..16 {
+            c.node_mem_mut(0)[w] = w as f64 + 1.0;
+        }
+        c.merge_block_words(0, 1, 0, 0b101); // words 0 and 2 only
+        assert_eq!(c.node_mem(1)[0], 1.0);
+        assert_eq!(c.node_mem(1)[1], 0.0);
+        assert_eq!(c.node_mem(1)[2], 3.0);
+    }
+
+    #[test]
+    fn map_range_charges_once() {
+        let mut c = small_cluster(2);
+        // Node 1 touches page 0 (home is node 0): first touch maps.
+        let n1 = c.map_range(1, 0, 512);
+        assert_eq!(n1, 1);
+        let n2 = c.map_range(1, 0, 512);
+        assert_eq!(n2, 0);
+        assert_eq!(c.stats(1).pages_mapped, 1);
+        assert!(c.stats(1).stall_ns > 0);
+        // Home already has its page mapped.
+        assert_eq!(c.map_range(0, 0, 512), 0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut c = small_cluster(3);
+        c.charge(0, 1000, ChargeKind::Compute);
+        c.charge(1, 5000, ChargeKind::Compute);
+        c.barrier();
+        let done = c.clock_ns(0);
+        assert_eq!(c.clock_ns(1), done);
+        assert_eq!(c.clock_ns(2), done);
+        assert!(done >= 5000 + c.cfg().barrier_cost_ns(3));
+        // Slow node waited the least.
+        assert!(c.stats(1).barrier_ns < c.stats(0).barrier_ns);
+    }
+
+    #[test]
+    fn pending_writes_drain_at_barrier() {
+        let mut c = small_cluster(2);
+        c.note_pending_write(0);
+        c.note_pending_write(0);
+        c.barrier();
+        assert_eq!(
+            c.stats(0).stall_ns,
+            2 * c.cfg().release_drain_ns
+        );
+    }
+
+    #[test]
+    fn allreduce_sums_and_syncs() {
+        let mut c = small_cluster(4);
+        c.charge(2, 7777, ChargeKind::Compute);
+        let v = c.allreduce(&[1.0, 2.0, 3.0, 4.0], ReduceOp::Sum);
+        assert_eq!(v, 10.0);
+        let t = c.clock_ns(0);
+        assert!((0..4).all(|n| c.clock_ns(n) == t));
+        assert_eq!(c.stats(0).reductions, 1);
+    }
+
+    #[test]
+    fn handler_charging_depends_on_cpu_mode() {
+        let mut c = small_cluster(2);
+        let t0 = c.clock_ns(1);
+        c.charge_handler(1, 1000);
+        assert_eq!(c.clock_ns(1), t0, "dual-cpu: handler does not steal compute");
+        assert_eq!(c.stats(1).handler_ns, 1000);
+
+        let cfg = CostModel::paper_single_cpu();
+        let mut layout = SegmentLayout::new(cfg.words_per_page());
+        layout.alloc(512);
+        let mut c1 = Cluster::new(2, cfg, &layout, HomePolicy::RoundRobin);
+        c1.charge_handler(1, 1000);
+        assert_eq!(c1.clock_ns(1), 1800, "single-cpu: scaled and charged");
+    }
+
+    #[test]
+    fn segment_layout_page_aligns() {
+        let mut l = SegmentLayout::new(512);
+        let a = l.alloc(100);
+        let b = l.alloc(513);
+        assert_eq!(a, 0);
+        assert_eq!(b, 512);
+        assert_eq!(l.total_words(), 512 + 1024);
+    }
+}

@@ -1,0 +1,41 @@
+//! # fgdsm-tempest: a simulated Tempest-style fine-grain DSM cluster
+//!
+//! The paper's platform is Tempest (Hill, Larus & Wood, COMPCON '95)
+//! implemented on an 8-node cluster of dual-processor SparcStation-20s
+//! connected by Myrinet, with fine-grain access control accelerated by the
+//! Vortex memory-bus device. None of that hardware exists anymore, so this
+//! crate substitutes a **deterministic direct-execution simulator** that
+//! exposes the three Tempest mechanisms the paper's protocols are built on
+//! (§3):
+//!
+//! 1. **Locally mapping remote pages in the shared segment** — every node
+//!    holds its own copy of the global segment; pages are *mapped* lazily,
+//!    charging a mapping cost on first touch (this is what makes `lu`'s
+//!    first iteration expensive in the paper);
+//! 2. **Fine-grain access control** — a per-node, per-block tag
+//!    (`Invalid` / `ReadOnly` / `ReadWrite`); protocols read and write the
+//!    tags through [`Cluster`];
+//! 3. **Fine-grain messaging** — active messages with an optional block of
+//!    data, modeled by a calibrated cost function (Table 1: 40 µs minimum
+//!    roundtrip for a 4-byte message, 20 MB/s bandwidth).
+//!
+//! Computation runs natively on real data (each node owns a full-size copy
+//! of the segment), while *time* is virtual: per-node clocks advance by a
+//! cost model calibrated against the paper's Table 1. Protocol-handler
+//! occupancy is charged to a dedicated protocol CPU (dual-cpu
+//! configuration) or to the compute CPU itself (single-cpu configuration),
+//! reproducing the two system design points §5 evaluates.
+//!
+//! The simulator is intentionally sequential and deterministic: identical
+//! runs produce bit-identical data, miss counts and virtual times, which
+//! the test suite relies on.
+
+pub mod cache;
+pub mod cluster;
+pub mod costs;
+pub mod stats;
+
+pub use cache::CacheModel;
+pub use cluster::{Access, ChargeKind, Cluster, HomePolicy, NodeId, ReduceOp, SegmentLayout};
+pub use costs::{CostModel, CpuMode};
+pub use stats::{ClusterReport, NodeStats};

@@ -1,0 +1,167 @@
+//! Per-node event counters and timing breakdowns.
+//!
+//! These are the quantities the paper reports: Table 3 decomposes execution
+//! into compute time and communication time (stall waiting for misses and
+//! transfers + protocol occupancy + synchronization) and counts per-node
+//! misses; Figure 3's speedups derive from total virtual time.
+
+/// Counters and time breakdown for one node.
+#[derive(Clone, Default, Debug, PartialEq)]
+pub struct NodeStats {
+    /// Time spent computing (kernel execution).
+    pub compute_ns: u64,
+    /// Time stalled waiting for remote data (miss service, transfer waits).
+    pub stall_ns: u64,
+    /// Protocol handler occupancy executed on this node on behalf of
+    /// remote requests (charged to the compute clock only in single-cpu
+    /// mode, but always accounted here).
+    pub handler_ns: u64,
+    /// Time spent waiting at barriers.
+    pub barrier_ns: u64,
+    /// Time spent in compiler-inserted protocol calls (mk_writable,
+    /// implicit_writable, send, ready_to_recv, implicit_invalidate, flush).
+    pub ctl_call_ns: u64,
+    /// Read misses taken through the default protocol.
+    pub read_misses: u64,
+    /// Write misses / upgrades taken through the default protocol.
+    pub write_misses: u64,
+    /// Messages sent (any kind).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Pages mapped on first touch.
+    pub pages_mapped: u64,
+    /// Calls to each compiler-directed primitive, for ablation reporting.
+    pub mk_writable_calls: u64,
+    pub implicit_writable_calls: u64,
+    pub implicit_invalidate_calls: u64,
+    pub send_range_calls: u64,
+    pub ready_recv_calls: u64,
+    pub flush_range_calls: u64,
+    /// Blocks pushed by compiler-directed sends.
+    pub blocks_pushed: u64,
+    /// Reductions participated in.
+    pub reductions: u64,
+}
+
+impl NodeStats {
+    /// Total misses (read + write).
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// The paper's "communication time": everything that is not kernel
+    /// computation — miss stalls, compiler-call overhead, synchronization,
+    /// and (in single-cpu mode, where it steals the compute CPU) handler
+    /// occupancy. `handler_in_comm` selects whether handler time counts.
+    pub fn comm_ns(&self, handler_in_comm: bool) -> u64 {
+        let h = if handler_in_comm { self.handler_ns } else { 0 };
+        self.stall_ns + self.barrier_ns + self.ctl_call_ns + h
+    }
+
+    /// Total virtual time for this node.
+    pub fn total_ns(&self, handler_in_comm: bool) -> u64 {
+        self.compute_ns + self.comm_ns(handler_in_comm)
+    }
+}
+
+/// Aggregated view over all nodes of a run.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterReport {
+    /// Per-node stats snapshot.
+    pub nodes: Vec<NodeStats>,
+    /// Whether handler occupancy steals compute-CPU time (single-cpu mode).
+    pub handler_in_comm: bool,
+    /// Final virtual time of the run (max node clock after last barrier).
+    pub makespan_ns: u64,
+}
+
+impl ClusterReport {
+    /// Average per-node miss count.
+    pub fn avg_misses(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.misses() as f64).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Maximum per-node compute time in seconds.
+    pub fn compute_s(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.compute_ns)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e9
+    }
+
+    /// Maximum per-node communication time in seconds.
+    pub fn comm_s(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.comm_ns(self.handler_in_comm))
+            .max()
+            .unwrap_or(0) as f64
+            / 1e9
+    }
+
+    /// Run makespan in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.makespan_ns as f64 / 1e9
+    }
+
+    /// Total messages sent across all nodes.
+    pub fn total_msgs(&self) -> u64 {
+        self.nodes.iter().map(|n| n.msgs_sent).sum()
+    }
+
+    /// Total payload bytes sent across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_time_composition() {
+        let s = NodeStats {
+            stall_ns: 100,
+            barrier_ns: 50,
+            ctl_call_ns: 25,
+            handler_ns: 10,
+            compute_ns: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.comm_ns(false), 175);
+        assert_eq!(s.comm_ns(true), 185);
+        assert_eq!(s.total_ns(false), 1175);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = ClusterReport {
+            nodes: vec![],
+            ..Default::default()
+        };
+        r.nodes = vec![
+            NodeStats {
+                read_misses: 10,
+                write_misses: 2,
+                compute_ns: 3_000_000_000,
+                ..Default::default()
+            },
+            NodeStats {
+                read_misses: 6,
+                compute_ns: 1_000_000_000,
+                ..Default::default()
+            },
+        ];
+        r.makespan_ns = 4_000_000_000;
+        assert_eq!(r.avg_misses(), 9.0);
+        assert_eq!(r.compute_s(), 3.0);
+        assert_eq!(r.total_s(), 4.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Sweep the coherence block size (Tempest supports 32–128 bytes) and
+//! watch the trade-off the paper discusses in §3/§6: small blocks mean
+//! more transfer units (more protocol events), large blocks mean more
+//! boundary ("edge effect") misses the compiler cannot capture — the
+//! effect that caps `grav` at a 38% miss reduction.
+//!
+//!     cargo run --release --example blocksize_explorer
+
+use fgdsm::apps::{grav, jacobi, Scale};
+use fgdsm::hpf::{execute, ExecConfig};
+use fgdsm::tempest::CostModel;
+
+fn main() {
+    println!("block-size sweep, 8 nodes (paper hardware uses 128 bytes)\n");
+    for (name, prog) in [
+        ("jacobi", jacobi::build(&jacobi::Params::at(Scale::Bench))),
+        ("grav", grav::build(&grav::Params::at(Scale::Bench))),
+    ] {
+        println!("{name}:");
+        println!(
+            "  {:<8}{:>14}{:>14}{:>16}{:>12}",
+            "block", "unopt misses", "opt misses", "miss reduction", "opt time"
+        );
+        for block_bytes in [32usize, 64, 128] {
+            let cost = CostModel {
+                block_bytes,
+                ..CostModel::paper_dual_cpu()
+            };
+            let mut unopt_cfg = ExecConfig::sm_unopt(8);
+            unopt_cfg.cost = cost.clone();
+            let mut opt_cfg = ExecConfig::sm_opt(8);
+            opt_cfg.cost = cost;
+            let unopt = execute(&prog, &unopt_cfg);
+            let opt = execute(&prog, &opt_cfg);
+            assert_eq!(unopt.data, opt.data, "{name}@{block_bytes}: data mismatch");
+            println!(
+                "  {:<8}{:>14.0}{:>14.0}{:>15.1}%{:>11.3}s",
+                format!("{block_bytes}B"),
+                unopt.report.avg_misses(),
+                opt.report.avg_misses(),
+                100.0 * (1.0 - opt.report.avg_misses() / unopt.report.avg_misses()),
+                opt.total_s(),
+            );
+        }
+        println!();
+    }
+    println!(
+        "note how the small-extent, reduction-heavy app (grav) loses much\n\
+         more of its miss reduction to boundary blocks as blocks grow —\n\
+         the paper's §6 explanation for grav's 38% vs jacobi's 96.7%."
+    );
+}

@@ -1,0 +1,156 @@
+//! Build your own HPF program against the public API: a 9-point stencil
+//! with a convergence reduction, run across all executors.
+//!
+//!     cargo run --release --example custom_stencil
+//!
+//! Demonstrates: declaring distributed arrays, INDEPENDENT loops with
+//! affine references, reductions into replicated scalars, and how the
+//! three backends (unoptimized DSM, compiler-optimized DSM, message
+//! passing) compare on a workload the paper never measured.
+
+use fgdsm::hpf::{
+    execute, ARef, ArrayId, CompDist, Dist, ExecConfig, KernelCtx, ParLoop, Program, ReduceSpec,
+    Stmt, Subscript,
+};
+use fgdsm::section::{SymRange, Var};
+use fgdsm::tempest::ReduceOp;
+
+const GRID: ArrayId = ArrayId(0);
+const NEXT: ArrayId = ArrayId(1);
+const N: usize = 256;
+const ITERS: i64 = 12;
+
+fn init(ctx: &mut KernelCtx) {
+    let g = ctx.h(GRID);
+    for j in ctx.iter[1].iter() {
+        for i in ctx.iter[0].iter() {
+            ctx.mem[g.at2(i, j)] = if (i + j) % 17 == 0 { 100.0 } else { 0.0 };
+        }
+    }
+}
+
+fn sweep(ctx: &mut KernelCtx) {
+    let g = ctx.h(GRID);
+    let n = ctx.h(NEXT);
+    for j in ctx.iter[1].iter() {
+        for i in ctx.iter[0].iter() {
+            // 9-point box blur.
+            let mut s = 0.0;
+            for dj in -1..=1 {
+                for di in -1..=1 {
+                    s += ctx.mem[g.at2(i + di, j + dj)];
+                }
+            }
+            ctx.mem[n.at2(i, j)] = s / 9.0;
+        }
+    }
+}
+
+fn copy_back(ctx: &mut KernelCtx) {
+    let g = ctx.h(GRID);
+    let n = ctx.h(NEXT);
+    let mut delta = 0.0;
+    for j in ctx.iter[1].iter() {
+        for i in ctx.iter[0].iter() {
+            let d = ctx.mem[n.at2(i, j)] - ctx.mem[g.at2(i, j)];
+            delta += d.abs();
+            ctx.mem[g.at2(i, j)] = ctx.mem[n.at2(i, j)];
+        }
+    }
+    ctx.partial = delta;
+}
+
+fn build() -> Program {
+    let t = Var("t");
+    let mut b = Program::builder();
+    let grid = b.array("grid", &[N, N], Dist::Block);
+    let next = b.array("next", &[N, N], Dist::Block);
+    assert_eq!((grid, next), (GRID, NEXT));
+    b.scalar("delta", 0.0);
+    let nn = N as i64;
+    let here = vec![Subscript::loop_var(0), Subscript::loop_var(1)];
+    b.stmt(Stmt::Par(ParLoop {
+        name: "init",
+        iter: vec![SymRange::new(0, nn - 1), SymRange::new(0, nn - 1)],
+        dist: CompDist::Owner(grid),
+        refs: vec![ARef::write(grid, here.clone())],
+        kernel: init,
+        cost_per_iter_ns: 60,
+        reduction: None,
+    }));
+    // A 9-point stencil needs all four corners too: eight read refs.
+    let mut sweep_refs = vec![ARef::write(next, here.clone())];
+    for dj in -1..=1i64 {
+        for di in -1..=1i64 {
+            sweep_refs.push(ARef::read(
+                grid,
+                vec![Subscript::Loop(0, di), Subscript::Loop(1, dj)],
+            ));
+        }
+    }
+    b.stmt(Stmt::Time {
+        var: t,
+        count: ITERS,
+        body: vec![
+            Stmt::Par(ParLoop {
+                name: "sweep",
+                iter: vec![SymRange::new(1, nn - 2), SymRange::new(1, nn - 2)],
+                dist: CompDist::Owner(next),
+                refs: sweep_refs,
+                kernel: sweep,
+                cost_per_iter_ns: 900,
+                reduction: None,
+            }),
+            Stmt::Par(ParLoop {
+                name: "copy",
+                iter: vec![SymRange::new(1, nn - 2), SymRange::new(1, nn - 2)],
+                dist: CompDist::Owner(grid),
+                refs: vec![
+                    ARef::read(next, here.clone()),
+                    ARef::read(grid, here.clone()),
+                    ARef::write(grid, here.clone()),
+                ],
+                kernel: copy_back,
+                cost_per_iter_ns: 220,
+                reduction: Some(ReduceSpec {
+                    op: ReduceOp::Sum,
+                    target: "delta",
+                }),
+            }),
+        ],
+    });
+    b.build()
+}
+
+fn main() {
+    let program = build();
+    println!("9-point box blur, {N}x{N}, {ITERS} iterations, 8 nodes\n");
+    println!(
+        "{:<18}{:>12}{:>12}{:>14}{:>12}",
+        "backend", "time (s)", "comm (s)", "misses/node", "messages"
+    );
+    let mut results = Vec::new();
+    for (name, cfg) in [
+        ("sm-unopt", ExecConfig::sm_unopt(8)),
+        ("sm-opt", ExecConfig::sm_opt(8)),
+        ("mp", ExecConfig::mp(8)),
+    ] {
+        let r = execute(&program, &cfg);
+        println!(
+            "{:<18}{:>12.4}{:>12.4}{:>14.0}{:>12}",
+            name,
+            r.total_s(),
+            r.report.comm_s(),
+            r.report.avg_misses(),
+            r.report.total_msgs()
+        );
+        results.push(r);
+    }
+    // All three agree on the data.
+    let a = results[0].array(&program, GRID);
+    for r in &results[1..] {
+        assert_eq!(a, r.array(&program, GRID));
+    }
+    println!("\nfinal smoothing delta: {:.6e}", results[0].scalars["delta"]);
+    println!("all backends produced identical data ✓");
+}

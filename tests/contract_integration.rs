@@ -1,0 +1,163 @@
+//! Cross-crate integration: the §4.2 contract driven by hand against the
+//! protocol, interleaved with default-protocol traffic, under different
+//! home policies and block sizes — the scenarios the compiler-generated
+//! schedule produces, exercised at the library-API level.
+
+use fgdsm::protocol::Dsm;
+use fgdsm::tempest::{Access, Cluster, CostModel, HomePolicy, SegmentLayout};
+
+fn dsm_with(nprocs: usize, block_bytes: usize, policy: HomePolicy) -> Dsm {
+    let cfg = CostModel {
+        block_bytes,
+        ..CostModel::paper_dual_cpu()
+    };
+    let mut layout = SegmentLayout::new(cfg.words_per_page());
+    layout.alloc(16 * 1024);
+    Dsm::new(Cluster::new(nprocs, cfg, &layout, policy))
+}
+
+/// The full contract, repeated over a time loop with a third party
+/// reading the data through the default protocol after the compiler
+/// releases control — Figure 2's final consistency claim.
+#[test]
+fn contract_then_default_protocol_interoperate() {
+    for policy in [HomePolicy::RoundRobin, HomePolicy::Blocked] {
+        let mut d = dsm_with(4, 128, policy);
+        let blocks = 32;
+        let words = blocks * d.cluster.words_per_block();
+
+        // Owner node 1 produces, reader node 2 consumes, 3 steps.
+        d.mk_writable(1, 0, blocks);
+        d.release_barrier();
+        for step in 0..3 {
+            d.implicit_writable(2, 0, blocks, true);
+            d.release_barrier();
+            for w in 0..words {
+                d.cluster.node_mem_mut(1)[w] = (step * words + w) as f64;
+            }
+            d.send_range(1, &[2], 0, blocks, true);
+            d.ready_to_recv(2);
+            assert_eq!(d.cluster.node_mem(2)[words - 1], (step * words + words - 1) as f64);
+            d.release_barrier();
+        }
+        // Compiler releases control; directory still says Excl(owner 1).
+        d.implicit_invalidate(2, 0, blocks);
+        d.release_barrier();
+        d.check_consistency().unwrap();
+
+        // A third party now reads through the default protocol and must
+        // see the last produced values.
+        for b in 0..blocks {
+            d.read_access(3, b);
+        }
+        assert_eq!(d.cluster.node_mem(3)[0], (2 * words) as f64);
+        assert_eq!(
+            d.cluster.node_mem(3)[words - 1],
+            (2 * words + words - 1) as f64
+        );
+        d.release_barrier();
+        d.check_consistency().unwrap();
+    }
+}
+
+/// Non-owner writes: implicit_writable + send to the writer, then
+/// flush_range back — the owner must end with the merged data and the
+/// directory must record it.
+#[test]
+fn non_owner_write_roundtrip() {
+    let mut d = dsm_with(4, 128, HomePolicy::RoundRobin);
+    let blocks = 8;
+    let words = blocks * d.cluster.words_per_block();
+    // Owner 0 initializes.
+    d.mk_writable(0, 0, blocks);
+    for w in 0..words {
+        d.cluster.node_mem_mut(0)[w] = w as f64;
+    }
+    d.release_barrier();
+    // Writer 3 receives current data, overwrites half of it, flushes.
+    d.implicit_writable(3, 0, blocks, false);
+    d.release_barrier();
+    d.send_range(0, &[3], 0, blocks, true);
+    d.ready_to_recv(3);
+    for w in 0..words / 2 {
+        d.cluster.node_mem_mut(3)[w] = -(w as f64);
+    }
+    d.flush_range(3, 0, 0, blocks, true);
+    d.release_barrier();
+    d.check_consistency().unwrap();
+    assert_eq!(d.cluster.node_mem(0)[3], -3.0);
+    assert_eq!(d.cluster.node_mem(0)[words - 1], (words - 1) as f64);
+    assert_eq!(d.cluster.tag(3, 0), Access::Invalid);
+    assert!(d.dir_state(0).is_excl_by(0));
+}
+
+/// The contract at every supported block size.
+#[test]
+fn contract_all_block_sizes() {
+    for bs in [32usize, 64, 128] {
+        let mut d = dsm_with(2, bs, HomePolicy::RoundRobin);
+        let blocks = 256 / (bs / 8); // 256 words worth
+        d.mk_writable(1, 0, blocks);
+        d.release_barrier();
+        d.implicit_writable(0, 0, blocks, false);
+        d.release_barrier();
+        for w in 0..256 {
+            d.cluster.node_mem_mut(1)[w] = (w * w) as f64;
+        }
+        d.send_range(1, &[0], 0, blocks, true);
+        d.ready_to_recv(0);
+        assert_eq!(d.cluster.node_mem(0)[255], (255 * 255) as f64, "bs={bs}");
+        d.implicit_invalidate(0, 0, blocks);
+        d.release_barrier();
+        d.check_consistency().unwrap();
+    }
+}
+
+/// Many readers: one owner pushes the same range to every other node
+/// (lu's broadcast pattern) and each gets a private valid copy.
+#[test]
+fn one_to_all_push() {
+    let mut d = dsm_with(8, 128, HomePolicy::RoundRobin);
+    let blocks = 16;
+    let words = blocks * 16;
+    d.mk_writable(5, 0, blocks);
+    for w in 0..words {
+        d.cluster.node_mem_mut(5)[w] = 1000.0 + w as f64;
+    }
+    d.release_barrier();
+    let readers: Vec<usize> = (0..8).filter(|&n| n != 5).collect();
+    for &r in &readers {
+        d.implicit_writable(r, 0, blocks, false);
+    }
+    d.release_barrier();
+    d.send_range(5, &readers, 0, blocks, true);
+    for &r in &readers {
+        d.ready_to_recv(r);
+        assert_eq!(d.cluster.node_mem(r)[words - 1], 1000.0 + (words - 1) as f64);
+    }
+    for &r in &readers {
+        d.implicit_invalidate(r, 0, blocks);
+    }
+    d.release_barrier();
+    d.check_consistency().unwrap();
+    assert!(d.dir_state(0).is_excl_by(5));
+}
+
+/// Default-protocol stress: rotating exclusive ownership through all
+/// nodes keeps data and directory coherent.
+#[test]
+fn migratory_ownership_rotation() {
+    let mut d = dsm_with(6, 128, HomePolicy::RoundRobin);
+    let b = 3; // one block, home = page 0's home
+    let (s, _) = d.cluster.block_words(b);
+    for round in 0..18 {
+        let node = round % 6;
+        d.write_access_excl(node, b);
+        d.cluster.node_mem_mut(node)[s] += 1.0;
+        d.release_barrier();
+        d.check_consistency().unwrap();
+    }
+    // Final value visible to a fresh reader.
+    d.read_access(1, b);
+    assert_eq!(d.cluster.node_mem(1)[s], 18.0);
+}

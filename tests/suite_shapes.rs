@@ -1,0 +1,137 @@
+//! Cross-crate integration: qualitative shapes of the paper's evaluation
+//! at test scale, through the public facade crate.
+
+use fgdsm::apps::{cg, grav, jacobi, lu, pde, shallow, suite, Scale};
+use fgdsm::hpf::{execute, ExecConfig, OptLevel};
+
+const NP: usize = 8;
+
+#[test]
+fn suite_runs_every_backend_and_agrees() {
+    for spec in suite(Scale::Test) {
+        let unopt = execute(&spec.program, &ExecConfig::sm_unopt(NP));
+        let opt = execute(&spec.program, &ExecConfig::sm_opt(NP));
+        let mp = execute(&spec.program, &ExecConfig::mp(NP));
+        assert_eq!(unopt.data, opt.data, "{}: unopt vs opt data", spec.name);
+        assert_eq!(unopt.data, mp.data, "{}: unopt vs mp data", spec.name);
+        assert!(
+            opt.report.avg_misses() <= unopt.report.avg_misses(),
+            "{}: opt must not add misses",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn optimization_reduces_execution_time_across_suite() {
+    // Figure 3's core claim at test scale: opt total ≤ unopt total for
+    // every application, in both cpu configurations.
+    for spec in suite(Scale::Test) {
+        for single in [false, true] {
+            let mk = |backend: ExecConfig| if single { backend.single_cpu() } else { backend };
+            let unopt = execute(&spec.program, &mk(ExecConfig::sm_unopt(NP)));
+            let opt = execute(&spec.program, &mk(ExecConfig::sm_opt(NP)));
+            // grav at *test* scale is dominated by reductions and call
+            // overheads (the paper's own worst case: +3% only); the real
+            // claim is enforced at benchmark scale by fig3_speedups.
+            let slack = if matches!(spec.name, "grav" | "lu") { 1.25 } else { 1.02 };
+            assert!(
+                opt.total_s() <= unopt.total_s() * slack,
+                "{} (single={single}): opt {:.4}s vs unopt {:.4}s",
+                spec.name,
+                opt.total_s(),
+                unopt.total_s()
+            );
+        }
+    }
+}
+
+#[test]
+fn opt_levels_are_monotone_for_stencils() {
+    // Figure 4's shape: each added optimization must not hurt.
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    let unopt = execute(&prog, &ExecConfig::sm_unopt(NP));
+    let base = execute(&prog, &ExecConfig::sm_opt(NP).with_opt(OptLevel::base()));
+    let bulk = execute(&prog, &ExecConfig::sm_opt(NP).with_opt(OptLevel::base_bulk()));
+    let full = execute(&prog, &ExecConfig::sm_opt(NP).with_opt(OptLevel::full()));
+    assert!(base.total_s() <= unopt.total_s());
+    assert!(bulk.total_s() <= base.total_s());
+    assert!(full.total_s() <= bulk.total_s());
+}
+
+#[test]
+fn pre_skips_grav_gradient_moments() {
+    let prog = grav::build(&grav::Params::at(Scale::Test));
+    let pre = execute(&prog, &ExecConfig::sm_opt(NP).with_opt(OptLevel::full_pre()));
+    let full = execute(&prog, &ExecConfig::sm_opt(NP));
+    assert!(pre.pre_skipped > 0, "gradient moments should be skippable");
+    assert!(pre.total_s() <= full.total_s());
+    assert_eq!(pre.data, full.data);
+}
+
+#[test]
+fn messages_shrink_with_bulk_across_suite() {
+    for spec in suite(Scale::Test) {
+        let base = execute(&spec.program, &ExecConfig::sm_opt(NP).with_opt(OptLevel::base()));
+        let bulk = execute(
+            &spec.program,
+            &ExecConfig::sm_opt(NP).with_opt(OptLevel::base_bulk()),
+        );
+        assert!(
+            bulk.report.total_msgs() <= base.report.total_msgs(),
+            "{}: bulk transfer cannot send more messages",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn per_app_checks() {
+    // A few invariants that tie executors to application semantics.
+    let p = cg::Params::at(Scale::Test);
+    let r = execute(&cg::build(&p), &ExecConfig::sm_opt(NP));
+    let (_, rho) = cg::reference(&p, NP);
+    assert!((r.scalars["rho"] - rho).abs() <= rho.abs() * 1e-9);
+
+    let p = lu::Params::at(Scale::Test);
+    let r = execute(&lu::build(&p), &ExecConfig::sm_opt(NP));
+    assert_eq!(r.array(&lu::build(&p), lu::A), lu::reference(&p));
+
+    let p = pde::Params::at(Scale::Test);
+    let r = execute(&pde::build(&p), &ExecConfig::mp(NP));
+    let (uref, _) = pde::reference(&p);
+    assert_eq!(r.array(&pde::build(&p), pde::U), uref);
+
+    let p = shallow::Params::at(Scale::Test);
+    let r = execute(&shallow::build(&p), &ExecConfig::sm_unopt(NP).single_cpu());
+    assert_eq!(r.array(&shallow::build(&p), shallow::P), shallow::reference(&p));
+}
+
+#[test]
+fn node_count_sweep_is_consistent() {
+    // Data identical at 1, 2, 4, 8 nodes for reduction-free jacobi, and
+    // parallel time decreases from 2 to 8 nodes.
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    let base = execute(&prog, &ExecConfig::sm_opt(1));
+    let mut last_time = f64::INFINITY;
+    for np in [2usize, 4, 8] {
+        let r = execute(&prog, &ExecConfig::sm_opt(np));
+        assert_eq!(r.data, base.data, "np={np}");
+        assert!(
+            r.total_s() < last_time * 1.05,
+            "np={np}: time should not grow much with nodes"
+        );
+        last_time = r.total_s();
+    }
+}
+
+#[test]
+fn table2_metadata_is_stable() {
+    let apps = suite(Scale::Paper);
+    assert_eq!(apps.len(), 6);
+    for a in &apps {
+        assert!(a.memory_mb() > 0.0);
+        assert!(!a.problem.is_empty());
+        assert!(a.program.validate().is_ok());
+    }
+}
