@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must pass before it lands.
+# Runs offline — no network, no external services.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace
+# Property suites (proptest is an optional, offline-vendored dev feature).
+cargo test -q --workspace \
+    --features fgdsm-section/proptest,fgdsm-tempest/proptest,fgdsm-protocol/proptest,fgdsm-hpf/proptest
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

@@ -203,7 +203,9 @@ pub fn build(p: &Params) -> Program {
     let phi = b.array("phi", &[p.e(), p.e()], Dist::Block);
     let phn = b.array("phn", &[p.e(), p.e()], Dist::Block);
     assert_eq!((rho, phi, phn), (RHO, PHI, PHN));
-    b.scalar("gerr", 0.0).scalar("mass", 0.0).scalar("moment", 0.0);
+    b.scalar("gerr", 0.0)
+        .scalar("mass", 0.0)
+        .scalar("moment", 0.0);
     let all = SymRange::new(0, e - 1);
     let int = SymRange::new(1, e - 2);
     let iv = |d: usize, c: i64| Subscript::Loop(d, c);
@@ -223,7 +225,10 @@ pub fn build(p: &Params) -> Program {
         name: "init_phi",
         iter: vec![all.clone(), all.clone()],
         dist: CompDist::Owner(phi),
-        refs: vec![ARef::write(phi, here2.clone()), ARef::write(phn, here2.clone())],
+        refs: vec![
+            ARef::write(phi, here2.clone()),
+            ARef::write(phn, here2.clone()),
+        ],
         kernel: init_phi_kernel,
         cost_per_iter_ns: 110,
         reduction: None,

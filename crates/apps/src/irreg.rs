@@ -186,7 +186,10 @@ pub fn build(p: &Params) -> Program {
                 name: "copy",
                 iter: vec![SymRange::new(1, n - 2)],
                 dist: CompDist::Owner(x),
-                refs: vec![ARef::read(y, vec![iv.clone()]), ARef::write(x, vec![iv.clone()])],
+                refs: vec![
+                    ARef::read(y, vec![iv.clone()]),
+                    ARef::write(x, vec![iv.clone()]),
+                ],
                 kernel: copy_kernel,
                 cost_per_iter_ns: 70,
                 reduction: None,
@@ -213,7 +216,10 @@ pub fn spec(p: &Params) -> AppSpec {
     AppSpec {
         name: "irreg",
         source: "extension (paper §7 future work)",
-        problem: format!("{} elements, {} iters, gather span ±{}", p.n, p.iters, p.span),
+        problem: format!(
+            "{} elements, {} iters, gather span ±{}",
+            p.n, p.iters, p.span
+        ),
         program: build(p),
         iters: p.iters,
     }

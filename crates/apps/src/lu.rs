@@ -107,9 +107,24 @@ pub fn build(p: &Params) -> Program {
         iter: vec![below_k.clone()],
         dist: CompDist::OwnerOfIndex(a, Affine::var(K)),
         refs: vec![
-            ARef::read(a, vec![Subscript::At(Affine::var(K)), Subscript::At(Affine::var(K))]),
-            ARef::read(a, vec![Subscript::Span(below_k.clone()), Subscript::At(Affine::var(K))]),
-            ARef::write(a, vec![Subscript::Span(below_k.clone()), Subscript::At(Affine::var(K))]),
+            ARef::read(
+                a,
+                vec![Subscript::At(Affine::var(K)), Subscript::At(Affine::var(K))],
+            ),
+            ARef::read(
+                a,
+                vec![
+                    Subscript::Span(below_k.clone()),
+                    Subscript::At(Affine::var(K)),
+                ],
+            ),
+            ARef::write(
+                a,
+                vec![
+                    Subscript::Span(below_k.clone()),
+                    Subscript::At(Affine::var(K)),
+                ],
+            ),
         ],
         kernel: scale_kernel,
         cost_per_iter_ns: 180,
@@ -121,9 +136,18 @@ pub fn build(p: &Params) -> Program {
         dist: CompDist::Owner(a),
         refs: vec![
             // Pivot column below the diagonal: the broadcast.
-            ARef::read(a, vec![Subscript::Span(below_k.clone()), Subscript::At(Affine::var(K))]),
+            ARef::read(
+                a,
+                vec![
+                    Subscript::Span(below_k.clone()),
+                    Subscript::At(Affine::var(K)),
+                ],
+            ),
             // Pivot row element a(k, j): owned with column j.
-            ARef::read(a, vec![Subscript::At(Affine::var(K)), Subscript::loop_var(1)]),
+            ARef::read(
+                a,
+                vec![Subscript::At(Affine::var(K)), Subscript::loop_var(1)],
+            ),
             ARef::read(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
             ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
         ],

@@ -96,10 +96,8 @@ fn init_uvp_kernel(ctx: &mut KernelCtx) {
     let pcf = ctx.scalar("pcf");
     for j in ctx.iter[1].iter() {
         for i in ctx.iter[0].iter() {
-            ctx.mem[u.at2(i, j)] =
-                -(ctx.mem[psi.at2(i, j)] - ctx.mem[psi.at2(i - 1, j)]) / DY;
-            ctx.mem[v.at2(i, j)] =
-                (ctx.mem[psi.at2(i, j)] - ctx.mem[psi.at2(i, j - 1)]) / DX;
+            ctx.mem[u.at2(i, j)] = -(ctx.mem[psi.at2(i, j)] - ctx.mem[psi.at2(i - 1, j)]) / DY;
+            ctx.mem[v.at2(i, j)] = (ctx.mem[psi.at2(i, j)] - ctx.mem[psi.at2(i, j - 1)]) / DX;
             ctx.mem[p.at2(i, j)] =
                 pcf * ((2.0 * i as f64 * di).cos() + (2.0 * j as f64 * dj).cos()) + 50_000.0;
         }
@@ -243,8 +241,7 @@ pub fn build(pr: &Params) -> Program {
     let (mp1, np1) = (pr.m + 1, pr.n + 1);
     let mut b = Program::builder();
     let ids: Vec<ArrayId> = [
-        "u", "v", "p", "unew", "vnew", "pnew", "uold", "vold", "pold", "cu", "cv", "z", "h",
-        "psi",
+        "u", "v", "p", "unew", "vnew", "pnew", "uold", "vold", "pold", "cu", "cv", "z", "h", "psi",
     ]
     .iter()
     .map(|name| b.array(name, &[mp1, np1], Dist::Block))
@@ -335,8 +332,20 @@ pub fn build(pr: &Params) -> Program {
             .iter()
             .flat_map(|&a| {
                 [
-                    ARef::write(a, vec![Subscript::Span(span_rows.clone()), Subscript::At(Affine::constant(0))]),
-                    ARef::read(a, vec![Subscript::Span(span_rows.clone()), Subscript::At(Affine::constant(n))]),
+                    ARef::write(
+                        a,
+                        vec![
+                            Subscript::Span(span_rows.clone()),
+                            Subscript::At(Affine::constant(0)),
+                        ],
+                    ),
+                    ARef::read(
+                        a,
+                        vec![
+                            Subscript::Span(span_rows.clone()),
+                            Subscript::At(Affine::constant(n)),
+                        ],
+                    ),
                 ]
             })
             .collect(),
@@ -352,8 +361,14 @@ pub fn build(pr: &Params) -> Program {
             .iter()
             .flat_map(|&a| {
                 [
-                    ARef::write(a, vec![Subscript::At(Affine::constant(0)), Subscript::loop_var(0)]),
-                    ARef::read(a, vec![Subscript::At(Affine::constant(m)), Subscript::loop_var(0)]),
+                    ARef::write(
+                        a,
+                        vec![Subscript::At(Affine::constant(0)), Subscript::loop_var(0)],
+                    ),
+                    ARef::read(
+                        a,
+                        vec![Subscript::At(Affine::constant(m)), Subscript::loop_var(0)],
+                    ),
                 ]
             })
             .collect(),
@@ -398,8 +413,20 @@ pub fn build(pr: &Params) -> Program {
             .iter()
             .flat_map(|&a| {
                 [
-                    ARef::write(a, vec![Subscript::Span(span_rows2.clone()), Subscript::At(Affine::constant(n))]),
-                    ARef::read(a, vec![Subscript::Span(span_rows2.clone()), Subscript::At(Affine::constant(0))]),
+                    ARef::write(
+                        a,
+                        vec![
+                            Subscript::Span(span_rows2.clone()),
+                            Subscript::At(Affine::constant(n)),
+                        ],
+                    ),
+                    ARef::read(
+                        a,
+                        vec![
+                            Subscript::Span(span_rows2.clone()),
+                            Subscript::At(Affine::constant(0)),
+                        ],
+                    ),
                 ]
             })
             .collect(),
@@ -415,8 +442,14 @@ pub fn build(pr: &Params) -> Program {
             .iter()
             .flat_map(|&a| {
                 [
-                    ARef::write(a, vec![Subscript::At(Affine::constant(m)), Subscript::loop_var(0)]),
-                    ARef::read(a, vec![Subscript::At(Affine::constant(0)), Subscript::loop_var(0)]),
+                    ARef::write(
+                        a,
+                        vec![Subscript::At(Affine::constant(m)), Subscript::loop_var(0)],
+                    ),
+                    ARef::read(
+                        a,
+                        vec![Subscript::At(Affine::constant(0)), Subscript::loop_var(0)],
+                    ),
                 ]
             })
             .collect(),

@@ -86,7 +86,10 @@ fn pde_ghosts_are_whole_planes_of_pencils() {
         );
     }
     assert!(!acc.read_transfers.is_empty());
-    assert!(acc.write_transfers.is_empty(), "owner-computes: no remote writes");
+    assert!(
+        acc.write_transfers.is_empty(),
+        "owner-computes: no remote writes"
+    );
 }
 
 #[test]
@@ -148,9 +151,12 @@ fn grav_smooth_ghosts_are_boundary_heavy() {
     let jprog = jacobi::build(&jp);
     let jreports = analyze_program(&jprog, &Env::new(), NP, 16);
     let sweep = jreports.iter().find(|r| r.loop_name == "sweep").unwrap();
-    let jfrac =
-        sweep.boundary_words as f64 / (sweep.ctl_blocks * 16 + sweep.boundary_words) as f64;
-    assert!(jfrac < 0.10, "jacobi boundary fraction {:.0}%", jfrac * 100.0);
+    let jfrac = sweep.boundary_words as f64 / (sweep.ctl_blocks * 16 + sweep.boundary_words) as f64;
+    assert!(
+        jfrac < 0.10,
+        "jacobi boundary fraction {:.0}%",
+        jfrac * 100.0
+    );
     assert!(jfrac < frac);
 }
 

@@ -16,12 +16,18 @@ fn all_configs() -> Vec<(&'static str, ExecConfig)> {
     vec![
         ("sm-unopt", ExecConfig::sm_unopt(NPROCS)),
         ("sm-unopt-1cpu", ExecConfig::sm_unopt(NPROCS).single_cpu()),
-        ("sm-base", ExecConfig::sm_opt(NPROCS).with_opt(OptLevel::base())),
+        (
+            "sm-base",
+            ExecConfig::sm_opt(NPROCS).with_opt(OptLevel::base()),
+        ),
         (
             "sm-bulk",
             ExecConfig::sm_opt(NPROCS).with_opt(OptLevel::base_bulk()),
         ),
-        ("sm-full", ExecConfig::sm_opt(NPROCS).with_opt(OptLevel::full())),
+        (
+            "sm-full",
+            ExecConfig::sm_opt(NPROCS).with_opt(OptLevel::full()),
+        ),
         (
             "sm-pre",
             ExecConfig::sm_opt(NPROCS).with_opt(OptLevel::full_pre()),
@@ -83,7 +89,14 @@ fn shallow_all_backends_match_reference() {
     let pref = shallow::reference(&p);
     for (name, cfg) in all_configs() {
         let r = execute(&prog, &cfg);
-        check_array(&format!("shallow/{name}"), &r, &prog, shallow::P, &pref, 0.0);
+        check_array(
+            &format!("shallow/{name}"),
+            &r,
+            &prog,
+            shallow::P,
+            &pref,
+            0.0,
+        );
     }
 }
 

@@ -15,19 +15,19 @@
 //! point the conservative strategy is no longer conservative.
 
 use fgdsm_apps::irreg;
-use fgdsm_bench::{scale, NPROCS};
 use fgdsm_apps::Scale;
+use fgdsm_bench::{json_row, scale, NPROCS};
 use fgdsm_hpf::{execute, ExecConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    span: usize,
-    sm_unopt_s: f64,
-    sm_opt_s: f64,
-    mp_s: f64,
-    sm_bytes: u64,
-    mp_bytes: u64,
+json_row! {
+    struct Row {
+        span: usize,
+        sm_unopt_s: f64,
+        sm_opt_s: f64,
+        mp_s: f64,
+        sm_bytes: u64,
+        mp_bytes: u64,
+    }
 }
 
 fn main() {
@@ -47,7 +47,10 @@ fn main() {
     let spans = [base.n / 256, base.n / 64, base.n / 16, base.n / 4, base.n];
     let mut rows = Vec::new();
     for span in spans {
-        let p = irreg::Params { span: span.max(1), ..base };
+        let p = irreg::Params {
+            span: span.max(1),
+            ..base
+        };
         let prog = irreg::build(&p);
         let sm = execute(&prog, &ExecConfig::sm_unopt(NPROCS));
         let opt = execute(&prog, &ExecConfig::sm_opt(NPROCS));

@@ -10,30 +10,34 @@
 //!    reduction to boundary blocks.
 
 use fgdsm_apps::{grav, jacobi, suite};
-use fgdsm_bench::{pct_reduction, scale, scale_label, NPROCS};
+use fgdsm_bench::{json_row, pct_reduction, scale, scale_label, NPROCS};
 use fgdsm_hpf::{execute, ExecConfig, OptLevel};
 use fgdsm_tempest::CostModel;
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct PreRow {
-    app: &'static str,
-    transfers_performed: u64,
-    transfers_skipped: u64,
-    full_time_s: f64,
-    pre_time_s: f64,
+json_row! {
+    struct PreRow {
+        app: &'static str,
+        transfers_performed: u64,
+        transfers_skipped: u64,
+        full_time_s: f64,
+        pre_time_s: f64,
+    }
 }
 
-#[derive(Serialize)]
-struct BlockRow {
-    app: &'static str,
-    block_bytes: usize,
-    miss_reduction_pct: f64,
+json_row! {
+    struct BlockRow {
+        app: &'static str,
+        block_bytes: usize,
+        miss_reduction_pct: f64,
+    }
 }
 
 fn main() {
     let s = scale();
-    println!("Extension 1: PRE redundant-communication elimination — {}\n", scale_label(s));
+    println!(
+        "Extension 1: PRE redundant-communication elimination — {}\n",
+        scale_label(s)
+    );
     println!(
         "{:<10}{:>12}{:>10}{:>14}{:>14}",
         "app", "performed", "skipped", "full (s)", "full+pre (s)"
@@ -54,7 +58,11 @@ fn main() {
         };
         println!(
             "{:<10}{:>12}{:>10}{:>14.3}{:>14.3}",
-            row.app, row.transfers_performed, row.transfers_skipped, row.full_time_s, row.pre_time_s
+            row.app,
+            row.transfers_performed,
+            row.transfers_skipped,
+            row.full_time_s,
+            row.pre_time_s
         );
         assert!(
             row.pre_time_s <= row.full_time_s * 1.001,

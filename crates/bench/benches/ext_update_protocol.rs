@@ -11,18 +11,18 @@
 //! protocol but an escape from generality.
 
 use fgdsm_apps::suite;
-use fgdsm_bench::{scale, scale_label, NPROCS};
+use fgdsm_bench::{json_row, scale, scale_label, NPROCS};
 use fgdsm_hpf::{execute, ExecConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    invalidate_s: f64,
-    update_s: f64,
-    opt_s: f64,
-    invalidate_misses: f64,
-    update_misses: f64,
+json_row! {
+    struct Row {
+        app: &'static str,
+        invalidate_s: f64,
+        update_s: f64,
+        opt_s: f64,
+        invalidate_misses: f64,
+        update_misses: f64,
+    }
 }
 
 fn main() {
@@ -40,7 +40,11 @@ fn main() {
         let inval = execute(&spec.program, &ExecConfig::sm_unopt(NPROCS));
         let upd = execute(&spec.program, &ExecConfig::sm_unopt(NPROCS).write_update());
         let opt = execute(&spec.program, &ExecConfig::sm_opt(NPROCS));
-        assert_eq!(inval.data, upd.data, "{}: protocols disagree on data", spec.name);
+        assert_eq!(
+            inval.data, upd.data,
+            "{}: protocols disagree on data",
+            spec.name
+        );
         let row = Row {
             app: spec.name,
             invalidate_s: inval.total_s(),
@@ -51,7 +55,12 @@ fn main() {
         };
         println!(
             "{:<10}{:>14.3}{:>12.3}{:>12.3}{:>14.0}{:>14.0}",
-            row.app, row.invalidate_s, row.update_s, row.opt_s, row.invalidate_misses, row.update_misses
+            row.app,
+            row.invalidate_s,
+            row.update_s,
+            row.opt_s,
+            row.invalidate_misses,
+            row.update_misses
         );
         // Update protocols fault dramatically less (copies stay valid)…
         // except where data is read once and never again (lu's moving
@@ -71,7 +80,10 @@ fn main() {
         .iter()
         .filter(|r| r.update_misses < r.invalidate_misses)
         .count();
-    assert!(strict >= 4, "most apps should re-use cached copies under update");
+    assert!(
+        strict >= 4,
+        "most apps should re-use cached copies under update"
+    );
     let lu = rows.iter().find(|r| r.app == "lu").unwrap();
     assert!(
         lu.update_s > lu.invalidate_s,

@@ -12,17 +12,17 @@
 //! everywhere.
 
 use fgdsm_apps::suite;
-use fgdsm_bench::{run_app, scale, scale_label, NPROCS};
-use serde::Serialize;
+use fgdsm_bench::{json_row, run_app, scale, scale_label, NPROCS};
 
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    sm_unopt_1cpu: f64,
-    sm_opt_1cpu: f64,
-    sm_unopt_2cpu: f64,
-    sm_opt_2cpu: f64,
-    mp: f64,
+json_row! {
+    struct Row {
+        app: &'static str,
+        sm_unopt_1cpu: f64,
+        sm_opt_1cpu: f64,
+        sm_unopt_2cpu: f64,
+        sm_opt_2cpu: f64,
+        mp: f64,
+    }
 }
 
 fn main() {
@@ -48,12 +48,7 @@ fn main() {
         };
         println!(
             "{:<10}{:>14.2}{:>14.2}{:>14.2}{:>14.2}{:>10.2}",
-            row.app,
-            row.sm_unopt_1cpu,
-            row.sm_opt_1cpu,
-            row.sm_unopt_2cpu,
-            row.sm_opt_2cpu,
-            row.mp
+            row.app, row.sm_unopt_1cpu, row.sm_opt_1cpu, row.sm_unopt_2cpu, row.sm_opt_2cpu, row.mp
         );
         // Shape assertions (§6).
         assert!(

@@ -10,16 +10,16 @@
 //! the more important optimization".
 
 use fgdsm_apps::suite;
-use fgdsm_bench::{pct_reduction, run_opt_level, scale, scale_label, NPROCS};
+use fgdsm_bench::{json_row, pct_reduction, run_opt_level, scale, scale_label, NPROCS};
 use fgdsm_hpf::{execute, ExecConfig, OptLevel};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    base_pct: f64,
-    bulk_pct: f64,
-    full_pct: f64,
+json_row! {
+    struct Row {
+        app: &'static str,
+        base_pct: f64,
+        bulk_pct: f64,
+        full_pct: f64,
+    }
 }
 
 fn main() {

@@ -1,15 +1,19 @@
-//! Criterion micro-benchmarks of the simulator and compiler primitives —
-//! the host-side cost of the library itself (not virtual time): protocol
+//! Micro-benchmarks of the simulator and compiler primitives — the
+//! host-side cost of the library itself (not virtual time): protocol
 //! transactions, compiler-directed calls, section algebra, and per-loop
 //! access analysis.
+//!
+//! Self-contained `Instant`-based timing (no criterion dependency, which
+//! would break the offline build): each benchmark reports mean ns/op over
+//! a fixed iteration budget after a warmup pass.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fgdsm_apps::{jacobi, Scale};
 use fgdsm_hpf::{analysis, execute, ExecConfig};
 use fgdsm_protocol::Dsm;
 use fgdsm_section::{block_subset, Env, Range, Section};
 use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn fresh_dsm(nprocs: usize) -> Dsm {
     let cfg = CostModel::paper_dual_cpu();
@@ -18,97 +22,128 @@ fn fresh_dsm(nprocs: usize) -> Dsm {
     Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
 }
 
-fn bench_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol");
-    g.bench_function("read_miss_clean", |b| {
-        b.iter_batched_ref(
-            || fresh_dsm(4),
-            |d| d.read_access(1, black_box(0)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("write_upgrade", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut d = fresh_dsm(4);
-                d.read_access(1, 0);
-                d
-            },
-            |d| d.write_access_excl(2, black_box(0)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("mk_writable_64_blocks", |b| {
-        b.iter_batched_ref(
-            || fresh_dsm(4),
-            |d| d.mk_writable(1, 0, black_box(64)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("send_range_bulk_64_blocks", |b| {
-        b.iter_batched_ref(
-            || {
-                let mut d = fresh_dsm(4);
-                d.mk_writable(1, 0, 64);
-                d.implicit_writable(2, 0, 64, false);
-                d
-            },
-            |d| {
-                d.send_range(1, &[2], 0, black_box(64), true);
-                d.ready_to_recv(2);
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+/// Time `op` over fresh state from `setup`, printing mean ns/op.
+/// Setup cost is excluded by timing each op individually.
+fn bench_batched<S, O: FnMut(&mut S)>(
+    name: &str,
+    iters: u32,
+    mut setup: impl FnMut() -> S,
+    mut op: O,
+) {
+    // Warmup.
+    for _ in 0..iters.div_ceil(10).max(1) {
+        let mut s = setup();
+        op(&mut s);
+    }
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters {
+        let mut s = setup();
+        let t0 = Instant::now();
+        op(&mut s);
+        total += t0.elapsed();
+    }
+    println!(
+        "{:<44}{:>14.0} ns/op",
+        name,
+        total.as_nanos() as f64 / iters as f64
+    );
 }
 
-fn bench_sections(c: &mut Criterion) {
-    let mut g = c.benchmark_group("section");
+/// Time `op` with no per-iteration state, printing mean ns/op.
+fn bench_loop<R>(name: &str, iters: u32, mut op: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10).max(1) {
+        black_box(op());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(op());
+    }
+    println!(
+        "{:<44}{:>14.0} ns/op",
+        name,
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    );
+}
+
+fn bench_protocol() {
+    bench_batched(
+        "protocol/read_miss_clean",
+        200,
+        || fresh_dsm(4),
+        |d| d.read_access(1, black_box(0)),
+    );
+    bench_batched(
+        "protocol/write_upgrade",
+        200,
+        || {
+            let mut d = fresh_dsm(4);
+            d.read_access(1, 0);
+            d
+        },
+        |d| d.write_access_excl(2, black_box(0)),
+    );
+    bench_batched(
+        "protocol/mk_writable_64_blocks",
+        200,
+        || fresh_dsm(4),
+        |d| d.mk_writable(1, 0, black_box(64)),
+    );
+    bench_batched(
+        "protocol/send_range_bulk_64_blocks",
+        200,
+        || {
+            let mut d = fresh_dsm(4);
+            d.mk_writable(1, 0, 64);
+            d.implicit_writable(2, 0, 64, false);
+            d
+        },
+        |d| {
+            d.send_range(1, &[2], 0, black_box(64), true);
+            d.ready_to_recv(2);
+        },
+    );
+}
+
+fn bench_sections() {
     let a = Section::new(vec![Range::new(0, 2047), Range::new(0, 255)]);
     let b2 = Section::new(vec![Range::new(0, 2047), Range::new(256, 511)]);
-    g.bench_function("subtract_2d", |b| {
-        b.iter(|| black_box(&a).subtract(black_box(&b2)))
+    bench_loop("section/subtract_2d", 10_000, || {
+        black_box(&a).subtract(black_box(&b2))
     });
-    g.bench_function("intersect_2d", |b| {
-        b.iter(|| black_box(&a).intersect(black_box(&b2)))
+    bench_loop("section/intersect_2d", 10_000, || {
+        black_box(&a).intersect(black_box(&b2))
     });
-    g.bench_function("block_subset", |b| {
-        b.iter(|| block_subset(black_box(1234), black_box(987_654), 128))
+    bench_loop("section/block_subset", 10_000, || {
+        block_subset(black_box(1234), black_box(987_654), 128)
     });
-    g.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let p = jacobi::Params::at(Scale::Test);
     let prog = jacobi::build(&p);
     let loops = prog.par_loops();
     let sweep = loops.iter().find(|l| l.name == "sweep").unwrap();
     let env = Env::new();
-    c.bench_function("analysis/jacobi_sweep_8_nodes", |b| {
-        b.iter(|| analysis::analyze(black_box(&prog), black_box(sweep), &env, 8))
+    bench_loop("analysis/jacobi_sweep_8_nodes", 500, || {
+        analysis::analyze(black_box(&prog), black_box(sweep), &env, 8)
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let p = jacobi::Params::at(Scale::Test);
     let prog = jacobi::build(&p);
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("jacobi_test_scale_opt", |b| {
-        b.iter(|| execute(black_box(&prog), &ExecConfig::sm_opt(8)))
+    bench_loop("end_to_end/jacobi_test_scale_opt", 10, || {
+        execute(black_box(&prog), &ExecConfig::sm_opt(8))
     });
-    g.bench_function("jacobi_test_scale_unopt", |b| {
-        b.iter(|| execute(black_box(&prog), &ExecConfig::sm_unopt(8)))
+    bench_loop("end_to_end/jacobi_test_scale_unopt", 10, || {
+        execute(black_box(&prog), &ExecConfig::sm_unopt(8))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_protocol,
-    bench_sections,
-    bench_analysis,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<44}{:>20}", "benchmark", "mean");
+    bench_protocol();
+    bench_sections();
+    bench_analysis();
+    bench_end_to_end();
+}

@@ -10,16 +10,17 @@
 //! | Network bandwidth | 20 MB/s |
 //! | Read-miss processing time for 128-byte block (2 cpu) | 93 µs |
 
+use fgdsm_bench::json_row;
 use fgdsm_protocol::Dsm;
 use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Row {
-    quantity: &'static str,
-    paper: f64,
-    measured: f64,
-    unit: &'static str,
+json_row! {
+    struct Row {
+        quantity: &'static str,
+        paper: f64,
+        measured: f64,
+        unit: &'static str,
+    }
 }
 
 fn measured_roundtrip_us(cfg: &CostModel) -> f64 {

@@ -7,16 +7,16 @@
 //! identical). The `paper MB` column restates Table 2.
 
 use fgdsm_apps::{suite, Scale};
-use fgdsm_bench::{scale, scale_label};
-use serde::Serialize;
+use fgdsm_bench::{json_row, scale, scale_label};
 
-#[derive(Serialize)]
-struct Row {
-    application: &'static str,
-    source: &'static str,
-    problem: String,
-    memory_mb: f64,
-    paper_mb: f64,
+json_row! {
+    struct Row {
+        application: &'static str,
+        source: &'static str,
+        problem: String,
+        memory_mb: f64,
+        paper_mb: f64,
+    }
 }
 
 fn main() {

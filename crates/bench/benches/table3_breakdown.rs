@@ -10,19 +10,19 @@
 //! reductions substantial for the stencil codes, minor for `grav`.
 
 use fgdsm_apps::suite;
-use fgdsm_bench::{pct_reduction, run_app, scale, scale_label};
-use serde::Serialize;
+use fgdsm_bench::{json_row, pct_reduction, run_app, scale, scale_label};
 
-#[derive(Serialize)]
-struct Row {
-    app: &'static str,
-    compute_s: f64,
-    comm_dual_s: f64,
-    comm_dual_red_pct: f64,
-    comm_single_s: f64,
-    comm_single_red_pct: f64,
-    misses_k: f64,
-    miss_red_pct: f64,
+json_row! {
+    struct Row {
+        app: &'static str,
+        compute_s: f64,
+        comm_dual_s: f64,
+        comm_dual_red_pct: f64,
+        comm_single_s: f64,
+        comm_single_red_pct: f64,
+        misses_k: f64,
+        miss_red_pct: f64,
+    }
 }
 
 /// Paper Table 3 for reference columns.

@@ -7,7 +7,7 @@
 
 use fgdsm_apps::{AppSpec, Scale};
 use fgdsm_hpf::{execute, ExecConfig, OptLevel, RunResult};
-use serde::Serialize;
+use json::ToJson;
 use std::io::Write;
 
 /// The cluster size the paper evaluates.
@@ -81,7 +81,7 @@ pub fn pct_reduction(base: f64, opt: f64) -> f64 {
 
 /// Persist a harness's rows as JSON under `bench_results/` so
 /// EXPERIMENTS.md can cite machine-generated numbers.
-pub fn save_json<T: Serialize>(name: &str, rows: &T) {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, rows: &T) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("bench_results");
@@ -89,332 +89,170 @@ pub fn save_json<T: Serialize>(name: &str, rows: &T) {
         return;
     }
     if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
-        let _ = writeln!(f, "{}", to_json(rows));
+        let _ = writeln!(f, "{}", rows.to_json());
     }
 }
 
-fn to_json<T: Serialize>(v: &T) -> String {
-    // Tiny hand-rolled JSON via serde's derive + a minimal serializer is
-    // overkill; use the debug-ish fallback through serde_json-free
-    // formatting: serialize into a `String` with our own compact writer.
-    json::to_string(v)
-}
-
-/// A minimal JSON serializer (avoids a serde_json dependency; only the
-/// subset our row structs need: structs, sequences, strings, numbers).
+/// A minimal JSON emitter (avoids a serde dependency; only the subset our
+/// row structs need: structs, sequences, strings, numbers, options).
+///
+/// Row structs are declared through [`json_row!`], which defines the
+/// struct and derives a field-order-preserving [`ToJson`] impl.
 pub mod json {
-    use serde::ser::{self, Serialize};
     use std::fmt::Write;
 
-    /// Serialize any `Serialize` value to a JSON string.
-    pub fn to_string<T: Serialize>(v: &T) -> String {
-        let mut s = Ser { out: String::new() };
-        v.serialize(&mut s).expect("JSON serialization cannot fail");
-        s.out
-    }
+    /// Types that can render themselves as a compact JSON value.
+    pub trait ToJson {
+        fn write_json(&self, out: &mut String);
 
-    pub struct Ser {
-        out: String,
-    }
-
-    #[derive(Debug)]
-    pub struct Error(String);
-
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.write_str(&self.0)
-        }
-    }
-    impl std::error::Error for Error {}
-    impl ser::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
+        fn to_json(&self) -> String {
+            let mut s = String::new();
+            self.write_json(&mut s);
+            s
         }
     }
 
-    macro_rules! num {
-        ($f:ident, $t:ty) => {
-            fn $f(self, v: $t) -> Result<(), Error> {
-                write!(self.out, "{v}").unwrap();
-                Ok(())
+    /// Append `s` as a JSON string literal (with escaping) to `out`.
+    pub fn write_str(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+                c => out.push(c),
             }
-        };
+        }
+        out.push('"');
     }
 
-    impl<'a> ser::Serializer for &'a mut Ser {
-        type Ok = ();
-        type Error = Error;
-        type SerializeSeq = Compound<'a>;
-        type SerializeTuple = Compound<'a>;
-        type SerializeTupleStruct = Compound<'a>;
-        type SerializeTupleVariant = Compound<'a>;
-        type SerializeMap = Compound<'a>;
-        type SerializeStruct = Compound<'a>;
-        type SerializeStructVariant = Compound<'a>;
-
-        num!(serialize_i8, i8);
-        num!(serialize_i16, i16);
-        num!(serialize_i32, i32);
-        num!(serialize_i64, i64);
-        num!(serialize_u8, u8);
-        num!(serialize_u16, u16);
-        num!(serialize_u32, u32);
-        num!(serialize_u64, u64);
-
-        fn serialize_f32(self, v: f32) -> Result<(), Error> {
-            self.serialize_f64(v as f64)
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Error> {
-            if v.is_finite() {
-                write!(self.out, "{v}").unwrap();
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_bool(self, v: bool) -> Result<(), Error> {
-            self.out.push_str(if v { "true" } else { "false" });
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Error> {
-            self.serialize_str(&v.to_string())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Error> {
-            self.out.push('"');
-            for c in v.chars() {
-                match c {
-                    '"' => self.out.push_str("\\\""),
-                    '\\' => self.out.push_str("\\\\"),
-                    '\n' => self.out.push_str("\\n"),
-                    c if (c as u32) < 0x20 => {
-                        write!(self.out, "\\u{:04x}", c as u32).unwrap()
-                    }
-                    c => self.out.push(c),
+    macro_rules! int_to_json {
+        ($($t:ty),+) => {$(
+            impl ToJson for $t {
+                fn write_json(&self, out: &mut String) {
+                    write!(out, "{self}").unwrap();
                 }
             }
-            self.out.push('"');
-            Ok(())
-        }
-        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
-            Err(ser::Error::custom("bytes unsupported"))
-        }
-        fn serialize_none(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-        ) -> Result<(), Error> {
-            self.serialize_str(variant)
-        }
-        fn serialize_newtype_struct<T: ?Sized + Serialize>(
-            self,
-            _: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_newtype_variant<T: ?Sized + Serialize>(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            self.out.push('{');
-            self.serialize_str(variant)?;
-            self.out.push(':');
-            v.serialize(&mut *self)?;
-            self.out.push('}');
-            Ok(())
-        }
-        fn serialize_seq(self, _: Option<usize>) -> Result<Compound<'a>, Error> {
-            self.out.push('[');
-            Ok(Compound {
-                ser: self,
-                first: true,
-                close: ']',
-            })
-        }
-        fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(
-            self,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Compound<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Compound<'a>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _: Option<usize>) -> Result<Compound<'a>, Error> {
-            self.out.push('{');
-            Ok(Compound {
-                ser: self,
-                first: true,
-                close: '}',
-            })
-        }
-        fn serialize_struct(self, _: &'static str, _: usize) -> Result<Compound<'a>, Error> {
-            self.out.push('{');
-            Ok(Compound {
-                ser: self,
-                first: true,
-                close: '}',
-            })
-        }
-        fn serialize_struct_variant(
-            self,
-            name: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Compound<'a>, Error> {
-            self.serialize_struct(name, len)
-        }
+        )+};
     }
+    int_to_json!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
-    pub struct Compound<'a> {
-        ser: &'a mut Ser,
-        first: bool,
-        close: char,
-    }
-
-    impl Compound<'_> {
-        fn comma(&mut self) {
-            if self.first {
-                self.first = false;
+    impl ToJson for f64 {
+        fn write_json(&self, out: &mut String) {
+            if self.is_finite() {
+                write!(out, "{self}").unwrap();
             } else {
-                self.ser.out.push(',');
+                out.push_str("null");
             }
         }
     }
 
-    impl ser::SerializeSeq for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
-            self.comma();
-            v.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push(self.close);
-            Ok(())
+    impl ToJson for f32 {
+        fn write_json(&self, out: &mut String) {
+            (*self as f64).write_json(out);
         }
     }
-    impl ser::SerializeTuple for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
+
+    impl ToJson for bool {
+        fn write_json(&self, out: &mut String) {
+            out.push_str(if *self { "true" } else { "false" });
         }
     }
-    impl ser::SerializeTupleStruct for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
+
+    impl ToJson for str {
+        fn write_json(&self, out: &mut String) {
+            write_str(out, self);
         }
     }
-    impl ser::SerializeTupleVariant for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
-            ser::SerializeSeq::serialize_element(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeSeq::end(self)
+
+    impl ToJson for String {
+        fn write_json(&self, out: &mut String) {
+            write_str(out, self);
         }
     }
-    impl ser::SerializeMap for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_key<T: ?Sized + Serialize>(&mut self, k: &T) -> Result<(), Error> {
-            self.comma();
-            k.serialize(&mut *self.ser)
-        }
-        fn serialize_value<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Error> {
-            self.ser.out.push(':');
-            v.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push(self.close);
-            Ok(())
+
+    impl<T: ToJson + ?Sized> ToJson for &T {
+        fn write_json(&self, out: &mut String) {
+            (**self).write_json(out);
         }
     }
-    impl ser::SerializeStruct for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            self.comma();
-            ser::Serializer::serialize_str(&mut *self.ser, key)?;
-            self.ser.out.push(':');
-            v.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push(self.close);
-            Ok(())
+
+    impl<T: ToJson> ToJson for Option<T> {
+        fn write_json(&self, out: &mut String) {
+            match self {
+                Some(v) => v.write_json(out),
+                None => out.push_str("null"),
+            }
         }
     }
-    impl ser::SerializeStructVariant for Compound<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeStruct::serialize_field(self, key, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeStruct::end(self)
+
+    impl<T: ToJson> ToJson for [T] {
+        fn write_json(&self, out: &mut String) {
+            out.push('[');
+            for (i, v) in self.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                v.write_json(out);
+            }
+            out.push(']');
         }
     }
+
+    impl<T: ToJson> ToJson for Vec<T> {
+        fn write_json(&self, out: &mut String) {
+            self.as_slice().write_json(out);
+        }
+    }
+}
+
+/// Declare a benchmark row struct together with a [`json::ToJson`] impl
+/// that emits its fields, in declaration order, as a JSON object.
+#[macro_export]
+macro_rules! json_row {
+    (
+        $(#[$meta:meta])*
+        $vis:vis struct $name:ident {
+            $( $(#[$fmeta:meta])* $fvis:vis $field:ident : $ty:ty ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis struct $name {
+            $( $(#[$fmeta])* $fvis $field : $ty, )+
+        }
+
+        impl $crate::json::ToJson for $name {
+            fn write_json(&self, out: &mut ::std::string::String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !::std::mem::take(&mut first) {
+                        out.push(',');
+                    }
+                    $crate::json::write_str(out, stringify!($field));
+                    out.push(':');
+                    $crate::json::ToJson::write_json(&self.$field, out);
+                )+
+                out.push('}');
+            }
+        }
+    };
 }
 
 #[cfg(test)]
 mod tests {
+    use super::json::ToJson;
     use super::*;
-    use serde::Serialize;
 
-    #[derive(Serialize)]
-    struct Row {
-        name: &'static str,
-        x: f64,
-        n: u64,
-        tags: Vec<&'static str>,
-        opt: Option<i32>,
+    json_row! {
+        struct Row {
+            name: &'static str,
+            x: f64,
+            n: u64,
+            tags: Vec<&'static str>,
+            opt: Option<i32>,
+        }
     }
 
     #[test]
@@ -427,8 +265,23 @@ mod tests {
             opt: None,
         };
         assert_eq!(
-            json::to_string(&r),
+            r.to_json(),
             r#"{"name":"a\"b","x":1.5,"n":42,"tags":["p","q"],"opt":null}"#
+        );
+    }
+
+    #[test]
+    fn json_rows_nest_in_sequences() {
+        let rows = vec![Row {
+            name: "x",
+            x: f64::NAN,
+            n: 0,
+            tags: vec![],
+            opt: Some(-3),
+        }];
+        assert_eq!(
+            rows.to_json(),
+            r#"[{"name":"x","x":null,"n":0,"tags":[],"opt":-3}]"#
         );
     }
 

@@ -92,9 +92,7 @@ pub fn partition(prog: &Program, l: &ParLoop, env: &Env, p: usize, nprocs: usize
         CompDist::OwnerOfIndex(aid, expr) => {
             let j = expr.eval(env);
             let decl = prog.array(*aid);
-            let mine = j >= 0
-                && (j as usize) < decl.dist_extent()
-                && decl.owner_of(j, nprocs) == p;
+            let mine = j >= 0 && (j as usize) < decl.dist_extent() && decl.owner_of(j, nprocs) == p;
             if mine {
                 full
             } else {
@@ -263,10 +261,7 @@ mod tests {
         // No non-owner writes in owner-computes stencil.
         assert!(acc.write_transfers.is_empty());
         // Edge nodes have only one ghost.
-        assert_eq!(
-            acc.read_transfers.iter().filter(|t| t.user == 0).count(),
-            1
-        );
+        assert_eq!(acc.read_transfers.iter().filter(|t| t.user == 0).count(), 1);
     }
 
     #[test]

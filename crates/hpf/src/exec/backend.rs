@@ -1,0 +1,59 @@
+//! The pluggable communication-backend interface.
+//!
+//! The BSP superstep driver ([`super::engine`]) is backend-agnostic: for
+//! each parallel loop it calls the hooks below in a fixed order, and a
+//! backend decides how declared accesses become data movement — default
+//! protocol faults, the §4.2 compiler-directed contract, or marshalled
+//! messages. The driver never matches on [`super::Backend`].
+
+use super::engine::EngineCore;
+use crate::analysis::LoopAccess;
+use crate::ir::ParLoop;
+use fgdsm_tempest::ReduceOp;
+
+/// One communication strategy for the superstep driver.
+///
+/// Hook order per parallel loop: [`pre_loop`](CommBackend::pre_loop) →
+/// kernels (driver) → [`note_kernel_writes`](CommBackend::note_kernel_writes)
+/// → [`reduce`](CommBackend::reduce) (if the loop reduces) →
+/// [`post_loop`](CommBackend::post_loop). After the whole program:
+/// [`finish`](CommBackend::finish) then [`gather`](CommBackend::gather).
+pub trait CommBackend {
+    /// Backend name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Check configuration invariants before the run starts (e.g. the
+    /// §4.2 contract requires a protocol that supports it).
+    fn validate(&self, _core: &EngineCore) {}
+
+    /// Make every access the loop declares serviceable before kernels
+    /// run: resolve faults, execute the ctl contract, or ship messages.
+    fn pre_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess);
+
+    /// Observe the writes the kernels just performed (e.g. PRE's
+    /// redundancy cache invalidation).
+    fn note_kernel_writes(&mut self, _core: &mut EngineCore, _l: &ParLoop, _acc: &LoopAccess) {}
+
+    /// Combine per-node partial reduction values into the replicated
+    /// scalar result, charging the reduction's communication.
+    fn reduce(&mut self, core: &mut EngineCore, partials: &[f64], op: ReduceOp) -> f64 {
+        core.dsm.cluster.allreduce(partials, op)
+    }
+
+    /// End-of-loop cleanup and synchronization (release/barrier for the
+    /// shared-memory backends; nothing for message passing, which
+    /// synchronizes point-to-point).
+    fn post_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess);
+
+    /// Final synchronization after the whole program.
+    fn finish(&mut self, core: &mut EngineCore);
+
+    /// Gather the canonical segment contents from the node copies.
+    fn gather(&mut self, core: &mut EngineCore) -> Vec<f64>;
+
+    /// PRE statistics `(skipped, performed)`; zero for backends without
+    /// the redundancy-elimination extension.
+    fn pre_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}

@@ -1,0 +1,377 @@
+//! The backend-agnostic BSP superstep driver and the shared execution
+//! state ([`EngineCore`]) every backend works against.
+//!
+//! The driver walks the program statement list; for each parallel loop it
+//! analyzes accesses (with a compile-time cache for static loops), hands
+//! the loop to the backend's `pre_loop`, runs the kernels in deterministic
+//! node order, lets the backend observe writes and perform the reduction,
+//! runs `post_loop`, and stamps a superstep boundary into the event trace.
+//! Nothing in this module inspects which backend is running.
+
+use super::backend::CommBackend;
+use super::{ExecConfig, HomeAssign, RunResult};
+use crate::analysis::{self, LoopAccess};
+use crate::ir::{ArrayHandle, KernelCtx, ParLoop, Program, RefMode, Stmt};
+use crate::plan::{covering_blocks, ArrayMeta};
+use fgdsm_protocol::Dsm;
+use fgdsm_section::{Env, Range, Section};
+use fgdsm_tempest::{ChargeKind, Cluster, HomePolicy, SegmentLayout};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Shared execution state: the program binding, the DSM, and the helpers
+/// every backend composes (section linearization, default-protocol
+/// resolution, the indirect-access inspector, directory-based gather).
+pub struct EngineCore<'p> {
+    pub prog: &'p Program,
+    pub cfg: &'p ExecConfig,
+    pub metas: Vec<ArrayMeta>,
+    pub handles: Vec<ArrayHandle>,
+    pub dsm: Dsm,
+    pub env: Env,
+    pub scalars: BTreeMap<&'static str, f64>,
+    /// Words per cache block.
+    pub wpb: usize,
+    /// Compile-time analysis cache: loops whose access structure mentions
+    /// no symbolic variables are analyzed once (keyed by loop address,
+    /// stable for the duration of a run).
+    analysis_cache: BTreeMap<usize, Rc<LoopAccess>>,
+}
+
+impl<'p> EngineCore<'p> {
+    pub fn new(prog: &'p Program, cfg: &'p ExecConfig) -> Self {
+        let mut layout = SegmentLayout::new(cfg.cost.words_per_page());
+        let mut metas = Vec::with_capacity(prog.arrays.len());
+        let mut handles = Vec::with_capacity(prog.arrays.len());
+        for (i, a) in prog.arrays.iter().enumerate() {
+            let base = layout.alloc(a.len());
+            metas.push(ArrayMeta {
+                id: crate::dist::ArrayId(i),
+                base,
+                layout: a.layout(),
+            });
+            handles.push(ArrayHandle::new(base, &a.extents));
+        }
+        let policy = match cfg.home {
+            HomeAssign::RoundRobin => HomePolicy::RoundRobin,
+            HomeAssign::Blocked => HomePolicy::Blocked,
+            HomeAssign::DataAligned => {
+                let wpp = cfg.cost.words_per_page();
+                let n_pages = layout.total_words().max(wpp).div_ceil(wpp);
+                let mut homes: Vec<usize> = (0..n_pages).map(|p| p % cfg.nprocs).collect(); // padding pages interleave
+                for (i, a) in prog.arrays.iter().enumerate() {
+                    let meta = &metas[i];
+                    let last_stride = meta.layout.stride(a.extents.len() - 1);
+                    let first_page = meta.base / wpp;
+                    let end_page = (meta.base + a.len()).div_ceil(wpp);
+                    #[allow(clippy::needless_range_loop)]
+                    for page in first_page..end_page {
+                        let off = (page * wpp).saturating_sub(meta.base);
+                        let j = ((off / last_stride) as i64).min(a.dist_extent() as i64 - 1);
+                        homes[page] = a.owner_of(j, cfg.nprocs);
+                    }
+                }
+                HomePolicy::Explicit(homes)
+            }
+        };
+        let cluster = Cluster::new(cfg.nprocs, cfg.cost.clone(), &layout, policy);
+        EngineCore {
+            prog,
+            cfg,
+            metas,
+            handles,
+            dsm: Dsm::with_protocol(cluster, cfg.protocol),
+            env: cfg.base_env.clone(),
+            scalars: prog.scalars.iter().copied().collect(),
+            wpb: cfg.cost.words_per_block(),
+            analysis_cache: BTreeMap::new(),
+        }
+    }
+
+    /// Per-loop access analysis with the compile-time/run-time split of
+    /// §4.1: loops with a fixed access structure are analyzed once;
+    /// symbolic loops re-evaluate their descriptors under the current
+    /// environment.
+    fn analyze(&mut self, l: &ParLoop) -> Rc<LoopAccess> {
+        let key = l as *const ParLoop as usize;
+        if let Some(hit) = self.analysis_cache.get(&key) {
+            return hit.clone();
+        }
+        let fresh = Rc::new(analysis::analyze(self.prog, l, &self.env, self.cfg.nprocs));
+        if l.is_static() {
+            self.analysis_cache.insert(key, fresh.clone());
+        }
+        fresh
+    }
+
+    /// Word runs (absolute) of a section, with a fallback for shapes the
+    /// linearizer declines (enumerate points; only small sections occur).
+    pub fn section_runs(&self, array: usize, sec: &Section) -> Vec<(usize, usize)> {
+        let meta = &self.metas[array];
+        if let Some(lr) = meta.runs(sec) {
+            return lr.iter_runs().collect();
+        }
+        assert!(
+            sec.count() <= 1 << 20,
+            "unoptimizable section too large to enumerate"
+        );
+        sec.points().iter().map(|pt| (meta.offset(pt), 1)).collect()
+    }
+
+    /// Default-protocol access resolution: make every declared section
+    /// accessible before kernels run, counting faults. Sub-phases: all
+    /// nodes' writes (with multi-writer detection for false-shared
+    /// boundary blocks), then all nodes' reads.
+    #[allow(clippy::needless_range_loop)] // per-node loops index several parallel vecs
+    pub fn resolve_default(&mut self, l: &ParLoop, acc: &LoopAccess) {
+        let nprocs = self.cfg.nprocs;
+        let wpb = self.wpb;
+        // Per node: merged covering block ranges for writes and reads.
+        let mut wcover: Vec<Vec<(usize, usize)>> = vec![vec![]; nprocs];
+        let mut rcover: Vec<Vec<(usize, usize)>> = vec![vec![]; nprocs];
+        // Boundary candidates: the first and last block of every raw write
+        // run (before merging). A block written by two nodes necessarily
+        // contains a section boundary of each, so it is an extremal block
+        // of at least one raw run of every writer.
+        let mut candidates: BTreeSet<usize> = BTreeSet::new();
+        for p in 0..nprocs {
+            let mut wruns = fgdsm_section::LinearRanges::empty();
+            let mut rruns = fgdsm_section::LinearRanges::empty();
+            for (ri, r) in l.refs.iter().enumerate() {
+                let sec = &acc.sections[p][ri];
+                if sec.is_empty() {
+                    continue;
+                }
+                if r.is_indirect() {
+                    // Inspector: resolve the blocks this node actually
+                    // touches by reading the index array (a real DSM
+                    // faults on demand; the conservative section would
+                    // grossly over-fault).
+                    for off in self.inspect_indirect(p, r, &acc.iters[p]) {
+                        rruns.runs.push(fgdsm_section::StridedRange {
+                            base: off,
+                            run_len: 1,
+                            stride: 0,
+                            count: 1,
+                        });
+                    }
+                    continue;
+                }
+                let runs = self.section_runs(r.array.0, sec);
+                if r.mode == RefMode::Write {
+                    for &(s, len) in &runs {
+                        if len > 0 {
+                            candidates.insert(s / wpb);
+                            candidates.insert((s + len - 1) / wpb);
+                        }
+                    }
+                }
+                let target = match r.mode {
+                    RefMode::Write => &mut wruns,
+                    RefMode::Read => &mut rruns,
+                };
+                for (s, len) in runs {
+                    target.runs.push(fgdsm_section::StridedRange {
+                        base: s,
+                        run_len: len,
+                        stride: 0,
+                        count: 1,
+                    });
+                }
+            }
+            wcover[p] = covering_blocks(&wruns, wpb);
+            rcover[p] = covering_blocks(&rruns, wpb);
+        }
+        // A candidate block needs the multiple-writer (twin/diff) path if
+        // two or more nodes write it, or if one node writes it while
+        // another reads it in the same interval — in the real system the
+        // writer would simply re-fault after the reader's downgrade; in
+        // the BSP engine the writer must keep its writable copy through
+        // the read sub-phase.
+        let contains = |ranges: &[(usize, usize)], b: usize| -> bool {
+            let idx = ranges.partition_point(|&(_, e)| e <= b);
+            idx < ranges.len() && ranges[idx].0 <= b
+        };
+        let multi: BTreeSet<usize> = candidates
+            .into_iter()
+            .filter(|&b| {
+                let writers: Vec<usize> =
+                    (0..nprocs).filter(|&p| contains(&wcover[p], b)).collect();
+                writers.len() >= 2
+                    || (writers.len() == 1
+                        && (0..nprocs).any(|p| p != writers[0] && contains(&rcover[p], b)))
+            })
+            .collect();
+        // Sub-phase: writes.
+        for p in 0..nprocs {
+            for &(f, e) in &wcover[p] {
+                for b in f..e {
+                    if multi.contains(&b) {
+                        self.dsm.write_access_multi(p, b);
+                    } else {
+                        self.dsm.write_access_excl(p, b);
+                    }
+                }
+            }
+        }
+        // Sub-phase: reads.
+        for p in 0..nprocs {
+            for &(f, e) in &rcover[p] {
+                for b in f..e {
+                    self.dsm.read_access(p, b);
+                }
+            }
+        }
+    }
+
+    /// Inspector for indirect references (`x(idx(i))`): enumerate the
+    /// element offsets node `p` will gather, by reading its (owned,
+    /// current) copy of the index array. Supports the common 1-D gather.
+    pub fn inspect_indirect(&self, p: usize, r: &crate::ir::ARef, iter: &[Range]) -> Vec<usize> {
+        use crate::ir::Subscript;
+        let [Subscript::Indirect(idx_aid, c)] = r.subs.as_slice() else {
+            panic!("indirect references must be 1-D gathers x(idx(i))");
+        };
+        let idx_meta = &self.metas[idx_aid.0];
+        let target = &self.metas[r.array.0];
+        let extent = self.prog.array(r.array).len() as i64;
+        let mem = self.dsm.cluster.node_mem(p);
+        let mut out = Vec::with_capacity(iter[0].count() as usize);
+        for i in iter[0].iter() {
+            let v = mem[idx_meta.base + (i + c) as usize];
+            let j = v as i64;
+            assert!(
+                (0..extent).contains(&j),
+                "indirect index {j} out of bounds (extent {extent})"
+            );
+            out.push(target.base + j as usize);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Gather the canonical segment contents by directory state: for each
+    /// block, copy from the node the directory records as holding current
+    /// data (the gather the shared-memory backends use).
+    pub fn gather_by_directory(&self) -> Vec<f64> {
+        let words = self.dsm.cluster.seg_words();
+        let mut out = vec![0.0f64; words];
+        for b in 0..self.dsm.cluster.n_blocks() {
+            let src = match self.dsm.dir_state(b) {
+                fgdsm_protocol::DirState::Excl { owner } => owner,
+                _ => self.dsm.cluster.home_of_block(b),
+            };
+            let (s, e) = self.dsm.cluster.block_words(b);
+            out[s..e].copy_from_slice(&self.dsm.cluster.node_mem(src)[s..e]);
+        }
+        out
+    }
+}
+
+/// Run `prog` under `cfg` with the given communication backend.
+pub(super) fn run(
+    prog: &Program,
+    cfg: &ExecConfig,
+    mut backend: Box<dyn CommBackend>,
+) -> RunResult {
+    let mut core = EngineCore::new(prog, cfg);
+    backend.validate(&core);
+    let body = prog.body.clone();
+    exec_stmts(&mut core, backend.as_mut(), &body);
+    // Final synchronization so the report reflects a completed program.
+    backend.finish(&mut core);
+    let data = backend.gather(&mut core);
+    let (pre_skipped, pre_performed) = backend.pre_stats();
+    if let Ok(path) = std::env::var("FGDSM_TRACE") {
+        if !path.is_empty() {
+            if let Err(e) = std::fs::write(&path, core.dsm.cluster.trace().to_json()) {
+                eprintln!("FGDSM_TRACE: cannot write {path}: {e}");
+            }
+        }
+    }
+    RunResult {
+        report: core.dsm.cluster.report(),
+        scalars: core.scalars,
+        data,
+        metas: core.metas,
+        ctl: core.dsm.ctl_stats(),
+        pre_skipped,
+        pre_performed,
+    }
+}
+
+fn exec_stmts(core: &mut EngineCore, backend: &mut dyn CommBackend, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::Par(l) => exec_par(core, backend, l),
+            Stmt::Time { var, count, body } => {
+                let saved = core.env.get(*var);
+                for t in 0..*count {
+                    core.env.set(*var, t);
+                    exec_stmts(core, backend, body);
+                }
+                if let Some(v) = saved {
+                    core.env.set(*var, v);
+                }
+            }
+            Stmt::Scalar { name, f } => {
+                let v = f(&core.scalars);
+                core.scalars.insert(name, v);
+                for n in 0..core.cfg.nprocs {
+                    core.dsm.cluster.charge(n, 100, ChargeKind::Compute);
+                }
+            }
+        }
+    }
+}
+
+/// One superstep: backend communication, kernels in node order, write
+/// observation, reduction, backend cleanup, superstep boundary.
+fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
+    let nprocs = core.cfg.nprocs;
+    let acc = core.analyze(l);
+    let acc = &*acc;
+
+    backend.pre_loop(core, l, acc);
+
+    // Kernels, in node order.
+    let mut partials = vec![0.0f64; nprocs];
+    #[allow(clippy::needless_range_loop)]
+    for p in 0..nprocs {
+        let iter = &acc.iters[p];
+        if iter.iter().any(Range::is_empty) {
+            continue;
+        }
+        let points: u64 = iter.iter().map(Range::count).product();
+        let ws_bytes: u64 = acc.sections[p].iter().map(|s| s.count() * 8).sum();
+        let factor = core.cfg.cache.factor(ws_bytes);
+        let cost = (points as f64 * l.cost_per_iter_ns as f64 * factor) as u64;
+        core.dsm.cluster.charge(p, cost, ChargeKind::Compute);
+        let mut ctx = KernelCtx {
+            mem: core.dsm.cluster.node_mem_mut(p),
+            iter,
+            env: &core.env,
+            scalars: &core.scalars,
+            partial: 0.0,
+            node: p,
+            nprocs,
+            handles: &core.handles,
+        };
+        (l.kernel)(&mut ctx);
+        partials[p] = ctx.partial;
+    }
+
+    backend.note_kernel_writes(core, l, acc);
+
+    // Reduction.
+    if let Some(rs) = l.reduction {
+        let v = backend.reduce(core, &partials, rs.op);
+        core.scalars.insert(rs.target, v);
+    }
+
+    // End of loop: backend cleanup + synchronization, then mark the
+    // superstep boundary in the event trace.
+    backend.post_loop(core, l, acc);
+    core.dsm.cluster.record_superstep();
+}

@@ -1,0 +1,331 @@
+//! Executors: run a mini-HPF program over the simulated DSM.
+//!
+//! The executor is split into a backend-agnostic BSP **superstep driver**
+//! ([`engine`]) and three pluggable **communication backends** behind the
+//! [`backend::CommBackend`] trait:
+//!
+//! * [`sm_unopt::SmUnopt`] — every remote access goes through the default
+//!   protocol: before a loop's kernels run, each node's declared
+//!   read/write sections are resolved block-by-block (faults,
+//!   invalidations, 4-hop forwards), exactly what the authors'
+//!   unoptimized shared-memory compiler emits.
+//! * [`sm_opt::SmOpt`] — the compiler-orchestrated incoherence of §4.2:
+//!   per-loop access analysis finds the producer→consumer transfers,
+//!   `shmem_limits` shrinks them to whole blocks, and the §4.2 call
+//!   contract (`mk_writable` / barrier / `implicit_writable` / barrier /
+//!   `send` + `ready_to_recv` / loop / `implicit_invalidate` / barrier)
+//!   moves the data; boundary blocks and cold misses still take the
+//!   default path. [`OptLevel`] toggles bulk transfer, run-time overhead
+//!   elimination and the PRE extension (Figure 4).
+//! * [`mp::Mp`] — the message-passing backend: owner-computes with direct
+//!   marshalled messages, no coherence machinery at all, paying the PGI
+//!   runtime's per-message overhead.
+//!
+//! Execution is BSP: within a superstep, sub-phases run in deterministic
+//! node order (backend communication, then all kernels); each node's
+//! virtual clock advances independently and barriers align them. The
+//! driver itself never inspects [`Backend`] — the only dispatch is the
+//! [`make_backend`] factory below — so a fourth backend is one new
+//! `CommBackend` impl plus a factory arm.
+//!
+//! Set `FGDSM_TRACE=<path>` to export the structured event trace of a run
+//! as JSON (see [`fgdsm_tempest::Trace`]).
+
+pub mod backend;
+pub mod engine;
+pub mod mp;
+pub mod sm_opt;
+pub mod sm_unopt;
+
+use crate::ir::Program;
+use crate::plan::{ArrayMeta, OptLevel};
+use backend::CommBackend;
+use fgdsm_protocol::{CtlStats, ProtocolKind};
+use fgdsm_section::Env;
+use fgdsm_tempest::{CacheModel, ClusterReport, CostModel};
+use std::collections::BTreeMap;
+
+/// Which executor to use.
+#[derive(Clone, Copy, Debug)]
+pub enum Backend {
+    /// Default protocol only.
+    SmUnopt,
+    /// Compiler-orchestrated incoherence at the given optimization level.
+    SmOpt(OptLevel),
+    /// Message-passing backend.
+    Mp,
+}
+
+/// How page homes are assigned relative to the data distribution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HomeAssign {
+    /// The HPF runtime places pages to match each array's distribution,
+    /// so owners of BLOCK-distributed data are home to their own pages
+    /// (CYCLIC arrays still interleave owners within a page). This is how
+    /// the paper's system behaves: first writes by owners do not fault;
+    /// `lu` pays page *mapping* cost, not ownership misses.
+    #[default]
+    DataAligned,
+    /// Pages round-robin across nodes regardless of the distribution.
+    RoundRobin,
+    /// Contiguous page chunks per node.
+    Blocked,
+}
+
+/// A full execution configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    pub nprocs: usize,
+    pub cost: CostModel,
+    pub cache: CacheModel,
+    pub home: HomeAssign,
+    pub backend: Backend,
+    /// Default coherence protocol (compiler-orchestrated incoherence is
+    /// only supported over the eager-invalidate protocol).
+    pub protocol: ProtocolKind,
+    /// Bindings for problem-level symbolics referenced by the program.
+    pub base_env: Env,
+}
+
+impl ExecConfig {
+    /// Unoptimized shared memory on the paper's dual-cpu cluster.
+    pub fn sm_unopt(nprocs: usize) -> Self {
+        ExecConfig {
+            nprocs,
+            cost: CostModel::paper_dual_cpu(),
+            cache: CacheModel::paper(),
+            home: HomeAssign::DataAligned,
+            backend: Backend::SmUnopt,
+            protocol: ProtocolKind::EagerInvalidate,
+            base_env: Env::new(),
+        }
+    }
+
+    /// Optimized shared memory (full §4.2 + §4.3 optimizations).
+    pub fn sm_opt(nprocs: usize) -> Self {
+        ExecConfig {
+            backend: Backend::SmOpt(OptLevel::full()),
+            ..Self::sm_unopt(nprocs)
+        }
+    }
+
+    /// Message-passing backend.
+    pub fn mp(nprocs: usize) -> Self {
+        ExecConfig {
+            backend: Backend::Mp,
+            ..Self::sm_unopt(nprocs)
+        }
+    }
+
+    /// Switch to the single-cpu cost model.
+    pub fn single_cpu(mut self) -> Self {
+        self.cost = CostModel {
+            cpu: fgdsm_tempest::CpuMode::Single,
+            ..self.cost
+        };
+        self
+    }
+
+    /// Replace the optimization level (must be an SmOpt config).
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.backend = Backend::SmOpt(opt);
+        self
+    }
+
+    /// Run the default protocol as write-update instead of
+    /// eager-invalidate (unoptimized shared memory only).
+    pub fn write_update(mut self) -> Self {
+        self.protocol = ProtocolKind::WriteUpdate;
+        self
+    }
+}
+
+/// The result of executing a program.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub report: ClusterReport,
+    pub scalars: BTreeMap<&'static str, f64>,
+    /// Gathered canonical contents of the global segment.
+    pub data: Vec<f64>,
+    pub metas: Vec<ArrayMeta>,
+    pub ctl: CtlStats,
+    /// PRE statistics: transfers skipped as redundant / performed.
+    pub pre_skipped: u64,
+    pub pre_performed: u64,
+}
+
+impl RunResult {
+    /// Extract the gathered contents of one array.
+    pub fn array(&self, prog: &Program, id: crate::dist::ArrayId) -> Vec<f64> {
+        let meta = &self.metas[id.0];
+        let len = prog.array(id).len();
+        self.data[meta.base..meta.base + len].to_vec()
+    }
+
+    /// Total execution time in seconds (Figure 3's quantity).
+    pub fn total_s(&self) -> f64 {
+        self.report.total_s()
+    }
+}
+
+/// Instantiate the communication backend for a configuration — the one
+/// and only place the [`Backend`] enum is dispatched on.
+fn make_backend(cfg: &ExecConfig) -> Box<dyn CommBackend> {
+    match cfg.backend {
+        Backend::SmUnopt => Box::new(sm_unopt::SmUnopt),
+        Backend::SmOpt(opt) => Box::new(sm_opt::SmOpt::new(opt)),
+        Backend::Mp => Box::new(mp::Mp::new(cfg.nprocs)),
+    }
+}
+
+/// Execute `prog` under `cfg`.
+pub fn execute(prog: &Program, cfg: &ExecConfig) -> RunResult {
+    engine::run(prog, cfg, make_backend(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use crate::ir::{ARef, KernelCtx, ParLoop, Stmt, Subscript};
+    use fgdsm_section::SymRange;
+
+    const A: crate::dist::ArrayId = crate::dist::ArrayId(0);
+
+    fn fill_kernel(ctx: &mut KernelCtx) {
+        let a = ctx.h(A);
+        for j in ctx.iter[1].iter() {
+            for i in ctx.iter[0].iter() {
+                ctx.mem[a.at2(i, j)] = (i + 100 * j) as f64;
+            }
+        }
+    }
+
+    fn tiny_program(rows: usize, cols: usize, dist: Dist) -> Program {
+        let mut b = Program::builder();
+        let a = b.array("a", &[rows, cols], dist);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "fill",
+            iter: vec![
+                SymRange::new(0, rows as i64 - 1),
+                SymRange::new(0, cols as i64 - 1),
+            ],
+            dist: crate::ir::CompDist::Owner(a),
+            refs: vec![ARef::write(
+                a,
+                vec![Subscript::loop_var(0), Subscript::loop_var(1)],
+            )],
+            kernel: fill_kernel,
+            cost_per_iter_ns: 20,
+            reduction: None,
+        }));
+        b.build()
+    }
+
+    #[test]
+    fn config_builders() {
+        let c = ExecConfig::sm_opt(8).single_cpu();
+        assert!(matches!(c.backend, Backend::SmOpt(_)));
+        assert_eq!(c.cost.cpu, fgdsm_tempest::CpuMode::Single);
+        let c2 = ExecConfig::sm_unopt(4).with_opt(OptLevel::base());
+        assert!(matches!(c2.backend, Backend::SmOpt(o) if o.ctl && !o.bulk));
+        assert!(matches!(ExecConfig::mp(2).backend, Backend::Mp));
+    }
+
+    #[test]
+    fn data_aligned_homes_eliminate_owner_cold_write_faults() {
+        let prog = tiny_program(64, 64, Dist::Block);
+        let mut aligned = ExecConfig::sm_unopt(4);
+        aligned.home = HomeAssign::DataAligned;
+        let mut rr = ExecConfig::sm_unopt(4);
+        rr.home = HomeAssign::RoundRobin;
+        let ra = execute(&prog, &aligned);
+        let rb = execute(&prog, &rr);
+        // Owners are home to their data: the init writes never fault.
+        let misses_aligned: u64 = ra.report.nodes.iter().map(|n| n.misses()).sum();
+        let misses_rr: u64 = rb.report.nodes.iter().map(|n| n.misses()).sum();
+        assert_eq!(misses_aligned, 0, "aligned homes: no cold write faults");
+        assert!(misses_rr > 0, "round-robin homes: owners must fault");
+        // Same data either way.
+        assert_eq!(ra.data, rb.data);
+    }
+
+    #[test]
+    fn all_home_policies_agree_on_data() {
+        let prog = tiny_program(40, 24, Dist::Cyclic);
+        let mut results = Vec::new();
+        for home in [
+            HomeAssign::DataAligned,
+            HomeAssign::RoundRobin,
+            HomeAssign::Blocked,
+        ] {
+            let mut cfg = ExecConfig::sm_opt(4);
+            cfg.home = home;
+            results.push(execute(&prog, &cfg).data);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn run_result_array_extracts_values() {
+        let prog = tiny_program(8, 6, Dist::Block);
+        let r = execute(&prog, &ExecConfig::sm_unopt(2));
+        let a = r.array(&prog, A);
+        assert_eq!(a.len(), 48);
+        assert_eq!(a[0], 0.0);
+        assert_eq!(a[8], 100.0); // (0,1)
+        assert_eq!(a[7 + 5 * 8], (7 + 500) as f64);
+    }
+
+    #[test]
+    fn makespan_is_positive_and_monotone_with_work() {
+        // Page-aligned owner chunks on both sizes, so the comparison is
+        // pure compute (no boundary faults).
+        let small = tiny_program(64, 32, Dist::Block);
+        let big = tiny_program(128, 64, Dist::Block);
+        let rs = execute(&small, &ExecConfig::sm_unopt(2));
+        let rb = execute(&big, &ExecConfig::sm_unopt(2));
+        assert!(rs.total_s() > 0.0);
+        assert!(rb.total_s() > rs.total_s());
+    }
+
+    #[test]
+    fn scalar_statements_update_replicated_state() {
+        let mut b = Program::builder();
+        let a = b.array("a", &[8, 8], Dist::Block);
+        b.scalar("x", 2.0);
+        b.stmt(Stmt::Par(ParLoop {
+            name: "fill",
+            iter: vec![SymRange::new(0, 7), SymRange::new(0, 7)],
+            dist: crate::ir::CompDist::Owner(a),
+            refs: vec![ARef::write(
+                a,
+                vec![Subscript::loop_var(0), Subscript::loop_var(1)],
+            )],
+            kernel: fill_kernel,
+            cost_per_iter_ns: 10,
+            reduction: None,
+        }));
+        b.stmt(Stmt::Scalar {
+            name: "x",
+            f: |s| s["x"] * 10.0 + 1.0,
+        });
+        b.stmt(Stmt::Scalar {
+            name: "y",
+            f: |s| s["x"] - 1.0,
+        });
+        let prog = b.build();
+        let r = execute(&prog, &ExecConfig::sm_unopt(2));
+        assert_eq!(r.scalars["x"], 21.0);
+        assert_eq!(r.scalars["y"], 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eager-invalidate")]
+    fn ctl_over_write_update_is_rejected() {
+        let prog = tiny_program(8, 8, Dist::Block);
+        let cfg = ExecConfig::sm_opt(2).write_update();
+        execute(&prog, &cfg);
+    }
+}

@@ -459,7 +459,12 @@ pub struct ProgramBuilder {
 
 impl ProgramBuilder {
     /// Declare a distributed array; returns its id.
-    pub fn array(&mut self, name: &'static str, extents: &[usize], dist: crate::dist::Dist) -> ArrayId {
+    pub fn array(
+        &mut self,
+        name: &'static str,
+        extents: &[usize],
+        dist: crate::dist::Dist,
+    ) -> ArrayId {
         let id = ArrayId(self.arrays.len());
         self.arrays.push(ArrayDecl {
             name,
@@ -540,7 +545,10 @@ mod tests {
             name: "touch",
             iter: vec![SymRange::new(0, 15), SymRange::new(0, 31)],
             dist: CompDist::Owner(a),
-            refs: vec![ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)])],
+            refs: vec![ARef::write(
+                a,
+                vec![Subscript::loop_var(0), Subscript::loop_var(1)],
+            )],
             kernel: noop_kernel,
             cost_per_iter_ns: 100,
             reduction: None,
@@ -577,7 +585,10 @@ mod tests {
             name: "inner",
             iter: vec![SymRange::new(0, 7), SymRange::new(0, 7)],
             dist: CompDist::Owner(a),
-            refs: vec![ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)])],
+            refs: vec![ARef::write(
+                a,
+                vec![Subscript::loop_var(0), Subscript::loop_var(1)],
+            )],
             kernel: noop_kernel,
             cost_per_iter_ns: 1,
             reduction: None,

@@ -16,9 +16,14 @@
 //!   elimination (§4.3);
 //! * [`report`] — `-Minfo`-style diagnostics of the per-loop analysis
 //!   and planning decisions;
-//! * [`exec`] — executors: unoptimized shared memory (default protocol
-//!   only), optimized shared memory (compiler-orchestrated incoherence),
-//!   and the message-passing backend, all over the same program.
+//! * [`exec`] — execution: a backend-agnostic BSP superstep driver
+//!   ([`exec::engine`]) plus three pluggable communication backends
+//!   behind the [`exec::backend::CommBackend`] trait — unoptimized
+//!   shared memory ([`exec::sm_unopt`]), optimized shared memory with
+//!   compiler-orchestrated incoherence ([`exec::sm_opt`]), and message
+//!   passing ([`exec::mp`]) — all over the same program. Set
+//!   `FGDSM_TRACE=<path>` to export a run's structured event trace as
+//!   JSON.
 
 pub mod analysis;
 pub mod dist;
@@ -32,8 +37,8 @@ pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{execute, Backend, ExecConfig, RunResult};
 pub use ir::{
-    ARef, ArrayHandle, CompDist, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder, RefMode,
-    ReduceSpec, Stmt, Subscript,
+    ARef, ArrayHandle, CompDist, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder, ReduceSpec,
+    RefMode, Stmt, Subscript,
 };
 pub use plan::{covering_blocks, shmem_limits, ArrayMeta, CtlRanges, OptLevel};
 pub use redundancy::PreCache;

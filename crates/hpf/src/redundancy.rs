@@ -162,7 +162,7 @@ mod tests {
         c.tick();
         assert!(c.is_valid(1, 0, 0, 4, 16));
         // A write elsewhere in the array does not invalidate.
-        c.record_write(0, 1000, 50, );
+        c.record_write(0, 1000, 50);
         assert!(c.is_valid(1, 0, 0, 4, 16));
         // An overlapping write does (blocks 0..4 = words 0..64).
         c.record_write(0, 60, 10);

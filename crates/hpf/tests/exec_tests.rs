@@ -4,8 +4,8 @@
 //! bulk transfer, fewer calls with run-time overhead elimination).
 
 use fgdsm_hpf::{
-    analysis, execute, ARef, CompDist, Dist, ExecConfig, KernelCtx, OptLevel, ParLoop,
-    Program, ReduceSpec, Stmt, Subscript,
+    analysis, execute, ARef, CompDist, Dist, ExecConfig, KernelCtx, OptLevel, ParLoop, Program,
+    ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -73,7 +73,10 @@ fn jacobi_program() -> Program {
     b.scalar("sum", 0.0);
     b.stmt(Stmt::Par(ParLoop {
         name: "init",
-        iter: vec![SymRange::new(0, N as i64 - 1), SymRange::new(0, M as i64 - 1)],
+        iter: vec![
+            SymRange::new(0, N as i64 - 1),
+            SymRange::new(0, M as i64 - 1),
+        ],
         dist: CompDist::Owner(a),
         refs: vec![ARef::write(
             a,
@@ -123,7 +126,10 @@ fn jacobi_program() -> Program {
     });
     b.stmt(Stmt::Par(ParLoop {
         name: "sum",
-        iter: vec![SymRange::new(0, N as i64 - 1), SymRange::new(0, M as i64 - 1)],
+        iter: vec![
+            SymRange::new(0, N as i64 - 1),
+            SymRange::new(0, M as i64 - 1),
+        ],
         dist: CompDist::Owner(a),
         refs: vec![ARef::read(
             a,
@@ -171,10 +177,7 @@ fn assert_matches_reference(r: &fgdsm_hpf::RunResult, prog: &Program, label: &st
     let got = r.array(prog, A);
     assert_eq!(got.len(), aref.len());
     for (i, (g, e)) in got.iter().zip(&aref).enumerate() {
-        assert!(
-            (g - e).abs() < 1e-12,
-            "{label}: a[{i}] = {g}, expected {e}"
-        );
+        assert!((g - e).abs() < 1e-12, "{label}: a[{i}] = {g}, expected {e}");
     }
     let gs = r.scalars["sum"];
     assert!(
@@ -242,7 +245,10 @@ fn optimization_removes_most_misses() {
 fn bulk_reduces_messages() {
     let prog = jacobi_program();
     let base = execute(&prog, &ExecConfig::sm_opt(4).with_opt(OptLevel::base()));
-    let bulk = execute(&prog, &ExecConfig::sm_opt(4).with_opt(OptLevel::base_bulk()));
+    let bulk = execute(
+        &prog,
+        &ExecConfig::sm_opt(4).with_opt(OptLevel::base_bulk()),
+    );
     assert!(bulk.report.total_msgs() < base.report.total_msgs());
     assert!(bulk.total_s() <= base.total_s());
 }
@@ -250,7 +256,10 @@ fn bulk_reduces_messages() {
 #[test]
 fn rtoe_eliminates_calls_and_barriers() {
     let prog = jacobi_program();
-    let nb = execute(&prog, &ExecConfig::sm_opt(4).with_opt(OptLevel::base_bulk()));
+    let nb = execute(
+        &prog,
+        &ExecConfig::sm_opt(4).with_opt(OptLevel::base_bulk()),
+    );
     let full = execute(&prog, &ExecConfig::sm_opt(4).with_opt(OptLevel::full()));
     assert_eq!(full.ctl.mk_writable, 0, "rtoe drops mk_writable");
     assert_eq!(full.ctl.implicit_invalidate, 0, "rtoe drops invalidates");

@@ -8,13 +8,17 @@
 //! exercise the multiple-writer/reader false-sharing paths, CYCLIC
 //! distributions exercise strided sections, and random sizes exercise
 //! `shmem_limits` boundary handling at every alignment.
+//!
+//! Gated behind the `proptest` feature so the default tier-1 test run stays
+//! fast: `cargo test -p fgdsm-hpf --features proptest`.
+#![cfg(feature = "proptest")]
 
 use fgdsm_hpf::{
     execute, ARef, ArrayId, CompDist, Dist, ExecConfig, KernelCtx, OptLevel, ParLoop, Program,
     Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
-use proptest::prelude::*;
+use fgdsm_testkit::{check_cases, Rng};
 
 const A: ArrayId = ArrayId(0);
 const B: ArrayId = ArrayId(1);
@@ -79,28 +83,23 @@ struct Spec {
     block_bytes: usize,
 }
 
-fn spec_strategy() -> impl Strategy<Value = Spec> {
-    (
-        17usize..64,                       // rows
-        9usize..40,                        // cols (distributed)
-        1i64..4,                           // iterations
-        prop_oneof![Just(Dist::Block), Just(Dist::Cyclic)],
-        1usize..8,                         // nprocs
-        prop::collection::vec(
-            (-2i64..=2, -2i64..=2, -4i32..=4).prop_map(|(di, dj, c)| (di, dj, c as f64 * 0.25)),
-            1..=MAX_TERMS,
-        ),
-        prop_oneof![Just(32usize), Just(64), Just(128)],
-    )
-        .prop_map(|(n, m, iters, dist, nprocs, terms, block_bytes)| Spec {
-            n,
-            m,
-            iters,
-            dist,
-            nprocs,
-            terms,
-            block_bytes,
-        })
+fn random_spec(rng: &mut Rng) -> Spec {
+    let n_terms = rng.range(1, MAX_TERMS + 1);
+    Spec {
+        n: rng.range(17, 64),
+        m: rng.range(9, 40),
+        iters: rng.range_i64(1, 4),
+        dist: *rng.pick(&[Dist::Block, Dist::Cyclic]),
+        nprocs: rng.range(1, 8),
+        terms: rng.vec(n_terms, |r| {
+            (
+                r.range_i64(-2, 3),
+                r.range_i64(-2, 3),
+                r.range_i64(-4, 5) as f64 * 0.25,
+            )
+        }),
+        block_bytes: *rng.pick(&[32usize, 64, 128]),
+    }
 }
 
 fn build(spec: &Spec) -> Program {
@@ -190,19 +189,24 @@ fn reference(spec: &Spec) -> Vec<f64> {
     a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_backends_agree_on_random_stencils(spec in spec_strategy()) {
+#[test]
+fn all_backends_agree_on_random_stencils() {
+    check_cases(48, |rng| {
+        let spec = random_spec(rng);
         let prog = build(&spec);
         let expect = reference(&spec);
         let configs: Vec<(&str, ExecConfig)> = vec![
             ("unopt", ExecConfig::sm_unopt(spec.nprocs)),
             ("unopt-1cpu", ExecConfig::sm_unopt(spec.nprocs).single_cpu()),
-            ("base", ExecConfig::sm_opt(spec.nprocs).with_opt(OptLevel::base())),
+            (
+                "base",
+                ExecConfig::sm_opt(spec.nprocs).with_opt(OptLevel::base()),
+            ),
             ("full", ExecConfig::sm_opt(spec.nprocs)),
-            ("pre", ExecConfig::sm_opt(spec.nprocs).with_opt(OptLevel::full_pre())),
+            (
+                "pre",
+                ExecConfig::sm_opt(spec.nprocs).with_opt(OptLevel::full_pre()),
+            ),
             ("mp", ExecConfig::mp(spec.nprocs)),
         ];
         for (name, mut cfg) in configs {
@@ -210,23 +214,22 @@ proptest! {
             let r = execute(&prog, &cfg);
             let got = r.array(&prog, A);
             for (idx, (g, e)) in got.iter().zip(&expect).enumerate() {
-                prop_assert!(
+                assert!(
                     g.to_bits() == e.to_bits(),
                     "{name} {spec:?}: element {idx}: {g} != {e}"
                 );
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Access-set soundness: for every node, the resolved read section is
-    /// exactly the disjoint union of its owned part and its incoming
-    /// transfers — nothing is lost, nothing is double-counted.
-    #[test]
-    fn non_owner_sets_partition_read_sections(spec in spec_strategy()) {
+/// Access-set soundness: for every node, the resolved read section is
+/// exactly the disjoint union of its owned part and its incoming
+/// transfers — nothing is lost, nothing is double-counted.
+#[test]
+fn non_owner_sets_partition_read_sections() {
+    check_cases(64, |rng| {
+        let spec = random_spec(rng);
         let prog = build(&spec);
         let loops = prog.par_loops();
         let sweep = loops.iter().find(|l| l.name == "stencil").unwrap();
@@ -253,10 +256,14 @@ proptest! {
             // (they are coalesced at block level by the executor); the
             // union, not disjointness, is the invariant.
             let mut transferred = std::collections::HashSet::new();
-            for t in acc.read_transfers.iter().filter(|t| t.user == p && t.array == A.0) {
+            for t in acc
+                .read_transfers
+                .iter()
+                .filter(|t| t.user == p && t.array == A.0)
+            {
                 for pt in t.section.points() {
-                    prop_assert!(!owned.contains(&pt), "owned element transferred");
-                    prop_assert!(
+                    assert!(!owned.contains(&pt), "owned element transferred");
+                    assert!(
                         decl.owner_of(pt[1], spec.nprocs) == t.owner,
                         "transfer attributed to the wrong owner"
                     );
@@ -266,7 +273,7 @@ proptest! {
             // owned ∪ transferred == read set.
             let mut covered = owned_part;
             covered.extend(transferred);
-            prop_assert_eq!(covered, read_elems);
+            assert_eq!(covered, read_elems);
         }
-    }
+    });
 }

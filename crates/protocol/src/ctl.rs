@@ -30,7 +30,7 @@
 
 use crate::dir::DirState;
 use crate::proto::Dsm;
-use fgdsm_tempest::{Access, ChargeKind, NodeId};
+use fgdsm_tempest::{Access, ChargeKind, CtlPrim, Event, NodeId};
 
 /// Fixed overhead of issuing any compiler-directed protocol call.
 pub const CTL_CALL_BASE_NS: u64 = 2_000;
@@ -116,8 +116,14 @@ impl Dsm {
     /// the two calls).
     pub fn mk_writable(&mut self, owner: NodeId, first: usize, end: usize) {
         let cfg = self.cluster.cfg().clone();
-        self.cluster.stats_mut(owner).mk_writable_calls += 1;
-        self.cluster.charge(owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        self.cluster.record(
+            owner,
+            Event::Ctl {
+                prim: CtlPrim::MkWritable,
+            },
+        );
+        self.cluster
+            .charge(owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
         if end <= first {
             return;
         }
@@ -127,7 +133,8 @@ impl Dsm {
 
         let mut latency_paid = false;
         for b in first..end {
-            if self.cluster.tag(owner, b) == Access::ReadWrite && self.dir_state(b).is_excl_by(owner)
+            if self.cluster.tag(owner, b) == Access::ReadWrite
+                && self.dir_state(b).is_excl_by(owner)
             {
                 continue;
             }
@@ -211,12 +218,18 @@ impl Dsm {
         memoize: bool,
     ) -> bool {
         let cfg = self.cluster.cfg().clone();
-        self.cluster.stats_mut(node).implicit_writable_calls += 1;
+        self.cluster.record(
+            node,
+            Event::Ctl {
+                prim: CtlPrim::ImplicitWritable,
+            },
+        );
         if memoize && self.iw_memo.contains(&(node, first, end)) {
             self.cluster.charge(node, MEMO_TEST_NS, ChargeKind::CtlCall);
             return false;
         }
-        self.cluster.charge(node, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        self.cluster
+            .charge(node, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
         if end <= first {
             return false;
         }
@@ -239,10 +252,23 @@ impl Dsm {
     /// tagged data message (Figure 2D). With `bulk`, contiguous blocks are
     /// grouped into payloads of up to `bulk_max_bytes` — the paper's
     /// "benefit of using larger block sizes".
-    pub fn send_range(&mut self, owner: NodeId, readers: &[NodeId], first: usize, end: usize, bulk: bool) {
+    pub fn send_range(
+        &mut self,
+        owner: NodeId,
+        readers: &[NodeId],
+        first: usize,
+        end: usize,
+        bulk: bool,
+    ) {
         let cfg = self.cluster.cfg().clone();
-        self.cluster.stats_mut(owner).send_range_calls += 1;
-        self.cluster.charge(owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        self.cluster.record(
+            owner,
+            Event::Ctl {
+                prim: CtlPrim::SendRange,
+            },
+        );
+        self.cluster
+            .charge(owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
         let payloads = group_payloads(first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
         for p in &payloads {
             let (s, _) = self.cluster.block_words(p.start_block);
@@ -266,7 +292,12 @@ impl Dsm {
                 self.inbox_arrival[r] = self.inbox_arrival[r].max(arrival);
                 self.inbox_payloads[r] += 1;
                 self.inbox_blocks[r] += p.n_blocks as u64;
-                self.cluster.stats_mut(owner).blocks_pushed += p.n_blocks as u64;
+                self.cluster.record(
+                    owner,
+                    Event::CtlSend {
+                        blocks: p.n_blocks as u64,
+                    },
+                );
             }
         }
     }
@@ -275,8 +306,14 @@ impl Dsm {
     /// arrived and been stored (Figure 2D).
     pub fn ready_to_recv(&mut self, node: NodeId) {
         let cfg = self.cluster.cfg().clone();
-        self.cluster.stats_mut(node).ready_recv_calls += 1;
-        self.cluster.charge(node, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        self.cluster.record(
+            node,
+            Event::Ctl {
+                prim: CtlPrim::ReadyToRecv,
+            },
+        );
+        self.cluster
+            .charge(node, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
         let arrival = self.inbox_arrival[node];
         let now = self.cluster.clock_ns(node);
         if arrival > now {
@@ -286,7 +323,7 @@ impl Dsm {
         // holds the compute thread until it completes.
         let work = self.inbox_payloads[node] * cfg.handler_cost(cfg.handler_dispatch_ns)
             + self.inbox_blocks[node] * cfg.handler_cost(cfg.block_copy_ns);
-        self.cluster.stats_mut(node).handler_ns += work;
+        self.cluster.record(node, Event::Handler { ns: work });
         self.cluster.charge(node, work, ChargeKind::Stall);
         self.inbox_arrival[node] = 0;
         self.inbox_payloads[node] = 0;
@@ -298,8 +335,14 @@ impl Dsm {
     /// (Figure 2F).
     pub fn implicit_invalidate(&mut self, node: NodeId, first: usize, end: usize) {
         let cfg = self.cluster.cfg().clone();
-        self.cluster.stats_mut(node).implicit_invalidate_calls += 1;
-        self.cluster.charge(node, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        self.cluster.record(
+            node,
+            Event::Ctl {
+                prim: CtlPrim::ImplicitInvalidate,
+            },
+        );
+        self.cluster
+            .charge(node, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
         let mut cost = 0;
         for b in first..end {
             self.cluster.set_tag(node, b, Access::Invalid);
@@ -316,10 +359,23 @@ impl Dsm {
     /// to the owner and invalidates itself (§4.2, non-owner writes). The
     /// owner ends with the only, current, writable copy and the directory
     /// reflects it.
-    pub fn flush_range(&mut self, writer: NodeId, owner: NodeId, first: usize, end: usize, bulk: bool) {
+    pub fn flush_range(
+        &mut self,
+        writer: NodeId,
+        owner: NodeId,
+        first: usize,
+        end: usize,
+        bulk: bool,
+    ) {
         let cfg = self.cluster.cfg().clone();
-        self.cluster.stats_mut(writer).flush_range_calls += 1;
-        self.cluster.charge(writer, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        self.cluster.record(
+            writer,
+            Event::Ctl {
+                prim: CtlPrim::FlushRange,
+            },
+        );
+        self.cluster
+            .charge(writer, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
         let payloads = group_payloads(first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
         for p in &payloads {
             let (s, _) = self.cluster.block_words(p.start_block);
@@ -427,7 +483,10 @@ mod tests {
         let t = d.cluster.clock_ns(1);
         d.mk_writable(1, 0, 8);
         let dt = d.cluster.clock_ns(1) - t;
-        assert!(dt <= CTL_CALL_BASE_NS, "second call should skip all blocks, cost {dt}");
+        assert!(
+            dt <= CTL_CALL_BASE_NS,
+            "second call should skip all blocks, cost {dt}"
+        );
     }
 
     #[test]

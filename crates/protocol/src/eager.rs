@@ -1,0 +1,394 @@
+//! The paper's default protocol: directory-based eager-invalidate
+//! multiple-writer release consistency at cache-block granularity (§3, §5).
+
+use crate::dir::DirState;
+use crate::proto::{Dsm, Protocol};
+use fgdsm_tempest::{Access, ChargeKind, Event, FaultKind, NodeId};
+
+/// Eager-invalidate multiple-writer release consistency.
+///
+/// Writers steal blocks without waiting for invalidation acknowledgements
+/// (they drain by the next release); false-shared blocks enter a `Multi`
+/// state with per-writer twins whose word diffs merge at the home on
+/// release. Exclusive ownership survives barriers — the property §4.3's
+/// run-time overhead elimination relies on — and the §4.2 ctl contract is
+/// sound on top of it.
+#[derive(Default)]
+pub struct EagerInvalidate {
+    /// Blocks currently in `Multi` state, flushed at the next release.
+    multi_blocks: Vec<usize>,
+}
+
+impl EagerInvalidate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Protocol for EagerInvalidate {
+    fn name(&self) -> &'static str {
+        "eager-invalidate"
+    }
+
+    fn supports_ctl(&self) -> bool {
+        true
+    }
+
+    fn read_access(&mut self, d: &mut Dsm, p: NodeId, b: usize) {
+        let cfg = d.cluster.cfg().clone();
+        let h = d.cluster.home_of_block(b);
+        let (s, e) = d.cluster.block_words(b);
+        d.cluster.map_range(p, s, e - s);
+        d.cluster.record(
+            p,
+            Event::Fault {
+                block: b,
+                kind: FaultKind::Read,
+            },
+        );
+        // Fault detection + request to home.
+        let mut stall = cfg.fault_detect_ns;
+        if p != h {
+            stall += cfg.one_way_ns(8) + d.hc(cfg.handler_dispatch_ns);
+            d.cluster.note_msg(p, 8);
+            d.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+        }
+        stall += d.hc(cfg.dir_lookup_ns);
+
+        match d.dir_state(b) {
+            DirState::Shared { readers } => {
+                // Clean: home copy is current.
+                stall += d.data_home_to(p, h, b);
+                d.set_dir(
+                    b,
+                    DirState::Shared {
+                        readers: readers | DirState::bit(p),
+                    },
+                );
+            }
+            DirState::Excl { owner } if owner == h => {
+                stall += d.data_home_to(p, h, b);
+                // Home downgrades to read-only so its own later writes fault.
+                d.cluster.set_tag(h, b, Access::ReadOnly);
+                d.set_dir(
+                    b,
+                    DirState::Shared {
+                        readers: DirState::bit(p) | DirState::bit(h),
+                    },
+                );
+            }
+            DirState::Excl { owner } => {
+                assert_ne!(owner, p, "read fault by recorded exclusive owner");
+                // 4-hop (Figure 1(a)): put-data-request to owner, data back
+                // to home, then response to requester.
+                stall += cfg.one_way_ns(8)
+                    + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
+                    + cfg.one_way_ns(cfg.block_bytes)
+                    + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns);
+                d.cluster.note_msg(h, 8);
+                d.cluster.charge_handler(
+                    owner,
+                    cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
+                );
+                d.cluster.note_msg(owner, cfg.block_bytes);
+                d.cluster.charge_handler(
+                    h,
+                    cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns,
+                );
+                // Data: owner → home, owner downgrades, home readable.
+                d.cluster.copy_words(owner, h, s, e - s);
+                d.cluster.set_tag(owner, b, Access::ReadOnly);
+                d.cluster.set_tag(h, b, Access::ReadOnly);
+                stall += d.data_home_to(p, h, b);
+                d.set_dir(
+                    b,
+                    DirState::Shared {
+                        readers: DirState::bit(p) | DirState::bit(owner) | DirState::bit(h),
+                    },
+                );
+            }
+            DirState::Multi { writers, readers } => {
+                // A non-writer reads a false-shared block mid-interval
+                // (wide stencil): every writer flushes its diff home so the
+                // merge base is current, then the home serves the reader.
+                // Element-level race freedom guarantees the reader never
+                // looks at words a writer changes after this point.
+                for w in DirState::nodes(writers) {
+                    let mask = d.diff_mask(w, b);
+                    if mask != 0 && w != h {
+                        let bytes = 8 + 8 * mask.count_ones() as usize;
+                        d.cluster.note_msg(w, bytes);
+                        d.cluster
+                            .charge_handler(w, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                        d.cluster
+                            .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                        d.cluster.merge_block_words(w, h, b, mask);
+                        stall += cfg.one_way_ns(bytes) + d.hc(2 * cfg.handler_dispatch_ns);
+                    } else if mask != 0 {
+                        d.cluster.merge_block_words(w, h, b, mask);
+                    }
+                    // Refresh the twin: subsequent diffs are relative to
+                    // the new merge base.
+                    d.make_twin(w, b);
+                }
+                stall += d.data_home_to(p, h, b);
+                d.set_dir(
+                    b,
+                    DirState::Multi {
+                        writers,
+                        readers: readers | DirState::bit(p),
+                    },
+                );
+            }
+        }
+        d.cluster.set_tag(p, b, Access::ReadOnly);
+        stall += cfg.tag_change_ns;
+        d.cluster.charge(p, stall, ChargeKind::Stall);
+    }
+
+    /// Service a write fault with *steal* semantics: `p` becomes the single
+    /// exclusive writer. Eager invalidation: `p` does not wait for
+    /// invalidation acknowledgements (they drain at the next release), so
+    /// the stall is only fault handling plus a data fetch when `p` has no
+    /// valid copy.
+    fn write_access_excl(&mut self, d: &mut Dsm, p: NodeId, b: usize) {
+        if d.cluster.tag(p, b) == Access::ReadWrite && d.dir_state(b).is_excl_by(p) {
+            return;
+        }
+        let cfg = d.cluster.cfg().clone();
+        let h = d.cluster.home_of_block(b);
+        let (s, e) = d.cluster.block_words(b);
+        d.cluster.map_range(p, s, e - s);
+        let kind = if d.cluster.tag(p, b) == Access::ReadOnly {
+            FaultKind::Upgrade
+        } else {
+            FaultKind::Write
+        };
+        d.cluster.record(p, Event::Fault { block: b, kind });
+
+        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
+        if p != h {
+            // Eager ownership request: injection only.
+            stall += cfg.msg_send_ns;
+            d.cluster.note_msg(p, 8);
+            d.cluster.note_pending_write(p);
+        }
+        d.cluster
+            .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+
+        let need_data = d.cluster.tag(p, b) == Access::Invalid;
+        match d.dir_state(b) {
+            DirState::Shared { readers } => {
+                // Invalidate every other reader, eagerly.
+                for r in DirState::nodes(readers) {
+                    if r != p {
+                        d.cluster.note_msg(h, 8);
+                        d.cluster
+                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+                        d.cluster.set_tag(r, b, Access::Invalid);
+                    }
+                }
+                if need_data {
+                    stall += d.data_home_to(p, h, b);
+                }
+            }
+            DirState::Excl { owner } => {
+                assert_ne!(
+                    owner, p,
+                    "write fault by a node that is already exclusive owner"
+                );
+                if owner != h {
+                    // Current data is at `owner`: flush home, invalidate.
+                    d.cluster.charge_handler(
+                        owner,
+                        cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
+                    );
+                    d.cluster.note_msg(h, 8);
+                    d.cluster.note_msg(owner, cfg.block_bytes);
+                    d.cluster
+                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    d.cluster.copy_words(owner, h, s, e - s);
+                    stall += cfg.one_way_ns(8)
+                        + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
+                        + cfg.one_way_ns(cfg.block_bytes)
+                        + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                }
+                d.cluster.set_tag(owner, b, Access::Invalid);
+                if need_data {
+                    stall += d.data_home_to(p, h, b);
+                }
+            }
+            DirState::Multi { .. } => {
+                unreachable!("steal write on a Multi block: use write_access_multi")
+            }
+        }
+        if h != p {
+            d.cluster.set_tag(h, b, Access::Invalid);
+        }
+        d.cluster.set_tag(p, b, Access::ReadWrite);
+        d.set_dir(b, DirState::Excl { owner: p });
+        d.cluster.charge(p, stall, ChargeKind::Stall);
+    }
+
+    /// Service a write fault on a block that *multiple* nodes write in the
+    /// same interval (false sharing at array-column boundaries, §4.1
+    /// footnote): `p` joins the writer set, keeping a twin for the
+    /// word-granularity diff merged at the next release.
+    fn write_access_multi(&mut self, d: &mut Dsm, p: NodeId, b: usize) {
+        let cfg = d.cluster.cfg().clone();
+        let h = d.cluster.home_of_block(b);
+        let (s, e) = d.cluster.block_words(b);
+        // Already a writer in Multi state?
+        if let DirState::Multi { writers, .. } = d.dir_state(b) {
+            if writers & DirState::bit(p) != 0 {
+                return;
+            }
+        }
+        d.cluster.map_range(p, s, e - s);
+        d.cluster.record(
+            p,
+            Event::Fault {
+                block: b,
+                kind: FaultKind::MultiWrite,
+            },
+        );
+
+        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
+        if p != h {
+            stall += cfg.msg_send_ns;
+            d.cluster.note_msg(p, 8);
+            d.cluster.note_pending_write(p);
+        }
+        d.cluster
+            .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
+
+        // First entry into Multi: normalize the previous state so the home
+        // copy is the merge base.
+        let mut cur_readers = 0u64;
+        let mut writers = match d.dir_state(b) {
+            DirState::Multi { writers, readers } => {
+                cur_readers = readers;
+                writers
+            }
+            DirState::Excl { owner } => {
+                if owner != h {
+                    // Owner flushes its current copy home and keeps writing.
+                    d.cluster
+                        .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    d.cluster.note_msg(owner, cfg.block_bytes);
+                    d.cluster
+                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    d.cluster.copy_words(owner, h, s, e - s);
+                    stall += cfg.one_way_ns(8)
+                        + d.hc(2 * cfg.handler_dispatch_ns + 2 * cfg.block_copy_ns)
+                        + cfg.one_way_ns(cfg.block_bytes);
+                }
+                d.make_twin(owner, b);
+                self.multi_blocks.push(b);
+                DirState::bit(owner)
+            }
+            DirState::Shared { readers } => {
+                for r in DirState::nodes(readers) {
+                    if r != p {
+                        d.cluster.note_msg(h, 8);
+                        d.cluster
+                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+                        d.cluster.set_tag(r, b, Access::Invalid);
+                    }
+                }
+                self.multi_blocks.push(b);
+                0
+            }
+        };
+        // `p` joins: fetch the merge base if it has no valid copy.
+        if d.cluster.tag(p, b) == Access::Invalid {
+            stall += d.data_home_to(p, h, b);
+        }
+        d.make_twin(p, b);
+        d.cluster.set_tag(p, b, Access::ReadWrite);
+        writers |= DirState::bit(p);
+        cur_readers &= !DirState::bit(p);
+        if h != p && writers & DirState::bit(h) == 0 {
+            d.cluster.set_tag(h, b, Access::Invalid);
+        }
+        d.set_dir(
+            b,
+            DirState::Multi {
+                writers,
+                readers: cur_readers,
+            },
+        );
+        d.cluster.charge(p, stall, ChargeKind::Stall);
+    }
+
+    /// Release point: merge all `Multi` blocks home via word diffs.
+    /// Exclusive blocks stay with their owner — the property run-time
+    /// overhead elimination relies on (§4.3).
+    fn release(&mut self, d: &mut Dsm) {
+        let cfg = d.cluster.cfg().clone();
+        let blocks = std::mem::take(&mut self.multi_blocks);
+        for b in blocks {
+            let DirState::Multi { writers, readers } = d.dir_state(b) else {
+                continue;
+            };
+            let h = d.cluster.home_of_block(b);
+            for r in DirState::nodes(readers) {
+                // Transient readers of the old merge base are invalidated.
+                d.cluster.set_tag(r, b, Access::Invalid);
+            }
+            for w in DirState::nodes(writers) {
+                let mask = d.diff_mask(w, b);
+                let dirty = mask.count_ones() as usize;
+                let bytes = 8 + 8 * dirty;
+                if w != h {
+                    d.cluster.note_msg(w, bytes);
+                    d.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
+                    d.cluster
+                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+                    d.cluster.merge_block_words(w, h, b, mask);
+                }
+                d.cluster.set_tag(w, b, Access::Invalid);
+                d.remove_twin(w, b);
+            }
+            d.cluster.set_tag(h, b, Access::ReadWrite);
+            d.set_dir(b, DirState::Excl { owner: h });
+        }
+    }
+
+    fn check(&self, d: &Dsm) -> Result<(), String> {
+        for b in 0..d.cluster.n_blocks() {
+            match d.dir_state(b) {
+                DirState::Excl { owner } => {
+                    for n in 0..d.cluster.nprocs() {
+                        let t = d.cluster.tag(n, b);
+                        if n != owner && t == Access::ReadWrite && !d.is_ctl_block(n, b) {
+                            return Err(format!(
+                                "block {b}: node {n} is ReadWrite but directory says Excl({owner})"
+                            ));
+                        }
+                    }
+                }
+                DirState::Shared { readers } => {
+                    for n in 0..d.cluster.nprocs() {
+                        let t = d.cluster.tag(n, b);
+                        if t == Access::ReadWrite {
+                            return Err(format!(
+                                "block {b}: node {n} is ReadWrite but directory says Shared"
+                            ));
+                        }
+                        if t == Access::ReadOnly && readers & DirState::bit(n) == 0 {
+                            return Err(format!(
+                                "block {b}: node {n} is ReadOnly but not in sharer mask"
+                            ));
+                        }
+                    }
+                }
+                DirState::Multi { .. } => {
+                    return Err(format!("block {b}: Multi state survived a release"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

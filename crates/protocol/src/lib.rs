@@ -1,15 +1,19 @@
 //! # fgdsm-protocol: coherence protocols over the Tempest substrate
 //!
-//! Three pieces, mirroring §3–§4.2 of the paper:
+//! Four pieces, mirroring §3–§4.2 of the paper:
 //!
-//! * [`Dsm`] — the **default protocol**: a directory-based,
-//!   eager-invalidate, multiple-writer release-consistency protocol at
-//!   cache-block granularity. Read misses are 2-hop when the home holds
-//!   the data and 4-hop when another node holds it exclusively (Figure
-//!   1(a)); write upgrades invalidate eagerly but do not stall the writer
-//!   (pending transactions drain at release points); false-shared blocks
-//!   are handled with per-writer twins and word-granularity diffs merged
-//!   at the home.
+//! * [`Dsm`] — the DSM **facade**: the Tempest cluster plus the block
+//!   directory and the protocol-neutral twin/diff machinery, with the
+//!   coherence *policy* behind the pluggable [`Protocol`] trait.
+//! * The **built-in protocols**: [`EagerInvalidate`] — the paper's
+//!   directory-based, eager-invalidate, multiple-writer
+//!   release-consistency protocol at cache-block granularity (read misses
+//!   are 2-hop when the home holds the data and 4-hop when another node
+//!   holds it exclusively, Figure 1(a); write upgrades invalidate eagerly
+//!   but do not stall the writer; false-shared blocks use per-writer
+//!   twins and word-granularity diffs merged at the home) — and
+//!   [`WriteUpdate`], the §3 aside's update-based alternative. Third
+//!   protocols plug in through [`Dsm::with_protocol_impl`].
 //! * The **compiler-directed extension** (`ctl` module, implemented on
 //!   [`Dsm`]) — the run-time calls of §4.2's contract: `mk_writable`,
 //!   `implicit_writable`, `send_range` / `ready_to_recv`,
@@ -22,10 +26,14 @@
 
 pub mod ctl;
 pub mod dir;
+pub mod eager;
 pub mod mp;
 pub mod proto;
+pub mod update;
 
 pub use ctl::{CtlStats, Payload};
 pub use dir::DirState;
+pub use eager::EagerInvalidate;
 pub use mp::MpRuntime;
-pub use proto::{Dsm, ProtocolKind};
+pub use proto::{Dsm, Protocol, ProtocolKind};
+pub use update::WriteUpdate;

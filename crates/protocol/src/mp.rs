@@ -11,7 +11,7 @@
 //! fixed per-message software overhead (`mp_per_message_ns`) plus a
 //! per-element marshalling cost (`mp_per_element_ns`) on each side.
 
-use fgdsm_tempest::{ChargeKind, Cluster, NodeId, ReduceOp};
+use fgdsm_tempest::{ChargeKind, Cluster, Event, NodeId, ReduceOp};
 
 /// Runtime state of the message-passing backend: per-node inbox arrival
 /// times and pending unpack work.
@@ -123,7 +123,8 @@ impl MpRuntime {
         cl.note_msg(src, bytes);
         let depth = (usize::BITS - dsts.len().leading_zeros()) as u64; // ⌈log₂(n+1)⌉
         let arrival = cl.clock_ns(src)
-            + depth * (cfg.net_latency_ns + cfg.handler_dispatch_ns + bytes as u64 * cfg.per_byte_ns);
+            + depth
+                * (cfg.net_latency_ns + cfg.handler_dispatch_ns + bytes as u64 * cfg.per_byte_ns);
         for &dst in dsts {
             debug_assert_ne!(dst, src);
             for i in 0..count {
@@ -171,9 +172,10 @@ impl MpRuntime {
             + cfg.handler_dispatch_ns;
         for n in 0..nprocs {
             cl.charge(n, rounds * per_round, ChargeKind::Stall);
-            cl.stats_mut(n).reductions += 1;
-            cl.stats_mut(n).msgs_sent += rounds;
-            cl.stats_mut(n).bytes_sent += 8 * rounds;
+            cl.record(n, Event::Reduction);
+            for _ in 0..rounds {
+                cl.record(n, Event::Msg { bytes: 8 });
+            }
         }
         // Globally synchronizing, like the shared-memory reduction.
         let max = (0..nprocs).map(|n| cl.clock_ns(n)).max().unwrap_or(0);

@@ -1,11 +1,22 @@
-//! The default protocol: directory-based eager-invalidate multiple-writer
-//! release consistency at cache-block granularity (§3, §5).
+//! The DSM facade and the [`Protocol`] plug-in interface.
+//!
+//! [`Dsm`] owns the Tempest cluster, the block directory, and the
+//! protocol-neutral machinery every coherence protocol builds on (twins,
+//! word diffs, home transfers). The *policy* — what happens on a fault and
+//! at a release — lives behind the [`Protocol`] trait: the paper's
+//! directory-based eager-invalidate multiple-writer release consistency
+//! ([`crate::eager::EagerInvalidate`], §3/§5) and the §3 aside's
+//! write-update alternative ([`crate::update::WriteUpdate`]) are the two
+//! built-in implementations, and third-party protocols can plug in through
+//! [`Dsm::with_protocol_impl`] using the same public building blocks.
 
 use crate::dir::DirState;
-use fgdsm_tempest::{Access, ChargeKind, Cluster, NodeId};
+use crate::eager::EagerInvalidate;
+use crate::update::WriteUpdate;
+use fgdsm_tempest::{Access, Cluster, NodeId};
 use std::collections::BTreeMap;
 
-/// Which default coherence protocol the DSM runs.
+/// Which built-in default coherence protocol the DSM runs.
 ///
 /// The paper's system uses eager-invalidate multiple-writer release
 /// consistency; §3 notes that "general update-based protocols have
@@ -22,17 +33,52 @@ pub enum ProtocolKind {
     WriteUpdate,
 }
 
-/// A fine-grain DSM: the Tempest cluster plus the default protocol's
-/// directory, twins, and the compiler-control runtime state.
+/// A pluggable default coherence protocol.
+///
+/// Implementations receive the [`Dsm`] (cluster + directory + twin
+/// machinery) and decide how faults are serviced and what a release point
+/// does. The executor never sees this trait — it calls the [`Dsm`] facade
+/// methods, which dispatch here.
+pub trait Protocol {
+    /// Short protocol name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Whether the §4.2 compiler-directed control contract (`mk_writable`
+    /// / `implicit_writable` / `send_range` / …) is sound on top of this
+    /// protocol. The optimized executor refuses `OptLevel::ctl` otherwise.
+    fn supports_ctl(&self) -> bool;
+
+    /// Service a read fault: bring block `b` to at least `ReadOnly` at
+    /// `p`. Only called when `p` has no valid copy.
+    fn read_access(&mut self, d: &mut Dsm, p: NodeId, b: usize);
+
+    /// Service a write fault where `p` is the interval's only writer of
+    /// the block.
+    fn write_access_excl(&mut self, d: &mut Dsm, p: NodeId, b: usize);
+
+    /// Service a write fault on a block written by *multiple* nodes in
+    /// the same interval (false sharing at column boundaries, §4.1).
+    fn write_access_multi(&mut self, d: &mut Dsm, p: NodeId, b: usize);
+
+    /// Release point: propagate/merge interval writes. The facade runs
+    /// the global barrier afterwards.
+    fn release(&mut self, d: &mut Dsm);
+
+    /// Verify protocol invariants (directory vs. tags vs. data); called
+    /// by tests after barriers.
+    fn check(&self, d: &Dsm) -> Result<(), String>;
+}
+
+/// A fine-grain DSM: the Tempest cluster plus the block directory, the
+/// protocol-neutral twin/diff machinery, and the compiler-control runtime
+/// state — with the coherence *policy* behind a [`Protocol`] object.
 pub struct Dsm {
     /// The underlying simulated cluster (public: executors run kernels
     /// directly against node memory).
     pub cluster: Cluster,
     dir: Vec<DirState>,
-    /// Twins for blocks in `Multi` state: (block, writer) → snapshot.
+    /// Twins for multiple-writer blocks: (block, writer) → snapshot.
     twins: BTreeMap<(usize, NodeId), Box<[f64]>>,
-    /// Blocks currently in `Multi` state, flushed at the next release.
-    multi_blocks: Vec<usize>,
     /// Per-receiver compiler-directed transfer inbox: latest arrival time
     /// and pending payload/block counts (reset by `ready_to_recv`).
     pub(crate) inbox_arrival: Vec<u64>,
@@ -41,19 +87,29 @@ pub struct Dsm {
     /// Memo for run-time overhead elimination: ranges already made
     /// implicitly writable at a node (§4.3's "first time around" test).
     pub(crate) iw_memo: std::collections::BTreeSet<(NodeId, usize, usize)>,
-    kind: ProtocolKind,
-    /// Write-update protocol: (block, writer) pairs dirty this interval.
-    update_set: Vec<(usize, NodeId)>,
+    /// The active protocol; taken out during dispatch to avoid a double
+    /// borrow, always put back (`None` only mid-call).
+    proto: Option<Box<dyn Protocol>>,
 }
 
 impl Dsm {
     /// Wrap a cluster; every block starts exclusively owned by its home.
+    /// Runs the paper's eager-invalidate protocol.
     pub fn new(cluster: Cluster) -> Self {
         Self::with_protocol(cluster, ProtocolKind::EagerInvalidate)
     }
 
-    /// Wrap a cluster with an explicit default-protocol choice.
+    /// Wrap a cluster with one of the built-in protocols.
     pub fn with_protocol(cluster: Cluster, kind: ProtocolKind) -> Self {
+        let proto: Box<dyn Protocol> = match kind {
+            ProtocolKind::EagerInvalidate => Box::new(EagerInvalidate::new()),
+            ProtocolKind::WriteUpdate => Box::new(WriteUpdate::new()),
+        };
+        Self::with_protocol_impl(cluster, proto)
+    }
+
+    /// Wrap a cluster with an arbitrary [`Protocol`] implementation.
+    pub fn with_protocol_impl(cluster: Cluster, proto: Box<dyn Protocol>) -> Self {
         assert!(cluster.nprocs() <= 64, "directory masks support ≤64 nodes");
         let n_blocks = cluster.n_blocks();
         let nprocs = cluster.nprocs();
@@ -66,19 +122,26 @@ impl Dsm {
             cluster,
             dir,
             twins: BTreeMap::new(),
-            multi_blocks: Vec::new(),
             inbox_arrival: vec![0; nprocs],
             inbox_payloads: vec![0; nprocs],
             inbox_blocks: vec![0; nprocs],
             iw_memo: std::collections::BTreeSet::new(),
-            kind,
-            update_set: Vec::new(),
+            proto: Some(proto),
         }
     }
 
-    /// The default protocol in force.
-    pub fn protocol(&self) -> ProtocolKind {
-        self.kind
+    fn proto(&self) -> &dyn Protocol {
+        self.proto.as_deref().expect("protocol re-entered")
+    }
+
+    /// Name of the protocol in force.
+    pub fn protocol_name(&self) -> &'static str {
+        self.proto().name()
+    }
+
+    /// Whether the active protocol supports the §4.2 ctl contract.
+    pub fn supports_ctl(&self) -> bool {
+        self.proto().supports_ctl()
     }
 
     /// Directory state of a block (inspection/testing).
@@ -86,25 +149,42 @@ impl Dsm {
         self.dir[b]
     }
 
-    /// Overwrite a block's directory state (compiler-control transitions).
-    pub(crate) fn set_dir(&mut self, b: usize, s: DirState) {
+    /// Overwrite a block's directory state (protocol transitions and
+    /// compiler-control state changes).
+    pub fn set_dir(&mut self, b: usize, s: DirState) {
         self.dir[b] = s;
     }
 
+    /// Handler-occupancy cost scaled for the cpu configuration.
     #[inline]
-    fn hc(&self, ns: u64) -> u64 {
+    pub fn hc(&self, ns: u64) -> u64 {
         self.cluster.cfg().handler_cost(ns)
     }
 
+    // ------------------------------------------------------------------
+    // Protocol-neutral building blocks (public: protocols — including
+    // external ones — compose these)
+    // ------------------------------------------------------------------
+
     /// Snapshot a block's current contents at `node` into a twin buffer.
-    fn make_twin(&mut self, node: NodeId, b: usize) {
+    pub fn make_twin(&mut self, node: NodeId, b: usize) {
         let (s, e) = self.cluster.block_words(b);
         let data: Box<[f64]> = self.cluster.node_mem(node)[s..e].into();
         self.twins.insert((b, node), data);
     }
 
+    /// Whether `node` currently holds a twin of block `b`.
+    pub fn has_twin(&self, node: NodeId, b: usize) -> bool {
+        self.twins.contains_key(&(b, node))
+    }
+
+    /// Drop `node`'s twin of block `b` (end of a write interval).
+    pub fn remove_twin(&mut self, node: NodeId, b: usize) {
+        self.twins.remove(&(b, node));
+    }
+
     /// Word-diff a writer's block against its twin; returns the dirty mask.
-    fn diff_mask(&self, node: NodeId, b: usize) -> u64 {
+    pub fn diff_mask(&self, node: NodeId, b: usize) -> u64 {
         let twin = &self.twins[&(b, node)];
         let (s, e) = self.cluster.block_words(b);
         let cur = &self.cluster.node_mem(node)[s..e];
@@ -117,118 +197,9 @@ impl Dsm {
         mask
     }
 
-    // ------------------------------------------------------------------
-    // Default-protocol transactions
-    // ------------------------------------------------------------------
-
-    /// Service a read fault: bring block `b` to at least `ReadOnly` at
-    /// `p`. No-op (and no cost) if `p` already has a valid copy — "inner
-    /// cache blocks are brought once and for ever into the local memory
-    /// and pay no further overhead" (§2).
-    pub fn read_access(&mut self, p: NodeId, b: usize) {
-        if self.cluster.tag(p, b) != Access::Invalid {
-            return;
-        }
-        if self.kind == ProtocolKind::WriteUpdate {
-            return self.read_access_update(p, b);
-        }
-        let cfg = self.cluster.cfg().clone();
-        let h = self.cluster.home_of_block(b);
-        let (s, e) = self.cluster.block_words(b);
-        self.cluster.map_range(p, s, e - s);
-        self.cluster.stats_mut(p).read_misses += 1;
-        // Fault detection + request to home.
-        let mut stall = cfg.fault_detect_ns;
-        if p != h {
-            stall += cfg.one_way_ns(8) + self.hc(cfg.handler_dispatch_ns);
-            self.cluster.note_msg(p, 8);
-            self.cluster
-                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
-        }
-        stall += self.hc(cfg.dir_lookup_ns);
-
-        match self.dir[b] {
-            DirState::Shared { readers } => {
-                // Clean: home copy is current.
-                stall += self.data_home_to(p, h, b, &mut 0);
-                self.dir[b] = DirState::Shared {
-                    readers: readers | DirState::bit(p),
-                };
-            }
-            DirState::Excl { owner } if owner == h => {
-                stall += self.data_home_to(p, h, b, &mut 0);
-                // Home downgrades to read-only so its own later writes fault.
-                self.cluster.set_tag(h, b, Access::ReadOnly);
-                self.dir[b] = DirState::Shared {
-                    readers: DirState::bit(p) | DirState::bit(h),
-                };
-            }
-            DirState::Excl { owner } => {
-                assert_ne!(owner, p, "read fault by recorded exclusive owner");
-                // 4-hop (Figure 1(a)): put-data-request to owner, data back
-                // to home, then response to requester.
-                stall += cfg.one_way_ns(8)
-                    + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
-                    + cfg.one_way_ns(cfg.block_bytes)
-                    + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns);
-                self.cluster.note_msg(h, 8);
-                self.cluster.charge_handler(
-                    owner,
-                    cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
-                );
-                self.cluster.note_msg(owner, cfg.block_bytes);
-                self.cluster.charge_handler(
-                    h,
-                    cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns,
-                );
-                // Data: owner → home, owner downgrades, home readable.
-                self.cluster.copy_words(owner, h, s, e - s);
-                self.cluster.set_tag(owner, b, Access::ReadOnly);
-                self.cluster.set_tag(h, b, Access::ReadOnly);
-                stall += self.data_home_to(p, h, b, &mut 0);
-                self.dir[b] = DirState::Shared {
-                    readers: DirState::bit(p) | DirState::bit(owner) | DirState::bit(h),
-                };
-            }
-            DirState::Multi { writers, readers } => {
-                // A non-writer reads a false-shared block mid-interval
-                // (wide stencil): every writer flushes its diff home so the
-                // merge base is current, then the home serves the reader.
-                // Element-level race freedom guarantees the reader never
-                // looks at words a writer changes after this point.
-                for w in DirState::nodes(writers) {
-                    let mask = self.diff_mask(w, b);
-                    if mask != 0 && w != h {
-                        let bytes = 8 + 8 * mask.count_ones() as usize;
-                        self.cluster.note_msg(w, bytes);
-                        self.cluster
-                            .charge_handler(w, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                        self.cluster
-                            .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                        self.cluster.merge_block_words(w, h, b, mask);
-                        stall += cfg.one_way_ns(bytes) + self.hc(2 * cfg.handler_dispatch_ns);
-                    } else if mask != 0 {
-                        self.cluster.merge_block_words(w, h, b, mask);
-                    }
-                    // Refresh the twin: subsequent diffs are relative to
-                    // the new merge base.
-                    self.make_twin(w, b);
-                }
-                stall += self.data_home_to(p, h, b, &mut 0);
-                self.dir[b] = DirState::Multi {
-                    writers,
-                    readers: readers | DirState::bit(p),
-                };
-            }
-        }
-        self.cluster.set_tag(p, b, Access::ReadOnly);
-        stall += cfg.tag_change_ns;
-        self.cluster.charge(p, stall, ChargeKind::Stall);
-    }
-
     /// Cost and data movement for the home shipping its (current) copy of
     /// block `b` to `p`. Returns the stall to charge at `p`.
-    fn data_home_to(&mut self, p: NodeId, h: NodeId, b: usize, _x: &mut u64) -> u64 {
+    pub fn data_home_to(&mut self, p: NodeId, h: NodeId, b: usize) -> u64 {
         let cfg = self.cluster.cfg().clone();
         let (s, e) = self.cluster.block_words(b);
         if p == h {
@@ -245,408 +216,138 @@ impl Dsm {
             + cfg.tag_change_ns
     }
 
-    /// Service a write fault with *steal* semantics: `p` becomes the single
-    /// exclusive writer. Eager invalidation: `p` does not wait for
-    /// invalidation acknowledgements (they drain at the next release), so
-    /// the stall is only fault handling plus a data fetch when `p` has no
-    /// valid copy.
-    pub fn write_access_excl(&mut self, p: NodeId, b: usize) {
-        if self.kind == ProtocolKind::WriteUpdate {
-            return self.write_access_update(p, b);
-        }
-        if self.cluster.tag(p, b) == Access::ReadWrite && self.dir[b].is_excl_by(p) {
-            return;
-        }
-        let cfg = self.cluster.cfg().clone();
-        let h = self.cluster.home_of_block(b);
-        let (s, e) = self.cluster.block_words(b);
-        self.cluster.map_range(p, s, e - s);
-        self.cluster.stats_mut(p).write_misses += 1;
-
-        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
-        if p != h {
-            // Eager ownership request: injection only.
-            stall += cfg.msg_send_ns;
-            self.cluster.note_msg(p, 8);
-            self.cluster.note_pending_write(p);
-        }
-        self.cluster
-            .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
-
-        let need_data = self.cluster.tag(p, b) == Access::Invalid;
-        match self.dir[b] {
-            DirState::Shared { readers } => {
-                // Invalidate every other reader, eagerly.
-                for r in DirState::nodes(readers) {
-                    if r != p {
-                        self.cluster.note_msg(h, 8);
-                        self.cluster
-                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
-                        self.cluster.set_tag(r, b, Access::Invalid);
-                    }
-                }
-                if need_data {
-                    stall += self.data_home_to(p, h, b, &mut 0);
-                }
-            }
-            DirState::Excl { owner } => {
-                assert_ne!(owner, p, "write fault by a node that is already exclusive owner");
-                if owner != h {
-                    // Current data is at `owner`: flush home, invalidate.
-                    self.cluster.charge_handler(
-                        owner,
-                        cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
-                    );
-                    self.cluster.note_msg(h, 8);
-                    self.cluster.note_msg(owner, cfg.block_bytes);
-                    self.cluster
-                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.copy_words(owner, h, s, e - s);
-                    stall += cfg.one_way_ns(8)
-                        + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
-                        + cfg.one_way_ns(cfg.block_bytes)
-                        + self.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                }
-                self.cluster.set_tag(owner, b, Access::Invalid);
-                if need_data {
-                    stall += self.data_home_to(p, h, b, &mut 0);
-                }
-            }
-            DirState::Multi { .. } => {
-                unreachable!("steal write on a Multi block: use write_access_multi")
-            }
-        }
-        if h != p {
-            self.cluster.set_tag(h, b, Access::Invalid);
-        }
-        self.cluster.set_tag(p, b, Access::ReadWrite);
-        self.dir[b] = DirState::Excl { owner: p };
-        self.cluster.charge(p, stall, ChargeKind::Stall);
-    }
-
-    /// Service a write fault on a block that *multiple* nodes write in the
-    /// same interval (false sharing at array-column boundaries, §4.1
-    /// footnote): `p` joins the writer set, keeping a twin for the
-    /// word-granularity diff merged at the next release.
-    pub fn write_access_multi(&mut self, p: NodeId, b: usize) {
-        if self.kind == ProtocolKind::WriteUpdate {
-            return self.write_access_update(p, b);
-        }
-        let cfg = self.cluster.cfg().clone();
-        let h = self.cluster.home_of_block(b);
-        let (s, e) = self.cluster.block_words(b);
-        // Already a writer in Multi state?
-        if let DirState::Multi { writers, .. } = self.dir[b] {
-            if writers & DirState::bit(p) != 0 {
-                return;
-            }
-        }
-        self.cluster.map_range(p, s, e - s);
-        self.cluster.stats_mut(p).write_misses += 1;
-
-        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
-        if p != h {
-            stall += cfg.msg_send_ns;
-            self.cluster.note_msg(p, 8);
-            self.cluster.note_pending_write(p);
-        }
-        self.cluster
-            .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
-
-        // First entry into Multi: normalize the previous state so the home
-        // copy is the merge base.
-        let mut cur_readers = 0u64;
-        let mut writers = match self.dir[b] {
-            DirState::Multi { writers, readers } => {
-                cur_readers = readers;
-                writers
-            }
-            DirState::Excl { owner } => {
-                if owner != h {
-                    // Owner flushes its current copy home and keeps writing.
-                    self.cluster.charge_handler(
-                        owner,
-                        cfg.handler_dispatch_ns + cfg.block_copy_ns,
-                    );
-                    self.cluster.note_msg(owner, cfg.block_bytes);
-                    self.cluster
-                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.copy_words(owner, h, s, e - s);
-                    stall += cfg.one_way_ns(8)
-                        + self.hc(2 * cfg.handler_dispatch_ns + 2 * cfg.block_copy_ns)
-                        + cfg.one_way_ns(cfg.block_bytes);
-                }
-                self.make_twin(owner, b);
-                self.multi_blocks.push(b);
-                DirState::bit(owner)
-            }
-            DirState::Shared { readers } => {
-                for r in DirState::nodes(readers) {
-                    if r != p {
-                        self.cluster.note_msg(h, 8);
-                        self.cluster
-                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
-                        self.cluster.set_tag(r, b, Access::Invalid);
-                    }
-                }
-                self.multi_blocks.push(b);
-                0
-            }
-        };
-        // `p` joins: fetch the merge base if it has no valid copy.
-        if self.cluster.tag(p, b) == Access::Invalid {
-            stall += self.data_home_to(p, h, b, &mut 0);
-        }
-        self.make_twin(p, b);
-        self.cluster.set_tag(p, b, Access::ReadWrite);
-        writers |= DirState::bit(p);
-        cur_readers &= !DirState::bit(p);
-        if h != p && writers & DirState::bit(h) == 0 {
-            self.cluster.set_tag(h, b, Access::Invalid);
-        }
-        self.dir[b] = DirState::Multi {
-            writers,
-            readers: cur_readers,
-        };
-        self.cluster.charge(p, stall, ChargeKind::Stall);
-    }
-
-    // ------------------------------------------------------------------
-    // Write-update protocol paths
-    // ------------------------------------------------------------------
-
-    /// Update-protocol read fault: the home's copy is always current at
-    /// interval boundaries, so every miss is a clean 2-hop fetch — and
-    /// the copy then stays valid forever (writers update it in place).
-    fn read_access_update(&mut self, p: NodeId, b: usize) {
-        let cfg = self.cluster.cfg().clone();
-        let h = self.cluster.home_of_block(b);
-        let (s, e) = self.cluster.block_words(b);
-        self.cluster.map_range(p, s, e - s);
-        self.cluster.stats_mut(p).read_misses += 1;
-        let mut stall = cfg.fault_detect_ns + self.hc(cfg.dir_lookup_ns);
-        if p != h {
-            stall += cfg.one_way_ns(8) + self.hc(cfg.handler_dispatch_ns);
-            self.cluster.note_msg(p, 8);
-            self.cluster
-                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
-        }
-        stall += self.data_home_to(p, h, b, &mut 0);
-        self.cluster.set_tag(p, b, Access::ReadOnly);
-        stall += cfg.tag_change_ns;
-        self.cluster.charge(p, stall, ChargeKind::Stall);
-        let readers = match self.dir[b] {
-            DirState::Shared { readers } => readers,
-            _ => DirState::bit(h),
-        };
-        self.dir[b] = DirState::Shared {
-            readers: readers | DirState::bit(p) | DirState::bit(h),
-        };
-    }
-
-    /// Update-protocol write fault: register as a writer for this
-    /// interval (twin for the diff), fetching the block only if the node
-    /// has no valid copy. Sharers are *not* invalidated — they receive
-    /// the dirty words at the next release.
-    fn write_access_update(&mut self, p: NodeId, b: usize) {
-        let cfg = self.cluster.cfg().clone();
-        if self.cluster.tag(p, b) == Access::ReadWrite {
-            if !self.twins.contains_key(&(b, p)) {
-                // Standing writer, new interval: local bookkeeping only.
-                self.make_twin(p, b);
-                self.update_set.push((b, p));
-                self.cluster.charge(p, cfg.tag_change_ns, ChargeKind::Stall);
-                // Normalize the directory (the home node starts out
-                // recorded as an exclusive owner).
-                let readers = match self.dir[b] {
-                    DirState::Shared { readers } => readers,
-                    _ => 0,
-                };
-                let h = self.cluster.home_of_block(b);
-                self.dir[b] = DirState::Shared {
-                    readers: readers | DirState::bit(p) | DirState::bit(h),
-                };
-            }
-            return;
-        }
-        let h = self.cluster.home_of_block(b);
-        let (s, e) = self.cluster.block_words(b);
-        self.cluster.map_range(p, s, e - s);
-        self.cluster.stats_mut(p).write_misses += 1;
-        let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
-        if p != h {
-            // Eager registration with the home directory.
-            stall += cfg.msg_send_ns;
-            self.cluster.note_msg(p, 8);
-            self.cluster.note_pending_write(p);
-            self.cluster
-                .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
-        }
-        if self.cluster.tag(p, b) == Access::Invalid {
-            stall += self.data_home_to(p, h, b, &mut 0);
-        }
-        self.cluster.set_tag(p, b, Access::ReadWrite);
-        self.make_twin(p, b);
-        self.update_set.push((b, p));
-        self.cluster.charge(p, stall, ChargeKind::Stall);
-        let readers = match self.dir[b] {
-            DirState::Shared { readers } => readers,
-            _ => DirState::bit(h),
-        };
-        self.dir[b] = DirState::Shared {
-            readers: readers | DirState::bit(p) | DirState::bit(h),
-        };
-    }
-
-    /// Update-protocol release: every writer propagates its dirty words
-    /// to the home and every other sharer — the cost that grows with the
-    /// sharer set and makes update protocols expensive for migratory or
-    /// single-consumer data.
-    fn release_update(&mut self) {
-        let cfg = self.cluster.cfg().clone();
-        let mut set = std::mem::take(&mut self.update_set);
-        set.sort_unstable();
-        set.dedup();
-        for (b, w) in set {
-            let mask = self.diff_mask(w, b);
-            self.twins.remove(&(b, w));
-            if mask == 0 {
-                continue;
-            }
-            let bytes = 8 + 8 * mask.count_ones() as usize;
-            let DirState::Shared { readers } = self.dir[b] else {
-                unreachable!("update-protocol blocks are always Shared");
-            };
-            for t in DirState::nodes(readers) {
-                if t == w {
-                    continue;
-                }
-                self.cluster.note_msg(w, bytes);
-                self.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
-                self.cluster
-                    .charge_handler(t, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                self.cluster.merge_block_words(w, t, b, mask);
-            }
-        }
-        self.cluster.barrier();
-    }
-
-    /// Release point: merge all `Multi` blocks home via word diffs, then
-    /// execute the global barrier. Exclusive blocks stay with their owner
-    /// — the property run-time overhead elimination relies on (§4.3).
-    pub fn release_barrier(&mut self) {
-        if self.kind == ProtocolKind::WriteUpdate {
-            return self.release_update();
-        }
-        let cfg = self.cluster.cfg().clone();
-        let blocks = std::mem::take(&mut self.multi_blocks);
-        for b in blocks {
-            let DirState::Multi { writers, readers } = self.dir[b] else {
-                continue;
-            };
-            let h = self.cluster.home_of_block(b);
-            for r in DirState::nodes(readers) {
-                // Transient readers of the old merge base are invalidated.
-                self.cluster.set_tag(r, b, Access::Invalid);
-            }
-            for w in DirState::nodes(writers) {
-                let mask = self.diff_mask(w, b);
-                let dirty = mask.count_ones() as usize;
-                let bytes = 8 + 8 * dirty;
-                if w != h {
-                    self.cluster.note_msg(w, bytes);
-                    self.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
-                    self.cluster
-                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.merge_block_words(w, h, b, mask);
-                }
-                self.cluster.set_tag(w, b, Access::Invalid);
-                self.twins.remove(&(b, w));
-            }
-            self.cluster.set_tag(h, b, Access::ReadWrite);
-            self.dir[b] = DirState::Excl { owner: h };
-        }
-        self.cluster.barrier();
-    }
-
-    /// Check internal consistency between directory state and tags; used
-    /// by tests after barriers ("a final barrier assures that things are
-    /// consistent again with the information at the directory").
-    pub fn check_consistency(&self) -> Result<(), String> {
-        if self.kind == ProtocolKind::WriteUpdate {
-            // After a release, every valid copy must equal the home copy.
-            for b in 0..self.cluster.n_blocks() {
-                let h = self.cluster.home_of_block(b);
-                let (s, e) = self.cluster.block_words(b);
-                for n in 0..self.cluster.nprocs() {
-                    if n != h && self.cluster.tag(n, b) != Access::Invalid {
-                        for w in s..e {
-                            if self.cluster.node_mem(n)[w].to_bits()
-                                != self.cluster.node_mem(h)[w].to_bits()
-                            {
-                                return Err(format!(
-                                    "update protocol: node {n} copy of block {b} diverges at word {w}"
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-            return Ok(());
-        }
-        for b in 0..self.cluster.n_blocks() {
-            match self.dir[b] {
-                DirState::Excl { owner } => {
-                    for n in 0..self.cluster.nprocs() {
-                        let t = self.cluster.tag(n, b);
-                        if n != owner && t == Access::ReadWrite && !self.is_ctl_block(n, b) {
-                            return Err(format!(
-                                "block {b}: node {n} is ReadWrite but directory says Excl({owner})"
-                            ));
-                        }
-                    }
-                }
-                DirState::Shared { readers } => {
-                    for n in 0..self.cluster.nprocs() {
-                        let t = self.cluster.tag(n, b);
-                        if t == Access::ReadWrite {
-                            return Err(format!(
-                                "block {b}: node {n} is ReadWrite but directory says Shared"
-                            ));
-                        }
-                        if t == Access::ReadOnly && readers & DirState::bit(n) == 0 {
-                            return Err(format!(
-                                "block {b}: node {n} is ReadOnly but not in sharer mask"
-                            ));
-                        }
-                    }
-                }
-                DirState::Multi { .. } => {
-                    return Err(format!("block {b}: Multi state survived a release"));
-                }
-            }
-        }
-        Ok(())
-    }
-
     /// During compiler control a reader may legitimately hold ReadWrite on
     /// a block the directory believes exclusive elsewhere (Figure 2C/2D).
     /// `check_consistency` is only called outside such windows, but the
     /// hook is kept overridable for tests.
-    fn is_ctl_block(&self, _node: NodeId, _b: usize) -> bool {
+    pub(crate) fn is_ctl_block(&self, _node: NodeId, _b: usize) -> bool {
         false
+    }
+
+    // ------------------------------------------------------------------
+    // Facade: default-protocol transactions (dispatch to the Protocol)
+    // ------------------------------------------------------------------
+
+    /// Run `f` against the active protocol, which is temporarily taken
+    /// out of `self` so it can borrow the whole [`Dsm`] mutably.
+    fn with_proto<R>(&mut self, f: impl FnOnce(&mut dyn Protocol, &mut Dsm) -> R) -> R {
+        let mut proto = self.proto.take().expect("protocol re-entered");
+        let r = f(proto.as_mut(), self);
+        self.proto = Some(proto);
+        r
+    }
+
+    /// Service a read fault: bring block `b` to at least `ReadOnly` at
+    /// `p`. No-op (and no cost) if `p` already has a valid copy — "inner
+    /// cache blocks are brought once and for ever into the local memory
+    /// and pay no further overhead" (§2).
+    pub fn read_access(&mut self, p: NodeId, b: usize) {
+        if self.cluster.tag(p, b) != Access::Invalid {
+            return;
+        }
+        self.with_proto(|proto, d| proto.read_access(d, p, b));
+    }
+
+    /// Service a write fault where `p` is the interval's single writer.
+    pub fn write_access_excl(&mut self, p: NodeId, b: usize) {
+        self.with_proto(|proto, d| proto.write_access_excl(d, p, b));
+    }
+
+    /// Service a write fault on a block that *multiple* nodes write in
+    /// the same interval.
+    pub fn write_access_multi(&mut self, p: NodeId, b: usize) {
+        self.with_proto(|proto, d| proto.write_access_multi(d, p, b));
+    }
+
+    /// Release point: let the protocol propagate interval writes, then
+    /// execute the global barrier.
+    pub fn release_barrier(&mut self) {
+        self.with_proto(|proto, d| proto.release(d));
+        self.cluster.barrier();
+    }
+
+    /// Check internal consistency between directory state, tags and data;
+    /// used by tests after barriers ("a final barrier assures that things
+    /// are consistent again with the information at the directory").
+    pub fn check_consistency(&self) -> Result<(), String> {
+        self.proto().check(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fgdsm_tempest::{CostModel, HomePolicy, SegmentLayout};
+    use fgdsm_tempest::{ChargeKind, CostModel, HomePolicy, SegmentLayout};
 
     fn dsm(nprocs: usize, cfg: CostModel) -> Dsm {
         let mut layout = SegmentLayout::new(cfg.words_per_page());
         layout.alloc(4096);
         Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
+    }
+
+    #[test]
+    fn protocol_identity_is_queryable() {
+        let d = dsm(2, CostModel::paper_dual_cpu());
+        assert_eq!(d.protocol_name(), "eager-invalidate");
+        assert!(d.supports_ctl());
+        let cfg = CostModel::paper_dual_cpu();
+        let mut layout = SegmentLayout::new(cfg.words_per_page());
+        layout.alloc(512);
+        let u = Dsm::with_protocol(
+            Cluster::new(2, cfg, &layout, HomePolicy::RoundRobin),
+            ProtocolKind::WriteUpdate,
+        );
+        assert_eq!(u.protocol_name(), "write-update");
+        assert!(!u.supports_ctl());
+    }
+
+    #[test]
+    fn third_party_protocols_plug_in() {
+        /// A deliberately naive protocol: every fault is a full home
+        /// fetch, releases do nothing but the barrier. Exists to prove
+        /// the trait boundary is sufficient for external policies.
+        struct AlwaysFetch;
+        impl Protocol for AlwaysFetch {
+            fn name(&self) -> &'static str {
+                "always-fetch"
+            }
+            fn supports_ctl(&self) -> bool {
+                false
+            }
+            fn read_access(&mut self, d: &mut Dsm, p: NodeId, b: usize) {
+                let h = d.cluster.home_of_block(b);
+                let (s, e) = d.cluster.block_words(b);
+                d.cluster.map_range(p, s, e - s);
+                let stall = d.data_home_to(p, h, b);
+                d.cluster.set_tag(p, b, Access::ReadOnly);
+                d.cluster.charge(p, stall, ChargeKind::Stall);
+            }
+            fn write_access_excl(&mut self, d: &mut Dsm, p: NodeId, b: usize) {
+                self.read_access(d, p, b);
+                d.cluster.set_tag(p, b, Access::ReadWrite);
+                d.set_dir(b, DirState::Excl { owner: p });
+            }
+            fn write_access_multi(&mut self, d: &mut Dsm, p: NodeId, b: usize) {
+                self.write_access_excl(d, p, b);
+            }
+            fn release(&mut self, _d: &mut Dsm) {}
+            fn check(&self, _d: &Dsm) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let cfg = CostModel::paper_dual_cpu();
+        let mut layout = SegmentLayout::new(cfg.words_per_page());
+        layout.alloc(1024);
+        let mut d = Dsm::with_protocol_impl(
+            Cluster::new(2, cfg, &layout, HomePolicy::RoundRobin),
+            Box::new(AlwaysFetch),
+        );
+        assert_eq!(d.protocol_name(), "always-fetch");
+        d.write_access_excl(1, 0);
+        d.cluster.node_mem_mut(1)[0] = 3.5;
+        d.release_barrier();
+        assert!(d.dir_state(0).is_excl_by(1));
+        assert_eq!(d.cluster.node_mem(1)[0], 3.5);
     }
 
     #[test]
@@ -794,6 +495,39 @@ mod tests {
         assert_eq!(dd.cluster.clock_ns(0), 0);
     }
 
+    #[test]
+    fn faults_appear_in_the_trace() {
+        use fgdsm_tempest::{Event, FaultKind};
+        let mut d = dsm(2, CostModel::paper_dual_cpu());
+        d.read_access(1, 0);
+        d.write_access_excl(1, 1);
+        let read_faults = d
+            .cluster
+            .trace()
+            .entries(1)
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    Event::Fault {
+                        block: 0,
+                        kind: FaultKind::Read
+                    }
+                )
+            })
+            .count();
+        assert_eq!(read_faults, 1, "read fault must be a typed trace event");
+        assert!(
+            d.cluster.trace().entries(1).any(|e| matches!(
+                e.event,
+                Event::Fault {
+                    block: 1,
+                    kind: FaultKind::Write
+                }
+            )),
+            "write fault must be a typed trace event"
+        );
+    }
+
     fn dsm_update(nprocs: usize) -> Dsm {
         let cfg = CostModel::paper_dual_cpu();
         let mut layout = SegmentLayout::new(cfg.words_per_page());
@@ -820,7 +554,11 @@ mod tests {
             d.read_access(2, 0); // no-op: copy still valid
             assert_eq!(d.cluster.node_mem(2)[5], step as f64 + 1.0);
         }
-        assert_eq!(d.cluster.stats(2).read_misses, 1, "no re-fetch under update");
+        assert_eq!(
+            d.cluster.stats(2).read_misses,
+            1,
+            "no re-fetch under update"
+        );
     }
 
     #[test]

@@ -3,11 +3,15 @@
 //! writer unless explicitly multi-written, plus any number of readers)
 //! must keep the directory consistent at every barrier and propagate
 //! values exactly like an idealized shared memory.
+//!
+//! Gated behind the `proptest` feature so the default tier-1 test run stays
+//! fast: `cargo test -p fgdsm-protocol --features proptest`.
+#![cfg(feature = "proptest")]
 #![allow(clippy::needless_range_loop)] // word loops index the model vec in parallel
 
 use fgdsm_protocol::Dsm;
 use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
-use proptest::prelude::*;
+use fgdsm_testkit::{check_cases, Rng};
 
 const NPROCS: usize = 4;
 const BLOCKS: usize = 24;
@@ -20,20 +24,20 @@ struct Interval {
     readers: Vec<u8>,
 }
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    let per_block = (0u8..16, 0u8..16).prop_map(|(w, r)| {
+fn random_interval(rng: &mut Rng) -> Interval {
+    let mut writers = Vec::with_capacity(BLOCKS);
+    let mut readers = Vec::with_capacity(BLOCKS);
+    for _ in 0..BLOCKS {
+        let w = rng.below(16) as u8;
         // Bias toward at most one writer; allow multi occasionally.
-        let writers = match w {
+        writers.push(match w {
             0..=7 => None,
-            8..=11 => Some(1u8 << (w % 4)),                 // one writer
+            8..=11 => Some(1u8 << (w % 4)), // one writer
             _ => Some((1u8 << (w % 4)) | (1u8 << ((w + 1) % 4))), // two writers
-        };
-        (writers, r)
-    });
-    prop::collection::vec(per_block, BLOCKS).prop_map(|v| Interval {
-        writers: v.iter().map(|&(w, _)| w).collect(),
-        readers: v.iter().map(|&(_, r)| r).collect(),
-    })
+        });
+        readers.push(rng.below(16) as u8);
+    }
+    Interval { writers, readers }
 }
 
 fn fresh() -> Dsm {
@@ -43,11 +47,11 @@ fn fresh() -> Dsm {
     Dsm::new(Cluster::new(NPROCS, cfg, &layout, HomePolicy::RoundRobin))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_intervals_stay_coherent(ivs in prop::collection::vec(interval_strategy(), 1..8)) {
+#[test]
+fn random_intervals_stay_coherent() {
+    check_cases(64, |rng| {
+        let n_ivs = rng.range(1, 8);
+        let ivs: Vec<Interval> = rng.vec(n_ivs, random_interval);
         let mut d = fresh();
         let wpb = d.cluster.words_per_block();
         // Idealized shared memory: the model value of every word.
@@ -62,8 +66,8 @@ proptest! {
                 if let Some(wmask) = iv.writers[b] {
                     let writers: Vec<usize> =
                         (0..NPROCS).filter(|&n| wmask & (1 << n) != 0).collect();
-                    let remote_reader = (0..NPROCS)
-                        .any(|n| iv.readers[b] & (1 << n) != 0 && !writers.contains(&n));
+                    let remote_reader =
+                        (0..NPROCS).any(|n| iv.readers[b] & (1 << n) != 0 && !writers.contains(&n));
                     if writers.len() > 1 || remote_reader {
                         for &w in &writers {
                             d.write_access_multi(w, b);
@@ -87,10 +91,10 @@ proptest! {
                 for n in 0..NPROCS {
                     if iv.readers[b] & (1 << n) != 0 {
                         for w in s..e {
-                            prop_assert_eq!(
+                            assert_eq!(
                                 d.cluster.node_mem(n)[w].to_bits(),
                                 model[w].to_bits(),
-                                "reader {} of block {} word {}", n, b, w
+                                "reader {n} of block {b} word {w}"
                             );
                         }
                     }
@@ -117,9 +121,9 @@ proptest! {
                 }
             }
             d.release_barrier();
-            d.check_consistency().map_err(|e| {
-                TestCaseError::fail(format!("inconsistent after barrier: {e}"))
-            })?;
+            if let Err(e) = d.check_consistency() {
+                panic!("inconsistent after barrier: {e}");
+            }
         }
         // Final gather through the directory matches the model exactly.
         for b in 0..BLOCKS {
@@ -129,21 +133,24 @@ proptest! {
             };
             let (s, e) = d.cluster.block_words(b);
             for w in s..e {
-                prop_assert_eq!(
+                assert_eq!(
                     d.cluster.node_mem(src)[w].to_bits(),
                     model[w].to_bits(),
-                    "gather of block {} word {}", b, w
+                    "gather of block {b} word {w}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ctl_contract_random_ranges(
-        ranges in prop::collection::vec((0usize..BLOCKS, 1usize..8), 1..6),
-        bulk in any::<bool>(),
-        memo in any::<bool>(),
-    ) {
+#[test]
+fn ctl_contract_random_ranges() {
+    check_cases(64, |rng| {
+        let n_ranges = rng.range(1, 6);
+        let ranges: Vec<(usize, usize)> =
+            rng.vec(n_ranges, |r| (r.range(0, BLOCKS), r.range(1, 8)));
+        let bulk = rng.flag();
+        let memo = rng.flag();
         // Random compiler-controlled pushes over random (possibly
         // overlapping) block ranges always end consistent and deliver the
         // owner's data.
@@ -164,15 +171,17 @@ proptest! {
             d.send_range(1, &[2], start, end, bulk);
             d.ready_to_recv(2);
             for w in start * wpb..end * wpb {
-                prop_assert_eq!(d.cluster.node_mem(2)[w], w as f64 + 0.5);
+                assert_eq!(d.cluster.node_mem(2)[w], w as f64 + 0.5);
             }
             if !memo {
                 d.implicit_invalidate(2, start, end);
             }
             d.release_barrier();
             if !memo {
-                d.check_consistency().map_err(TestCaseError::fail)?;
+                if let Err(e) = d.check_consistency() {
+                    panic!("{e}");
+                }
             }
         }
-    }
+    });
 }

@@ -256,10 +256,7 @@ mod tests {
         let k = Var("k");
         assert_eq!(Affine::constant(3).to_string(), "3");
         assert_eq!(Affine::var(k).to_string(), "k");
-        assert_eq!(
-            Affine::var(k).scale(-2).plus_const(1).to_string(),
-            "1-2k"
-        );
+        assert_eq!(Affine::var(k).scale(-2).plus_const(1).to_string(), "1-2k");
     }
 
     #[test]

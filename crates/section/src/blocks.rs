@@ -45,7 +45,10 @@ impl BlockSubset {
 /// Panics if `block_size` is zero or not a power of two (Tempest blocks are
 /// 32–128 bytes).
 pub fn block_subset(lo: usize, hi: usize, block_size: usize) -> BlockSubset {
-    assert!(block_size.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        block_size.is_power_of_two(),
+        "block size must be a power of two"
+    );
     if hi <= lo {
         return BlockSubset {
             first_block: lo / block_size,

@@ -302,11 +302,7 @@ mod tests {
     fn three_d_plane() {
         // Plane k=3 of a 4x4x4 array: contiguous 16 elements at offset 48.
         let l = ColumnMajor::new(&[4, 4, 4]);
-        let s = Section::new(vec![
-            Range::new(0, 3),
-            Range::new(0, 3),
-            Range::new(3, 3),
-        ]);
+        let s = Section::new(vec![Range::new(0, 3), Range::new(0, 3), Range::new(3, 3)]);
         let lr = l.linearize(&s).unwrap();
         assert_eq!(lr.runs.len(), 1);
         assert_eq!(
@@ -319,11 +315,7 @@ mod tests {
     fn three_d_two_partial_dims_enumerates() {
         // Sub-box rows 0..3, cols 1..2, planes 0..2 of a 4x4x4 array.
         let l = ColumnMajor::new(&[4, 4, 4]);
-        let s = Section::new(vec![
-            Range::new(0, 3),
-            Range::new(1, 2),
-            Range::new(0, 2),
-        ]);
+        let s = Section::new(vec![Range::new(0, 3), Range::new(1, 2), Range::new(0, 2)]);
         let lr = l.linearize(&s).unwrap();
         assert_eq!(lr.total_elements(), 4 * 2 * 3);
         // All runs must land inside the array.

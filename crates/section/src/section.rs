@@ -245,7 +245,7 @@ mod tests {
         let parts = a.subtract(&b);
         let total: u64 = parts.iter().map(Section::count).sum();
         assert_eq!(total, 100 - 9); // 3x3 corner removed
-        // Disjointness
+                                    // Disjointness
         let mut seen = std::collections::HashSet::new();
         for p in &parts {
             for pt in p.points() {

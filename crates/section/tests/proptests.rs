@@ -4,123 +4,148 @@
 //! integer universes: intersection and difference must agree point-for-point
 //! with naive set semantics, results must be disjoint, and block subsetting
 //! must partition the byte range exactly.
+//!
+//! Gated behind the `proptest` feature so the default tier-1 test run stays
+//! fast: `cargo test -p fgdsm-section --features proptest`.
+#![cfg(feature = "proptest")]
 
 use fgdsm_section::{block_subset, ColumnMajor, Range, Section};
-use proptest::prelude::*;
+use fgdsm_testkit::{check_cases, Rng};
 use std::collections::HashSet;
 
-fn range_strategy() -> impl Strategy<Value = Range> {
-    (-20i64..40, 0i64..30, 1i64..6).prop_map(|(lo, len, stride)| Range {
+fn random_range(rng: &mut Rng) -> Range {
+    let lo = rng.range_i64(-20, 40);
+    let len = rng.range_i64(0, 30);
+    let stride = rng.range_i64(1, 6);
+    Range {
         lo,
         hi: lo + len,
         stride,
-    })
+    }
 }
 
 fn model(r: &Range) -> HashSet<i64> {
     r.iter().collect()
 }
 
-proptest! {
-    #[test]
-    fn range_count_matches_model(r in range_strategy()) {
-        prop_assert_eq!(r.count() as usize, model(&r).len());
-    }
+#[test]
+fn range_count_matches_model() {
+    check_cases(128, |rng| {
+        let r = random_range(rng);
+        assert_eq!(r.count() as usize, model(&r).len());
+    });
+}
 
-    #[test]
-    fn range_contains_matches_model(r in range_strategy(), x in -30i64..60) {
-        prop_assert_eq!(r.contains(x), model(&r).contains(&x));
-    }
+#[test]
+fn range_contains_matches_model() {
+    check_cases(128, |rng| {
+        let r = random_range(rng);
+        let x = rng.range_i64(-30, 60);
+        assert_eq!(r.contains(x), model(&r).contains(&x));
+    });
+}
 
-    #[test]
-    fn range_intersect_matches_model(a in range_strategy(), b in range_strategy()) {
+#[test]
+fn range_intersect_matches_model() {
+    check_cases(128, |rng| {
+        let a = random_range(rng);
+        let b = random_range(rng);
         let expected: HashSet<i64> = model(&a).intersection(&model(&b)).copied().collect();
         let mut got = HashSet::new();
         for piece in a.intersect(&b) {
             for x in piece.iter() {
-                prop_assert!(got.insert(x), "intersection pieces overlap at {}", x);
+                assert!(got.insert(x), "intersection pieces overlap at {x}");
             }
         }
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn range_subtract_matches_model(a in range_strategy(), b in range_strategy()) {
+#[test]
+fn range_subtract_matches_model() {
+    check_cases(128, |rng| {
+        let a = random_range(rng);
+        let b = random_range(rng);
         let expected: HashSet<i64> = model(&a).difference(&model(&b)).copied().collect();
         let mut got = HashSet::new();
         for piece in a.subtract(&b) {
             for x in piece.iter() {
-                prop_assert!(got.insert(x), "difference pieces overlap at {}", x);
+                assert!(got.insert(x), "difference pieces overlap at {x}");
             }
         }
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn section_subtract_matches_model(
-        (a0, a1) in (range_strategy(), range_strategy()),
-        (b0, b1) in (range_strategy(), range_strategy()),
-    ) {
-        let a = Section::new(vec![a0, a1]);
-        let b = Section::new(vec![b0, b1]);
+#[test]
+fn section_subtract_matches_model() {
+    check_cases(64, |rng| {
+        let a = Section::new(vec![random_range(rng), random_range(rng)]);
+        let b = Section::new(vec![random_range(rng), random_range(rng)]);
         let am: HashSet<Vec<i64>> = a.points().into_iter().collect();
         let bm: HashSet<Vec<i64>> = b.points().into_iter().collect();
         let expected: HashSet<Vec<i64>> = am.difference(&bm).cloned().collect();
         let mut got = HashSet::new();
         for piece in a.subtract(&b) {
             for pt in piece.points() {
-                prop_assert!(got.insert(pt.clone()), "difference pieces overlap at {:?}", pt);
+                assert!(
+                    got.insert(pt.clone()),
+                    "difference pieces overlap at {pt:?}"
+                );
             }
         }
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn section_intersect_matches_model(
-        (a0, a1) in (range_strategy(), range_strategy()),
-        (b0, b1) in (range_strategy(), range_strategy()),
-    ) {
-        let a = Section::new(vec![a0, a1]);
-        let b = Section::new(vec![b0, b1]);
+#[test]
+fn section_intersect_matches_model() {
+    check_cases(64, |rng| {
+        let a = Section::new(vec![random_range(rng), random_range(rng)]);
+        let b = Section::new(vec![random_range(rng), random_range(rng)]);
         let am: HashSet<Vec<i64>> = a.points().into_iter().collect();
         let bm: HashSet<Vec<i64>> = b.points().into_iter().collect();
         let expected: HashSet<Vec<i64>> = am.intersection(&bm).cloned().collect();
         let mut got = HashSet::new();
         for piece in a.intersect(&b) {
             for pt in piece.points() {
-                prop_assert!(got.insert(pt.clone()), "intersection pieces overlap at {:?}", pt);
+                assert!(
+                    got.insert(pt.clone()),
+                    "intersection pieces overlap at {pt:?}"
+                );
             }
         }
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    #[test]
-    fn block_subset_partitions_range(
-        lo in 0usize..4096,
-        len in 0usize..4096,
-        bs_log in 5u32..8, // 32..128
-    ) {
-        let bs = 1usize << bs_log;
+#[test]
+fn block_subset_partitions_range() {
+    check_cases(256, |rng| {
+        let lo = rng.range(0, 4096);
+        let len = rng.range(0, 4096);
+        let bs = 1usize << rng.range(5, 8); // 32..128
         let hi = lo + len;
         let s = block_subset(lo, hi, bs);
         // head + whole blocks + tail exactly tile [lo, hi)
-        prop_assert_eq!(s.head_bytes + s.block_count() * bs + s.tail_bytes, hi - lo);
+        assert_eq!(s.head_bytes + s.block_count() * bs + s.tail_bytes, hi - lo);
         // whole blocks lie inside [lo, hi) and are aligned
         if !s.is_empty() {
             let (blo, bhi) = s.byte_range(bs);
-            prop_assert!(blo >= lo && bhi <= hi);
-            prop_assert_eq!(blo % bs, 0);
-            prop_assert_eq!(bhi % bs, 0);
+            assert!(blo >= lo && bhi <= hi);
+            assert_eq!(blo % bs, 0);
+            assert_eq!(bhi % bs, 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn linearize_covers_section_exactly(
-        rows in 1usize..12,
-        cols in 1usize..12,
-        r0 in range_strategy(),
-        r1 in range_strategy(),
-    ) {
+#[test]
+fn linearize_covers_section_exactly() {
+    check_cases(96, |rng| {
+        let rows = rng.range(1, 12);
+        let cols = rng.range(1, 12);
+        let r0 = random_range(rng);
+        let r1 = random_range(rng);
         let l = ColumnMajor::new(&[rows, cols]);
         // Clamp ranges into bounds and force dim0 dense so linearize accepts.
         let d0 = Range::new(r0.lo.rem_euclid(rows as i64), r0.hi.rem_euclid(rows as i64));
@@ -134,12 +159,11 @@ proptest! {
             let mut offsets: HashSet<usize> = HashSet::new();
             for (start, len) in lr.iter_runs() {
                 for o in start..start + len {
-                    prop_assert!(offsets.insert(o), "linearized runs overlap at {}", o);
+                    assert!(offsets.insert(o), "linearized runs overlap at {o}");
                 }
             }
-            let expected: HashSet<usize> =
-                sec.points().iter().map(|pt| l.offset(pt)).collect();
-            prop_assert_eq!(offsets, expected);
+            let expected: HashSet<usize> = sec.points().iter().map(|pt| l.offset(pt)).collect();
+            assert_eq!(offsets, expected);
         }
-    }
+    });
 }

@@ -13,6 +13,7 @@
 
 use crate::costs::{CostModel, CpuMode};
 use crate::stats::{ClusterReport, NodeStats};
+use crate::trace::{Event, Trace};
 
 /// Index of a node in the cluster.
 pub type NodeId = usize;
@@ -107,7 +108,7 @@ pub struct Cluster {
     tags: Vec<Vec<Access>>,
     clock: Vec<u64>,
     pending_writes: Vec<u64>, // outstanding eager-write transactions
-    stats: Vec<NodeStats>,
+    trace: Trace,
     makespan_ns: u64,
 }
 
@@ -117,7 +118,10 @@ impl Cluster {
         assert!(nprocs >= 1);
         let words_per_block = cfg.words_per_block();
         let words_per_page = cfg.words_per_page();
-        assert_eq!(layout.page_words, words_per_page, "layout/page size mismatch");
+        assert_eq!(
+            layout.page_words, words_per_page,
+            "layout/page size mismatch"
+        );
         let seg_words = layout.total_words().max(words_per_page);
         let n_pages = seg_words.div_ceil(words_per_page);
         let n_blocks = seg_words.div_ceil(words_per_block);
@@ -146,10 +150,12 @@ impl Cluster {
             mapped: (0..nprocs)
                 .map(|_| vec![0u64; n_pages.div_ceil(64)])
                 .collect(),
-            tags: (0..nprocs).map(|_| vec![Access::Invalid; n_blocks]).collect(),
+            tags: (0..nprocs)
+                .map(|_| vec![Access::Invalid; n_blocks])
+                .collect(),
             clock: vec![0; nprocs],
             pending_writes: vec![0; nprocs],
-            stats: (0..nprocs).map(|_| NodeStats::default()).collect(),
+            trace: Trace::new(nprocs),
             makespan_ns: 0,
         };
         // The home node of each page starts with a mapped page and
@@ -159,7 +165,8 @@ impl Cluster {
             let h = c.home[page];
             c.mapped[h][page / 64] |= 1 << (page % 64);
             let first_block = page * words_per_page / words_per_block;
-            let end_block = (((page + 1) * words_per_page).min(seg_words)).div_ceil(words_per_block);
+            let end_block =
+                (((page + 1) * words_per_page).min(seg_words)).div_ceil(words_per_block);
             for b in first_block..end_block.min(n_blocks) {
                 // Only if this node is the home of the block (blocks never
                 // span pages because both are powers of two and block ≤ page).
@@ -305,7 +312,7 @@ impl Cluster {
             }
         }
         if newly > 0 {
-            self.stats[node].pages_mapped += newly;
+            self.record(node, Event::PageMap { pages: newly });
             self.charge(node, newly * self.cfg.page_map_ns, ChargeKind::Stall);
         }
         newly
@@ -326,14 +333,31 @@ impl Cluster {
         self.clock[node]
     }
 
+    /// Record a typed trace event for `node`, stamped with the node's
+    /// current virtual clock. All statistics flow through here: the trace
+    /// folds events into per-node aggregates online, so the event log and
+    /// the report can never disagree.
+    pub fn record(&mut self, node: NodeId, event: Event) {
+        self.trace.record(node, self.clock[node], event);
+    }
+
+    /// The structured event trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mark a superstep boundary (one parallel loop completed) on every
+    /// node.
+    pub fn record_superstep(&mut self) {
+        for n in 0..self.nprocs {
+            self.record(n, Event::Superstep);
+        }
+    }
+
     /// Charge `ns` to `node`'s clock under the given accounting category.
     pub fn charge(&mut self, node: NodeId, ns: u64, kind: ChargeKind) {
         self.clock[node] += ns;
-        match kind {
-            ChargeKind::Compute => self.stats[node].compute_ns += ns,
-            ChargeKind::Stall => self.stats[node].stall_ns += ns,
-            ChargeKind::CtlCall => self.stats[node].ctl_call_ns += ns,
-        }
+        self.record(node, Event::Charge { kind, ns });
     }
 
     /// Charge protocol-handler occupancy executed at `node` on behalf of a
@@ -342,17 +366,21 @@ impl Cluster {
     /// single-cpu mode it steals time from the compute CPU.
     pub fn charge_handler(&mut self, node: NodeId, ns: u64) {
         let scaled = self.cfg.handler_cost(ns);
-        self.stats[node].handler_ns += scaled;
         if self.cfg.cpu == CpuMode::Single {
             self.clock[node] += scaled;
         }
+        self.record(node, Event::Handler { ns: scaled });
     }
 
     /// Record a message of `payload_bytes` sent from `src` (stats only;
     /// time is charged by the caller according to the transaction shape).
     pub fn note_msg(&mut self, src: NodeId, payload_bytes: usize) {
-        self.stats[src].msgs_sent += 1;
-        self.stats[src].bytes_sent += payload_bytes as u64;
+        self.record(
+            src,
+            Event::Msg {
+                bytes: payload_bytes as u64,
+            },
+        );
     }
 
     /// Record an outstanding eager-write transaction at `node` (release
@@ -362,14 +390,9 @@ impl Cluster {
         self.pending_writes[node] += 1;
     }
 
-    /// Mutable access to a node's stat block (protocol event counters).
-    pub fn stats_mut(&mut self, node: NodeId) -> &mut NodeStats {
-        &mut self.stats[node]
-    }
-
-    /// Immutable per-node stats.
+    /// Immutable per-node stats (aggregates folded from the trace).
     pub fn stats(&self, node: NodeId) -> &NodeStats {
-        &self.stats[node]
+        self.trace.stats(node)
     }
 
     // ------------------------------------------------------------------
@@ -390,8 +413,10 @@ impl Cluster {
         let max = self.clock.iter().copied().max().unwrap_or(0);
         let done = max + self.cfg.barrier_cost_ns(self.nprocs);
         for n in 0..self.nprocs {
-            self.stats[n].barrier_ns += done - self.clock[n];
+            let wait = done - self.clock[n];
             self.clock[n] = done;
+            self.record(n, Event::BarrierWait { ns: wait });
+            self.record(n, Event::Barrier);
         }
         self.makespan_ns = done;
     }
@@ -406,14 +431,16 @@ impl Cluster {
             self.cfg.one_way_ns(8) + self.cfg.handler_cost(self.cfg.handler_dispatch_ns);
         for n in 0..self.nprocs {
             self.charge(n, rounds * per_round, ChargeKind::Stall);
-            self.stats[n].reductions += 1;
-            self.stats[n].msgs_sent += rounds;
-            self.stats[n].bytes_sent += 8 * rounds;
+            self.record(n, Event::Reduction);
+            for _ in 0..rounds {
+                self.record(n, Event::Msg { bytes: 8 });
+            }
         }
         let max = self.clock.iter().copied().max().unwrap_or(0);
         for n in 0..self.nprocs {
-            self.stats[n].barrier_ns += max - self.clock[n];
+            let wait = max - self.clock[n];
             self.clock[n] = max;
+            self.record(n, Event::BarrierWait { ns: wait });
         }
         self.makespan_ns = max;
         match op {
@@ -423,13 +450,14 @@ impl Cluster {
         }
     }
 
-    /// Snapshot a full report of the run so far.
+    /// Snapshot a full report of the run so far, derived from the event
+    /// trace (the trace's folded aggregates are the only statistics).
     pub fn report(&self) -> ClusterReport {
-        ClusterReport {
-            nodes: self.stats.clone(),
-            handler_in_comm: self.cfg.cpu == CpuMode::Single,
-            makespan_ns: self.makespan_ns.max(self.clock.iter().copied().max().unwrap_or(0)),
-        }
+        self.trace.report(
+            self.cfg.cpu == CpuMode::Single,
+            self.makespan_ns
+                .max(self.clock.iter().copied().max().unwrap_or(0)),
+        )
     }
 }
 
@@ -524,10 +552,7 @@ mod tests {
         c.note_pending_write(0);
         c.note_pending_write(0);
         c.barrier();
-        assert_eq!(
-            c.stats(0).stall_ns,
-            2 * c.cfg().release_drain_ns
-        );
+        assert_eq!(c.stats(0).stall_ns, 2 * c.cfg().release_drain_ns);
     }
 
     #[test]
@@ -546,7 +571,11 @@ mod tests {
         let mut c = small_cluster(2);
         let t0 = c.clock_ns(1);
         c.charge_handler(1, 1000);
-        assert_eq!(c.clock_ns(1), t0, "dual-cpu: handler does not steal compute");
+        assert_eq!(
+            c.clock_ns(1),
+            t0,
+            "dual-cpu: handler does not steal compute"
+        );
         assert_eq!(c.stats(1).handler_ns, 1000);
 
         let cfg = CostModel::paper_single_cpu();

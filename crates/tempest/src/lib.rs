@@ -34,8 +34,10 @@ pub mod cache;
 pub mod cluster;
 pub mod costs;
 pub mod stats;
+pub mod trace;
 
 pub use cache::CacheModel;
 pub use cluster::{Access, ChargeKind, Cluster, HomePolicy, NodeId, ReduceOp, SegmentLayout};
 pub use costs::{CostModel, CpuMode};
 pub use stats::{ClusterReport, NodeStats};
+pub use trace::{CtlPrim, Event, FaultKind, Trace, TraceEntry};

@@ -54,18 +54,22 @@ impl NodeStats {
     /// computation — miss stalls, compiler-call overhead, synchronization,
     /// and (in single-cpu mode, where it steals the compute CPU) handler
     /// occupancy. `handler_in_comm` selects whether handler time counts.
+    ///
+    /// This is the single timing decomposition in the codebase: the
+    /// report's `comm_s`/`total_s` and the executors' `RunResult::total_s`
+    /// all derive from it (or from the makespan) rather than re-summing
+    /// counters themselves.
     pub fn comm_ns(&self, handler_in_comm: bool) -> u64 {
         let h = if handler_in_comm { self.handler_ns } else { 0 };
         self.stall_ns + self.barrier_ns + self.ctl_call_ns + h
     }
-
-    /// Total virtual time for this node.
-    pub fn total_ns(&self, handler_in_comm: bool) -> u64 {
-        self.compute_ns + self.comm_ns(handler_in_comm)
-    }
 }
 
 /// Aggregated view over all nodes of a run.
+///
+/// Derived from the structured event trace ([`crate::trace::Trace`]): the
+/// per-node stats are the trace's folded aggregates, so the report and
+/// the event log always agree.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterReport {
     /// Per-node stats snapshot.
@@ -87,12 +91,7 @@ impl ClusterReport {
 
     /// Maximum per-node compute time in seconds.
     pub fn compute_s(&self) -> f64 {
-        self.nodes
-            .iter()
-            .map(|n| n.compute_ns)
-            .max()
-            .unwrap_or(0) as f64
-            / 1e9
+        self.nodes.iter().map(|n| n.compute_ns).max().unwrap_or(0) as f64 / 1e9
     }
 
     /// Maximum per-node communication time in seconds.
@@ -137,7 +136,6 @@ mod tests {
         };
         assert_eq!(s.comm_ns(false), 175);
         assert_eq!(s.comm_ns(true), 185);
-        assert_eq!(s.total_ns(false), 1175);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Structured per-node event trace with virtual timestamps.
+//!
+//! Every observable protocol action — block faults, tag upgrades,
+//! compiler-directed control calls, bulk transfers, messages, barriers,
+//! reductions, superstep boundaries — is recorded as a typed [`Event`]
+//! stamped with the acting node's virtual clock. The trace is the *single
+//! source of truth* for run statistics: events are folded online into
+//! per-node [`NodeStats`] as they are recorded, and the [`ClusterReport`]
+//! the executors hand back is derived from the trace, so the Table 3
+//! decomposition (compute vs. communication time, miss counts) and the
+//! event log can never disagree.
+//!
+//! Recent events are additionally kept in a bounded per-node ring buffer
+//! for inspection and JSON export ([`Trace::to_json`]); when the ring
+//! wraps, only the raw entries are dropped — the folded aggregates remain
+//! exact, and [`Trace::dropped`] reports how many entries fell off.
+
+use crate::cluster::ChargeKind;
+use crate::stats::{ClusterReport, NodeStats};
+use std::collections::VecDeque;
+
+/// Default per-node ring capacity (entries kept for export).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Which kind of access-control fault a node took.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// Load from an `Invalid` block: fetch a clean copy.
+    Read,
+    /// Store to an `Invalid` block: fetch an exclusive/writable copy.
+    Write,
+    /// Store to a `ReadOnly` copy: ownership upgrade.
+    Upgrade,
+    /// Store entering the multiple-writer (twin/diff) path.
+    MultiWrite,
+}
+
+/// The compiler-directed protocol primitives of §4.2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CtlPrim {
+    MkWritable,
+    ImplicitWritable,
+    ImplicitInvalidate,
+    SendRange,
+    ReadyToRecv,
+    FlushRange,
+}
+
+/// One typed trace event. Variants carry exactly the quantities folded
+/// into [`NodeStats`], so replaying a trace reproduces the aggregates.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    /// An access-control fault on `block`.
+    Fault { block: usize, kind: FaultKind },
+    /// A compiler-directed control call was issued (the node performing
+    /// the work: the owner for sends/flushes, the user otherwise).
+    Ctl { prim: CtlPrim },
+    /// Blocks pushed to a consumer by a compiler-directed send.
+    CtlSend { blocks: u64 },
+    /// A message left this node carrying `bytes` of payload.
+    Msg { bytes: u64 },
+    /// Virtual time charged to this node's clock.
+    Charge { kind: ChargeKind, ns: u64 },
+    /// Protocol-handler occupancy executed on this node (already scaled
+    /// for the cpu configuration).
+    Handler { ns: u64 },
+    /// Pages newly mapped on first touch.
+    PageMap { pages: u64 },
+    /// Time spent waiting for the others at a synchronization point.
+    BarrierWait { ns: u64 },
+    /// This node passed a global barrier.
+    Barrier,
+    /// This node participated in a reduction.
+    Reduction,
+    /// The executor finished a superstep (one parallel loop).
+    Superstep,
+}
+
+/// An event plus the virtual time at which it completed on its node.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceEntry {
+    pub t_ns: u64,
+    pub event: Event,
+}
+
+/// Per-node ring buffers of recent events plus exact folded aggregates.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    capacity: usize,
+    rings: Vec<VecDeque<TraceEntry>>,
+    stats: Vec<NodeStats>,
+    dropped: Vec<u64>,
+}
+
+impl Trace {
+    /// An empty trace for `nprocs` nodes with the default ring capacity.
+    pub fn new(nprocs: usize) -> Self {
+        Self::with_capacity(nprocs, DEFAULT_RING_CAPACITY)
+    }
+
+    /// An empty trace with an explicit per-node ring capacity.
+    pub fn with_capacity(nprocs: usize, capacity: usize) -> Self {
+        Trace {
+            capacity,
+            rings: (0..nprocs).map(|_| VecDeque::new()).collect(),
+            stats: vec![NodeStats::default(); nprocs],
+            dropped: vec![0; nprocs],
+        }
+    }
+
+    /// Number of nodes traced.
+    pub fn nodes(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Record `event` for `node` at virtual time `t_ns`: fold it into the
+    /// node's aggregates and append it to the (bounded) ring.
+    pub fn record(&mut self, node: usize, t_ns: u64, event: Event) {
+        let s = &mut self.stats[node];
+        match event {
+            Event::Fault { kind, .. } => match kind {
+                FaultKind::Read => s.read_misses += 1,
+                FaultKind::Write | FaultKind::Upgrade | FaultKind::MultiWrite => {
+                    s.write_misses += 1
+                }
+            },
+            Event::Ctl { prim } => match prim {
+                CtlPrim::MkWritable => s.mk_writable_calls += 1,
+                CtlPrim::ImplicitWritable => s.implicit_writable_calls += 1,
+                CtlPrim::ImplicitInvalidate => s.implicit_invalidate_calls += 1,
+                CtlPrim::SendRange => s.send_range_calls += 1,
+                CtlPrim::ReadyToRecv => s.ready_recv_calls += 1,
+                CtlPrim::FlushRange => s.flush_range_calls += 1,
+            },
+            Event::CtlSend { blocks } => s.blocks_pushed += blocks,
+            Event::Msg { bytes } => {
+                s.msgs_sent += 1;
+                s.bytes_sent += bytes;
+            }
+            Event::Charge { kind, ns } => match kind {
+                ChargeKind::Compute => s.compute_ns += ns,
+                ChargeKind::Stall => s.stall_ns += ns,
+                ChargeKind::CtlCall => s.ctl_call_ns += ns,
+            },
+            Event::Handler { ns } => s.handler_ns += ns,
+            Event::PageMap { pages } => s.pages_mapped += pages,
+            Event::BarrierWait { ns } => s.barrier_ns += ns,
+            Event::Barrier | Event::Superstep => {}
+            Event::Reduction => s.reductions += 1,
+        }
+        let ring = &mut self.rings[node];
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped[node] += 1;
+        }
+        ring.push_back(TraceEntry { t_ns, event });
+    }
+
+    /// Folded aggregates for one node (exact, even after ring wrap).
+    pub fn stats(&self, node: usize) -> &NodeStats {
+        &self.stats[node]
+    }
+
+    /// The retained (most recent) entries for one node, oldest first.
+    pub fn entries(&self, node: usize) -> impl Iterator<Item = &TraceEntry> {
+        self.rings[node].iter()
+    }
+
+    /// How many entries have fallen off `node`'s ring.
+    pub fn dropped(&self, node: usize) -> u64 {
+        self.dropped[node]
+    }
+
+    /// Derive the aggregate report the executors hand back. The report is
+    /// *only* constructible from the trace: every counter in it was folded
+    /// from a recorded event.
+    pub fn report(&self, handler_in_comm: bool, makespan_ns: u64) -> ClusterReport {
+        ClusterReport {
+            nodes: self.stats.clone(),
+            handler_in_comm,
+            makespan_ns,
+        }
+    }
+
+    /// Render the retained entries as a JSON document (one object per
+    /// node: drop count plus the entry list). Hand-rolled — the trace
+    /// must stay exportable in the dependency-free build.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\"nodes\":[");
+        for (n, ring) in self.rings.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"node\":{n},\"dropped\":{},\"events\":[",
+                self.dropped[n]
+            )
+            .unwrap();
+            for (i, e) in ring.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "{{\"t_ns\":{},", e.t_ns).unwrap();
+                match e.event {
+                    Event::Fault { block, kind } => write!(
+                        out,
+                        "\"type\":\"fault\",\"block\":{block},\"kind\":\"{kind:?}\""
+                    ),
+                    Event::Ctl { prim } => write!(out, "\"type\":\"ctl\",\"prim\":\"{prim:?}\""),
+                    Event::CtlSend { blocks } => {
+                        write!(out, "\"type\":\"ctl_send\",\"blocks\":{blocks}")
+                    }
+                    Event::Msg { bytes } => write!(out, "\"type\":\"msg\",\"bytes\":{bytes}"),
+                    Event::Charge { kind, ns } => {
+                        write!(out, "\"type\":\"charge\",\"kind\":\"{kind:?}\",\"ns\":{ns}")
+                    }
+                    Event::Handler { ns } => write!(out, "\"type\":\"handler\",\"ns\":{ns}"),
+                    Event::PageMap { pages } => {
+                        write!(out, "\"type\":\"page_map\",\"pages\":{pages}")
+                    }
+                    Event::BarrierWait { ns } => {
+                        write!(out, "\"type\":\"barrier_wait\",\"ns\":{ns}")
+                    }
+                    Event::Barrier => write!(out, "\"type\":\"barrier\""),
+                    Event::Reduction => write!(out, "\"type\":\"reduction\""),
+                    Event::Superstep => write!(out, "\"type\":\"superstep\""),
+                }
+                .unwrap();
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fold_into_stats() {
+        let mut t = Trace::new(2);
+        t.record(
+            0,
+            10,
+            Event::Fault {
+                block: 3,
+                kind: FaultKind::Read,
+            },
+        );
+        t.record(
+            0,
+            20,
+            Event::Fault {
+                block: 4,
+                kind: FaultKind::Upgrade,
+            },
+        );
+        t.record(
+            0,
+            30,
+            Event::Charge {
+                kind: ChargeKind::Compute,
+                ns: 500,
+            },
+        );
+        t.record(0, 40, Event::Msg { bytes: 128 });
+        t.record(
+            1,
+            15,
+            Event::Ctl {
+                prim: CtlPrim::MkWritable,
+            },
+        );
+        t.record(1, 25, Event::CtlSend { blocks: 7 });
+        t.record(1, 35, Event::Handler { ns: 42 });
+        t.record(1, 45, Event::Reduction);
+        let s0 = t.stats(0);
+        assert_eq!(s0.read_misses, 1);
+        assert_eq!(s0.write_misses, 1);
+        assert_eq!(s0.compute_ns, 500);
+        assert_eq!(s0.msgs_sent, 1);
+        assert_eq!(s0.bytes_sent, 128);
+        let s1 = t.stats(1);
+        assert_eq!(s1.mk_writable_calls, 1);
+        assert_eq!(s1.blocks_pushed, 7);
+        assert_eq!(s1.handler_ns, 42);
+        assert_eq!(s1.reductions, 1);
+    }
+
+    #[test]
+    fn ring_bounds_entries_but_not_aggregates() {
+        let mut t = Trace::with_capacity(1, 4);
+        for i in 0..10 {
+            t.record(
+                0,
+                i,
+                Event::Fault {
+                    block: i as usize,
+                    kind: FaultKind::Read,
+                },
+            );
+        }
+        assert_eq!(t.stats(0).read_misses, 10, "aggregates stay exact");
+        assert_eq!(t.entries(0).count(), 4, "ring holds the most recent 4");
+        assert_eq!(t.dropped(0), 6);
+        assert_eq!(t.entries(0).next().unwrap().t_ns, 6);
+    }
+
+    #[test]
+    fn report_is_derived_from_the_trace() {
+        let mut t = Trace::new(2);
+        t.record(
+            0,
+            5,
+            Event::Charge {
+                kind: ChargeKind::Stall,
+                ns: 100,
+            },
+        );
+        t.record(1, 5, Event::BarrierWait { ns: 30 });
+        let r = t.report(true, 999);
+        assert_eq!(r.nodes[0].stall_ns, 100);
+        assert_eq!(r.nodes[1].barrier_ns, 30);
+        assert!(r.handler_in_comm);
+        assert_eq!(r.makespan_ns, 999);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut t = Trace::new(1);
+        t.record(
+            0,
+            1,
+            Event::Fault {
+                block: 0,
+                kind: FaultKind::Read,
+            },
+        );
+        t.record(0, 2, Event::Barrier);
+        let j = t.to_json();
+        assert!(j.starts_with("{\"nodes\":["));
+        assert!(j.contains("\"type\":\"fault\""));
+        assert!(j.contains("\"kind\":\"Read\""));
+        assert!(j.contains("\"type\":\"barrier\""));
+        assert!(j.ends_with("]}"));
+    }
+}

@@ -1,8 +1,12 @@
 //! Property tests for the cluster substrate: clock/charge accounting,
 //! barrier alignment, page-mapping idempotence and segment layout.
+//!
+//! Gated behind the `proptest` feature so the default tier-1 test run stays
+//! fast: `cargo test -p fgdsm-tempest --features proptest`.
+#![cfg(feature = "proptest")]
 
 use fgdsm_tempest::{ChargeKind, Cluster, CostModel, HomePolicy, SegmentLayout};
-use proptest::prelude::*;
+use fgdsm_testkit::{check_cases, Rng};
 
 fn cluster(nprocs: usize, words: usize) -> Cluster {
     let cfg = CostModel::paper_dual_cpu();
@@ -11,11 +15,13 @@ fn cluster(nprocs: usize, words: usize) -> Cluster {
     Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin)
 }
 
-proptest! {
-    #[test]
-    fn charges_accumulate_exactly(
-        charges in prop::collection::vec((0usize..4, 0u64..100_000, 0u8..3), 0..64)
-    ) {
+#[test]
+fn charges_accumulate_exactly() {
+    check_cases(64, |rng| {
+        let n_charges = rng.range(0, 64);
+        let charges: Vec<(usize, u64, u8)> = rng.vec(n_charges, |r| {
+            (r.range(0, 4), r.below(100_000), r.below(3) as u8)
+        });
         let mut c = cluster(4, 2048);
         let mut expect = [[0u64; 3]; 4];
         for &(node, ns, kind) in &charges {
@@ -30,20 +36,18 @@ proptest! {
         #[allow(clippy::needless_range_loop)]
         for n in 0..4 {
             let st = c.stats(n);
-            prop_assert_eq!(st.compute_ns, expect[n][0]);
-            prop_assert_eq!(st.stall_ns, expect[n][1]);
-            prop_assert_eq!(st.ctl_call_ns, expect[n][2]);
-            prop_assert_eq!(
-                c.clock_ns(n),
-                expect[n][0] + expect[n][1] + expect[n][2]
-            );
+            assert_eq!(st.compute_ns, expect[n][0]);
+            assert_eq!(st.stall_ns, expect[n][1]);
+            assert_eq!(st.ctl_call_ns, expect[n][2]);
+            assert_eq!(c.clock_ns(n), expect[n][0] + expect[n][1] + expect[n][2]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn barrier_aligns_all_clocks_past_the_max(
-        pre in prop::collection::vec(0u64..1_000_000, 4)
-    ) {
+#[test]
+fn barrier_aligns_all_clocks_past_the_max() {
+    check_cases(64, |rng| {
+        let pre: Vec<u64> = rng.vec(4, |r| r.below(1_000_000));
         let mut c = cluster(4, 2048);
         for (n, &ns) in pre.iter().enumerate() {
             c.charge(n, ns, ChargeKind::Compute);
@@ -51,61 +55,70 @@ proptest! {
         let max_before = *pre.iter().max().unwrap();
         c.barrier();
         let t = c.clock_ns(0);
-        prop_assert!(t >= max_before + c.cfg().barrier_cost_ns(4));
+        assert!(t >= max_before + c.cfg().barrier_cost_ns(4));
         for n in 1..4 {
-            prop_assert_eq!(c.clock_ns(n), t);
+            assert_eq!(c.clock_ns(n), t);
         }
         // Barrier wait accounting: the slowest node waited the least.
         let slowest = pre.iter().enumerate().max_by_key(|(_, &v)| v).unwrap().0;
         for n in 0..4 {
-            prop_assert!(c.stats(slowest).barrier_ns <= c.stats(n).barrier_ns);
+            assert!(c.stats(slowest).barrier_ns <= c.stats(n).barrier_ns);
         }
-    }
+    });
+}
 
-    #[test]
-    fn map_range_charges_each_page_once(
-        ranges in prop::collection::vec((0usize..4000, 1usize..600), 1..20)
-    ) {
+#[test]
+fn map_range_charges_each_page_once() {
+    check_cases(64, |rng| {
+        let n_ranges = rng.range(1, 20);
+        let ranges: Vec<(usize, usize)> =
+            rng.vec(n_ranges, |r| (r.range(0, 4000), r.range(1, 600)));
         let mut c = cluster(2, 4096);
         let mut mapped_total = 0;
         for &(start, len) in &ranges {
             let len = len.min(4096 - start.min(4095));
-            if len == 0 { continue; }
+            if len == 0 {
+                continue;
+            }
             let start = start.min(4095);
             let n1 = c.map_range(1, start, len.min(4096 - start));
             mapped_total += n1;
             // Second touch is free.
-            prop_assert_eq!(c.map_range(1, start, len.min(4096 - start)), 0);
+            assert_eq!(c.map_range(1, start, len.min(4096 - start)), 0);
         }
-        prop_assert_eq!(c.stats(1).pages_mapped, mapped_total);
-        prop_assert!(mapped_total <= 8); // 4096 words = 8 pages
-    }
+        assert_eq!(c.stats(1).pages_mapped, mapped_total);
+        assert!(mapped_total <= 8); // 4096 words = 8 pages
+    });
+}
 
-    #[test]
-    fn segment_layout_never_overlaps(sizes in prop::collection::vec(1usize..3000, 1..12)) {
+#[test]
+fn segment_layout_never_overlaps() {
+    check_cases(64, |rng| {
+        let n_sizes = rng.range(1, 12);
+        let sizes: Vec<usize> = rng.vec(n_sizes, |r| r.range(1, 3000));
         let mut layout = SegmentLayout::new(512);
         let mut allocs = Vec::new();
         for &sz in &sizes {
             let base = layout.alloc(sz);
-            prop_assert_eq!(base % 512, 0, "allocations are page-aligned");
+            assert_eq!(base % 512, 0, "allocations are page-aligned");
             allocs.push((base, sz));
         }
         for (i, &(b1, s1)) in allocs.iter().enumerate() {
             for &(b2, s2) in &allocs[i + 1..] {
-                prop_assert!(b1 + s1 <= b2 || b2 + s2 <= b1, "allocations overlap");
+                assert!(b1 + s1 <= b2 || b2 + s2 <= b1, "allocations overlap");
             }
         }
-        prop_assert!(layout.total_words() >= allocs.iter().map(|&(b, s)| b + s).max().unwrap());
-    }
+        assert!(layout.total_words() >= allocs.iter().map(|&(b, s)| b + s).max().unwrap());
+    });
+}
 
-    #[test]
-    fn copy_words_is_exact(
-        start in 0usize..1000,
-        len in 0usize..500,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn copy_words_is_exact() {
+    check_cases(64, |rng| {
+        let start = rng.range(0, 1000);
+        let len = rng.range(0, 500).min(2048 - start);
+        let seed = rng.below(1000);
         let mut c = cluster(3, 2048);
-        let len = len.min(2048 - start);
         for w in 0..2048 {
             c.node_mem_mut(0)[w] = (w as f64) * 0.5 + seed as f64;
         }
@@ -116,7 +129,7 @@ proptest! {
             } else {
                 0.0
             };
-            prop_assert_eq!(c.node_mem(2)[w].to_bits(), expect.to_bits());
+            assert_eq!(c.node_mem(2)[w].to_bits(), expect.to_bits());
         }
-    }
+    });
 }

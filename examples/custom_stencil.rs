@@ -151,6 +151,9 @@ fn main() {
     for r in &results[1..] {
         assert_eq!(a, r.array(&program, GRID));
     }
-    println!("\nfinal smoothing delta: {:.6e}", results[0].scalars["delta"]);
+    println!(
+        "\nfinal smoothing delta: {:.6e}",
+        results[0].scalars["delta"]
+    );
     println!("all backends produced identical data ✓");
 }

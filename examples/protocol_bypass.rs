@@ -66,14 +66,13 @@ fn compiler_controlled() -> Dsm {
     // (Figure 2F): the consumer discards its compiler-controlled copies.
     d.implicit_invalidate(2, 0, BLOCKS);
     d.release_barrier();
-    d.check_consistency().expect("directory consistent after contract");
+    d.check_consistency()
+        .expect("directory consistent after contract");
     d
 }
 
 fn main() {
-    println!(
-        "producer→consumer, {BLOCKS} blocks × {STEPS} steps, 128-byte blocks\n"
-    );
+    println!("producer→consumer, {BLOCKS} blocks × {STEPS} steps, 128-byte blocks\n");
     let a = default_protocol();
     let b = compiler_controlled();
 

@@ -37,7 +37,10 @@ fn contract_then_default_protocol_interoperate() {
             }
             d.send_range(1, &[2], 0, blocks, true);
             d.ready_to_recv(2);
-            assert_eq!(d.cluster.node_mem(2)[words - 1], (step * words + words - 1) as f64);
+            assert_eq!(
+                d.cluster.node_mem(2)[words - 1],
+                (step * words + words - 1) as f64
+            );
             d.release_barrier();
         }
         // Compiler releases control; directory still says Excl(owner 1).
@@ -133,7 +136,10 @@ fn one_to_all_push() {
     d.send_range(5, &readers, 0, blocks, true);
     for &r in &readers {
         d.ready_to_recv(r);
-        assert_eq!(d.cluster.node_mem(r)[words - 1], 1000.0 + (words - 1) as f64);
+        assert_eq!(
+            d.cluster.node_mem(r)[words - 1],
+            1000.0 + (words - 1) as f64
+        );
     }
     for &r in &readers {
         d.implicit_invalidate(r, 0, blocks);
