@@ -4,7 +4,10 @@
 set -eux
 
 cargo build --release
-cargo test -q
+# Tier-1 suite under both compute-phase modes: serial and 4 threads.
+# Reports are virtual-time and must be identical either way.
+FGDSM_PAR=0 cargo test -q
+FGDSM_PAR=4 cargo test -q
 cargo test -q --workspace
 # Property suites (proptest is an optional, offline-vendored dev feature).
 cargo test -q --workspace \

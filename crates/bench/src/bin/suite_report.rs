@@ -1,22 +1,53 @@
 //! One-line-per-application summary of absolute virtual times under every
 //! backend — the quickest way to see the whole evaluation at once.
 //!
+//! Besides the virtual (simulated) times, each row records the host
+//! wall-clock spent executing the run, so `bench_results/suite.json`
+//! accumulates a real-speedup trajectory for the threaded compute phase
+//! (`FGDSM_PAR`, see README). Wall-clock is host-dependent and is *not*
+//! part of the canonical report JSON.
+//!
 //!     cargo run --release -p fgdsm-bench --bin suite_report
 //!     FGDSM_FULL=1 cargo run --release -p fgdsm-bench --bin suite_report
+//!     FGDSM_PAR=8 cargo run --release -p fgdsm-bench --bin suite_report
 
 use fgdsm_apps::suite;
-use fgdsm_bench::scale;
-use fgdsm_hpf::{execute, ExecConfig};
+use fgdsm_bench::{json_row, save_json, scale};
+use fgdsm_hpf::{execute, ExecConfig, Parallelism, RunResult};
+
+json_row! {
+    struct Row {
+        app: &'static str,
+        uni_s: f64,
+        unopt_s: f64,
+        unopt_comm_s: f64,
+        opt_s: f64,
+        opt_comm_s: f64,
+        mp_s: f64,
+        mp_comm_s: f64,
+        /// Host wall-clock for the four runs above, in order.
+        wall_ns: Vec<u64>,
+    }
+}
 
 fn main() {
-    println!("suite report — {}\n", fgdsm_bench::scale_label(scale()));
+    println!(
+        "suite report — {} — {} compute worker(s)\n",
+        fgdsm_bench::scale_label(scale()),
+        Parallelism::Auto.workers(),
+    );
+    let mut rows = Vec::new();
     for spec in suite(scale()) {
         let uni = execute(&spec.program, &ExecConfig::sm_unopt(1));
         let un = execute(&spec.program, &ExecConfig::sm_unopt(8));
         let op = execute(&spec.program, &ExecConfig::sm_opt(8));
         let mp = execute(&spec.program, &ExecConfig::mp(8));
+        let wall_ms: f64 = [&uni, &un, &op, &mp]
+            .iter()
+            .map(|r| r.report.wall_s() * 1e3)
+            .sum();
         println!(
-            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3}",
+            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3} | wall {:8.1}ms",
             spec.name,
             uni.total_s(),
             un.total_s(),
@@ -25,6 +56,20 @@ fn main() {
             op.report.comm_s(),
             mp.total_s(),
             mp.report.comm_s(),
+            wall_ms,
         );
+        let wall = |r: &RunResult| r.report.wall_ns;
+        rows.push(Row {
+            app: spec.name,
+            uni_s: uni.total_s(),
+            unopt_s: un.total_s(),
+            unopt_comm_s: un.report.comm_s(),
+            opt_s: op.total_s(),
+            opt_comm_s: op.report.comm_s(),
+            mp_s: mp.total_s(),
+            mp_comm_s: mp.report.comm_s(),
+            wall_ns: vec![wall(&uni), wall(&un), wall(&op), wall(&mp)],
+        });
     }
+    save_json("suite", &rows);
 }

@@ -1,0 +1,63 @@
+//! Serial vs. threaded determinism (the sharded-executor invariant).
+//!
+//! The compute phase dispatches kernels over disjoint `NodeShard`s on
+//! real threads; every charge, trace event, and memory write it performs
+//! is shard-local, so thread scheduling must not be observable. These
+//! tests pin that down end to end: a serial run and a 4-worker run of
+//! the same program must produce byte-identical canonical report JSON,
+//! byte-identical per-node trace streams, and bit-identical gathered
+//! segment data.
+
+use fgdsm_apps::{suite, AppSpec, Scale};
+use fgdsm_bench::NPROCS;
+use fgdsm_hpf::{execute_traced, ExecConfig};
+
+/// Run `spec` under `cfg` serial and with 4 workers; assert equality of
+/// every observable output.
+fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, label: &str) {
+    let (rs, ts) = execute_traced(&spec.program, &cfg.clone().serial());
+    let (rp, tp) = execute_traced(&spec.program, &cfg.clone().threads(4));
+    assert_eq!(
+        rs.report.to_json(),
+        rp.report.to_json(),
+        "{}/{label}: canonical report diverged between serial and threaded runs",
+        spec.name
+    );
+    assert_eq!(
+        ts, tp,
+        "{}/{label}: trace streams diverged between serial and threaded runs",
+        spec.name
+    );
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&rs.data),
+        bits(&rp.data),
+        "{}/{label}: gathered segment diverged between serial and threaded runs",
+        spec.name
+    );
+    assert_eq!(rs.scalars, rp.scalars);
+}
+
+/// Every Table 2 application, every executor configuration, tiny sizes.
+#[test]
+fn whole_suite_is_schedule_independent_at_test_scale() {
+    for spec in suite(Scale::Test) {
+        assert_deterministic(&spec, &ExecConfig::sm_unopt(NPROCS), "sm_unopt");
+        assert_deterministic(&spec, &ExecConfig::sm_opt(NPROCS), "sm_opt");
+        assert_deterministic(&spec, &ExecConfig::mp(NPROCS), "mp");
+    }
+}
+
+/// Two representative applications at the reduced benchmark scale, so
+/// the invariant is exercised on runs long enough for threads to
+/// genuinely interleave (jacobi: regular stencil; grav: reductions).
+#[test]
+fn jacobi_and_grav_are_schedule_independent_at_bench_scale() {
+    for spec in suite(Scale::Bench)
+        .into_iter()
+        .filter(|s| s.name == "jacobi" || s.name == "grav")
+    {
+        assert_deterministic(&spec, &ExecConfig::sm_unopt(NPROCS), "sm_unopt");
+        assert_deterministic(&spec, &ExecConfig::sm_opt(NPROCS), "sm_opt");
+    }
+}

@@ -13,11 +13,19 @@ use fgdsm_tempest::ReduceOp;
 
 /// One communication strategy for the superstep driver.
 ///
-/// Hook order per parallel loop: [`pre_loop`](CommBackend::pre_loop) →
-/// kernels (driver) → [`note_kernel_writes`](CommBackend::note_kernel_writes)
+/// Hook order per parallel loop: [`resolve`](CommBackend::resolve) →
+/// compute phase (driver: kernels on their own shards, possibly on real
+/// threads) → [`note_kernel_writes`](CommBackend::note_kernel_writes)
 /// → [`reduce`](CommBackend::reduce) (if the loop reduces) →
 /// [`post_loop`](CommBackend::post_loop). After the whole program:
 /// [`finish`](CommBackend::finish) then [`gather`](CommBackend::gather).
+///
+/// `resolve` *is* the superstep's resolve phase: it runs sequentially on
+/// the driver thread with the whole cluster in scope and must leave every
+/// access the loop declares serviceable from the accessing node's own
+/// shard — after it returns, the driver assumes kernels perform zero
+/// cross-node access. Everything after the kernels (`note_kernel_writes`,
+/// `reduce`, `post_loop`) is sequential again.
 pub trait CommBackend {
     /// Backend name for diagnostics.
     fn name(&self) -> &'static str;
@@ -26,9 +34,10 @@ pub trait CommBackend {
     /// §4.2 contract requires a protocol that supports it).
     fn validate(&self, _core: &EngineCore) {}
 
-    /// Make every access the loop declares serviceable before kernels
-    /// run: resolve faults, execute the ctl contract, or ship messages.
-    fn pre_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess);
+    /// The resolve phase: discover and service every cross-node transfer
+    /// the loop needs — resolve faults, execute the ctl contract, or ship
+    /// messages — against the state the previous superstep left behind.
+    fn resolve(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess);
 
     /// Observe the writes the kernels just performed (e.g. PRE's
     /// redundancy cache invalidation).

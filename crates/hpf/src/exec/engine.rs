@@ -2,11 +2,25 @@
 //! state ([`EngineCore`]) every backend works against.
 //!
 //! The driver walks the program statement list; for each parallel loop it
-//! analyzes accesses (with a compile-time cache for static loops), hands
-//! the loop to the backend's `pre_loop`, runs the kernels in deterministic
-//! node order, lets the backend observe writes and perform the reduction,
-//! runs `post_loop`, and stamps a superstep boundary into the event trace.
-//! Nothing in this module inspects which backend is running.
+//! analyzes accesses (with a compile-time cache for static loops) and
+//! runs one superstep in two explicit phases:
+//!
+//! * **Resolve phase** (sequential, deterministic node order): the
+//!   backend's [`CommBackend::resolve`] discovers and services every
+//!   cross-node fault / ctl transfer / message the loop needs, against
+//!   the state the previous superstep left behind. All cross-shard block
+//!   copies happen here, through the cluster coordinator.
+//! * **Compute phase** ([`compute_phase`]): each node's kernel runs
+//!   against its own [`NodeShard`] with zero cross-node access, so the
+//!   driver may dispatch the shards across [`std::thread::scope`]
+//!   workers. Every charge, event and memory write in this phase is
+//!   shard-local and its cost is a pure function of the loop analysis,
+//!   so the schedule cannot perturb the virtual-time results: serial and
+//!   threaded runs are byte-identical.
+//!
+//! Afterwards the backend observes writes, performs the reduction, runs
+//! `post_loop`, and the driver stamps a superstep boundary into the event
+//! trace. Nothing in this module inspects which backend is running.
 
 use super::backend::CommBackend;
 use super::{ExecConfig, HomeAssign, RunResult};
@@ -15,7 +29,7 @@ use crate::ir::{ArrayHandle, KernelCtx, ParLoop, Program, RefMode, Stmt};
 use crate::plan::{covering_blocks, ArrayMeta};
 use fgdsm_protocol::Dsm;
 use fgdsm_section::{Env, Range, Section};
-use fgdsm_tempest::{ChargeKind, Cluster, HomePolicy, SegmentLayout};
+use fgdsm_tempest::{ChargeKind, Cluster, HomePolicy, NodeShard, SegmentLayout};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -32,6 +46,10 @@ pub struct EngineCore<'p> {
     pub scalars: BTreeMap<&'static str, f64>,
     /// Words per cache block.
     pub wpb: usize,
+    /// Resolved compute-phase worker count (from `cfg.parallel`, capped
+    /// later by `nprocs`). Resolved once per run so `FGDSM_PAR` is read
+    /// a single time.
+    pub workers: usize,
     /// Compile-time analysis cache: loops whose access structure mentions
     /// no symbolic variables are analyzed once (keyed by loop address,
     /// stable for the duration of a run).
@@ -84,6 +102,7 @@ impl<'p> EngineCore<'p> {
             env: cfg.base_env.clone(),
             scalars: prog.scalars.iter().copied().collect(),
             wpb: cfg.cost.words_per_block(),
+            workers: cfg.parallel.workers(),
             analysis_cache: BTreeMap::new(),
         }
     }
@@ -251,30 +270,43 @@ impl<'p> EngineCore<'p> {
         out
     }
 
-    /// Gather the canonical segment contents by directory state: for each
-    /// block, copy from the node the directory records as holding current
-    /// data (the gather the shared-memory backends use).
+    /// Gather the canonical segment contents by directory state: copy
+    /// from the node the directory records as holding current data (the
+    /// gather the shared-memory backends use). Bulk-copies each page from
+    /// its home — the canonical source for every `Shared`/`Multi` block
+    /// and for every block traffic never moved — then patches the blocks
+    /// the directory records as exclusively owned away from home, so the
+    /// per-block work scales with traffic instead of segment size.
     pub fn gather_by_directory(&self) -> Vec<f64> {
-        let words = self.dsm.cluster.seg_words();
+        let cl = &self.dsm.cluster;
+        let words = cl.seg_words();
+        let wpp = cl.words_per_page();
         let mut out = vec![0.0f64; words];
-        for b in 0..self.dsm.cluster.n_blocks() {
-            let src = match self.dsm.dir_state(b) {
-                fgdsm_protocol::DirState::Excl { owner } => owner,
-                _ => self.dsm.cluster.home_of_block(b),
-            };
-            let (s, e) = self.dsm.cluster.block_words(b);
-            out[s..e].copy_from_slice(&self.dsm.cluster.node_mem(src)[s..e]);
+        for page_start in (0..words).step_by(wpp) {
+            let end = (page_start + wpp).min(words);
+            let h = cl.home_of_word(page_start);
+            out[page_start..end].copy_from_slice(&cl.node_mem(h)[page_start..end]);
+        }
+        for b in self.dsm.dirty_dir_blocks() {
+            if let fgdsm_protocol::DirState::Excl { owner } = self.dsm.dir_state(b) {
+                let (s, e) = cl.block_words(b);
+                out[s..e].copy_from_slice(&cl.node_mem(owner)[s..e]);
+            }
         }
         out
     }
 }
 
-/// Run `prog` under `cfg` with the given communication backend.
+/// Run `prog` under `cfg` with the given communication backend. When
+/// `want_trace` is set, the structured event-trace JSON is also rendered
+/// and returned (the same document `FGDSM_TRACE=<path>` writes).
 pub(super) fn run(
     prog: &Program,
     cfg: &ExecConfig,
     mut backend: Box<dyn CommBackend>,
-) -> RunResult {
+    want_trace: bool,
+) -> (RunResult, Option<String>) {
+    let wall_start = std::time::Instant::now();
     let mut core = EngineCore::new(prog, cfg);
     backend.validate(&core);
     let body = prog.body.clone();
@@ -283,22 +315,34 @@ pub(super) fn run(
     backend.finish(&mut core);
     let data = backend.gather(&mut core);
     let (pre_skipped, pre_performed) = backend.pre_stats();
+    let mut trace = None;
+    if want_trace {
+        trace = Some(core.dsm.cluster.trace_json());
+    }
     if let Ok(path) = std::env::var("FGDSM_TRACE") {
         if !path.is_empty() {
-            if let Err(e) = std::fs::write(&path, core.dsm.cluster.trace().to_json()) {
+            let json = trace
+                .clone()
+                .unwrap_or_else(|| core.dsm.cluster.trace_json());
+            if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("FGDSM_TRACE: cannot write {path}: {e}");
             }
         }
     }
-    RunResult {
-        report: core.dsm.cluster.report(),
+    let mut report = core.dsm.cluster.report();
+    // Host time, stamped outside the deterministic virtual-time state
+    // (excluded from the canonical report encoding).
+    report.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    let result = RunResult {
+        report,
         scalars: core.scalars,
         data,
         metas: core.metas,
         ctl: core.dsm.ctl_stats(),
         pre_skipped,
         pre_performed,
-    }
+    };
+    (result, trace)
 }
 
 fn exec_stmts(core: &mut EngineCore, backend: &mut dyn CommBackend, stmts: &[Stmt]) {
@@ -326,41 +370,22 @@ fn exec_stmts(core: &mut EngineCore, backend: &mut dyn CommBackend, stmts: &[Stm
     }
 }
 
-/// One superstep: backend communication, kernels in node order, write
-/// observation, reduction, backend cleanup, superstep boundary.
+/// One superstep, in two explicit phases: the sequential **resolve
+/// phase** (backend communication against the previous superstep's
+/// state), then the **compute phase** (kernels on their own shards,
+/// possibly threaded), then write observation, reduction, backend
+/// cleanup and the superstep boundary.
 fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
     let nprocs = core.cfg.nprocs;
     let acc = core.analyze(l);
     let acc = &*acc;
 
-    backend.pre_loop(core, l, acc);
+    // --- Resolve phase: all cross-node traffic, deterministic order. ---
+    backend.resolve(core, l, acc);
 
-    // Kernels, in node order.
+    // --- Compute phase: zero cross-node access from here to the join. --
     let mut partials = vec![0.0f64; nprocs];
-    #[allow(clippy::needless_range_loop)]
-    for p in 0..nprocs {
-        let iter = &acc.iters[p];
-        if iter.iter().any(Range::is_empty) {
-            continue;
-        }
-        let points: u64 = iter.iter().map(Range::count).product();
-        let ws_bytes: u64 = acc.sections[p].iter().map(|s| s.count() * 8).sum();
-        let factor = core.cfg.cache.factor(ws_bytes);
-        let cost = (points as f64 * l.cost_per_iter_ns as f64 * factor) as u64;
-        core.dsm.cluster.charge(p, cost, ChargeKind::Compute);
-        let mut ctx = KernelCtx {
-            mem: core.dsm.cluster.node_mem_mut(p),
-            iter,
-            env: &core.env,
-            scalars: &core.scalars,
-            partial: 0.0,
-            node: p,
-            nprocs,
-            handles: &core.handles,
-        };
-        (l.kernel)(&mut ctx);
-        partials[p] = ctx.partial;
-    }
+    compute_phase(core, l, acc, &mut partials);
 
     backend.note_kernel_writes(core, l, acc);
 
@@ -374,4 +399,73 @@ fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
     // superstep boundary in the event trace.
     backend.post_loop(core, l, acc);
     core.dsm.cluster.record_superstep();
+}
+
+/// The compute phase of one superstep: run each node's kernel against
+/// that node's shard, charging the (analysis-determined) compute cost to
+/// the shard's clock. Per-node work touches only `&mut NodeShard` plus
+/// shared immutable state, so the shards can be split across scoped
+/// threads; contiguous chunking keeps each shard on exactly one worker
+/// and per-shard state makes the outcome independent of the schedule —
+/// the serial path below produces byte-identical traces.
+fn compute_phase(core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess, partials: &mut [f64]) {
+    let EngineCore {
+        cfg,
+        handles,
+        dsm,
+        env,
+        scalars,
+        workers,
+        ..
+    } = core;
+    let nprocs = cfg.nprocs;
+    let (env, scalars, handles) = (&*env, &*scalars, &handles[..]);
+    let cache = &cfg.cache;
+
+    let run_node = |sh: &mut NodeShard, partial: &mut f64| {
+        let p = sh.id();
+        let iter = &acc.iters[p];
+        if iter.iter().any(Range::is_empty) {
+            return;
+        }
+        let points: u64 = iter.iter().map(Range::count).product();
+        let ws_bytes: u64 = acc.sections[p].iter().map(|s| s.count() * 8).sum();
+        let factor = cache.factor(ws_bytes);
+        let cost = (points as f64 * l.cost_per_iter_ns as f64 * factor) as u64;
+        sh.charge(cost, ChargeKind::Compute);
+        let mut ctx = KernelCtx {
+            mem: sh.mem_mut(),
+            iter,
+            env,
+            scalars,
+            partial: 0.0,
+            node: p,
+            nprocs,
+            handles,
+        };
+        (l.kernel)(&mut ctx);
+        *partial = ctx.partial;
+    };
+
+    let shards = dsm.cluster.shards_mut();
+    let workers = (*workers).min(nprocs).max(1);
+    if workers > 1 {
+        let chunk = nprocs.div_ceil(workers);
+        let run_node = &run_node;
+        std::thread::scope(|s| {
+            for (shard_chunk, partial_chunk) in
+                shards.chunks_mut(chunk).zip(partials.chunks_mut(chunk))
+            {
+                s.spawn(move || {
+                    for (sh, partial) in shard_chunk.iter_mut().zip(partial_chunk.iter_mut()) {
+                        run_node(sh, partial);
+                    }
+                });
+            }
+        });
+    } else {
+        for (sh, partial) in shards.iter_mut().zip(partials.iter_mut()) {
+            run_node(sh, partial);
+        }
+    }
 }

@@ -21,15 +21,21 @@
 //!   marshalled messages, no coherence machinery at all, paying the PGI
 //!   runtime's per-message overhead.
 //!
-//! Execution is BSP: within a superstep, sub-phases run in deterministic
-//! node order (backend communication, then all kernels); each node's
-//! virtual clock advances independently and barriers align them. The
-//! driver itself never inspects [`Backend`] — the only dispatch is the
-//! [`make_backend`] factory below — so a fourth backend is one new
-//! `CommBackend` impl plus a factory arm.
+//! Execution is BSP, and every superstep is split into two explicit
+//! phases. The **resolve phase** runs sequentially in deterministic node
+//! order: the backend discovers and services every cross-node transfer
+//! the loop needs (faults, ctl pushes, marshalled messages) against the
+//! state the previous superstep left behind. The **compute phase** then
+//! runs each node's kernel against that node's own
+//! [`fgdsm_tempest::NodeShard`] only — zero cross-node access — so the
+//! kernels may be dispatched across real threads
+//! ([`std::thread::scope`]) without changing a single virtual-time
+//! charge: serial and parallel runs produce byte-identical reports.
+//! [`Parallelism`] / the `FGDSM_PAR` env var select the worker count.
 //!
 //! Set `FGDSM_TRACE=<path>` to export the structured event trace of a run
-//! as JSON (see [`fgdsm_tempest::Trace`]).
+//! as JSON (see [`fgdsm_tempest::NodeTrace`]), or call [`execute_traced`]
+//! to get the same document back directly.
 
 pub mod backend;
 pub mod engine;
@@ -72,6 +78,37 @@ pub enum HomeAssign {
     Blocked,
 }
 
+/// How the compute phase is scheduled onto host threads. Purely a
+/// wall-clock knob: virtual-time charges are per-shard, so every setting
+/// produces byte-identical [`ClusterReport`]s and trace streams.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Parallelism {
+    /// Honor the `FGDSM_PAR` env var (`0` or `1` → serial, `n` → `n`
+    /// workers); if unset, use the host's available cores.
+    #[default]
+    Auto,
+    /// Run kernels on the driver thread, one node at a time.
+    Serial,
+    /// Spawn up to `n` scoped worker threads for the compute phase.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Resolve to a concrete worker count (≥ 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => match std::env::var("FGDSM_PAR") {
+                Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+                Err(_) => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            },
+        }
+    }
+}
+
 /// A full execution configuration.
 #[derive(Clone, Debug)]
 pub struct ExecConfig {
@@ -85,6 +122,8 @@ pub struct ExecConfig {
     pub protocol: ProtocolKind,
     /// Bindings for problem-level symbolics referenced by the program.
     pub base_env: Env,
+    /// Compute-phase scheduling (wall-clock only; never affects results).
+    pub parallel: Parallelism,
 }
 
 impl ExecConfig {
@@ -98,6 +137,7 @@ impl ExecConfig {
             backend: Backend::SmUnopt,
             protocol: ProtocolKind::EagerInvalidate,
             base_env: Env::new(),
+            parallel: Parallelism::Auto,
         }
     }
 
@@ -136,6 +176,18 @@ impl ExecConfig {
     /// eager-invalidate (unoptimized shared memory only).
     pub fn write_update(mut self) -> Self {
         self.protocol = ProtocolKind::WriteUpdate;
+        self
+    }
+
+    /// Pin the compute phase to the driver thread.
+    pub fn serial(mut self) -> Self {
+        self.parallel = Parallelism::Serial;
+        self
+    }
+
+    /// Dispatch the compute phase across up to `n` scoped threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.parallel = Parallelism::Threads(n);
         self
     }
 }
@@ -180,7 +232,17 @@ fn make_backend(cfg: &ExecConfig) -> Box<dyn CommBackend> {
 
 /// Execute `prog` under `cfg`.
 pub fn execute(prog: &Program, cfg: &ExecConfig) -> RunResult {
-    engine::run(prog, cfg, make_backend(cfg))
+    engine::run(prog, cfg, make_backend(cfg), false).0
+}
+
+/// Execute `prog` under `cfg` and also return the structured event-trace
+/// JSON (the same document `FGDSM_TRACE=<path>` would write), without
+/// touching the process environment — tests that compare trace streams
+/// across configurations use this to stay race-free under a parallel
+/// test harness.
+pub fn execute_traced(prog: &Program, cfg: &ExecConfig) -> (RunResult, String) {
+    let (result, trace) = engine::run(prog, cfg, make_backend(cfg), true);
+    (result, trace.expect("trace requested"))
 }
 
 #[cfg(test)]
@@ -230,6 +292,34 @@ mod tests {
         let c2 = ExecConfig::sm_unopt(4).with_opt(OptLevel::base());
         assert!(matches!(c2.backend, Backend::SmOpt(o) if o.ctl && !o.bulk));
         assert!(matches!(ExecConfig::mp(2).backend, Backend::Mp));
+    }
+
+    #[test]
+    fn parallelism_resolves_to_worker_counts() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(4).workers(), 4);
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(
+            ExecConfig::sm_unopt(4).threads(2).parallel,
+            Parallelism::Threads(2)
+        );
+        assert_eq!(
+            ExecConfig::sm_unopt(4).serial().parallel,
+            Parallelism::Serial
+        );
+    }
+
+    #[test]
+    fn threaded_compute_phase_matches_serial_exactly() {
+        // Uneven split on purpose: 4 shards over 3 workers.
+        let prog = tiny_program(64, 64, Dist::Block);
+        let (rs, ts) = execute_traced(&prog, &ExecConfig::sm_unopt(4).serial());
+        let (rp, tp) = execute_traced(&prog, &ExecConfig::sm_unopt(4).threads(3));
+        assert_eq!(rs.report.to_json(), rp.report.to_json());
+        assert_eq!(ts, tp, "per-node event streams must be identical");
+        assert_eq!(rs.data, rp.data);
+        assert_eq!(rs.scalars, rp.scalars);
     }
 
     #[test]

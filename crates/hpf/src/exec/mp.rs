@@ -30,7 +30,7 @@ impl CommBackend for Mp {
         "mp"
     }
 
-    fn pre_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
+    fn resolve(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
         let mut users: BTreeSet<usize> = BTreeSet::new();
         // Group identical sections by (owner, array, section).
         let mut groups: BTreeMap<(usize, usize, String), Vec<usize>> = BTreeMap::new();

@@ -184,7 +184,7 @@ impl CommBackend for SmOpt {
         );
     }
 
-    fn pre_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
+    fn resolve(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
         self.pre.tick();
         if self.opt.ctl {
             self.comm_ctl(core, acc);

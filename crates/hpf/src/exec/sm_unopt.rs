@@ -16,7 +16,7 @@ impl CommBackend for SmUnopt {
         "sm-unopt"
     }
 
-    fn pre_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
+    fn resolve(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
         core.resolve_default(l, acc);
     }
 

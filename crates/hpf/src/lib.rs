@@ -35,7 +35,7 @@ pub mod report;
 
 pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
-pub use exec::{execute, Backend, ExecConfig, RunResult};
+pub use exec::{execute, execute_traced, Backend, ExecConfig, Parallelism, RunResult};
 pub use ir::{
     ARef, ArrayHandle, CompDist, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder, ReduceSpec,
     RefMode, Stmt, Subscript,

@@ -357,7 +357,10 @@ impl Protocol for EagerInvalidate {
     }
 
     fn check(&self, d: &Dsm) -> Result<(), String> {
-        for b in 0..d.cluster.n_blocks() {
+        // Untouched blocks are still in the initial state (home holds the
+        // exclusive writable copy, everyone else Invalid), which satisfies
+        // every arm below — so only traffic-touched blocks need scanning.
+        for b in d.touched_blocks() {
             match d.dir_state(b) {
                 DirState::Excl { owner } => {
                     for n in 0..d.cluster.nprocs() {

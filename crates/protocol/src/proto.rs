@@ -14,7 +14,7 @@ use crate::dir::DirState;
 use crate::eager::EagerInvalidate;
 use crate::update::WriteUpdate;
 use fgdsm_tempest::{Access, Cluster, NodeId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which built-in default coherence protocol the DSM runs.
 ///
@@ -77,6 +77,11 @@ pub struct Dsm {
     /// directly against node memory).
     pub cluster: Cluster,
     dir: Vec<DirState>,
+    /// Blocks whose directory state differs from the initial
+    /// home-owns-everything assignment (`Excl{owner: home}`). Together
+    /// with the per-shard dirty tag sets this bounds every consistency
+    /// scan by the traffic footprint instead of the segment size.
+    dirty_dirs: BTreeSet<usize>,
     /// Twins for multiple-writer blocks: (block, writer) → snapshot.
     twins: BTreeMap<(usize, NodeId), Box<[f64]>>,
     /// Per-receiver compiler-directed transfer inbox: latest arrival time
@@ -121,6 +126,7 @@ impl Dsm {
         Dsm {
             cluster,
             dir,
+            dirty_dirs: BTreeSet::new(),
             twins: BTreeMap::new(),
             inbox_arrival: vec![0; nprocs],
             inbox_payloads: vec![0; nprocs],
@@ -150,9 +156,35 @@ impl Dsm {
     }
 
     /// Overwrite a block's directory state (protocol transitions and
-    /// compiler-control state changes).
+    /// compiler-control state changes). Maintains the dirty-directory
+    /// set: a block is dirty while its state differs from the initial
+    /// `Excl{owner: home}`.
     pub fn set_dir(&mut self, b: usize, s: DirState) {
         self.dir[b] = s;
+        if s.is_excl_by(self.cluster.home_of_block(b)) {
+            self.dirty_dirs.remove(&b);
+        } else {
+            self.dirty_dirs.insert(b);
+        }
+    }
+
+    /// Blocks whose directory state deviates from the initial
+    /// home-exclusive assignment (ascending order).
+    pub fn dirty_dir_blocks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dirty_dirs.iter().copied()
+    }
+
+    /// Every block that any protocol state — the directory or any node's
+    /// access tag — has moved off the initial assignment. Untouched
+    /// blocks provably satisfy the protocol invariants (home holds the
+    /// only, writable, zero-initialized copy), so consistency checks and
+    /// gathers iterate this set instead of the whole segment.
+    pub fn touched_blocks(&self) -> BTreeSet<usize> {
+        let mut out = self.dirty_dirs.clone();
+        for n in 0..self.cluster.nprocs() {
+            out.extend(self.cluster.shard(n).dirty_blocks().iter().copied());
+        }
+        out
     }
 
     /// Handler-occupancy cost scaled for the cpu configuration.
@@ -503,8 +535,8 @@ mod tests {
         d.write_access_excl(1, 1);
         let read_faults = d
             .cluster
-            .trace()
-            .entries(1)
+            .node_trace(1)
+            .entries()
             .filter(|e| {
                 matches!(
                     e.event,
@@ -517,7 +549,7 @@ mod tests {
             .count();
         assert_eq!(read_faults, 1, "read fault must be a typed trace event");
         assert!(
-            d.cluster.trace().entries(1).any(|e| matches!(
+            d.cluster.node_trace(1).entries().any(|e| matches!(
                 e.event,
                 Event::Fault {
                     block: 1,

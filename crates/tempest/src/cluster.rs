@@ -1,19 +1,28 @@
-//! The simulated cluster: nodes, global segment, access tags, virtual
-//! clocks, barriers and reductions.
+//! The simulated cluster: a thin coordinator over per-node shards.
 //!
-//! A [`Cluster`] holds, for each node, a full-size private copy of the
-//! global shared segment (remote pages are *mapped* lazily, charging the
-//! first-touch cost), a per-block access tag, a virtual clock and an event
-//! counter set. Coherence protocols (crate `fgdsm-protocol`) drive state by
-//! copying block data between node copies, flipping tags, and charging
-//! message and handler costs through the methods here.
+//! A [`Cluster`] is a set of disjoint [`NodeShard`]s — each node's
+//! full-size private copy of the global shared segment, per-block access
+//! tags, virtual clock, pending-write count and event trace live in its
+//! shard — plus the shared immutable [`Geometry`] (segment shape, home
+//! map, cost model) and the run makespan. Coherence protocols (crate
+//! `fgdsm-protocol`) drive state by copying block data between shard
+//! pairs, flipping tags, and charging message and handler costs through
+//! the methods here.
 //!
-//! All times are nanoseconds of *virtual* time; execution itself is native
-//! and sequential, so runs are deterministic.
+//! The split exists so the executor can run supersteps in two phases:
+//! a sequential **resolve phase** that services all cross-node traffic
+//! through the coordinator (deterministic order), and a **compute phase**
+//! where each kernel gets `&mut` access to its own shard only
+//! ([`Cluster::shards_mut`]) and may run on a real thread. All times are
+//! nanoseconds of *virtual* time, charged per-shard, so serial and
+//! parallel execution produce bit-identical reports.
 
-use crate::costs::{CostModel, CpuMode};
+use crate::costs::CostModel;
+use crate::shard::{Geometry, NodeShard};
 use crate::stats::{ClusterReport, NodeStats};
-use crate::trace::{Event, Trace};
+use crate::trace::{Event, NodeTrace};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Index of a node in the cluster.
 pub type NodeId = usize;
@@ -93,22 +102,10 @@ impl SegmentLayout {
     }
 }
 
-/// The simulated cluster.
+/// The simulated cluster: shared geometry + disjoint per-node shards.
 pub struct Cluster {
-    nprocs: usize,
-    cfg: CostModel,
-    seg_words: usize,
-    words_per_block: usize,
-    words_per_page: usize,
-    n_blocks: usize,
-    n_pages: usize,
-    home: Vec<NodeId>, // per page
-    mem: Vec<Vec<f64>>,
-    mapped: Vec<Vec<u64>>, // per node page bitset
-    tags: Vec<Vec<Access>>,
-    clock: Vec<u64>,
-    pending_writes: Vec<u64>, // outstanding eager-write transactions
-    trace: Trace,
+    geom: Arc<Geometry>,
+    shards: Vec<NodeShard>,
     makespan_ns: u64,
 }
 
@@ -137,7 +134,7 @@ impl Cluster {
                 map
             }
         };
-        let mut c = Cluster {
+        let geom = Arc::new(Geometry {
             nprocs,
             cfg,
             seg_words,
@@ -146,34 +143,15 @@ impl Cluster {
             n_blocks,
             n_pages,
             home,
-            mem: (0..nprocs).map(|_| vec![0.0; seg_words]).collect(),
-            mapped: (0..nprocs)
-                .map(|_| vec![0u64; n_pages.div_ceil(64)])
-                .collect(),
-            tags: (0..nprocs)
-                .map(|_| vec![Access::Invalid; n_blocks])
-                .collect(),
-            clock: vec![0; nprocs],
-            pending_writes: vec![0; nprocs],
-            trace: Trace::new(nprocs),
+        });
+        let shards = (0..nprocs)
+            .map(|n| NodeShard::new(n, Arc::clone(&geom)))
+            .collect();
+        Cluster {
+            geom,
+            shards,
             makespan_ns: 0,
-        };
-        // The home node of each page starts with a mapped page and
-        // ReadWrite tags for its blocks: homes always hold the initial
-        // (zero-initialized) data.
-        for page in 0..n_pages {
-            let h = c.home[page];
-            c.mapped[h][page / 64] |= 1 << (page % 64);
-            let first_block = page * words_per_page / words_per_block;
-            let end_block =
-                (((page + 1) * words_per_page).min(seg_words)).div_ceil(words_per_block);
-            for b in first_block..end_block.min(n_blocks) {
-                // Only if this node is the home of the block (blocks never
-                // span pages because both are powers of two and block ≤ page).
-                c.tags[h][b] = Access::ReadWrite;
-            }
         }
-        c
     }
 
     // ------------------------------------------------------------------
@@ -182,48 +160,100 @@ impl Cluster {
 
     /// Number of nodes.
     pub fn nprocs(&self) -> usize {
-        self.nprocs
+        self.geom.nprocs
     }
 
     /// The cost model in force.
     pub fn cfg(&self) -> &CostModel {
-        &self.cfg
+        &self.geom.cfg
     }
 
     /// Words per coherence block.
     pub fn words_per_block(&self) -> usize {
-        self.words_per_block
+        self.geom.words_per_block
+    }
+
+    /// Words per page.
+    pub fn words_per_page(&self) -> usize {
+        self.geom.words_per_page
     }
 
     /// Total segment words.
     pub fn seg_words(&self) -> usize {
-        self.seg_words
+        self.geom.seg_words
     }
 
     /// Total number of blocks.
     pub fn n_blocks(&self) -> usize {
-        self.n_blocks
+        self.geom.n_blocks
     }
 
     /// Block containing word offset `w`.
     pub fn block_of(&self, w: usize) -> usize {
-        w / self.words_per_block
+        self.geom.block_of(w)
     }
 
     /// Word range `[start, end)` of block `b`.
     pub fn block_words(&self, b: usize) -> (usize, usize) {
-        let s = b * self.words_per_block;
-        (s, (s + self.words_per_block).min(self.seg_words))
+        self.geom.block_words(b)
     }
 
     /// Home node of block `b` (the home of its page).
     pub fn home_of_block(&self, b: usize) -> NodeId {
-        self.home[b * self.words_per_block / self.words_per_page]
+        self.geom.home_of_block(b)
     }
 
     /// Home node of the page containing word `w`.
     pub fn home_of_word(&self, w: usize) -> NodeId {
-        self.home[w / self.words_per_page]
+        self.geom.home_of_word(w)
+    }
+
+    // ------------------------------------------------------------------
+    // Shards
+    // ------------------------------------------------------------------
+
+    /// Immutable view of one node's shard.
+    pub fn shard(&self, node: NodeId) -> &NodeShard {
+        &self.shards[node]
+    }
+
+    /// Mutable access to one node's shard.
+    pub fn shard_mut(&mut self, node: NodeId) -> &mut NodeShard {
+        &mut self.shards[node]
+    }
+
+    /// All shards, mutably and simultaneously — the compute-phase entry
+    /// point. The slice can be split across threads because shards are
+    /// disjoint by construction.
+    pub fn shards_mut(&mut self) -> &mut [NodeShard] {
+        &mut self.shards
+    }
+
+    /// Disjoint mutable borrows of two distinct shards, in argument
+    /// order. This is how the resolve phase services a cross-node
+    /// transfer: one source shard, one destination shard, no view of the
+    /// rest of the cluster.
+    pub fn shard_pair_mut(&mut self, a: NodeId, b: NodeId) -> (&mut NodeShard, &mut NodeShard) {
+        assert_ne!(a, b, "shard_pair_mut needs two distinct nodes");
+        if a < b {
+            let (lo, hi) = self.shards.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.shards.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    /// Union of every shard's dirty-block set: blocks whose tag differs
+    /// anywhere from the initial home-owns-everything assignment.
+    /// Invariant checks and gathers iterate this instead of the whole
+    /// segment.
+    pub fn dirty_blocks(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for sh in &self.shards {
+            out.extend(sh.dirty_blocks().iter().copied());
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -232,13 +262,13 @@ impl Cluster {
 
     /// Current tag of block `b` at `node`.
     pub fn tag(&self, node: NodeId, b: usize) -> Access {
-        self.tags[node][b]
+        self.shards[node].tag(b)
     }
 
     /// Set the tag of block `b` at `node` (no cost charged; protocols
     /// charge `tag_change_ns` themselves where appropriate).
     pub fn set_tag(&mut self, node: NodeId, b: usize, a: Access) {
-        self.tags[node][b] = a;
+        self.shards[node].set_tag(b, a);
     }
 
     // ------------------------------------------------------------------
@@ -247,12 +277,12 @@ impl Cluster {
 
     /// Immutable view of a node's whole segment copy.
     pub fn node_mem(&self, node: NodeId) -> &[f64] {
-        &self.mem[node]
+        self.shards[node].mem()
     }
 
     /// Mutable view of a node's whole segment copy.
     pub fn node_mem_mut(&mut self, node: NodeId) -> &mut [f64] {
-        &mut self.mem[node]
+        self.shards[node].mem_mut()
     }
 
     /// Copy `len` words starting at `start` from `src` node's copy to
@@ -262,14 +292,8 @@ impl Cluster {
         if src == dst || len == 0 {
             return;
         }
-        let (a, b) = if src < dst {
-            let (lo, hi) = self.mem.split_at_mut(dst);
-            (&lo[src], &mut hi[0])
-        } else {
-            let (lo, hi) = self.mem.split_at_mut(src);
-            (&hi[0], &mut lo[dst])
-        };
-        b[start..start + len].copy_from_slice(&a[start..start + len]);
+        let (s, d) = self.shard_pair_mut(src, dst);
+        d.mem_mut()[start..start + len].copy_from_slice(&s.mem()[start..start + len]);
     }
 
     /// Merge the words of block `b` selected by `mask` (bit i = word i of
@@ -279,17 +303,12 @@ impl Cluster {
         if src == dst || mask == 0 {
             return;
         }
-        let (start, end) = self.block_words(b);
-        let (s, d) = if src < dst {
-            let (lo, hi) = self.mem.split_at_mut(dst);
-            (&lo[src], &mut hi[0])
-        } else {
-            let (lo, hi) = self.mem.split_at_mut(src);
-            (&hi[0], &mut lo[dst])
-        };
+        let (start, end) = self.geom.block_words(b);
+        let (s, d) = self.shard_pair_mut(src, dst);
+        let (sm, dm) = (s.mem(), d.mem_mut());
         for (i, w) in (start..end).enumerate() {
             if mask & (1 << i) != 0 {
-                d[w] = s[w];
+                dm[w] = sm[w];
             }
         }
     }
@@ -298,30 +317,12 @@ impl Cluster {
     /// `node`, charging the first-touch mapping cost as stall time.
     /// Returns the number of pages newly mapped.
     pub fn map_range(&mut self, node: NodeId, start: usize, len: usize) -> u64 {
-        if len == 0 {
-            return 0;
-        }
-        let first = start / self.words_per_page;
-        let last = (start + len - 1) / self.words_per_page;
-        let mut newly = 0u64;
-        for page in first..=last.min(self.n_pages - 1) {
-            let (w, bit) = (page / 64, page % 64);
-            if self.mapped[node][w] & (1 << bit) == 0 {
-                self.mapped[node][w] |= 1 << bit;
-                newly += 1;
-            }
-        }
-        if newly > 0 {
-            self.record(node, Event::PageMap { pages: newly });
-            self.charge(node, newly * self.cfg.page_map_ns, ChargeKind::Stall);
-        }
-        newly
+        self.shards[node].map_range(start, len)
     }
 
     /// True if `node` has mapped the page containing word `w`.
     pub fn is_mapped(&self, node: NodeId, w: usize) -> bool {
-        let page = w / self.words_per_page;
-        self.mapped[node][page / 64] & (1 << (page % 64)) != 0
+        self.shards[node].is_mapped(w)
     }
 
     // ------------------------------------------------------------------
@@ -330,34 +331,39 @@ impl Cluster {
 
     /// Current virtual clock of `node` in ns.
     pub fn clock_ns(&self, node: NodeId) -> u64 {
-        self.clock[node]
+        self.shards[node].clock_ns()
     }
 
     /// Record a typed trace event for `node`, stamped with the node's
-    /// current virtual clock. All statistics flow through here: the trace
-    /// folds events into per-node aggregates online, so the event log and
-    /// the report can never disagree.
+    /// current virtual clock.
     pub fn record(&mut self, node: NodeId, event: Event) {
-        self.trace.record(node, self.clock[node], event);
+        self.shards[node].record(event);
     }
 
-    /// The structured event trace recorded so far.
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// One node's event trace (ring + folded aggregates).
+    pub fn node_trace(&self, node: NodeId) -> &NodeTrace {
+        self.shards[node].trace()
+    }
+
+    /// Change every node's trace-ring capacity (aggregates unaffected;
+    /// shrinking evicts oldest entries as dropped).
+    pub fn set_ring_capacity(&mut self, capacity: usize) {
+        for sh in &mut self.shards {
+            sh.trace_mut().set_capacity(capacity);
+        }
     }
 
     /// Mark a superstep boundary (one parallel loop completed) on every
     /// node.
     pub fn record_superstep(&mut self) {
-        for n in 0..self.nprocs {
-            self.record(n, Event::Superstep);
+        for sh in &mut self.shards {
+            sh.record(Event::Superstep);
         }
     }
 
     /// Charge `ns` to `node`'s clock under the given accounting category.
     pub fn charge(&mut self, node: NodeId, ns: u64, kind: ChargeKind) {
-        self.clock[node] += ns;
-        self.record(node, Event::Charge { kind, ns });
+        self.shards[node].charge(ns, kind);
     }
 
     /// Charge protocol-handler occupancy executed at `node` on behalf of a
@@ -365,34 +371,25 @@ impl Cluster {
     /// absorbs it (tracked but not added to the compute clock); in
     /// single-cpu mode it steals time from the compute CPU.
     pub fn charge_handler(&mut self, node: NodeId, ns: u64) {
-        let scaled = self.cfg.handler_cost(ns);
-        if self.cfg.cpu == CpuMode::Single {
-            self.clock[node] += scaled;
-        }
-        self.record(node, Event::Handler { ns: scaled });
+        self.shards[node].charge_handler(ns);
     }
 
     /// Record a message of `payload_bytes` sent from `src` (stats only;
     /// time is charged by the caller according to the transaction shape).
     pub fn note_msg(&mut self, src: NodeId, payload_bytes: usize) {
-        self.record(
-            src,
-            Event::Msg {
-                bytes: payload_bytes as u64,
-            },
-        );
+        self.shards[src].note_msg(payload_bytes);
     }
 
     /// Record an outstanding eager-write transaction at `node` (release
     /// consistency: the node does not stall for the ownership grant, but
     /// must drain at the next release point).
     pub fn note_pending_write(&mut self, node: NodeId) {
-        self.pending_writes[node] += 1;
+        self.shards[node].note_pending_write();
     }
 
     /// Immutable per-node stats (aggregates folded from the trace).
     pub fn stats(&self, node: NodeId) -> &NodeStats {
-        self.trace.stats(node)
+        self.shards[node].stats()
     }
 
     // ------------------------------------------------------------------
@@ -403,20 +400,13 @@ impl Cluster {
     /// the common completion time and charge barrier wait.
     pub fn barrier(&mut self) {
         // Release point: wait for outstanding write transactions.
-        for n in 0..self.nprocs {
-            let drain = self.pending_writes[n] * self.cfg.release_drain_ns;
-            if drain > 0 {
-                self.charge(n, drain, ChargeKind::Stall);
-                self.pending_writes[n] = 0;
-            }
+        for sh in &mut self.shards {
+            sh.drain_pending_writes();
         }
-        let max = self.clock.iter().copied().max().unwrap_or(0);
-        let done = max + self.cfg.barrier_cost_ns(self.nprocs);
-        for n in 0..self.nprocs {
-            let wait = done - self.clock[n];
-            self.clock[n] = done;
-            self.record(n, Event::BarrierWait { ns: wait });
-            self.record(n, Event::Barrier);
+        let max = self.shards.iter().map(|s| s.clock_ns()).max().unwrap_or(0);
+        let done = max + self.geom.cfg.barrier_cost_ns(self.geom.nprocs);
+        for sh in &mut self.shards {
+            sh.align_clock(done, true);
         }
         self.makespan_ns = done;
     }
@@ -425,22 +415,23 @@ impl Cluster {
     /// node pays log₂(P) message rounds and the result is globally
     /// synchronizing (like a barrier).
     pub fn allreduce(&mut self, partials: &[f64], op: ReduceOp) -> f64 {
-        assert_eq!(partials.len(), self.nprocs);
-        let rounds = (usize::BITS - (self.nprocs - 1).leading_zeros()) as u64;
-        let per_round =
-            self.cfg.one_way_ns(8) + self.cfg.handler_cost(self.cfg.handler_dispatch_ns);
-        for n in 0..self.nprocs {
-            self.charge(n, rounds * per_round, ChargeKind::Stall);
-            self.record(n, Event::Reduction);
+        assert_eq!(partials.len(), self.geom.nprocs);
+        let rounds = (usize::BITS - (self.geom.nprocs - 1).leading_zeros()) as u64;
+        let per_round = self.geom.cfg.one_way_ns(8)
+            + self
+                .geom
+                .cfg
+                .handler_cost(self.geom.cfg.handler_dispatch_ns);
+        for sh in &mut self.shards {
+            sh.charge(rounds * per_round, ChargeKind::Stall);
+            sh.record(Event::Reduction);
             for _ in 0..rounds {
-                self.record(n, Event::Msg { bytes: 8 });
+                sh.record(Event::Msg { bytes: 8 });
             }
         }
-        let max = self.clock.iter().copied().max().unwrap_or(0);
-        for n in 0..self.nprocs {
-            let wait = max - self.clock[n];
-            self.clock[n] = max;
-            self.record(n, Event::BarrierWait { ns: wait });
+        let max = self.shards.iter().map(|s| s.clock_ns()).max().unwrap_or(0);
+        for sh in &mut self.shards {
+            sh.align_clock(max, false);
         }
         self.makespan_ns = max;
         match op {
@@ -450,14 +441,35 @@ impl Cluster {
         }
     }
 
-    /// Snapshot a full report of the run so far, derived from the event
-    /// trace (the trace's folded aggregates are the only statistics).
+    /// Snapshot a full report of the run so far, derived from the per-
+    /// shard event traces (the traces' folded aggregates are the only
+    /// statistics). `wall_ns` is stamped by the executor afterwards; it
+    /// is host time, not part of the deterministic virtual-time state.
     pub fn report(&self) -> ClusterReport {
-        self.trace.report(
-            self.cfg.cpu == CpuMode::Single,
-            self.makespan_ns
-                .max(self.clock.iter().copied().max().unwrap_or(0)),
-        )
+        let makespan = self
+            .makespan_ns
+            .max(self.shards.iter().map(|s| s.clock_ns()).max().unwrap_or(0));
+        ClusterReport {
+            nodes: self.shards.iter().map(|s| s.stats().clone()).collect(),
+            handler_in_comm: self.geom.cfg.cpu == crate::costs::CpuMode::Single,
+            makespan_ns: makespan,
+            wall_ns: 0,
+        }
+    }
+
+    /// Render all retained trace entries as one JSON document (one object
+    /// per node: drop count plus the entry list).
+    pub fn trace_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"nodes\":[");
+        for (n, sh) in self.shards.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            sh.trace().write_json(n, &mut out);
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -516,6 +528,34 @@ mod tests {
         assert_eq!(c.node_mem(1)[0], 1.0);
         assert_eq!(c.node_mem(1)[1], 0.0);
         assert_eq!(c.node_mem(1)[2], 3.0);
+    }
+
+    #[test]
+    fn shard_pair_mut_is_disjoint_and_ordered() {
+        let mut c = small_cluster(3);
+        c.node_mem_mut(2)[0] = 7.0;
+        {
+            let (a, b) = c.shard_pair_mut(2, 0);
+            assert_eq!(a.id(), 2);
+            assert_eq!(b.id(), 0);
+            b.mem_mut()[0] = a.mem()[0];
+        }
+        assert_eq!(c.node_mem(0)[0], 7.0);
+    }
+
+    #[test]
+    fn dirty_blocks_track_tag_deviation() {
+        let mut c = small_cluster(2);
+        assert!(c.dirty_blocks().is_empty(), "initial tags are the default");
+        // Node 1 gains a read-only copy of block 0 (home is node 0).
+        c.set_tag(1, 0, Access::ReadOnly);
+        // Node 0 loses write access to its own block 3.
+        c.set_tag(0, 3, Access::ReadOnly);
+        assert_eq!(c.dirty_blocks().into_iter().collect::<Vec<_>>(), [0, 3]);
+        // Restoring the defaults empties the set.
+        c.set_tag(1, 0, Access::Invalid);
+        c.set_tag(0, 3, Access::ReadWrite);
+        assert!(c.dirty_blocks().is_empty());
     }
 
     #[test]
@@ -584,6 +624,27 @@ mod tests {
         let mut c1 = Cluster::new(2, cfg, &layout, HomePolicy::RoundRobin);
         c1.charge_handler(1, 1000);
         assert_eq!(c1.clock_ns(1), 1800, "single-cpu: scaled and charged");
+    }
+
+    #[test]
+    fn ring_overflow_keeps_tail_but_counts_everything() {
+        let mut c = small_cluster(2);
+        c.set_ring_capacity(4);
+        // Generate 10 charge events on node 0 (each `charge` records one
+        // entry), well past the 4-entry ring.
+        for _ in 0..10 {
+            c.charge(0, 100, ChargeKind::Compute);
+        }
+        // The fold still counts every event...
+        assert_eq!(c.stats(0).compute_ns, 1000, "aggregates stay exact");
+        assert_eq!(c.clock_ns(0), 1000);
+        // ...while the ring keeps only the most recent entries.
+        let t = c.node_trace(0);
+        assert_eq!(t.entries().count(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.entries().next().unwrap().t_ns, 700, "tail starts at 7th");
+        // The JSON export reports the drop count.
+        assert!(c.trace_json().contains("\"dropped\":6"));
     }
 
     #[test]

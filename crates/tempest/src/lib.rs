@@ -26,18 +26,23 @@
 //! configuration) or to the compute CPU itself (single-cpu configuration),
 //! reproducing the two system design points §5 evaluates.
 //!
-//! The simulator is intentionally sequential and deterministic: identical
-//! runs produce bit-identical data, miss counts and virtual times, which
-//! the test suite relies on.
+//! The simulator is deterministic regardless of how it is scheduled:
+//! cluster state is sharded per node ([`NodeShard`]), cross-node traffic
+//! is serviced in a sequential resolve phase, and kernels touch only
+//! their own shard — so compute may run on real threads while identical
+//! runs still produce bit-identical data, miss counts and virtual times,
+//! which the test suite relies on.
 
 pub mod cache;
 pub mod cluster;
 pub mod costs;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 
 pub use cache::CacheModel;
 pub use cluster::{Access, ChargeKind, Cluster, HomePolicy, NodeId, ReduceOp, SegmentLayout};
 pub use costs::{CostModel, CpuMode};
+pub use shard::NodeShard;
 pub use stats::{ClusterReport, NodeStats};
-pub use trace::{CtlPrim, Event, FaultKind, Trace, TraceEntry};
+pub use trace::{CtlPrim, Event, FaultKind, NodeTrace, TraceEntry};

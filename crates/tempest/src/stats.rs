@@ -67,9 +67,9 @@ impl NodeStats {
 
 /// Aggregated view over all nodes of a run.
 ///
-/// Derived from the structured event trace ([`crate::trace::Trace`]): the
-/// per-node stats are the trace's folded aggregates, so the report and
-/// the event log always agree.
+/// Derived from the structured event traces ([`crate::trace::NodeTrace`],
+/// one per shard): the per-node stats are the traces' folded aggregates,
+/// so the report and the event log always agree.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterReport {
     /// Per-node stats snapshot.
@@ -78,6 +78,12 @@ pub struct ClusterReport {
     pub handler_in_comm: bool,
     /// Final virtual time of the run (max node clock after last barrier).
     pub makespan_ns: u64,
+    /// Host wall-clock the run took, in ns. Unlike every other field this
+    /// is *real* time, stamped by the executor: it varies run to run and
+    /// with `FGDSM_PAR`, so it is deliberately excluded from the
+    /// canonical [`ClusterReport::to_json`] encoding (which must be
+    /// byte-identical between serial and parallel execution).
+    pub wall_ns: u64,
 }
 
 impl ClusterReport {
@@ -117,6 +123,62 @@ impl ClusterReport {
     /// Total payload bytes sent across all nodes.
     pub fn total_bytes(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+
+    /// Host wall-clock in seconds (0 when the executor did not stamp it).
+    pub fn wall_s(&self) -> f64 {
+        self.wall_ns as f64 / 1e9
+    }
+
+    /// Canonical JSON encoding of the *deterministic* run state: makespan,
+    /// handler accounting mode and every per-node counter — but **not**
+    /// `wall_ns`, which is host time. The determinism suite compares these
+    /// strings byte-for-byte between serial and threaded execution, so the
+    /// encoding must stay a pure function of the virtual-time state.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        write!(
+            out,
+            "{{\"makespan_ns\":{},\"handler_in_comm\":{},\"nodes\":[",
+            self.makespan_ns, self.handler_in_comm
+        )
+        .unwrap();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "{{\"compute_ns\":{},\"stall_ns\":{},\"handler_ns\":{},\"barrier_ns\":{},\
+                 \"ctl_call_ns\":{},\"read_misses\":{},\"write_misses\":{},\"msgs_sent\":{},\
+                 \"bytes_sent\":{},\"pages_mapped\":{},\"mk_writable_calls\":{},\
+                 \"implicit_writable_calls\":{},\"implicit_invalidate_calls\":{},\
+                 \"send_range_calls\":{},\"ready_recv_calls\":{},\"flush_range_calls\":{},\
+                 \"blocks_pushed\":{},\"reductions\":{}}}",
+                n.compute_ns,
+                n.stall_ns,
+                n.handler_ns,
+                n.barrier_ns,
+                n.ctl_call_ns,
+                n.read_misses,
+                n.write_misses,
+                n.msgs_sent,
+                n.bytes_sent,
+                n.pages_mapped,
+                n.mk_writable_calls,
+                n.implicit_writable_calls,
+                n.implicit_invalidate_calls,
+                n.send_range_calls,
+                n.ready_recv_calls,
+                n.flush_range_calls,
+                n.blocks_pushed,
+                n.reductions
+            )
+            .unwrap();
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -161,5 +223,28 @@ mod tests {
         assert_eq!(r.avg_misses(), 9.0);
         assert_eq!(r.compute_s(), 3.0);
         assert_eq!(r.total_s(), 4.0);
+    }
+
+    #[test]
+    fn canonical_json_ignores_wall_clock() {
+        let mut r = ClusterReport {
+            nodes: vec![NodeStats {
+                compute_ns: 123,
+                read_misses: 4,
+                ..Default::default()
+            }],
+            handler_in_comm: true,
+            makespan_ns: 999,
+            wall_ns: 0,
+        };
+        let a = r.to_json();
+        r.wall_ns = 55_555; // host time must not perturb the encoding
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"makespan_ns\":999,\"handler_in_comm\":true,"));
+        assert!(a.contains("\"compute_ns\":123"));
+        assert!(a.contains("\"read_misses\":4"));
+        assert!(!a.contains("wall"));
+        assert_eq!(r.wall_s(), 55_555.0 / 1e9);
     }
 }

@@ -4,19 +4,25 @@
 //! compiler-directed control calls, bulk transfers, messages, barriers,
 //! reductions, superstep boundaries — is recorded as a typed [`Event`]
 //! stamped with the acting node's virtual clock. The trace is the *single
-//! source of truth* for run statistics: events are folded online into
-//! per-node [`NodeStats`] as they are recorded, and the [`ClusterReport`]
-//! the executors hand back is derived from the trace, so the Table 3
-//! decomposition (compute vs. communication time, miss counts) and the
-//! event log can never disagree.
+//! source of truth* for run statistics: events are folded online into the
+//! node's [`NodeStats`] as they are recorded, and the
+//! [`ClusterReport`](crate::stats::ClusterReport) the executors hand back
+//! is derived from the traces, so the Table 3 decomposition (compute vs.
+//! communication time, miss counts) and the event log can never disagree.
 //!
-//! Recent events are additionally kept in a bounded per-node ring buffer
-//! for inspection and JSON export ([`Trace::to_json`]); when the ring
-//! wraps, only the raw entries are dropped — the folded aggregates remain
-//! exact, and [`Trace::dropped`] reports how many entries fell off.
+//! Each [`NodeTrace`] belongs to exactly one
+//! [`NodeShard`](crate::shard::NodeShard), so recording an event during
+//! the compute phase touches only shard-local state — no cross-node
+//! synchronization, which is what lets the compute phase run on real
+//! threads while staying deterministic.
+//!
+//! Recent events are additionally kept in a bounded ring buffer for
+//! inspection and JSON export; when the ring wraps, only the raw entries
+//! are dropped — the folded aggregates remain exact, and
+//! [`NodeTrace::dropped`] reports how many entries fell off.
 
 use crate::cluster::ChargeKind;
-use crate::stats::{ClusterReport, NodeStats};
+use crate::stats::NodeStats;
 use std::collections::VecDeque;
 
 /// Default per-node ring capacity (entries kept for export).
@@ -83,40 +89,53 @@ pub struct TraceEntry {
     pub event: Event,
 }
 
-/// Per-node ring buffers of recent events plus exact folded aggregates.
+/// One node's event ring plus exact folded aggregates. Owned by that
+/// node's [`NodeShard`](crate::shard::NodeShard); purely node-local.
 #[derive(Clone, Debug)]
-pub struct Trace {
+pub struct NodeTrace {
     capacity: usize,
-    rings: Vec<VecDeque<TraceEntry>>,
-    stats: Vec<NodeStats>,
-    dropped: Vec<u64>,
+    ring: VecDeque<TraceEntry>,
+    stats: NodeStats,
+    dropped: u64,
 }
 
-impl Trace {
-    /// An empty trace for `nprocs` nodes with the default ring capacity.
-    pub fn new(nprocs: usize) -> Self {
-        Self::with_capacity(nprocs, DEFAULT_RING_CAPACITY)
+impl Default for NodeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeTrace {
+    /// An empty trace with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
     }
 
-    /// An empty trace with an explicit per-node ring capacity.
-    pub fn with_capacity(nprocs: usize, capacity: usize) -> Self {
-        Trace {
+    /// An empty trace with an explicit ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NodeTrace {
             capacity,
-            rings: (0..nprocs).map(|_| VecDeque::new()).collect(),
-            stats: vec![NodeStats::default(); nprocs],
-            dropped: vec![0; nprocs],
+            ring: VecDeque::new(),
+            stats: NodeStats::default(),
+            dropped: 0,
         }
     }
 
-    /// Number of nodes traced.
-    pub fn nodes(&self) -> usize {
-        self.stats.len()
+    /// Change the ring capacity, evicting the oldest retained entries if
+    /// the ring is already larger (they count as dropped, like any other
+    /// eviction). Aggregates are unaffected.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.ring.len() > capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
     }
 
-    /// Record `event` for `node` at virtual time `t_ns`: fold it into the
-    /// node's aggregates and append it to the (bounded) ring.
-    pub fn record(&mut self, node: usize, t_ns: u64, event: Event) {
-        let s = &mut self.stats[node];
+    /// Record `event` at virtual time `t_ns`: fold it into the aggregates
+    /// and append it to the (bounded) ring.
+    pub fn record(&mut self, t_ns: u64, event: Event) {
+        let s = &mut self.stats;
         match event {
             Event::Fault { kind, .. } => match kind {
                 FaultKind::Read => s.read_misses += 1,
@@ -148,93 +167,73 @@ impl Trace {
             Event::Barrier | Event::Superstep => {}
             Event::Reduction => s.reductions += 1,
         }
-        let ring = &mut self.rings[node];
-        if ring.len() == self.capacity {
-            ring.pop_front();
-            self.dropped[node] += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
         }
-        ring.push_back(TraceEntry { t_ns, event });
+        self.ring.push_back(TraceEntry { t_ns, event });
     }
 
-    /// Folded aggregates for one node (exact, even after ring wrap).
-    pub fn stats(&self, node: usize) -> &NodeStats {
-        &self.stats[node]
+    /// Folded aggregates (exact, even after ring wrap).
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
     }
 
-    /// The retained (most recent) entries for one node, oldest first.
-    pub fn entries(&self, node: usize) -> impl Iterator<Item = &TraceEntry> {
-        self.rings[node].iter()
+    /// The retained (most recent) entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.ring.iter()
     }
 
-    /// How many entries have fallen off `node`'s ring.
-    pub fn dropped(&self, node: usize) -> u64 {
-        self.dropped[node]
+    /// How many entries have fallen off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
-    /// Derive the aggregate report the executors hand back. The report is
-    /// *only* constructible from the trace: every counter in it was folded
-    /// from a recorded event.
-    pub fn report(&self, handler_in_comm: bool, makespan_ns: u64) -> ClusterReport {
-        ClusterReport {
-            nodes: self.stats.clone(),
-            handler_in_comm,
-            makespan_ns,
-        }
-    }
-
-    /// Render the retained entries as a JSON document (one object per
-    /// node: drop count plus the entry list). Hand-rolled — the trace
-    /// must stay exportable in the dependency-free build.
-    pub fn to_json(&self) -> String {
+    /// Append this node's trace object (`{"node":…,"dropped":…,"events":[…]}`)
+    /// to `out`. Hand-rolled — the trace must stay exportable in the
+    /// dependency-free build. [`Cluster::trace_json`](crate::cluster::Cluster::trace_json)
+    /// wraps the per-node objects into the full document.
+    pub fn write_json(&self, node: usize, out: &mut String) {
         use std::fmt::Write;
-        let mut out = String::new();
-        out.push_str("{\"nodes\":[");
-        for (n, ring) in self.rings.iter().enumerate() {
-            if n > 0 {
+        write!(
+            out,
+            "{{\"node\":{node},\"dropped\":{},\"events\":[",
+            self.dropped
+        )
+        .unwrap();
+        for (i, e) in self.ring.iter().enumerate() {
+            if i > 0 {
                 out.push(',');
             }
-            write!(
-                out,
-                "{{\"node\":{n},\"dropped\":{},\"events\":[",
-                self.dropped[n]
-            )
-            .unwrap();
-            for (i, e) in ring.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
+            write!(out, "{{\"t_ns\":{},", e.t_ns).unwrap();
+            match e.event {
+                Event::Fault { block, kind } => write!(
+                    out,
+                    "\"type\":\"fault\",\"block\":{block},\"kind\":\"{kind:?}\""
+                ),
+                Event::Ctl { prim } => write!(out, "\"type\":\"ctl\",\"prim\":\"{prim:?}\""),
+                Event::CtlSend { blocks } => {
+                    write!(out, "\"type\":\"ctl_send\",\"blocks\":{blocks}")
                 }
-                write!(out, "{{\"t_ns\":{},", e.t_ns).unwrap();
-                match e.event {
-                    Event::Fault { block, kind } => write!(
-                        out,
-                        "\"type\":\"fault\",\"block\":{block},\"kind\":\"{kind:?}\""
-                    ),
-                    Event::Ctl { prim } => write!(out, "\"type\":\"ctl\",\"prim\":\"{prim:?}\""),
-                    Event::CtlSend { blocks } => {
-                        write!(out, "\"type\":\"ctl_send\",\"blocks\":{blocks}")
-                    }
-                    Event::Msg { bytes } => write!(out, "\"type\":\"msg\",\"bytes\":{bytes}"),
-                    Event::Charge { kind, ns } => {
-                        write!(out, "\"type\":\"charge\",\"kind\":\"{kind:?}\",\"ns\":{ns}")
-                    }
-                    Event::Handler { ns } => write!(out, "\"type\":\"handler\",\"ns\":{ns}"),
-                    Event::PageMap { pages } => {
-                        write!(out, "\"type\":\"page_map\",\"pages\":{pages}")
-                    }
-                    Event::BarrierWait { ns } => {
-                        write!(out, "\"type\":\"barrier_wait\",\"ns\":{ns}")
-                    }
-                    Event::Barrier => write!(out, "\"type\":\"barrier\""),
-                    Event::Reduction => write!(out, "\"type\":\"reduction\""),
-                    Event::Superstep => write!(out, "\"type\":\"superstep\""),
+                Event::Msg { bytes } => write!(out, "\"type\":\"msg\",\"bytes\":{bytes}"),
+                Event::Charge { kind, ns } => {
+                    write!(out, "\"type\":\"charge\",\"kind\":\"{kind:?}\",\"ns\":{ns}")
                 }
-                .unwrap();
-                out.push('}');
+                Event::Handler { ns } => write!(out, "\"type\":\"handler\",\"ns\":{ns}"),
+                Event::PageMap { pages } => {
+                    write!(out, "\"type\":\"page_map\",\"pages\":{pages}")
+                }
+                Event::BarrierWait { ns } => {
+                    write!(out, "\"type\":\"barrier_wait\",\"ns\":{ns}")
+                }
+                Event::Barrier => write!(out, "\"type\":\"barrier\""),
+                Event::Reduction => write!(out, "\"type\":\"reduction\""),
+                Event::Superstep => write!(out, "\"type\":\"superstep\""),
             }
-            out.push_str("]}");
+            .unwrap();
+            out.push('}');
         }
         out.push_str("]}");
-        out
     }
 }
 
@@ -244,49 +243,46 @@ mod tests {
 
     #[test]
     fn events_fold_into_stats() {
-        let mut t = Trace::new(2);
-        t.record(
-            0,
+        let mut a = NodeTrace::new();
+        let mut b = NodeTrace::new();
+        a.record(
             10,
             Event::Fault {
                 block: 3,
                 kind: FaultKind::Read,
             },
         );
-        t.record(
-            0,
+        a.record(
             20,
             Event::Fault {
                 block: 4,
                 kind: FaultKind::Upgrade,
             },
         );
-        t.record(
-            0,
+        a.record(
             30,
             Event::Charge {
                 kind: ChargeKind::Compute,
                 ns: 500,
             },
         );
-        t.record(0, 40, Event::Msg { bytes: 128 });
-        t.record(
-            1,
+        a.record(40, Event::Msg { bytes: 128 });
+        b.record(
             15,
             Event::Ctl {
                 prim: CtlPrim::MkWritable,
             },
         );
-        t.record(1, 25, Event::CtlSend { blocks: 7 });
-        t.record(1, 35, Event::Handler { ns: 42 });
-        t.record(1, 45, Event::Reduction);
-        let s0 = t.stats(0);
+        b.record(25, Event::CtlSend { blocks: 7 });
+        b.record(35, Event::Handler { ns: 42 });
+        b.record(45, Event::Reduction);
+        let s0 = a.stats();
         assert_eq!(s0.read_misses, 1);
         assert_eq!(s0.write_misses, 1);
         assert_eq!(s0.compute_ns, 500);
         assert_eq!(s0.msgs_sent, 1);
         assert_eq!(s0.bytes_sent, 128);
-        let s1 = t.stats(1);
+        let s1 = b.stats();
         assert_eq!(s1.mk_writable_calls, 1);
         assert_eq!(s1.blocks_pushed, 7);
         assert_eq!(s1.handler_ns, 42);
@@ -295,10 +291,9 @@ mod tests {
 
     #[test]
     fn ring_bounds_entries_but_not_aggregates() {
-        let mut t = Trace::with_capacity(1, 4);
+        let mut t = NodeTrace::with_capacity(4);
         for i in 0..10 {
             t.record(
-                0,
                 i,
                 Event::Fault {
                     block: i as usize,
@@ -306,45 +301,38 @@ mod tests {
                 },
             );
         }
-        assert_eq!(t.stats(0).read_misses, 10, "aggregates stay exact");
-        assert_eq!(t.entries(0).count(), 4, "ring holds the most recent 4");
-        assert_eq!(t.dropped(0), 6);
-        assert_eq!(t.entries(0).next().unwrap().t_ns, 6);
+        assert_eq!(t.stats().read_misses, 10, "aggregates stay exact");
+        assert_eq!(t.entries().count(), 4, "ring holds the most recent 4");
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.entries().next().unwrap().t_ns, 6);
     }
 
     #[test]
-    fn report_is_derived_from_the_trace() {
-        let mut t = Trace::new(2);
-        t.record(
-            0,
-            5,
-            Event::Charge {
-                kind: ChargeKind::Stall,
-                ns: 100,
-            },
-        );
-        t.record(1, 5, Event::BarrierWait { ns: 30 });
-        let r = t.report(true, 999);
-        assert_eq!(r.nodes[0].stall_ns, 100);
-        assert_eq!(r.nodes[1].barrier_ns, 30);
-        assert!(r.handler_in_comm);
-        assert_eq!(r.makespan_ns, 999);
+    fn shrinking_capacity_evicts_oldest() {
+        let mut t = NodeTrace::with_capacity(8);
+        for i in 0..6 {
+            t.record(i, Event::Barrier);
+        }
+        t.set_capacity(2);
+        assert_eq!(t.entries().count(), 2);
+        assert_eq!(t.dropped(), 4);
+        assert_eq!(t.entries().next().unwrap().t_ns, 4);
     }
 
     #[test]
     fn json_export_is_well_formed() {
-        let mut t = Trace::new(1);
+        let mut t = NodeTrace::new();
         t.record(
-            0,
             1,
             Event::Fault {
                 block: 0,
                 kind: FaultKind::Read,
             },
         );
-        t.record(0, 2, Event::Barrier);
-        let j = t.to_json();
-        assert!(j.starts_with("{\"nodes\":["));
+        t.record(2, Event::Barrier);
+        let mut j = String::new();
+        t.write_json(0, &mut j);
+        assert!(j.starts_with("{\"node\":0,"));
         assert!(j.contains("\"type\":\"fault\""));
         assert!(j.contains("\"kind\":\"Read\""));
         assert!(j.contains("\"type\":\"barrier\""));
