@@ -9,6 +9,10 @@ cargo build --release
 FGDSM_PAR=0 cargo test -q
 FGDSM_PAR=4 cargo test -q
 cargo test -q --workspace
+# Differential fuzz corpus: a fixed seed corpus (200 cases unless the
+# caller overrides FGDSM_FUZZ_CASES) through reference vs all backends.
+# A failure prints the failing seed and a shrunk standalone reproducer.
+cargo test -q --test fuzz_corpus -- --nocapture
 # Property suites (proptest is an optional, offline-vendored dev feature).
 cargo test -q --workspace \
     --features fgdsm-section/proptest,fgdsm-tempest/proptest,fgdsm-protocol/proptest,fgdsm-hpf/proptest

@@ -10,7 +10,7 @@
 
 use crate::{AppSpec, Scale};
 use fgdsm_hpf::{
-    ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -173,7 +173,7 @@ pub fn build(p: &Params) -> Program {
             ARef::write(pp, here.clone()),
             ARef::write(q, here.clone()),
         ],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 150,
         reduction: None,
     }));
@@ -182,7 +182,7 @@ pub fn build(p: &Params) -> Program {
         iter: vec![int0.clone(), int1.clone()],
         dist: CompDist::Owner(r),
         refs: vec![ARef::read(r, here.clone())],
-        kernel: rr_kernel,
+        kernel: Kernel::new(rr_kernel),
         cost_per_iter_ns: 60,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,
@@ -204,7 +204,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(pp, vec![at(0, 0), at(1, 1)]),
                     ARef::write(q, here.clone()),
                 ],
-                kernel: matvec_kernel,
+                kernel: Kernel::new(matvec_kernel),
                 cost_per_iter_ns: 520,
                 reduction: None,
             }),
@@ -213,7 +213,7 @@ pub fn build(p: &Params) -> Program {
                 iter: vec![int0.clone(), int1.clone()],
                 dist: CompDist::Owner(q),
                 refs: vec![ARef::read(pp, here.clone()), ARef::read(q, here.clone())],
-                kernel: pq_kernel,
+                kernel: Kernel::new(pq_kernel),
                 cost_per_iter_ns: 90,
                 reduction: Some(ReduceSpec {
                     op: ReduceOp::Sum,
@@ -241,7 +241,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::write(x, here.clone()),
                     ARef::write(r, here.clone()),
                 ],
-                kernel: xr_kernel,
+                kernel: Kernel::new(xr_kernel),
                 cost_per_iter_ns: 180,
                 reduction: None,
             }),
@@ -250,7 +250,7 @@ pub fn build(p: &Params) -> Program {
                 iter: vec![int0.clone(), int1.clone()],
                 dist: CompDist::Owner(r),
                 refs: vec![ARef::read(r, here.clone())],
-                kernel: rr_kernel,
+                kernel: Kernel::new(rr_kernel),
                 cost_per_iter_ns: 60,
                 reduction: Some(ReduceSpec {
                     op: ReduceOp::Sum,
@@ -281,7 +281,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(pp, here.clone()),
                     ARef::write(pp, here.clone()),
                 ],
-                kernel: pupd_kernel,
+                kernel: Kernel::new(pupd_kernel),
                 cost_per_iter_ns: 110,
                 reduction: None,
             }),

@@ -17,7 +17,7 @@
 
 use crate::{AppSpec, Scale};
 use fgdsm_hpf::{
-    ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -217,7 +217,7 @@ pub fn build(p: &Params) -> Program {
         iter: vec![all.clone(), all.clone(), all.clone()],
         dist: CompDist::Owner(rho),
         refs: vec![ARef::write(rho, here3.clone())],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 110,
         reduction: None,
     }));
@@ -229,7 +229,7 @@ pub fn build(p: &Params) -> Program {
             ARef::write(phi, here2.clone()),
             ARef::write(phn, here2.clone()),
         ],
-        kernel: init_phi_kernel,
+        kernel: Kernel::new(init_phi_kernel),
         cost_per_iter_ns: 110,
         reduction: None,
     }));
@@ -244,7 +244,7 @@ pub fn build(p: &Params) -> Program {
             ARef::read(phi, vec![iv(0, 0), iv(1, 1)]),
             ARef::write(phn, here2.clone()),
         ],
-        kernel: smooth_kernel,
+        kernel: Kernel::new(smooth_kernel),
         cost_per_iter_ns: 420,
         reduction: None,
     });
@@ -257,7 +257,7 @@ pub fn build(p: &Params) -> Program {
             ARef::read(phi, here2.clone()),
             ARef::write(phi, here2.clone()),
         ],
-        kernel: smooth_copy_kernel,
+        kernel: Kernel::new(smooth_copy_kernel),
         cost_per_iter_ns: 220,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,
@@ -272,7 +272,7 @@ pub fn build(p: &Params) -> Program {
             ARef::read(rho, here3.clone()),
             ARef::write(rho, here3.clone()),
         ],
-        kernel: apply_kernel,
+        kernel: Kernel::new(apply_kernel),
         cost_per_iter_ns: 140,
         reduction: None,
     });
@@ -281,7 +281,7 @@ pub fn build(p: &Params) -> Program {
         iter: vec![all.clone(), all.clone(), all.clone()],
         dist: CompDist::Owner(rho),
         refs: vec![ARef::read(rho, here3)],
-        kernel: mass_kernel,
+        kernel: Kernel::new(mass_kernel),
         cost_per_iter_ns: 70,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,
@@ -293,7 +293,7 @@ pub fn build(p: &Params) -> Program {
         iter: vec![all.clone(), all.clone()],
         dist: CompDist::Owner(phi),
         refs: vec![ARef::read(phi, here2.clone())],
-        kernel: moment_kernel,
+        kernel: Kernel::new(moment_kernel),
         cost_per_iter_ns: 90,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,
@@ -311,7 +311,7 @@ pub fn build(p: &Params) -> Program {
             ARef::read(phi, vec![iv(0, 0), iv(1, -1)]),
             ARef::read(phi, vec![iv(0, 0), iv(1, 1)]),
         ],
-        kernel: gmoment_kernel,
+        kernel: Kernel::new(gmoment_kernel),
         cost_per_iter_ns: 150,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,

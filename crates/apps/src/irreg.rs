@@ -15,7 +15,7 @@
 
 use crate::{AppSpec, Scale};
 use fgdsm_hpf::{
-    ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -144,7 +144,7 @@ pub fn build(p: &Params) -> Program {
             ARef::write(y, vec![iv.clone()]),
             ARef::write(idx, vec![iv.clone()]),
         ],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 120,
         reduction: None,
     }));
@@ -163,7 +163,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(x, vec![Subscript::Loop(0, 1)]),
                     ARef::write(y, vec![iv.clone()]),
                 ],
-                kernel: stencil_kernel,
+                kernel: Kernel::new(stencil_kernel),
                 cost_per_iter_ns: 180,
                 reduction: None,
             }),
@@ -178,7 +178,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(y, vec![iv.clone()]),
                     ARef::write(y, vec![iv.clone()]),
                 ],
-                kernel: gather_kernel,
+                kernel: Kernel::new(gather_kernel),
                 cost_per_iter_ns: 220,
                 reduction: None,
             }),
@@ -190,7 +190,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(y, vec![iv.clone()]),
                     ARef::write(x, vec![iv.clone()]),
                 ],
-                kernel: copy_kernel,
+                kernel: Kernel::new(copy_kernel),
                 cost_per_iter_ns: 70,
                 reduction: None,
             }),
@@ -201,7 +201,7 @@ pub fn build(p: &Params) -> Program {
         iter: vec![SymRange::new(0, n - 1)],
         dist: CompDist::Owner(x),
         refs: vec![ARef::read(x, vec![iv])],
-        kernel: norm_kernel,
+        kernel: Kernel::new(norm_kernel),
         cost_per_iter_ns: 40,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,

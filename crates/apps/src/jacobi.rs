@@ -8,7 +8,7 @@
 
 use crate::{AppSpec, Scale};
 use fgdsm_hpf::{
-    ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -116,7 +116,7 @@ pub fn build(p: &Params) -> Program {
             a,
             vec![Subscript::loop_var(0), Subscript::loop_var(1)],
         )],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 90,
         reduction: None,
     }));
@@ -135,7 +135,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(a, vec![Subscript::loop_var(0), Subscript::Loop(1, 1)]),
                     ARef::write(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
                 ],
-                kernel: sweep_kernel,
+                kernel: Kernel::new(sweep_kernel),
                 cost_per_iter_ns: 440,
                 reduction: None,
             }),
@@ -147,7 +147,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
                     ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
                 ],
-                kernel: copy_kernel,
+                kernel: Kernel::new(copy_kernel),
                 cost_per_iter_ns: 150,
                 reduction: None,
             }),
@@ -161,7 +161,7 @@ pub fn build(p: &Params) -> Program {
             a,
             vec![Subscript::loop_var(0), Subscript::loop_var(1)],
         )],
-        kernel: checksum_kernel,
+        kernel: Kernel::new(checksum_kernel),
         cost_per_iter_ns: 40,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,

@@ -9,7 +9,9 @@
 //! runs because the first one pays the remote page-mapping cost.
 
 use crate::{AppSpec, Scale};
-use fgdsm_hpf::{ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, Stmt, Subscript};
+use fgdsm_hpf::{
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, Stmt, Subscript,
+};
 use fgdsm_section::{Affine, SymRange, Var};
 
 /// Array id by declaration order.
@@ -98,7 +100,7 @@ pub fn build(p: &Params) -> Program {
             a,
             vec![Subscript::loop_var(0), Subscript::loop_var(1)],
         )],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 100,
         reduction: None,
     });
@@ -126,7 +128,7 @@ pub fn build(p: &Params) -> Program {
                 ],
             ),
         ],
-        kernel: scale_kernel,
+        kernel: Kernel::new(scale_kernel),
         cost_per_iter_ns: 180,
         reduction: None,
     });
@@ -151,7 +153,7 @@ pub fn build(p: &Params) -> Program {
             ARef::read(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
             ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
         ],
-        kernel: update_kernel,
+        kernel: Kernel::new(update_kernel),
         cost_per_iter_ns: 130,
         reduction: None,
     });

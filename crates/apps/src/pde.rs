@@ -10,7 +10,7 @@
 
 use crate::{AppSpec, Scale};
 use fgdsm_hpf::{
-    ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -125,7 +125,7 @@ pub fn build(p: &Params) -> Program {
             ARef::write(u, vec![iv(0, 0), iv(1, 0), iv(2, 0)]),
             ARef::write(f, vec![iv(0, 0), iv(1, 0), iv(2, 0)]),
         ],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 160,
         reduction: None,
     }));
@@ -147,7 +147,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(f, vec![iv(0, 0), iv(1, 0), iv(2, 0)]),
                     ARef::write(v, vec![iv(0, 0), iv(1, 0), iv(2, 0)]),
                 ],
-                kernel: relax_kernel,
+                kernel: Kernel::new(relax_kernel),
                 cost_per_iter_ns: 1250,
                 reduction: None,
             }),
@@ -159,7 +159,7 @@ pub fn build(p: &Params) -> Program {
                     ARef::read(v, vec![iv(0, 0), iv(1, 0), iv(2, 0)]),
                     ARef::write(u, vec![iv(0, 0), iv(1, 0), iv(2, 0)]),
                 ],
-                kernel: copy_kernel,
+                kernel: Kernel::new(copy_kernel),
                 cost_per_iter_ns: 340,
                 reduction: None,
             }),
@@ -170,7 +170,7 @@ pub fn build(p: &Params) -> Program {
         iter: vec![all.clone(), all.clone(), all],
         dist: CompDist::Owner(u),
         refs: vec![ARef::read(u, vec![iv(0, 0), iv(1, 0), iv(2, 0)])],
-        kernel: norm_kernel,
+        kernel: Kernel::new(norm_kernel),
         cost_per_iter_ns: 60,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,

@@ -11,7 +11,9 @@
 //! showcase for the paper (85.7% of misses removed).
 
 use crate::{AppSpec, Scale};
-use fgdsm_hpf::{ARef, ArrayId, CompDist, Dist, KernelCtx, ParLoop, Program, Stmt, Subscript};
+use fgdsm_hpf::{
+    ARef, ArrayId, CompDist, Dist, Kernel, KernelCtx, ParLoop, Program, Stmt, Subscript,
+};
 use fgdsm_section::{Affine, SymRange, Var};
 
 /// Array ids by declaration order.
@@ -269,7 +271,7 @@ pub fn build(pr: &Params) -> Program {
         iter: vec![SymRange::new(0, m), SymRange::new(0, n)],
         dist: CompDist::Owner(PSI),
         refs: vec![rw(PSI)],
-        kernel: init_psi_kernel,
+        kernel: Kernel::new(init_psi_kernel),
         cost_per_iter_ns: 420,
         reduction: None,
     }));
@@ -285,7 +287,7 @@ pub fn build(pr: &Params) -> Program {
             rw(V),
             rw(P),
         ],
-        kernel: init_uvp_kernel,
+        kernel: Kernel::new(init_uvp_kernel),
         cost_per_iter_ns: 520,
         reduction: None,
     }));
@@ -294,7 +296,7 @@ pub fn build(pr: &Params) -> Program {
         iter: vec![SymRange::new(0, m), SymRange::new(0, n)],
         dist: CompDist::Owner(UOLD),
         refs: vec![rd(U), rd(V), rd(P), rw(UOLD), rw(VOLD), rw(POLD)],
-        kernel: init_old_kernel,
+        kernel: Kernel::new(init_old_kernel),
         cost_per_iter_ns: 190,
         reduction: None,
     }));
@@ -319,7 +321,7 @@ pub fn build(pr: &Params) -> Program {
             rw(Z),
             rw(H),
         ],
-        kernel: loop100_kernel,
+        kernel: Kernel::new(loop100_kernel),
         cost_per_iter_ns: 1000,
         reduction: None,
     });
@@ -349,7 +351,7 @@ pub fn build(pr: &Params) -> Program {
                 ]
             })
             .collect(),
-        kernel: bc1_cols_kernel,
+        kernel: Kernel::new(bc1_cols_kernel),
         cost_per_iter_ns: 60,
         reduction: None,
     });
@@ -372,7 +374,7 @@ pub fn build(pr: &Params) -> Program {
                 ]
             })
             .collect(),
-        kernel: bc1_rows_kernel,
+        kernel: Kernel::new(bc1_rows_kernel),
         cost_per_iter_ns: 60,
         reduction: None,
     });
@@ -400,7 +402,7 @@ pub fn build(pr: &Params) -> Program {
             rw(VNEW),
             rw(PNEW),
         ],
-        kernel: loop200_kernel,
+        kernel: Kernel::new(loop200_kernel),
         cost_per_iter_ns: 1150,
         reduction: None,
     });
@@ -430,7 +432,7 @@ pub fn build(pr: &Params) -> Program {
                 ]
             })
             .collect(),
-        kernel: bc2_cols_kernel,
+        kernel: Kernel::new(bc2_cols_kernel),
         cost_per_iter_ns: 60,
         reduction: None,
     });
@@ -453,7 +455,7 @@ pub fn build(pr: &Params) -> Program {
                 ]
             })
             .collect(),
-        kernel: bc2_rows_kernel,
+        kernel: Kernel::new(bc2_rows_kernel),
         cost_per_iter_ns: 60,
         reduction: None,
     });
@@ -478,7 +480,7 @@ pub fn build(pr: &Params) -> Program {
             rw(V),
             rw(P),
         ],
-        kernel: loop300_kernel,
+        kernel: Kernel::new(loop300_kernel),
         cost_per_iter_ns: 900,
         reduction: None,
     });

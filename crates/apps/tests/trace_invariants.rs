@@ -1,0 +1,66 @@
+//! Trace-invariant integration checks on a real application run.
+//!
+//! The engine already asserts protocol consistency, balanced traffic and
+//! monotone node clocks after *every* run; this test exercises the same
+//! invariants explicitly through the [`ClusterReport`] accessors on a
+//! jacobi run, per backend, so a bookkeeping regression fails with a
+//! named counter rather than a deep engine panic.
+
+use fgdsm_apps::{jacobi, Scale};
+use fgdsm_hpf::{execute, execute_traced, ExecConfig};
+
+const NPROCS: usize = 4;
+
+#[test]
+fn jacobi_traffic_balances_on_every_backend() {
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    for (name, cfg) in [
+        ("sm-unopt", ExecConfig::sm_unopt(NPROCS)),
+        ("sm-opt", ExecConfig::sm_opt(NPROCS)),
+        ("mp", ExecConfig::mp(NPROCS)),
+    ] {
+        let r = execute(&prog, &cfg);
+        let rep = &r.report;
+        assert!(
+            rep.total_msgs() > 0,
+            "{name}: a {NPROCS}-node jacobi run must communicate"
+        );
+        assert_eq!(
+            rep.total_msgs(),
+            rep.total_msgs_recv(),
+            "{name}: sent messages must equal received messages"
+        );
+        assert_eq!(
+            rep.total_bytes(),
+            rep.total_bytes_recv(),
+            "{name}: sent bytes must equal received bytes"
+        );
+        assert!(rep.traffic_balanced(), "{name}: traffic imbalance");
+        // Nothing received can outrun the run itself: the makespan bounds
+        // every node's compute time (clock monotonicity is asserted
+        // inside the engine on every run).
+        for (i, n) in rep.nodes.iter().enumerate() {
+            assert!(
+                n.compute_ns <= rep.makespan_ns,
+                "{name}: node {i} compute time exceeds the makespan"
+            );
+        }
+        assert!(rep.makespan_ns > 0, "{name}: empty makespan");
+    }
+}
+
+#[test]
+fn jacobi_trace_export_carries_the_balanced_counters() {
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    let (r, trace) = execute_traced(&prog, &ExecConfig::sm_opt(NPROCS));
+    assert!(r.report.traffic_balanced());
+    // The structured trace is the source the report aggregates fold
+    // from; it must exist, name every node, and record message events.
+    assert!(!trace.is_empty(), "empty trace export");
+    for n in 0..NPROCS {
+        assert!(
+            trace.contains(&format!("\"node\":{n}")) || trace.contains(&format!("\"node\": {n}")),
+            "trace export missing node {n}"
+        );
+    }
+}

@@ -10,7 +10,7 @@
 //! by more than the tolerance is a behavioral regression, not noise — the
 //! simulator is deterministic.
 
-use fgdsm_apps::{grav, jacobi, Scale};
+use fgdsm_apps::{grav, jacobi, shallow, Scale};
 use fgdsm_bench::{pct_reduction, NPROCS};
 use fgdsm_hpf::{execute, ExecConfig, Program};
 
@@ -41,4 +41,35 @@ fn grav_miss_reduction_matches_table3() {
         "grav miss reduction drifted: measured {red:.1}%, pinned 38.4% \
          (paper Table 3: 38.2% at paper scale)"
     );
+}
+
+/// Figure 4's ablation must keep its qualitative ordering on the
+/// dual-cpu model: each added optimization strictly reduces execution
+/// time (base > +bulk > +rtoe) for the regular stencil apps the paper
+/// uses to motivate them. The simulator is deterministic, so a reversal
+/// is a planner/backend regression, not noise.
+#[test]
+fn figure4_ablation_ordering_holds() {
+    use fgdsm_bench::run_opt_level;
+    use fgdsm_hpf::OptLevel;
+
+    for spec in [
+        jacobi::spec(&jacobi::Params::at(Scale::Bench)),
+        shallow::spec(&shallow::Params::at(Scale::Bench)),
+    ] {
+        let base = run_opt_level(&spec, OptLevel::base()).total_s();
+        let bulk = run_opt_level(&spec, OptLevel::base_bulk()).total_s();
+        let full = run_opt_level(&spec, OptLevel::full()).total_s();
+        assert!(
+            base > bulk,
+            "{}: bulk transfer no longer helps (base {base:.4}s vs +bulk {bulk:.4}s)",
+            spec.name
+        );
+        assert!(
+            bulk > full,
+            "{}: run-time overhead elimination no longer helps \
+             (+bulk {bulk:.4}s vs +rtoe {full:.4}s)",
+            spec.name
+        );
+    }
 }

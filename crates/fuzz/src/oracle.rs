@@ -1,0 +1,121 @@
+//! The cross-backend differential oracle.
+//!
+//! One fuzz case is checked by running its program through the
+//! sequential reference interpreter and then through every backend ×
+//! optimization-toggle × parallelism combination, comparing final array
+//! contents and scalars **bitwise**. The engine itself asserts the
+//! protocol consistency check and the trace invariants (balanced
+//! message/byte counters, monotone per-node clocks) after every run, so
+//! a violated invariant surfaces here as a panic — which the oracle
+//! converts into a [`Divergence`] like any wrong answer.
+
+use crate::gen::FuzzSpec;
+use fgdsm_hpf::{execute, execute_reference, ArrayId, ExecConfig, OptLevel};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One detected disagreement between a backend run and the reference.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Which run diverged, e.g. `sm_opt[ctl+bulk+rtoe]/threads`.
+    pub config: String,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.config, self.detail)
+    }
+}
+
+fn opt_label(o: &OptLevel) -> String {
+    if !o.ctl {
+        return "ctl-off".into();
+    }
+    let mut s = String::from("ctl");
+    if o.bulk {
+        s.push_str("+bulk");
+    }
+    if o.rtoe {
+        s.push_str("+rtoe");
+    }
+    if o.pre {
+        s.push_str("+pre");
+    }
+    s
+}
+
+/// The backend matrix for a spec: `sm_unopt`, `sm_opt` at every
+/// [`OptLevel`] toggle combination, and `mp` — unless the spec performs
+/// non-owner writes, which the owner-computes `mp` backend does not
+/// model (it never flushes written data back to the distribution owner).
+pub fn backend_configs(spec: &FuzzSpec) -> Vec<(String, ExecConfig)> {
+    let n = spec.nprocs;
+    let mut v = vec![("sm_unopt".to_string(), ExecConfig::sm_unopt(n))];
+    for o in OptLevel::all_combos() {
+        v.push((
+            format!("sm_opt[{}]", opt_label(&o)),
+            ExecConfig::sm_unopt(n).with_opt(o),
+        ));
+    }
+    if !spec.has_nonowner_writes() {
+        v.push(("mp".to_string(), ExecConfig::mp(n)));
+    }
+    v
+}
+
+fn panic_msg(p: &Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic".into())
+}
+
+/// Run the full differential matrix for one spec. `Ok(())` means every
+/// run agreed with the reference bit-for-bit and no run panicked.
+pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
+    let prog = spec.build();
+    let reference = execute_reference(&prog, &ExecConfig::sm_unopt(spec.nprocs));
+    for (name, cfg) in backend_configs(spec) {
+        for (mode, workers) in [("serial", 1usize), ("threads", 3)] {
+            let cfg = if workers == 1 {
+                cfg.clone().serial()
+            } else {
+                cfg.clone().threads(workers)
+            }
+            .with_inject(spec.inject);
+            let label = format!("{name}/{mode}");
+            let r = match catch_unwind(AssertUnwindSafe(|| execute(&prog, &cfg))) {
+                Err(p) => {
+                    return Err(Divergence {
+                        config: label,
+                        detail: format!("panic: {}", panic_msg(&p)),
+                    })
+                }
+                Ok(r) => r,
+            };
+            for ai in 0..prog.arrays.len() {
+                let want = reference.array(&prog, ArrayId(ai));
+                let got = r.array(&prog, ArrayId(ai));
+                if let Some(at) = (0..want.len()).find(|&k| want[k].to_bits() != got[k].to_bits()) {
+                    return Err(Divergence {
+                        config: label,
+                        detail: format!(
+                            "array `{}` diverges at flat index {at}: reference {} vs {}",
+                            prog.arrays[ai].name, want[at], got[at]
+                        ),
+                    });
+                }
+            }
+            for (k, want) in &reference.scalars {
+                let got = r.scalars.get(k).copied();
+                if got.map(f64::to_bits) != Some(want.to_bits()) {
+                    return Err(Divergence {
+                        config: label,
+                        detail: format!("scalar `{k}` diverges: reference {want} vs {got:?}"),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! Fault-injection contract tests: tolerated perturbations must keep
+//! every backend bit-identical to the reference; must-catch protocol
+//! mutations must make the oracle report a divergence; and a diverging
+//! case must shrink to a smaller spec that still diverges.
+
+use fgdsm_fuzz::{
+    case_seed, check_spec, gen_spec, shrink, ArraySpec, FStmt, FuzzSpec, LoopSpec, ReadSpec,
+};
+use fgdsm_hpf::InjectConfig;
+use fgdsm_testkit::Rng;
+
+const TOLERATED_SEEDS: u64 = 25;
+
+/// Tolerated perturbations — randomized resolve order, a cleared
+/// `implicit_writable` memo, and boundary blocks forced onto the default
+/// path — must not change any result on any backend.
+#[test]
+fn tolerated_perturbations_are_invisible() {
+    for case in 0..TOLERATED_SEEDS {
+        let seed = case_seed(0xA11_0_CAFE, case);
+        let mut rng = Rng::new(seed);
+        let mut spec = gen_spec(&mut rng, seed);
+        spec.inject = InjectConfig {
+            shuffle_resolve: Some(seed.rotate_left(17)),
+            clear_iw_memo: true,
+            force_boundary: true,
+            skew_send_range: false,
+            skip_flush_range: false,
+        };
+        if let Err(d) = check_spec(&spec) {
+            panic!("tolerated perturbation diverged at seed {seed:#x}: {d}");
+        }
+    }
+}
+
+/// A 2-D block-distributed write array plus a 1-D array read by every
+/// node at `b(i)`: the shared read section spans whole cache blocks, so
+/// the optimized backend ships it with `send_range` — which the
+/// injection skews by one element at each end.
+fn skew_victim() -> FuzzSpec {
+    FuzzSpec {
+        seed: 0,
+        nprocs: 2,
+        n1: 96,
+        n2: [40, 8],
+        arrays: vec![
+            ArraySpec {
+                rank2: true,
+                cyclic: false,
+                index_for: None,
+            },
+            ArraySpec {
+                rank2: false,
+                cyclic: false,
+                index_for: None,
+            },
+        ],
+        body: vec![FStmt::Loop(LoopSpec {
+            write: 0,
+            dist_by: None,
+            self_read: false,
+            reads: vec![ReadSpec {
+                array: 1,
+                off: [0, 0],
+                via: None,
+            }],
+            reduce: None,
+            use_t: false,
+            use_acc: false,
+        })],
+        time: None,
+        inject: InjectConfig {
+            skew_send_range: true,
+            ..InjectConfig::default()
+        },
+    }
+}
+
+#[test]
+fn must_catch_skewed_send_range() {
+    let spec = skew_victim();
+    let d = check_spec(&spec).expect_err("off-by-one send_range must be detected");
+    assert!(
+        d.config.starts_with("sm_opt"),
+        "skew only exists on the ctl path, diverged at {d}"
+    );
+}
+
+/// A block-distributed 2-D array written under a *cyclic* partition
+/// (`dist_by`): every superstep performs non-owner writes that the
+/// optimized backend must flush home with `flush_range` — which the
+/// injection skips entirely.
+fn flush_victim() -> FuzzSpec {
+    FuzzSpec {
+        seed: 0,
+        nprocs: 2,
+        n1: 42,
+        n2: [40, 8],
+        arrays: vec![
+            ArraySpec {
+                rank2: true,
+                cyclic: false,
+                index_for: None,
+            },
+            ArraySpec {
+                rank2: true,
+                cyclic: true,
+                index_for: None,
+            },
+        ],
+        body: vec![FStmt::Loop(LoopSpec {
+            write: 0,
+            dist_by: Some(1),
+            self_read: false,
+            reads: vec![],
+            reduce: None,
+            use_t: false,
+            use_acc: false,
+        })],
+        time: None,
+        inject: InjectConfig {
+            skip_flush_range: true,
+            ..InjectConfig::default()
+        },
+    }
+}
+
+#[test]
+fn must_catch_skipped_flush_range() {
+    let spec = flush_victim();
+    let d = check_spec(&spec).expect_err("skipped flush_range must be detected");
+    assert!(
+        d.config.starts_with("sm_opt"),
+        "flush_range only exists on the ctl path, diverged at {d}"
+    );
+}
+
+/// Pad a diverging spec with junk (an unused array, an extra harmless
+/// loop, a time wrap) and check the shrinker strips it back down while
+/// preserving the divergence, then renders a reproducer.
+#[test]
+fn shrinker_minimizes_divergent_cases() {
+    let mut spec = skew_victim();
+    spec.arrays.push(ArraySpec {
+        rank2: false,
+        cyclic: true,
+        index_for: None,
+    });
+    spec.body.push(FStmt::Loop(LoopSpec {
+        write: 2,
+        dist_by: None,
+        self_read: true,
+        reads: vec![ReadSpec {
+            array: 1,
+            off: [1, 0],
+            via: None,
+        }],
+        reduce: Some(0),
+        use_t: true,
+        use_acc: true,
+    }));
+    spec.body.push(FStmt::Scalar(0));
+    spec.time = Some((0, 3, 2));
+    assert!(
+        check_spec(&spec).is_err(),
+        "padded victim must still diverge"
+    );
+
+    let small = shrink(&spec);
+    let d = check_spec(&small).expect_err("shrunk spec must still diverge");
+    assert!(
+        small.body.len() < spec.body.len(),
+        "shrinker failed to drop the junk statements"
+    );
+    assert!(
+        small.arrays.len() < spec.arrays.len(),
+        "shrinker failed to drop the unused array"
+    );
+    assert!(
+        small.time.is_none(),
+        "shrinker failed to unwrap the time loop"
+    );
+
+    let repro = small.to_rust();
+    assert!(
+        repro.contains("#[test]"),
+        "reproducer must be a runnable test"
+    );
+    assert!(
+        repro.contains("check_spec(&spec).unwrap()"),
+        "missing oracle call:\n{repro}"
+    );
+    assert!(
+        repro.contains("skew_send_range: true"),
+        "missing injection knob:\n{repro}"
+    );
+    println!("shrunk divergence: {d}\n{repro}");
+}

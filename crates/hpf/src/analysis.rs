@@ -202,7 +202,7 @@ pub fn analyze(prog: &Program, l: &ParLoop, env: &Env, nprocs: usize) -> LoopAcc
 mod tests {
     use super::*;
     use crate::dist::Dist;
-    use crate::ir::{ARef, KernelCtx, ParLoop, Program, Stmt, Subscript};
+    use crate::ir::{ARef, Kernel, KernelCtx, ParLoop, Program, Stmt, Subscript};
     use fgdsm_section::{Affine, SymRange, Var};
 
     fn nk(_: &mut KernelCtx) {}
@@ -223,7 +223,7 @@ mod tests {
                 ARef::read(a, vec![Subscript::Loop(0, 1), Subscript::loop_var(1)]),
                 ARef::write(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
             ],
-            kernel: nk,
+            kernel: Kernel::new(nk),
             cost_per_iter_ns: 100,
             reduction: None,
         }));
@@ -301,7 +301,7 @@ mod tests {
                     ARef::read(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
                     ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
                 ],
-                kernel: nk,
+                kernel: Kernel::new(nk),
                 cost_per_iter_ns: 120,
                 reduction: None,
             })],

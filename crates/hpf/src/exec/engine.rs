@@ -50,26 +50,40 @@ pub struct EngineCore<'p> {
     /// later by `nprocs`). Resolved once per run so `FGDSM_PAR` is read
     /// a single time.
     pub workers: usize,
+    /// Supersteps executed so far; salts the `shuffle_resolve`
+    /// perturbation so each loop instance gets a distinct node order.
+    pub supersteps: u64,
     /// Compile-time analysis cache: loops whose access structure mentions
     /// no symbolic variables are analyzed once (keyed by loop address,
     /// stable for the duration of a run).
     analysis_cache: BTreeMap<usize, Rc<LoopAccess>>,
 }
 
+/// Allocate every program array into a fresh page-aligned segment layout.
+/// Shared by the engine and the sequential reference interpreter so both
+/// agree on absolute word addresses (and therefore on `ArrayMeta` bases).
+pub(crate) fn layout_arrays(
+    prog: &Program,
+    cfg: &ExecConfig,
+) -> (SegmentLayout, Vec<ArrayMeta>, Vec<ArrayHandle>) {
+    let mut layout = SegmentLayout::new(cfg.cost.words_per_page());
+    let mut metas = Vec::with_capacity(prog.arrays.len());
+    let mut handles = Vec::with_capacity(prog.arrays.len());
+    for (i, a) in prog.arrays.iter().enumerate() {
+        let base = layout.alloc(a.len());
+        metas.push(ArrayMeta {
+            id: crate::dist::ArrayId(i),
+            base,
+            layout: a.layout(),
+        });
+        handles.push(ArrayHandle::new(base, &a.extents));
+    }
+    (layout, metas, handles)
+}
+
 impl<'p> EngineCore<'p> {
     pub fn new(prog: &'p Program, cfg: &'p ExecConfig) -> Self {
-        let mut layout = SegmentLayout::new(cfg.cost.words_per_page());
-        let mut metas = Vec::with_capacity(prog.arrays.len());
-        let mut handles = Vec::with_capacity(prog.arrays.len());
-        for (i, a) in prog.arrays.iter().enumerate() {
-            let base = layout.alloc(a.len());
-            metas.push(ArrayMeta {
-                id: crate::dist::ArrayId(i),
-                base,
-                layout: a.layout(),
-            });
-            handles.push(ArrayHandle::new(base, &a.extents));
-        }
+        let (layout, metas, handles) = layout_arrays(prog, cfg);
         let policy = match cfg.home {
             HomeAssign::RoundRobin => HomePolicy::RoundRobin,
             HomeAssign::Blocked => HomePolicy::Blocked,
@@ -93,16 +107,29 @@ impl<'p> EngineCore<'p> {
             }
         };
         let cluster = Cluster::new(cfg.nprocs, cfg.cost.clone(), &layout, policy);
+        #[allow(unused_mut)]
+        let mut dsm = Dsm::with_protocol(cluster, cfg.protocol);
+        #[cfg(feature = "fault-inject")]
+        dsm.set_injection(fgdsm_protocol::Injection {
+            skew_send_range: cfg.inject.skew_send_range,
+            skip_flush_range: cfg.inject.skip_flush_range,
+        });
+        #[cfg(not(feature = "fault-inject"))]
+        assert!(
+            !cfg.inject.skew_send_range && !cfg.inject.skip_flush_range,
+            "protocol-level fault injection requires the `fault-inject` feature"
+        );
         EngineCore {
             prog,
             cfg,
             metas,
             handles,
-            dsm: Dsm::with_protocol(cluster, cfg.protocol),
+            dsm,
             env: cfg.base_env.clone(),
             scalars: prog.scalars.iter().copied().collect(),
             wpb: cfg.cost.words_per_block(),
             workers: cfg.parallel.workers(),
+            supersteps: 0,
             analysis_cache: BTreeMap::new(),
         }
     }
@@ -221,8 +248,16 @@ impl<'p> EngineCore<'p> {
                         && (0..nprocs).any(|p| p != writers[0] && contains(&rcover[p], b)))
             })
             .collect();
+        // Node visiting order for the sub-phases. Under the tolerated
+        // `shuffle_resolve` perturbation the order is randomized per
+        // superstep: the protocol contract must be insensitive to which
+        // node faults first.
+        let mut order: Vec<usize> = (0..nprocs).collect();
+        if let Some(seed) = self.cfg.inject.shuffle_resolve {
+            fgdsm_testkit::Rng::new(seed ^ self.supersteps).shuffle(&mut order);
+        }
         // Sub-phase: writes.
-        for p in 0..nprocs {
+        for &p in &order {
             for &(f, e) in &wcover[p] {
                 for b in f..e {
                     if multi.contains(&b) {
@@ -234,7 +269,7 @@ impl<'p> EngineCore<'p> {
             }
         }
         // Sub-phase: reads.
-        for p in 0..nprocs {
+        for &p in &order {
             for &(f, e) in &rcover[p] {
                 for b in f..e {
                     self.dsm.read_access(p, b);
@@ -333,6 +368,24 @@ pub(super) fn run(
     // Host time, stamped outside the deterministic virtual-time state
     // (excluded from the canonical report encoding).
     report.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    // Post-run invariants: the protocol left a consistent directory and
+    // the trace is sane. These hold for every backend on every program;
+    // the fuzz oracle (and every test) gets them for free.
+    if let Err(e) = core.dsm.check_consistency() {
+        panic!("post-run protocol consistency check failed: {e}");
+    }
+    assert!(
+        report.traffic_balanced(),
+        "post-run trace invariant violated: sent {} msgs / {} bytes but received {} msgs / {} bytes",
+        report.total_msgs(),
+        report.total_bytes(),
+        report.total_msgs_recv(),
+        report.total_bytes_recv()
+    );
+    assert!(
+        core.dsm.cluster.clocks_monotone(),
+        "post-run trace invariant violated: a node clock moved backwards"
+    );
     let result = RunResult {
         report,
         scalars: core.scalars,
@@ -379,8 +432,16 @@ fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
     let nprocs = core.cfg.nprocs;
     let acc = core.analyze(l);
     let acc = &*acc;
+    core.supersteps += 1;
 
     // --- Resolve phase: all cross-node traffic, deterministic order. ---
+    if core.cfg.inject.clear_iw_memo {
+        // Tolerated perturbation: forget every first-time memoization
+        // before the loop resolves, as if each loop instance were the
+        // first. `clear_iw_memo` also invalidates the covered tags so the
+        // RTOE excuse is not needed for copies that no longer exist.
+        core.dsm.clear_iw_memo();
+    }
     backend.resolve(core, l, acc);
 
     // --- Compute phase: zero cross-node access from here to the join. --
@@ -443,7 +504,7 @@ fn compute_phase(core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess, partials:
             nprocs,
             handles,
         };
-        (l.kernel)(&mut ctx);
+        l.kernel.call(&mut ctx);
         *partial = ctx.partial;
     };
 

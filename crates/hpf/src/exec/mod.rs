@@ -40,8 +40,11 @@
 pub mod backend;
 pub mod engine;
 pub mod mp;
+pub mod reference;
 pub mod sm_opt;
 pub mod sm_unopt;
+
+pub use reference::{execute_reference, ReferenceResult};
 
 use crate::ir::Program;
 use crate::plan::{ArrayMeta, OptLevel};
@@ -124,6 +127,36 @@ pub struct ExecConfig {
     pub base_env: Env,
     /// Compute-phase scheduling (wall-clock only; never affects results).
     pub parallel: Parallelism,
+    /// Fault-injection knobs for the differential fuzzer (all off by
+    /// default; the protocol-level mutations additionally require the
+    /// `fault-inject` cargo feature).
+    pub inject: InjectConfig,
+}
+
+/// Fault-injection configuration: *tolerated* perturbations the §4.2
+/// contract must survive without changing results, plus *must-catch*
+/// protocol mutations (forwarded to
+/// [`fgdsm_protocol::Dsm::set_injection`]) whose incoherence the
+/// differential oracle has to detect. Everything defaults to off and the
+/// tolerated knobs are honest config — they only reorder or de-optimize
+/// work the contract already claims is order-independent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectConfig {
+    /// Shuffle the node service order of the default-protocol resolve
+    /// sub-phases with this seed. Faults of independent nodes commute, so
+    /// results must not change.
+    pub shuffle_resolve: Option<u64>,
+    /// Clear the `implicit_writable` memo (and the tags it records)
+    /// before every superstep's resolve, de-optimizing run-time-overhead
+    /// elimination back to the slow path.
+    pub clear_iw_memo: bool,
+    /// Shrink every compiler-controlled block range by one block at each
+    /// end, forcing those boundary blocks onto the default-protocol path.
+    pub force_boundary: bool,
+    /// Must-catch: off-by-one `send_range` bounds (needs `fault-inject`).
+    pub skew_send_range: bool,
+    /// Must-catch: skip `flush_range` entirely (needs `fault-inject`).
+    pub skip_flush_range: bool,
 }
 
 impl ExecConfig {
@@ -138,6 +171,7 @@ impl ExecConfig {
             protocol: ProtocolKind::EagerInvalidate,
             base_env: Env::new(),
             parallel: Parallelism::Auto,
+            inject: InjectConfig::default(),
         }
     }
 
@@ -188,6 +222,12 @@ impl ExecConfig {
     /// Dispatch the compute phase across up to `n` scoped threads.
     pub fn threads(mut self, n: usize) -> Self {
         self.parallel = Parallelism::Threads(n);
+        self
+    }
+
+    /// Replace the fault-injection configuration.
+    pub fn with_inject(mut self, inject: InjectConfig) -> Self {
+        self.inject = inject;
         self
     }
 }
@@ -249,7 +289,7 @@ pub fn execute_traced(prog: &Program, cfg: &ExecConfig) -> (RunResult, String) {
 mod tests {
     use super::*;
     use crate::dist::Dist;
-    use crate::ir::{ARef, KernelCtx, ParLoop, Stmt, Subscript};
+    use crate::ir::{ARef, Kernel, KernelCtx, ParLoop, Stmt, Subscript};
     use fgdsm_section::SymRange;
 
     const A: crate::dist::ArrayId = crate::dist::ArrayId(0);
@@ -277,7 +317,7 @@ mod tests {
                 a,
                 vec![Subscript::loop_var(0), Subscript::loop_var(1)],
             )],
-            kernel: fill_kernel,
+            kernel: Kernel::new(fill_kernel),
             cost_per_iter_ns: 20,
             reduction: None,
         }));
@@ -393,7 +433,7 @@ mod tests {
                 a,
                 vec![Subscript::loop_var(0), Subscript::loop_var(1)],
             )],
-            kernel: fill_kernel,
+            kernel: Kernel::new(fill_kernel),
             cost_per_iter_ns: 10,
             reduction: None,
         }));

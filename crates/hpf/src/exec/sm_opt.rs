@@ -84,6 +84,18 @@ impl SmOpt {
                 }
             }
             for (f, e) in merged {
+                let (f, e) = if core.cfg.inject.force_boundary {
+                    // Tolerated perturbation: retreat each ctl range by one
+                    // block per end, forcing the dropped boundary blocks
+                    // onto the default-protocol path (resolve_default runs
+                    // after the contract and covers every section).
+                    (f + 1, e.saturating_sub(1))
+                } else {
+                    (f, e)
+                };
+                if f >= e {
+                    continue;
+                }
                 if opt.pre && !is_write && self.pre.is_valid(user, array, f, e, wpb) {
                     self.pre.skipped += 1;
                     continue;
@@ -107,20 +119,45 @@ impl SmOpt {
             return;
         }
 
-        // Phase A: owners acquire write ownership (skipped under RTOE —
-        // the default protocol already left owners exclusive).
-        if !self.opt.rtoe {
-            let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
-            for &(o, _, f, e) in sends.keys() {
-                by_owner.entry(o).or_default().push((f, e));
-            }
-            for (o, mut ranges) in by_owner {
-                ranges.sort_unstable();
-                ranges.dedup();
-                for (f, e) in ranges {
+        // Phase A: owners acquire write ownership. RTOE elides the
+        // acquire where the default protocol already left the owner
+        // exclusive — but a prior loop's boundary-path non-owner writes
+        // can have moved a block to another node (its dir-exclusive
+        // writer), and sending without reacquiring would push the owner's
+        // stale copy over current data. So under RTOE, acquire exactly
+        // the blocks whose directory state contradicts the assumption;
+        // in the steady state (owners exclusive) no call is issued and
+        // no overhead is paid.
+        let mut by_owner: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for &(o, _, f, e) in sends.keys() {
+            by_owner.entry(o).or_default().push((f, e));
+        }
+        let mut acquired = false;
+        for (o, mut ranges) in by_owner {
+            ranges.sort_unstable();
+            ranges.dedup();
+            for (f, e) in ranges {
+                if !self.opt.rtoe {
                     core.dsm.mk_writable(o, f, e);
+                    acquired = true;
+                    continue;
+                }
+                let mut b = f;
+                while b < e {
+                    if core.dsm.dir_state(b).is_excl_by(o) {
+                        b += 1;
+                        continue;
+                    }
+                    let s = b;
+                    while b < e && !core.dsm.dir_state(b).is_excl_by(o) {
+                        b += 1;
+                    }
+                    core.dsm.mk_writable(o, s, b);
+                    acquired = true;
                 }
             }
+        }
+        if acquired {
             core.dsm.release_barrier();
         }
 

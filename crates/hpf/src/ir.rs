@@ -242,7 +242,41 @@ impl KernelCtx<'_> {
     }
 }
 
-/// Kernel function type: pure array arithmetic over the resolved context.
+/// A compiled loop-body kernel: pure array arithmetic over the resolved
+/// context. Wraps a shared closure, so program builders (and generators)
+/// can capture array ids, extents or coefficients; cloning is cheap
+/// (`Arc`) and kernels cross the compute-phase thread boundary
+/// (`Send + Sync`). Plain `fn` items coerce, so `Kernel::new(my_kernel)`
+/// works for the static-kernel style the apps use.
+#[derive(Clone)]
+pub struct Kernel(std::sync::Arc<dyn Fn(&mut KernelCtx) + Send + Sync>);
+
+impl Kernel {
+    /// Wrap a closure (or `fn` item) as a kernel.
+    pub fn new(f: impl Fn(&mut KernelCtx) + Send + Sync + 'static) -> Self {
+        Kernel(std::sync::Arc::new(f))
+    }
+
+    /// Run the kernel over one node's resolved context.
+    pub fn call(&self, ctx: &mut KernelCtx) {
+        (self.0)(ctx)
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Kernel(..)")
+    }
+}
+
+impl<F: Fn(&mut KernelCtx) + Send + Sync + 'static> From<F> for Kernel {
+    fn from(f: F) -> Self {
+        Kernel::new(f)
+    }
+}
+
+/// Kernel function type: the plain-`fn` form of a kernel body, still
+/// convertible into [`Kernel`] via `Kernel::new` / `.into()`.
 pub type KernelFn = fn(&mut KernelCtx);
 
 /// Scalar update function: computes a new replicated scalar from the
@@ -257,7 +291,7 @@ pub struct ParLoop {
     pub iter: Vec<SymRange>,
     pub dist: CompDist,
     pub refs: Vec<ARef>,
-    pub kernel: KernelFn,
+    pub kernel: Kernel,
     /// Virtual compute cost per iteration point, in ns (calibrated per
     /// kernel to 66 MHz HyperSPARC throughput).
     pub cost_per_iter_ns: u64,
@@ -549,7 +583,7 @@ mod tests {
                 a,
                 vec![Subscript::loop_var(0), Subscript::loop_var(1)],
             )],
-            kernel: noop_kernel,
+            kernel: Kernel::new(noop_kernel),
             cost_per_iter_ns: 100,
             reduction: None,
         }));
@@ -570,7 +604,7 @@ mod tests {
             iter: vec![SymRange::new(0, 15)],
             dist: CompDist::BlockDim(0),
             refs: vec![ARef::read(a, vec![Subscript::loop_var(0)])], // 1 sub, 2 dims
-            kernel: noop_kernel,
+            kernel: Kernel::new(noop_kernel),
             cost_per_iter_ns: 1,
             reduction: None,
         }));
@@ -589,7 +623,7 @@ mod tests {
                 a,
                 vec![Subscript::loop_var(0), Subscript::loop_var(1)],
             )],
-            kernel: noop_kernel,
+            kernel: Kernel::new(noop_kernel),
             cost_per_iter_ns: 1,
             reduction: None,
         });

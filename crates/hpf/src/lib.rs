@@ -35,10 +35,13 @@ pub mod report;
 
 pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
-pub use exec::{execute, execute_traced, Backend, ExecConfig, Parallelism, RunResult};
+pub use exec::{
+    execute, execute_reference, execute_traced, Backend, ExecConfig, InjectConfig, Parallelism,
+    ReferenceResult, RunResult,
+};
 pub use ir::{
-    ARef, ArrayHandle, CompDist, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder, ReduceSpec,
-    RefMode, Stmt, Subscript,
+    ARef, ArrayHandle, CompDist, Kernel, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder,
+    ReduceSpec, RefMode, Stmt, Subscript,
 };
 pub use plan::{covering_blocks, shmem_limits, ArrayMeta, CtlRanges, OptLevel};
 pub use redundancy::PreCache;

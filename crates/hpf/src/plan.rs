@@ -79,6 +79,23 @@ impl OptLevel {
             pre: true,
         }
     }
+
+    /// Every meaningful toggle combination: the unoptimized baseline plus
+    /// all eight `ctl = true` settings of bulk × rtoe × pre (the other
+    /// flags are dead when `ctl` is off). The differential-testing oracle
+    /// walks this list.
+    pub fn all_combos() -> Vec<Self> {
+        let mut out = vec![OptLevel::unopt()];
+        for bits in 0..8u8 {
+            out.push(OptLevel {
+                ctl: true,
+                bulk: bits & 1 != 0,
+                rtoe: bits & 2 != 0,
+                pre: bits & 4 != 0,
+            });
+        }
+        out
+    }
 }
 
 /// Placement of one array in the global segment.

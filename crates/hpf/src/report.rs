@@ -177,7 +177,7 @@ pub fn ref_counts(l: &ParLoop) -> (usize, usize) {
 mod tests {
     use super::*;
     use crate::dist::Dist;
-    use crate::ir::{ARef, KernelCtx, ParLoop, Stmt, Subscript};
+    use crate::ir::{ARef, Kernel, KernelCtx, ParLoop, Stmt, Subscript};
     use fgdsm_section::SymRange;
 
     fn nk(_: &mut KernelCtx) {}
@@ -195,7 +195,7 @@ mod tests {
                 ARef::read(a, vec![Subscript::loop_var(0), Subscript::Loop(1, 1)]),
                 ARef::write(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
             ],
-            kernel: nk,
+            kernel: Kernel::new(nk),
             cost_per_iter_ns: 100,
             reduction: None,
         }));

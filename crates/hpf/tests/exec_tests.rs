@@ -4,8 +4,8 @@
 //! bulk transfer, fewer calls with run-time overhead elimination).
 
 use fgdsm_hpf::{
-    analysis, execute, ARef, CompDist, Dist, ExecConfig, KernelCtx, OptLevel, ParLoop, Program,
-    ReduceSpec, Stmt, Subscript,
+    analysis, execute, ARef, CompDist, Dist, ExecConfig, Kernel, KernelCtx, OptLevel, ParLoop,
+    Program, ReduceSpec, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_tempest::ReduceOp;
@@ -82,7 +82,7 @@ fn jacobi_program() -> Program {
             a,
             vec![Subscript::loop_var(0), Subscript::loop_var(1)],
         )],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 50,
         reduction: None,
     }));
@@ -100,7 +100,7 @@ fn jacobi_program() -> Program {
             ARef::read(a, vec![Subscript::loop_var(0), Subscript::Loop(1, 1)]),
             ARef::write(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
         ],
-        kernel: sweep_kernel,
+        kernel: Kernel::new(sweep_kernel),
         cost_per_iter_ns: 400,
         reduction: None,
     });
@@ -115,7 +115,7 @@ fn jacobi_program() -> Program {
             ARef::read(bb, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
             ARef::write(a, vec![Subscript::loop_var(0), Subscript::loop_var(1)]),
         ],
-        kernel: copy_kernel,
+        kernel: Kernel::new(copy_kernel),
         cost_per_iter_ns: 80,
         reduction: None,
     });
@@ -135,7 +135,7 @@ fn jacobi_program() -> Program {
             a,
             vec![Subscript::loop_var(0), Subscript::loop_var(1)],
         )],
-        kernel: sum_kernel,
+        kernel: Kernel::new(sum_kernel),
         cost_per_iter_ns: 30,
         reduction: Some(ReduceSpec {
             op: ReduceOp::Sum,

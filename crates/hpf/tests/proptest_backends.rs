@@ -14,8 +14,8 @@
 #![cfg(feature = "proptest")]
 
 use fgdsm_hpf::{
-    execute, ARef, ArrayId, CompDist, Dist, ExecConfig, KernelCtx, OptLevel, ParLoop, Program,
-    Stmt, Subscript,
+    execute, ARef, ArrayId, CompDist, Dist, ExecConfig, Kernel, KernelCtx, OptLevel, ParLoop,
+    Program, Stmt, Subscript,
 };
 use fgdsm_section::{SymRange, Var};
 use fgdsm_testkit::{check_cases, Rng};
@@ -121,7 +121,7 @@ fn build(spec: &Spec) -> Program {
         iter: vec![SymRange::new(0, n - 1), SymRange::new(0, m - 1)],
         dist: CompDist::Owner(a),
         refs: vec![ARef::write(a, here.clone())],
-        kernel: init_kernel,
+        kernel: Kernel::new(init_kernel),
         cost_per_iter_ns: 10,
         reduction: None,
     }));
@@ -142,7 +142,7 @@ fn build(spec: &Spec) -> Program {
                 iter: vec![SymRange::new(2, n - 3), SymRange::new(2, m - 3)],
                 dist: CompDist::Owner(bb),
                 refs,
-                kernel: stencil_kernel,
+                kernel: Kernel::new(stencil_kernel),
                 cost_per_iter_ns: 50,
                 reduction: None,
             }),
@@ -151,7 +151,7 @@ fn build(spec: &Spec) -> Program {
                 iter: vec![SymRange::new(2, n - 3), SymRange::new(2, m - 3)],
                 dist: CompDist::Owner(a),
                 refs: vec![ARef::read(bb, here.clone()), ARef::write(a, here.clone())],
-                kernel: copy_kernel,
+                kernel: Kernel::new(copy_kernel),
                 cost_per_iter_ns: 10,
                 reduction: None,
             }),

@@ -148,7 +148,7 @@ impl Dsm {
                 latency_paid = true;
             }
             if h != owner {
-                self.cluster.note_msg(owner, 8);
+                self.cluster.note_msg(owner, h, 8);
             }
             self.cluster
                 .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
@@ -169,7 +169,9 @@ impl Dsm {
             DirState::Shared { readers } => {
                 for r in DirState::nodes(readers) {
                     if r != node {
-                        self.cluster.note_msg(h, 8);
+                        if r != h {
+                            self.cluster.note_msg(h, r, 8);
+                        }
                         self.cluster
                             .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
                         self.cluster.set_tag(r, b, Access::Invalid);
@@ -180,7 +182,7 @@ impl Dsm {
                 if owner != h {
                     self.cluster
                         .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.note_msg(owner, cfg.block_bytes);
+                    self.cluster.note_msg(owner, h, cfg.block_bytes);
                     self.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                     self.cluster.copy_words(owner, h, s, e - s);
@@ -195,7 +197,7 @@ impl Dsm {
         }
         if need_data && node != h {
             self.cluster.charge_handler(h, cfg.block_copy_ns);
-            self.cluster.note_msg(h, cfg.block_bytes);
+            self.cluster.note_msg(h, node, cfg.block_bytes);
             self.cluster.copy_words(h, node, s, e - s);
             *cost += cfg.block_bytes as u64 * cfg.per_byte_ns + cfg.block_copy_ns;
         }
@@ -269,6 +271,17 @@ impl Dsm {
         );
         self.cluster
             .charge(owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+        // Fault injection (must-catch): an off-by-one section bound — the
+        // send delivers one block fewer than `implicit_writable` promised,
+        // so the readers' last block is writable over stale data.
+        let end = if self.inj_skew_send_range() && end > first {
+            end - 1
+        } else {
+            end
+        };
+        if end <= first {
+            return;
+        }
         let payloads = group_payloads(first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
         for p in &payloads {
             let (s, _) = self.cluster.block_words(p.start_block);
@@ -286,7 +299,7 @@ impl Dsm {
                     compose + cfg.msg_send_ns + bytes as u64 * cfg.per_byte_ns,
                     ChargeKind::CtlCall,
                 );
-                self.cluster.note_msg(owner, bytes);
+                self.cluster.note_msg(owner, r, bytes);
                 self.cluster.copy_words(owner, r, s, e - s);
                 let arrival = self.cluster.clock_ns(owner) + cfg.net_latency_ns;
                 self.inbox_arrival[r] = self.inbox_arrival[r].max(arrival);
@@ -367,6 +380,12 @@ impl Dsm {
         end: usize,
         bulk: bool,
     ) {
+        // Fault injection (must-catch): drop the flush on the floor. The
+        // writer's modifications never reach the owner, whose copy goes
+        // stale — later owner-side sends then push wrong values.
+        if self.inj_skip_flush_range() {
+            return;
+        }
         let cfg = self.cluster.cfg().clone();
         self.cluster.record(
             writer,
@@ -387,7 +406,7 @@ impl Dsm {
                 compose + cfg.msg_send_ns + bytes as u64 * cfg.per_byte_ns,
                 ChargeKind::CtlCall,
             );
-            self.cluster.note_msg(writer, bytes);
+            self.cluster.note_msg(writer, owner, bytes);
             self.cluster.copy_words(writer, owner, s, e - s);
             self.cluster.charge_handler(
                 owner,

@@ -50,7 +50,7 @@ impl Protocol for EagerInvalidate {
         let mut stall = cfg.fault_detect_ns;
         if p != h {
             stall += cfg.one_way_ns(8) + d.hc(cfg.handler_dispatch_ns);
-            d.cluster.note_msg(p, 8);
+            d.cluster.note_msg(p, h, 8);
             d.cluster
                 .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
         }
@@ -86,12 +86,12 @@ impl Protocol for EagerInvalidate {
                     + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
                     + cfg.one_way_ns(cfg.block_bytes)
                     + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns);
-                d.cluster.note_msg(h, 8);
+                d.cluster.note_msg(h, owner, 8);
                 d.cluster.charge_handler(
                     owner,
                     cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
                 );
-                d.cluster.note_msg(owner, cfg.block_bytes);
+                d.cluster.note_msg(owner, h, cfg.block_bytes);
                 d.cluster.charge_handler(
                     h,
                     cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns,
@@ -118,7 +118,7 @@ impl Protocol for EagerInvalidate {
                     let mask = d.diff_mask(w, b);
                     if mask != 0 && w != h {
                         let bytes = 8 + 8 * mask.count_ones() as usize;
-                        d.cluster.note_msg(w, bytes);
+                        d.cluster.note_msg(w, h, bytes);
                         d.cluster
                             .charge_handler(w, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                         d.cluster
@@ -171,7 +171,7 @@ impl Protocol for EagerInvalidate {
         if p != h {
             // Eager ownership request: injection only.
             stall += cfg.msg_send_ns;
-            d.cluster.note_msg(p, 8);
+            d.cluster.note_msg(p, h, 8);
             d.cluster.note_pending_write(p);
         }
         d.cluster
@@ -183,7 +183,9 @@ impl Protocol for EagerInvalidate {
                 // Invalidate every other reader, eagerly.
                 for r in DirState::nodes(readers) {
                     if r != p {
-                        d.cluster.note_msg(h, 8);
+                        if r != h {
+                            d.cluster.note_msg(h, r, 8);
+                        }
                         d.cluster
                             .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
                         d.cluster.set_tag(r, b, Access::Invalid);
@@ -204,8 +206,8 @@ impl Protocol for EagerInvalidate {
                         owner,
                         cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
                     );
-                    d.cluster.note_msg(h, 8);
-                    d.cluster.note_msg(owner, cfg.block_bytes);
+                    d.cluster.note_msg(h, owner, 8);
+                    d.cluster.note_msg(owner, h, cfg.block_bytes);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                     d.cluster.copy_words(owner, h, s, e - s);
@@ -257,7 +259,7 @@ impl Protocol for EagerInvalidate {
         let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
         if p != h {
             stall += cfg.msg_send_ns;
-            d.cluster.note_msg(p, 8);
+            d.cluster.note_msg(p, h, 8);
             d.cluster.note_pending_write(p);
         }
         d.cluster
@@ -276,7 +278,7 @@ impl Protocol for EagerInvalidate {
                     // Owner flushes its current copy home and keeps writing.
                     d.cluster
                         .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.cluster.note_msg(owner, cfg.block_bytes);
+                    d.cluster.note_msg(owner, h, cfg.block_bytes);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                     d.cluster.copy_words(owner, h, s, e - s);
@@ -291,7 +293,9 @@ impl Protocol for EagerInvalidate {
             DirState::Shared { readers } => {
                 for r in DirState::nodes(readers) {
                     if r != p {
-                        d.cluster.note_msg(h, 8);
+                        if r != h {
+                            d.cluster.note_msg(h, r, 8);
+                        }
                         d.cluster
                             .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
                         d.cluster.set_tag(r, b, Access::Invalid);
@@ -342,7 +346,7 @@ impl Protocol for EagerInvalidate {
                 let dirty = mask.count_ones() as usize;
                 let bytes = 8 + 8 * dirty;
                 if w != h {
-                    d.cluster.note_msg(w, bytes);
+                    d.cluster.note_msg(w, h, bytes);
                     d.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
@@ -363,6 +367,15 @@ impl Protocol for EagerInvalidate {
         for b in d.touched_blocks() {
             match d.dir_state(b) {
                 DirState::Excl { owner } => {
+                    // The directory's record of the sole current copy must
+                    // actually be a valid copy at that node — a skipped
+                    // non-owner-write flush leaves the writer dir-exclusive
+                    // with an Invalid tag.
+                    if d.cluster.tag(owner, b) == Access::Invalid {
+                        return Err(format!(
+                            "block {b}: directory says Excl({owner}) but the owner's copy is Invalid"
+                        ));
+                    }
                     for n in 0..d.cluster.nprocs() {
                         let t = d.cluster.tag(n, b);
                         if n != owner && t == Access::ReadWrite && !d.is_ctl_block(n, b) {
@@ -375,7 +388,11 @@ impl Protocol for EagerInvalidate {
                 DirState::Shared { readers } => {
                     for n in 0..d.cluster.nprocs() {
                         let t = d.cluster.tag(n, b);
-                        if t == Access::ReadWrite {
+                        // Same excuse as the Excl arm: under RTOE a
+                        // compiler-controlled reader keeps its ReadWrite
+                        // tag between supersteps (§4.3) even after a
+                        // third party's default read shares the block.
+                        if t == Access::ReadWrite && !d.is_ctl_block(n, b) {
                             return Err(format!(
                                 "block {b}: node {n} is ReadWrite but directory says Shared"
                             ));

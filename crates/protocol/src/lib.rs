@@ -35,5 +35,7 @@ pub use ctl::{CtlStats, Payload};
 pub use dir::DirState;
 pub use eager::EagerInvalidate;
 pub use mp::MpRuntime;
+#[cfg(feature = "fault-inject")]
+pub use proto::Injection;
 pub use proto::{Dsm, Protocol, ProtocolKind};
 pub use update::WriteUpdate;

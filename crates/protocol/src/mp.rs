@@ -47,7 +47,7 @@ impl MpRuntime {
             + cfg.msg_send_ns
             + bytes as u64 * cfg.per_byte_ns;
         cl.charge(src, cost, ChargeKind::Stall);
-        cl.note_msg(src, bytes);
+        cl.note_msg(src, dst, bytes);
         cl.copy_words(src, dst, start, len);
         cl.map_range(dst, start, len);
         let arrival = cl.clock_ns(src) + cfg.net_latency_ns;
@@ -84,7 +84,7 @@ impl MpRuntime {
         cl.charge(src, cost, ChargeKind::Stall);
         for i in 0..count {
             let s = base + i * stride;
-            cl.note_msg(src, run_len * 8);
+            cl.note_msg(src, dst, run_len * 8);
             cl.copy_words(src, dst, s, run_len);
             cl.map_range(dst, s, run_len);
         }
@@ -120,13 +120,16 @@ impl MpRuntime {
             + 2 * bytes as u64 * cfg.per_byte_ns // memcpy + wire occupancy
             + cfg.msg_send_ns;
         cl.charge(src, cost, ChargeKind::Stall);
-        cl.note_msg(src, bytes);
         let depth = (usize::BITS - dsts.len().leading_zeros()) as u64; // ⌈log₂(n+1)⌉
         let arrival = cl.clock_ns(src)
             + depth
                 * (cfg.net_latency_ns + cfg.handler_dispatch_ns + bytes as u64 * cfg.per_byte_ns);
         for &dst in dsts {
             debug_assert_ne!(dst, src);
+            // Star accounting: the payload reaches every receiver, so one
+            // logical message per destination keeps the cluster-wide
+            // sent/received counters balanced (time is still tree-shaped).
+            cl.note_msg(src, dst, bytes);
             for i in 0..count {
                 let s = base + i * stride;
                 cl.copy_words(src, dst, s, run_len);
@@ -173,8 +176,12 @@ impl MpRuntime {
         for n in 0..nprocs {
             cl.charge(n, rounds * per_round, ChargeKind::Stall);
             cl.record(n, Event::Reduction);
+            // Every node both sends and receives one 8-byte partial per
+            // round; recording both sides keeps the traffic counters
+            // balanced.
             for _ in 0..rounds {
                 cl.record(n, Event::Msg { bytes: 8 });
+                cl.record(n, Event::MsgRecv { bytes: 8 });
             }
         }
         // Globally synchronizing, like the shared-memory reduction.

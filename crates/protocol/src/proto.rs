@@ -92,9 +92,29 @@ pub struct Dsm {
     /// Memo for run-time overhead elimination: ranges already made
     /// implicitly writable at a node (§4.3's "first time around" test).
     pub(crate) iw_memo: std::collections::BTreeSet<(NodeId, usize, usize)>,
+    /// Active contract mutations (fuzzer teeth; all off by default).
+    #[cfg(feature = "fault-inject")]
+    injection: Injection,
     /// The active protocol; taken out during dispatch to avoid a double
     /// borrow, always put back (`None` only mid-call).
     proto: Option<Box<dyn Protocol>>,
+}
+
+/// Deliberate contract violations for the differential fuzzer's
+/// *must-catch* suite: each knob silently corrupts one §4.2 primitive so
+/// the harness can assert the cross-backend oracle actually detects the
+/// resulting incoherence. Only compiled under the `fault-inject` feature;
+/// production builds carry no injection state.
+#[cfg(feature = "fault-inject")]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// Off-by-one section bound: `send_range` delivers one block fewer
+    /// than the contract promised, leaving the readers' last block tagged
+    /// ReadWrite over stale data — the §3 a(513,1)/a(1,2) failure mode.
+    pub skew_send_range: bool,
+    /// Skip `flush_range` entirely: a non-owner writer's modifications
+    /// never reach the owner, so later owner-side sends push stale data.
+    pub skip_flush_range: bool,
 }
 
 impl Dsm {
@@ -132,7 +152,42 @@ impl Dsm {
             inbox_payloads: vec![0; nprocs],
             inbox_blocks: vec![0; nprocs],
             iw_memo: std::collections::BTreeSet::new(),
+            #[cfg(feature = "fault-inject")]
+            injection: Injection::default(),
             proto: Some(proto),
+        }
+    }
+
+    /// Arm (or disarm) the must-catch contract mutations. Compiled only
+    /// under the `fault-inject` feature.
+    #[cfg(feature = "fault-inject")]
+    pub fn set_injection(&mut self, injection: Injection) {
+        self.injection = injection;
+    }
+
+    /// Whether `send_range` should drop its last block (always false
+    /// without the `fault-inject` feature).
+    pub(crate) fn inj_skew_send_range(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.injection.skew_send_range
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
+    /// Whether `flush_range` should be skipped entirely (always false
+    /// without the `fault-inject` feature).
+    pub(crate) fn inj_skip_flush_range(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.injection.skip_flush_range
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
         }
     }
 
@@ -239,7 +294,7 @@ impl Dsm {
             return cfg.tag_change_ns;
         }
         self.cluster.charge_handler(h, cfg.block_copy_ns);
-        self.cluster.note_msg(h, cfg.block_bytes);
+        self.cluster.note_msg(h, p, cfg.block_bytes);
         self.cluster.copy_words(h, p, s, e - s);
         self.hc(cfg.block_copy_ns)
             + cfg.one_way_ns(cfg.block_bytes)
@@ -250,10 +305,31 @@ impl Dsm {
 
     /// During compiler control a reader may legitimately hold ReadWrite on
     /// a block the directory believes exclusive elsewhere (Figure 2C/2D).
-    /// `check_consistency` is only called outside such windows, but the
-    /// hook is kept overridable for tests.
-    pub(crate) fn is_ctl_block(&self, _node: NodeId, _b: usize) -> bool {
-        false
+    /// Under run-time-overhead elimination those windows extend across
+    /// supersteps: `implicit_writable(.., memoize=true)` leaves the range
+    /// in `iw_memo` and the matching `implicit_invalidate` is skipped, so
+    /// the memo is exactly the record of blocks whose tags are under
+    /// compiler control. `check_consistency` excuses those pairs.
+    pub(crate) fn is_ctl_block(&self, node: NodeId, b: usize) -> bool {
+        self.iw_memo
+            .iter()
+            .any(|&(n, first, end)| n == node && (first..end).contains(&b))
+    }
+
+    /// Drop every memoized `implicit_writable` range, forcing the next
+    /// calls back onto the slow (re-tagging) path. The memo records which
+    /// tags are under compiler control, so dropping an entry also drops
+    /// the tags it covers (a free `implicit_invalidate`) — afterwards the
+    /// state is exactly "as if run-time-overhead elimination had not
+    /// kicked in yet". The contract must survive this at any superstep
+    /// boundary, which is what the fault-injection harness checks.
+    pub fn clear_iw_memo(&mut self) {
+        let memo = std::mem::take(&mut self.iw_memo);
+        for (n, first, end) in memo {
+            for b in first..end {
+                self.cluster.set_tag(n, b, Access::Invalid);
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -374,10 +374,20 @@ impl Cluster {
         self.shards[node].charge_handler(ns);
     }
 
-    /// Record a message of `payload_bytes` sent from `src` (stats only;
-    /// time is charged by the caller according to the transaction shape).
-    pub fn note_msg(&mut self, src: NodeId, payload_bytes: usize) {
+    /// Record a message of `payload_bytes` sent from `src` to `dst`
+    /// (stats only; time is charged by the caller according to the
+    /// transaction shape). The send is recorded on `src`'s trace and a
+    /// matching receive on `dst`'s, each stamped with its own node's
+    /// clock, so cluster-wide sent/received counters always balance.
+    pub fn note_msg(&mut self, src: NodeId, dst: NodeId, payload_bytes: usize) {
+        debug_assert_ne!(src, dst, "note_msg: self-send is not a message");
         self.shards[src].note_msg(payload_bytes);
+        self.shards[dst].note_msg_recv(payload_bytes);
+    }
+
+    /// Trace invariant: no node's virtual clock ever ran backwards.
+    pub fn clocks_monotone(&self) -> bool {
+        self.shards.iter().all(|s| s.trace().clock_monotone())
     }
 
     /// Record an outstanding eager-write transaction at `node` (release
@@ -425,8 +435,12 @@ impl Cluster {
         for sh in &mut self.shards {
             sh.charge(rounds * per_round, ChargeKind::Stall);
             sh.record(Event::Reduction);
+            // In a combining tree every node both sends and receives one
+            // 8-byte partial per round, so record both sides symmetrically
+            // and the cluster-wide traffic counters stay balanced.
             for _ in 0..rounds {
                 sh.record(Event::Msg { bytes: 8 });
+                sh.record(Event::MsgRecv { bytes: 8 });
             }
         }
         let max = self.shards.iter().map(|s| s.clock_ns()).max().unwrap_or(0);

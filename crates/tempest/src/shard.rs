@@ -246,6 +246,16 @@ impl NodeShard {
         });
     }
 
+    /// Record a message of `payload_bytes` arriving at this node, the
+    /// receiver-side twin of [`NodeShard::note_msg`]. Keeping both sides
+    /// recorded lets the executors assert that cluster-wide send and
+    /// receive counters balance at the end of every run.
+    pub fn note_msg_recv(&mut self, payload_bytes: usize) {
+        self.record(Event::MsgRecv {
+            bytes: payload_bytes as u64,
+        });
+    }
+
     /// Record an outstanding eager-write transaction (release
     /// consistency: the node does not stall for the ownership grant, but
     /// must drain at the next release point).

@@ -29,6 +29,11 @@ pub struct NodeStats {
     pub msgs_sent: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Messages received (every send records a matching receive on the
+    /// destination shard, so cluster-wide sent == received).
+    pub msgs_recv: u64,
+    /// Payload bytes received.
+    pub bytes_recv: u64,
     /// Pages mapped on first touch.
     pub pages_mapped: u64,
     /// Calls to each compiler-directed primitive, for ablation reporting.
@@ -125,6 +130,23 @@ impl ClusterReport {
         self.nodes.iter().map(|n| n.bytes_sent).sum()
     }
 
+    /// Total messages received across all nodes.
+    pub fn total_msgs_recv(&self) -> u64 {
+        self.nodes.iter().map(|n| n.msgs_recv).sum()
+    }
+
+    /// Total payload bytes received across all nodes.
+    pub fn total_bytes_recv(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_recv).sum()
+    }
+
+    /// Trace invariant: every message sent was received somewhere —
+    /// cluster-wide message and byte counters balance between senders
+    /// and receivers. The executors assert this at the end of every run.
+    pub fn traffic_balanced(&self) -> bool {
+        self.total_msgs() == self.total_msgs_recv() && self.total_bytes() == self.total_bytes_recv()
+    }
+
     /// Host wall-clock in seconds (0 when the executor did not stamp it).
     pub fn wall_s(&self) -> f64 {
         self.wall_ns as f64 / 1e9
@@ -152,7 +174,8 @@ impl ClusterReport {
                 out,
                 "{{\"compute_ns\":{},\"stall_ns\":{},\"handler_ns\":{},\"barrier_ns\":{},\
                  \"ctl_call_ns\":{},\"read_misses\":{},\"write_misses\":{},\"msgs_sent\":{},\
-                 \"bytes_sent\":{},\"pages_mapped\":{},\"mk_writable_calls\":{},\
+                 \"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},\"pages_mapped\":{},\
+                 \"mk_writable_calls\":{},\
                  \"implicit_writable_calls\":{},\"implicit_invalidate_calls\":{},\
                  \"send_range_calls\":{},\"ready_recv_calls\":{},\"flush_range_calls\":{},\
                  \"blocks_pushed\":{},\"reductions\":{}}}",
@@ -165,6 +188,8 @@ impl ClusterReport {
                 n.write_misses,
                 n.msgs_sent,
                 n.bytes_sent,
+                n.msgs_recv,
+                n.bytes_recv,
                 n.pages_mapped,
                 n.mk_writable_calls,
                 n.implicit_writable_calls,
@@ -223,6 +248,34 @@ mod tests {
         assert_eq!(r.avg_misses(), 9.0);
         assert_eq!(r.compute_s(), 3.0);
         assert_eq!(r.total_s(), 4.0);
+    }
+
+    #[test]
+    fn traffic_balance_accessor() {
+        let mut r = ClusterReport::default();
+        r.nodes = vec![
+            NodeStats {
+                msgs_sent: 3,
+                bytes_sent: 200,
+                msgs_recv: 1,
+                bytes_recv: 72,
+                ..Default::default()
+            },
+            NodeStats {
+                msgs_sent: 1,
+                bytes_sent: 72,
+                msgs_recv: 3,
+                bytes_recv: 200,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(r.total_msgs(), 4);
+        assert_eq!(r.total_msgs_recv(), 4);
+        assert_eq!(r.total_bytes(), 272);
+        assert_eq!(r.total_bytes_recv(), 272);
+        assert!(r.traffic_balanced());
+        r.nodes[0].bytes_recv += 1;
+        assert!(!r.traffic_balanced());
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub enum Event {
     CtlSend { blocks: u64 },
     /// A message left this node carrying `bytes` of payload.
     Msg { bytes: u64 },
+    /// A message arrived at this node carrying `bytes` of payload. Every
+    /// `Msg` on a sender has a matching `MsgRecv` on the destination, so
+    /// the cluster-wide counters balance (see
+    /// [`ClusterReport::traffic_balanced`](crate::stats::ClusterReport::traffic_balanced)).
+    MsgRecv { bytes: u64 },
     /// Virtual time charged to this node's clock.
     Charge { kind: ChargeKind, ns: u64 },
     /// Protocol-handler occupancy executed on this node (already scaled
@@ -97,6 +102,12 @@ pub struct NodeTrace {
     ring: VecDeque<TraceEntry>,
     stats: NodeStats,
     dropped: u64,
+    /// Timestamp of the most recently recorded event (exact, unaffected
+    /// by ring eviction).
+    last_t_ns: u64,
+    /// Cleared if any event was ever recorded with a timestamp earlier
+    /// than its predecessor — i.e. the node's virtual clock ran backwards.
+    monotone: bool,
 }
 
 impl Default for NodeTrace {
@@ -118,6 +129,8 @@ impl NodeTrace {
             ring: VecDeque::new(),
             stats: NodeStats::default(),
             dropped: 0,
+            last_t_ns: 0,
+            monotone: true,
         }
     }
 
@@ -135,6 +148,10 @@ impl NodeTrace {
     /// Record `event` at virtual time `t_ns`: fold it into the aggregates
     /// and append it to the (bounded) ring.
     pub fn record(&mut self, t_ns: u64, event: Event) {
+        if t_ns < self.last_t_ns {
+            self.monotone = false;
+        }
+        self.last_t_ns = t_ns;
         let s = &mut self.stats;
         match event {
             Event::Fault { kind, .. } => match kind {
@@ -155,6 +172,10 @@ impl NodeTrace {
             Event::Msg { bytes } => {
                 s.msgs_sent += 1;
                 s.bytes_sent += bytes;
+            }
+            Event::MsgRecv { bytes } => {
+                s.msgs_recv += 1;
+                s.bytes_recv += bytes;
             }
             Event::Charge { kind, ns } => match kind {
                 ChargeKind::Compute => s.compute_ns += ns,
@@ -189,6 +210,18 @@ impl NodeTrace {
         self.dropped
     }
 
+    /// Timestamp of the most recently recorded event.
+    pub fn last_t_ns(&self) -> u64 {
+        self.last_t_ns
+    }
+
+    /// Trace invariant: the node's virtual clock never ran backwards —
+    /// every recorded event's timestamp was >= its predecessor's. Exact
+    /// over the whole run, even after ring eviction.
+    pub fn clock_monotone(&self) -> bool {
+        self.monotone
+    }
+
     /// Append this node's trace object (`{"node":…,"dropped":…,"events":[…]}`)
     /// to `out`. Hand-rolled — the trace must stay exportable in the
     /// dependency-free build. [`Cluster::trace_json`](crate::cluster::Cluster::trace_json)
@@ -216,6 +249,9 @@ impl NodeTrace {
                     write!(out, "\"type\":\"ctl_send\",\"blocks\":{blocks}")
                 }
                 Event::Msg { bytes } => write!(out, "\"type\":\"msg\",\"bytes\":{bytes}"),
+                Event::MsgRecv { bytes } => {
+                    write!(out, "\"type\":\"msg_recv\",\"bytes\":{bytes}")
+                }
                 Event::Charge { kind, ns } => {
                     write!(out, "\"type\":\"charge\",\"kind\":\"{kind:?}\",\"ns\":{ns}")
                 }
@@ -317,6 +353,37 @@ mod tests {
         assert_eq!(t.entries().count(), 2);
         assert_eq!(t.dropped(), 4);
         assert_eq!(t.entries().next().unwrap().t_ns, 4);
+    }
+
+    #[test]
+    fn msg_recv_folds_and_balances() {
+        let mut snd = NodeTrace::new();
+        let mut rcv = NodeTrace::new();
+        snd.record(10, Event::Msg { bytes: 64 });
+        rcv.record(5, Event::MsgRecv { bytes: 64 });
+        assert_eq!(snd.stats().msgs_sent, 1);
+        assert_eq!(snd.stats().bytes_sent, 64);
+        assert_eq!(snd.stats().msgs_recv, 0);
+        assert_eq!(rcv.stats().msgs_recv, 1);
+        assert_eq!(rcv.stats().bytes_recv, 64);
+        assert_eq!(rcv.stats().msgs_sent, 0);
+        let mut j = String::new();
+        rcv.write_json(1, &mut j);
+        assert!(j.contains("\"type\":\"msg_recv\""), "got: {j}");
+    }
+
+    #[test]
+    fn monotonicity_tracked_exactly() {
+        let mut t = NodeTrace::with_capacity(2);
+        for i in [3u64, 3, 7, 9] {
+            t.record(i, Event::Barrier);
+        }
+        assert!(t.clock_monotone(), "equal timestamps are fine");
+        assert_eq!(t.last_t_ns(), 9);
+        t.record(8, Event::Barrier); // clock ran backwards
+        assert!(!t.clock_monotone());
+        t.record(100, Event::Barrier);
+        assert!(!t.clock_monotone(), "violations are sticky");
     }
 
     #[test]

@@ -75,6 +75,69 @@ impl Rng {
     pub fn vec<T>(&mut self, len: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
         (0..len).map(|_| f(self)).collect()
     }
+
+    /// Pick one element of a non-empty slice, by value.
+    ///
+    /// ```
+    /// let mut r = fgdsm_testkit::Rng::new(9);
+    /// let v = r.choice(&[10, 20, 30]);
+    /// assert!([10, 20, 30].contains(&v));
+    /// ```
+    pub fn choice<T: Clone>(&mut self, xs: &[T]) -> T {
+        self.pick(xs).clone()
+    }
+
+    /// Fisher–Yates shuffle in place. The result is a uniform permutation
+    /// of the input (for an ideal generator).
+    ///
+    /// ```
+    /// let mut r = fgdsm_testkit::Rng::new(3);
+    /// let mut xs: Vec<usize> = (0..8).collect();
+    /// r.shuffle(&mut xs);
+    /// xs.sort();
+    /// assert_eq!(xs, (0..8).collect::<Vec<_>>());
+    /// ```
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range(0, i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Weighted pick: returns index `i` with probability
+    /// `weights[i] / Σ weights`. Zero-weight entries are never picked.
+    /// Panics if the weights are empty or all zero.
+    ///
+    /// ```
+    /// let mut r = fgdsm_testkit::Rng::new(5);
+    /// for _ in 0..100 {
+    ///     assert_eq!(r.weighted(&[0, 7, 0]), 1);
+    /// }
+    /// ```
+    pub fn weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "weighted: empty or all-zero weights");
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!()
+    }
+
+    /// Weighted pick over `(weight, value)` pairs, by value.
+    ///
+    /// ```
+    /// let mut r = fgdsm_testkit::Rng::new(11);
+    /// let v = r.weighted_choice(&[(1, "a"), (3, "b")]);
+    /// assert!(v == "a" || v == "b");
+    /// ```
+    pub fn weighted_choice<T: Clone>(&mut self, pairs: &[(u64, T)]) -> T {
+        let weights: Vec<u64> = pairs.iter().map(|(w, _)| *w).collect();
+        pairs[self.weighted(&weights)].1.clone()
+    }
 }
 
 /// Base seed shared by the workspace's suites: any fixed value works; this
@@ -136,6 +199,34 @@ mod tests {
             seen[r.range(0, 8)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a = Rng::new(99);
+        let mut b = Rng::new(99);
+        let mut xs: Vec<u32> = (0..32).collect();
+        let mut ys = xs.clone();
+        a.shuffle(&mut xs);
+        b.shuffle(&mut ys);
+        assert_eq!(xs, ys, "same seed, same permutation");
+        let mut sorted = xs.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        // 32! >> 2^64 states, but any fixed seed must actually move things.
+        assert_ne!(xs, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut r = Rng::new(123);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[r.weighted(&[2, 0, 1, 1])] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight never picked");
+        assert!(counts[0] > counts[2], "weight 2 beats weight 1: {counts:?}");
+        assert!(counts[2] > 0 && counts[3] > 0);
     }
 
     #[test]

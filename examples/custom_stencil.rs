@@ -9,8 +9,8 @@
 //! passing) compare on a workload the paper never measured.
 
 use fgdsm::hpf::{
-    execute, ARef, ArrayId, CompDist, Dist, ExecConfig, KernelCtx, ParLoop, Program, ReduceSpec,
-    Stmt, Subscript,
+    execute, ARef, ArrayId, CompDist, Dist, ExecConfig, Kernel, KernelCtx, ParLoop, Program,
+    ReduceSpec, Stmt, Subscript,
 };
 use fgdsm::section::{SymRange, Var};
 use fgdsm::tempest::ReduceOp;
@@ -74,7 +74,7 @@ fn build() -> Program {
         iter: vec![SymRange::new(0, nn - 1), SymRange::new(0, nn - 1)],
         dist: CompDist::Owner(grid),
         refs: vec![ARef::write(grid, here.clone())],
-        kernel: init,
+        kernel: Kernel::new(init),
         cost_per_iter_ns: 60,
         reduction: None,
     }));
@@ -97,7 +97,7 @@ fn build() -> Program {
                 iter: vec![SymRange::new(1, nn - 2), SymRange::new(1, nn - 2)],
                 dist: CompDist::Owner(next),
                 refs: sweep_refs,
-                kernel: sweep,
+                kernel: Kernel::new(sweep),
                 cost_per_iter_ns: 900,
                 reduction: None,
             }),
@@ -110,7 +110,7 @@ fn build() -> Program {
                     ARef::read(grid, here.clone()),
                     ARef::write(grid, here.clone()),
                 ],
-                kernel: copy_back,
+                kernel: Kernel::new(copy_back),
                 cost_per_iter_ns: 220,
                 reduction: Some(ReduceSpec {
                     op: ReduceOp::Sum,

@@ -1,0 +1,33 @@
+//! Tier-1 differential fuzz corpus.
+//!
+//! Runs a fixed, seeded corpus of randomly generated mini-HPF programs
+//! through the cross-backend differential oracle (reference interpreter
+//! vs `sm_unopt`, `sm_opt` at every optimization-toggle combination,
+//! and `mp`, each serial and threaded). The corpus is deterministic:
+//! case `k` always uses seed `case_seed(BASE_SEED, k)`, so a failure
+//! message's seed can be replayed with `FGDSM_FUZZ_CASES`:
+//!
+//! ```text
+//! FGDSM_FUZZ_CASES=500 cargo test --test fuzz_corpus
+//! ```
+//!
+//! On divergence the harness shrinks the case and panics with the seed
+//! and a standalone Rust reproducer.
+
+use fgdsm_fuzz::{case_seed, check_case};
+use fgdsm_testkit::BASE_SEED;
+
+fn corpus_cases() -> u64 {
+    std::env::var("FGDSM_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+#[test]
+fn differential_corpus() {
+    let n = corpus_cases();
+    for case in 0..n {
+        check_case(case_seed(BASE_SEED, case));
+    }
+}
