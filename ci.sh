@@ -4,11 +4,20 @@
 set -eux
 
 cargo build --release
-# Tier-1 suite under both compute-phase modes: serial and 4 threads.
-# Reports are virtual-time and must be identical either way.
+# Tier-1 suite under both superstep parallelism modes: serial and 4
+# threads (FGDSM_PAR drives the compute phase AND the resolve phase's
+# plan/apply stage). Reports are virtual-time and must be identical
+# either way.
 FGDSM_PAR=0 cargo test -q
 FGDSM_PAR=4 cargo test -q
 cargo test -q --workspace
+# Host-perf harness smoke: one timed run of the suite at tiny scale must
+# produce a parseable, full-matrix host_perf.json (written to a scratch
+# path so the committed bench-scale artifact is untouched), then the
+# smoke suite validates the committed artifact too.
+FGDSM_TEST=1 FGDSM_BENCH_RUNS=1 FGDSM_BENCH_OUT=target/host_perf_smoke.json \
+    cargo run --release -q -p fgdsm-bench --bin host_perf
+cargo test -q -p fgdsm-bench --test host_perf_smoke
 # Differential fuzz corpus: a fixed seed corpus (200 cases unless the
 # caller overrides FGDSM_FUZZ_CASES) through reference vs all backends.
 # A failure prints the failing seed and a shrunk standalone reproducer.

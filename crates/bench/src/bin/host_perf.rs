@@ -1,0 +1,49 @@
+//! Host-performance harness: wall-clock cost of the simulator itself and
+//! the payoff of the parallel plan/apply resolve phase.
+//!
+//! Runs the whole 6-application suite under every backend and parallelism
+//! mode (`serial`, `rthreads` = threaded resolve apply only, `threads` =
+//! threaded resolve + compute), `FGDSM_BENCH_RUNS` times each (default 5),
+//! and records nearest-rank p10/median/p90 **host** nanoseconds per row
+//! into `bench_results/host_perf.json` (override the path with
+//! `FGDSM_BENCH_OUT`). Host time is machine-dependent and never enters
+//! the canonical reports — the determinism suite separately proves all
+//! three modes produce byte-identical virtual-time results.
+//!
+//!     cargo run --release -p fgdsm-bench --bin host_perf
+//!     FGDSM_BENCH_RUNS=9 FGDSM_PAR=8 cargo run --release -p fgdsm-bench --bin host_perf
+//!     FGDSM_TEST=1 FGDSM_BENCH_RUNS=1 cargo run --release -p fgdsm-bench --bin host_perf
+
+use fgdsm_bench::host_perf::{git_describe, measure, speedup_table};
+use fgdsm_bench::json::ToJson;
+use fgdsm_bench::{save_json, scale, scale_label};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let runs = env_usize("FGDSM_BENCH_RUNS", 5).max(1);
+    let workers = env_usize("FGDSM_PAR", 4).max(2);
+    println!(
+        "host perf — {} — {runs} run(s) per row, {workers} workers in threaded modes, {}\n",
+        scale_label(scale()),
+        git_describe(),
+    );
+    let rows = measure(scale(), runs, workers);
+    match std::env::var("FGDSM_BENCH_OUT") {
+        Ok(path) => {
+            std::fs::write(&path, format!("{}\n", rows.to_json()))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {}", path);
+        }
+        Err(_) => {
+            save_json("host_perf", &rows);
+            println!("wrote bench_results/host_perf.json");
+        }
+    }
+    println!("\n{}", speedup_table(&rows));
+}

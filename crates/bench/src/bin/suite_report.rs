@@ -13,7 +13,7 @@
 
 use fgdsm_apps::suite;
 use fgdsm_bench::{json_row, save_json, scale};
-use fgdsm_hpf::{execute, ExecConfig, Parallelism, RunResult};
+use fgdsm_hpf::{execute, ExecConfig, ParallelMode, RunResult};
 
 json_row! {
     struct Row {
@@ -34,7 +34,7 @@ fn main() {
     println!(
         "suite report — {} — {} compute worker(s)\n",
         fgdsm_bench::scale_label(scale()),
-        Parallelism::Auto.workers(),
+        ParallelMode::Auto.workers(),
     );
     let mut rows = Vec::new();
     for spec in suite(scale()) {

@@ -205,6 +205,352 @@ pub mod json {
             self.as_slice().write_json(out);
         }
     }
+
+    /// A parsed JSON value — the minimal counterpart of [`ToJson`], so
+    /// smoke tests can validate the harness artifacts without a serde
+    /// dependency. Object keys keep their file order.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse one JSON document. Errors carry the byte offset.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let b = s.as_bytes();
+        let mut at = 0;
+        let v = parse_value(b, &mut at)?;
+        skip_ws(b, &mut at);
+        if at != b.len() {
+            return Err(format!("trailing bytes at offset {at}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], at: &mut usize) {
+        while *at < b.len() && (b[*at] as char).is_ascii_whitespace() {
+            *at += 1;
+        }
+    }
+
+    fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+        if b.get(*at) == Some(&c) {
+            *at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {at}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], at: &mut usize) -> Result<Value, String> {
+        skip_ws(b, at);
+        match b.get(*at) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *at += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, at);
+                if b.get(*at) == Some(&b'}') {
+                    *at += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, at);
+                    let key = parse_string(b, at)?;
+                    skip_ws(b, at);
+                    expect(b, at, b':')?;
+                    fields.push((key, parse_value(b, at)?));
+                    skip_ws(b, at);
+                    match b.get(*at) {
+                        Some(b',') => *at += 1,
+                        Some(b'}') => {
+                            *at += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at offset {at}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *at += 1;
+                let mut items = Vec::new();
+                skip_ws(b, at);
+                if b.get(*at) == Some(&b']') {
+                    *at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, at)?);
+                    skip_ws(b, at);
+                    match b.get(*at) {
+                        Some(b',') => *at += 1,
+                        Some(b']') => {
+                            *at += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at offset {at}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, at)?)),
+            Some(b't') if b[*at..].starts_with(b"true") => {
+                *at += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*at..].starts_with(b"false") => {
+                *at += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*at..].starts_with(b"null") => {
+                *at += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *at;
+                while *at < b.len()
+                    && matches!(b[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *at += 1;
+                }
+                std::str::from_utf8(&b[start..*at])
+                    .ok()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad literal at offset {start}"))
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+        expect(b, at, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*at) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *at += 1;
+                    match b.get(*at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*at + 1..*at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at offset {at}"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *at += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {at}")),
+                    }
+                    *at += 1;
+                }
+                Some(&c) => {
+                    // Copy the full UTF-8 sequence starting at `c`.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = b
+                        .get(*at..*at + len)
+                        .and_then(|ch| std::str::from_utf8(ch).ok())
+                        .ok_or_else(|| format!("bad utf-8 at offset {at}"))?;
+                    out.push_str(chunk);
+                    *at += len;
+                }
+            }
+        }
+    }
+}
+
+/// The host-performance harness: how much *wall-clock* time the simulator
+/// itself burns per application run, and what the threaded resolve/compute
+/// phases buy. This is the one harness that measures host nanoseconds —
+/// all other harnesses report deterministic virtual time. Results are
+/// summarized as nearest-rank p10/median/p90 over `runs` repetitions.
+pub mod host_perf {
+    use fgdsm_apps::Scale;
+    use fgdsm_hpf::{execute, ExecConfig};
+    use fgdsm_testkit::{summarize_ns, Stopwatch};
+
+    /// Resolve/compute parallelism modes measured per (app, backend):
+    /// `serial` — both phases on the main thread; `rthreads` — serial
+    /// compute with a threaded resolve apply stage (isolates the resolve-
+    /// phase parallelism); `threads` — both phases threaded.
+    pub const MODES: [&str; 3] = ["serial", "rthreads", "threads"];
+
+    crate::json_row! {
+        /// One (app, backend, parallelism-mode) host-time measurement.
+        #[derive(Clone, Debug)]
+        pub struct HostPerfRow {
+            pub app: String,
+            pub backend: String,
+            pub par: String,
+            pub runs: u64,
+            pub median_ns: u64,
+            pub p10_ns: u64,
+            pub p90_ns: u64,
+            pub git_describe: String,
+        }
+    }
+
+    /// `git describe --always --dirty` of the working tree, or `unknown`
+    /// outside a repository.
+    pub fn git_describe() -> String {
+        std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into())
+    }
+
+    /// Measure the full 6-app × 3-backend × 3-mode matrix: `runs` timed
+    /// executions each, `workers` threads in the threaded modes.
+    pub fn measure(scale: Scale, runs: usize, workers: usize) -> Vec<HostPerfRow> {
+        assert!(runs >= 1, "need at least one run");
+        assert!(workers >= 2, "threaded modes need at least two workers");
+        let git = git_describe();
+        let mut rows = Vec::new();
+        for spec in fgdsm_apps::suite(scale) {
+            for (backend, cfg) in [
+                ("sm_unopt", ExecConfig::sm_unopt(crate::NPROCS)),
+                ("sm_opt", ExecConfig::sm_opt(crate::NPROCS)),
+                ("mp", ExecConfig::mp(crate::NPROCS)),
+            ] {
+                for par in MODES {
+                    let cfg = match par {
+                        "serial" => cfg.clone().serial(),
+                        "rthreads" => cfg.clone().serial().resolve_threads(workers),
+                        _ => cfg.clone().threads(workers),
+                    };
+                    let mut samples = Vec::with_capacity(runs);
+                    for _ in 0..runs {
+                        let sw = Stopwatch::new();
+                        std::hint::black_box(execute(&spec.program, &cfg));
+                        // Clamp to 1ns so a coarse clock can't record an
+                        // (impossible) zero-cost run.
+                        samples.push(sw.elapsed_ns().max(1));
+                    }
+                    let (p10, median, p90) = summarize_ns(&samples);
+                    rows.push(HostPerfRow {
+                        app: spec.name.to_string(),
+                        backend: backend.to_string(),
+                        par: par.to_string(),
+                        runs: runs as u64,
+                        median_ns: median,
+                        p10_ns: p10,
+                        p90_ns: p90,
+                        git_describe: git.clone(),
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// Render the serial-vs-parallel-resolve speedup table: one line per
+    /// (app, backend), median host time serial vs `rthreads` vs `threads`.
+    pub fn speedup_table(rows: &[HostPerfRow]) -> String {
+        use std::fmt::Write;
+        let median = |app: &str, backend: &str, par: &str| {
+            rows.iter()
+                .find(|r| r.app == app && r.backend == backend && r.par == par)
+                .map(|r| r.median_ns)
+        };
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<10} {:<9} {:>12} {:>12} {:>12} {:>9} {:>9}",
+            "app", "backend", "serial_ns", "rthreads_ns", "threads_ns", "rspeedup", "tspeedup"
+        )
+        .unwrap();
+        let mut seen = Vec::new();
+        for r in rows {
+            let key = (r.app.clone(), r.backend.clone());
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            let (Some(s), Some(rt), Some(t)) = (
+                median(&r.app, &r.backend, "serial"),
+                median(&r.app, &r.backend, "rthreads"),
+                median(&r.app, &r.backend, "threads"),
+            ) else {
+                continue;
+            };
+            writeln!(
+                out,
+                "{:<10} {:<9} {:>12} {:>12} {:>12} {:>8.2}x {:>8.2}x",
+                r.app,
+                r.backend,
+                s,
+                rt,
+                t,
+                s as f64 / rt as f64,
+                s as f64 / t as f64
+            )
+            .unwrap();
+        }
+        out
+    }
 }
 
 /// Declare a benchmark row struct together with a [`json::ToJson`] impl

@@ -1,41 +1,111 @@
 //! Serial vs. threaded determinism (the sharded-executor invariant).
 //!
-//! The compute phase dispatches kernels over disjoint `NodeShard`s on
-//! real threads; every charge, trace event, and memory write it performs
-//! is shard-local, so thread scheduling must not be observable. These
-//! tests pin that down end to end: a serial run and a 4-worker run of
-//! the same program must produce byte-identical canonical report JSON,
-//! byte-identical per-node trace streams, and bit-identical gathered
-//! segment data.
+//! Both superstep phases now run on threads: the compute phase dispatches
+//! kernels over disjoint `NodeShard`s, and the resolve phase's apply
+//! stage executes disjoint transfer plans concurrently (plan/apply,
+//! `FGDSM_PAR`). Every charge, trace event, and memory write is either
+//! shard-local or folded in plan index order, so thread scheduling must
+//! not be observable. These tests pin that down end to end across the
+//! whole 3-way mode matrix — fully serial, threaded resolve only, and
+//! threaded resolve + compute — asserting byte-identical canonical report
+//! JSON, byte-identical per-node trace streams, and bit-identical
+//! gathered segment data. Failures name the app, backend, mode pair, and
+//! the first diverging per-node stats field.
 
 use fgdsm_apps::{suite, AppSpec, Scale};
 use fgdsm_bench::NPROCS;
-use fgdsm_hpf::{execute_traced, ExecConfig};
+use fgdsm_hpf::{execute_traced, ExecConfig, RunResult};
+use fgdsm_tempest::NodeStats;
 
-/// Run `spec` under `cfg` serial and with 4 workers; assert equality of
-/// every observable output.
-fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, label: &str) {
+/// Name the first differing `NodeStats` field between two nodes, if any.
+fn diff_stats(a: &NodeStats, b: &NodeStats) -> Option<String> {
+    macro_rules! fields {
+        ($($f:ident),+ $(,)?) => {{
+            $(
+                if a.$f != b.$f {
+                    return Some(format!("{} ({} vs {})", stringify!($f), a.$f, b.$f));
+                }
+            )+
+        }};
+    }
+    fields!(
+        compute_ns,
+        stall_ns,
+        handler_ns,
+        barrier_ns,
+        ctl_call_ns,
+        read_misses,
+        write_misses,
+        msgs_sent,
+        bytes_sent,
+        msgs_recv,
+        bytes_recv,
+        pages_mapped,
+        mk_writable_calls,
+        implicit_writable_calls,
+        implicit_invalidate_calls,
+        send_range_calls,
+        ready_recv_calls,
+        flush_range_calls,
+        blocks_pushed,
+        reductions,
+    );
+    None
+}
+
+/// Describe where two runs diverge: the first differing per-node stats
+/// field if the reports differ, otherwise raw report JSON positions.
+fn explain_report_diff(a: &RunResult, b: &RunResult) -> String {
+    for (n, (sa, sb)) in a.report.nodes.iter().zip(&b.report.nodes).enumerate() {
+        if let Some(d) = diff_stats(sa, sb) {
+            return format!("node {n} field {d}");
+        }
+    }
+    if a.report.makespan_ns != b.report.makespan_ns {
+        return format!(
+            "makespan_ns ({} vs {})",
+            a.report.makespan_ns, b.report.makespan_ns
+        );
+    }
+    "report JSON differs outside per-node stats".into()
+}
+
+/// Run `spec` under `cfg` in all three parallelism modes; assert the two
+/// threaded modes reproduce the serial baseline in every observable
+/// output, naming app/backend/mode/field on failure.
+fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
     let (rs, ts) = execute_traced(&spec.program, &cfg.clone().serial());
-    let (rp, tp) = execute_traced(&spec.program, &cfg.clone().threads(4));
-    assert_eq!(
-        rs.report.to_json(),
-        rp.report.to_json(),
-        "{}/{label}: canonical report diverged between serial and threaded runs",
-        spec.name
-    );
-    assert_eq!(
-        ts, tp,
-        "{}/{label}: trace streams diverged between serial and threaded runs",
-        spec.name
-    );
-    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-    assert_eq!(
-        bits(&rs.data),
-        bits(&rp.data),
-        "{}/{label}: gathered segment diverged between serial and threaded runs",
-        spec.name
-    );
-    assert_eq!(rs.scalars, rp.scalars);
+    let threaded = [
+        ("rthreads", cfg.clone().serial().resolve_threads(4)),
+        ("threads", cfg.clone().threads(4)),
+    ];
+    for (mode, cfg) in threaded {
+        let (rp, tp) = execute_traced(&spec.program, &cfg);
+        assert_eq!(
+            rs.report.to_json(),
+            rp.report.to_json(),
+            "{}/{backend}/{mode}: report diverged from serial at {}",
+            spec.name,
+            explain_report_diff(&rs, &rp)
+        );
+        assert_eq!(
+            ts, tp,
+            "{}/{backend}/{mode}: trace streams diverged from the serial run",
+            spec.name
+        );
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&rs.data),
+            bits(&rp.data),
+            "{}/{backend}/{mode}: gathered segment diverged from the serial run",
+            spec.name
+        );
+        assert_eq!(
+            rs.scalars, rp.scalars,
+            "{}/{backend}/{mode}: scalars diverged from the serial run",
+            spec.name
+        );
+    }
 }
 
 /// Every Table 2 application, every executor configuration, tiny sizes.
@@ -50,7 +120,8 @@ fn whole_suite_is_schedule_independent_at_test_scale() {
 
 /// Two representative applications at the reduced benchmark scale, so
 /// the invariant is exercised on runs long enough for threads to
-/// genuinely interleave (jacobi: regular stencil; grav: reductions).
+/// genuinely interleave (jacobi: regular stencil; grav: reductions) and
+/// on transfer volumes that clear the parallel-apply threshold.
 #[test]
 fn jacobi_and_grav_are_schedule_independent_at_bench_scale() {
     for spec in suite(Scale::Bench)

@@ -435,6 +435,11 @@ impl FuzzSpec {
         let _ = writeln!(s, "            force_boundary: {},", i.force_boundary);
         let _ = writeln!(s, "            skew_send_range: {},", i.skew_send_range);
         let _ = writeln!(s, "            skip_flush_range: {},", i.skip_flush_range);
+        let _ = writeln!(
+            s,
+            "            reorder_plan_apply: {},",
+            i.reorder_plan_apply
+        );
         let _ = writeln!(s, "        }},");
         let _ = writeln!(s, "    }};");
         let _ = writeln!(s, "    check_spec(&spec).unwrap();");

@@ -3,14 +3,19 @@
 //! One fuzz case is checked by running its program through the
 //! sequential reference interpreter and then through every backend ×
 //! optimization-toggle × parallelism combination, comparing final array
-//! contents and scalars **bitwise**. The engine itself asserts the
-//! protocol consistency check and the trace invariants (balanced
-//! message/byte counters, monotone per-node clocks) after every run, so
-//! a violated invariant surfaces here as a panic — which the oracle
-//! converts into a [`Divergence`] like any wrong answer.
+//! contents and scalars **bitwise** against the reference. Within each
+//! backend the fully serial run is additionally the determinism
+//! baseline: every threaded run — which now parallelizes both the
+//! resolve phase's plan-apply stage and the compute phase — must
+//! reproduce its report JSON and canonical trace JSON byte-for-byte.
+//! The engine itself asserts the protocol consistency check and the
+//! trace invariants (balanced message/byte counters, monotone per-node
+//! clocks) after every run, so a violated invariant surfaces here as a
+//! panic — which the oracle converts into a [`Divergence`] like any
+//! wrong answer.
 
 use crate::gen::FuzzSpec;
-use fgdsm_hpf::{execute, execute_reference, ArrayId, ExecConfig, OptLevel};
+use fgdsm_hpf::{execute_reference, execute_traced, ArrayId, ExecConfig, OptLevel};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One detected disagreement between a backend run and the reference.
@@ -70,13 +75,35 @@ fn panic_msg(p: &Box<dyn std::any::Any + Send>) -> String {
         .unwrap_or_else(|| "non-string panic".into())
 }
 
+/// First byte position where two strings differ, with a short excerpt of
+/// each side for the divergence report.
+fn first_diff(a: &str, b: &str) -> String {
+    let at = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    let snip = |s: &str| {
+        let lo = at.saturating_sub(20);
+        let hi = (at + 20).min(s.len());
+        s.get(lo..hi).unwrap_or("<end>").to_string()
+    };
+    format!("first diff at byte {at}: `{}` vs `{}`", snip(a), snip(b))
+}
+
 /// Run the full differential matrix for one spec. `Ok(())` means every
-/// run agreed with the reference bit-for-bit and no run panicked.
+/// run agreed with the reference bit-for-bit, every threaded run (both
+/// phases parallel: resolve apply with 2 and 4 workers, compute likewise)
+/// reproduced the serial run's report and trace byte-for-byte, and no
+/// run panicked.
 pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
     let prog = spec.build();
     let reference = execute_reference(&prog, &ExecConfig::sm_unopt(spec.nprocs));
     for (name, cfg) in backend_configs(spec) {
-        for (mode, workers) in [("serial", 1usize), ("threads", 3)] {
+        // (report JSON, trace JSON) of the serial run — the determinism
+        // baseline for this backend's threaded runs.
+        let mut baseline: Option<(String, String)> = None;
+        for (mode, workers) in [("serial", 1usize), ("threads2", 2), ("threads4", 4)] {
             let cfg = if workers == 1 {
                 cfg.clone().serial()
             } else {
@@ -84,14 +111,14 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
             }
             .with_inject(spec.inject);
             let label = format!("{name}/{mode}");
-            let r = match catch_unwind(AssertUnwindSafe(|| execute(&prog, &cfg))) {
+            let (r, trace) = match catch_unwind(AssertUnwindSafe(|| execute_traced(&prog, &cfg))) {
                 Err(p) => {
                     return Err(Divergence {
                         config: label,
                         detail: format!("panic: {}", panic_msg(&p)),
                     })
                 }
-                Ok(r) => r,
+                Ok(rt) => rt,
             };
             for ai in 0..prog.arrays.len() {
                 let want = reference.array(&prog, ArrayId(ai));
@@ -113,6 +140,30 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
                         config: label,
                         detail: format!("scalar `{k}` diverges: reference {want} vs {got:?}"),
                     });
+                }
+            }
+            let report = r.report.to_json();
+            match &baseline {
+                None => baseline = Some((report, trace)),
+                Some((srep, strace)) => {
+                    if *srep != report {
+                        return Err(Divergence {
+                            config: label,
+                            detail: format!(
+                                "report diverges from serial run ({})",
+                                first_diff(srep, &report)
+                            ),
+                        });
+                    }
+                    if *strace != trace {
+                        return Err(Divergence {
+                            config: label,
+                            detail: format!(
+                                "trace diverges from serial run ({})",
+                                first_diff(strace, &trace)
+                            ),
+                        });
+                    }
                 }
             }
         }

@@ -5,11 +5,15 @@
 //! analyzes accesses (with a compile-time cache for static loops) and
 //! runs one superstep in two explicit phases:
 //!
-//! * **Resolve phase** (sequential, deterministic node order): the
-//!   backend's [`CommBackend::resolve`] discovers and services every
-//!   cross-node fault / ctl transfer / message the loop needs, against
-//!   the state the previous superstep left behind. All cross-shard block
-//!   copies happen here, through the cluster coordinator.
+//! * **Resolve phase**: the backend's [`CommBackend::resolve`] discovers
+//!   and services every cross-node fault / ctl transfer / message the
+//!   loop needs, against the state the previous superstep left behind.
+//!   Default-protocol faults and the ctl tag transitions run sequentially
+//!   in deterministic node order; the bulk data movement is planned
+//!   sequentially and applied over disjoint shard pairs, concurrently
+//!   when `resolve_workers > 1` (see [`fgdsm_protocol::TransferPlan`]) —
+//!   with shared state folded in plan index order, so the threading never
+//!   changes a report or trace byte.
 //! * **Compute phase** ([`compute_phase`]): each node's kernel runs
 //!   against its own [`NodeShard`] with zero cross-node access, so the
 //!   driver may dispatch the shards across [`std::thread::scope`]
@@ -50,6 +54,9 @@ pub struct EngineCore<'p> {
     /// later by `nprocs`). Resolved once per run so `FGDSM_PAR` is read
     /// a single time.
     pub workers: usize,
+    /// Resolved worker count for the resolve phase's plan-apply stage
+    /// (`cfg.resolve_parallel`, falling back to `cfg.parallel`).
+    pub resolve_workers: usize,
     /// Supersteps executed so far; salts the `shuffle_resolve`
     /// perturbation so each loop instance gets a distinct node order.
     pub supersteps: u64,
@@ -113,10 +120,13 @@ impl<'p> EngineCore<'p> {
         dsm.set_injection(fgdsm_protocol::Injection {
             skew_send_range: cfg.inject.skew_send_range,
             skip_flush_range: cfg.inject.skip_flush_range,
+            reorder_plan_apply: cfg.inject.reorder_plan_apply,
         });
         #[cfg(not(feature = "fault-inject"))]
         assert!(
-            !cfg.inject.skew_send_range && !cfg.inject.skip_flush_range,
+            !cfg.inject.skew_send_range
+                && !cfg.inject.skip_flush_range
+                && !cfg.inject.reorder_plan_apply,
             "protocol-level fault injection requires the `fault-inject` feature"
         );
         EngineCore {
@@ -129,6 +139,7 @@ impl<'p> EngineCore<'p> {
             scalars: prog.scalars.iter().copied().collect(),
             wpb: cfg.cost.words_per_block(),
             workers: cfg.parallel.workers(),
+            resolve_workers: cfg.resolve_parallel.unwrap_or(cfg.parallel).workers(),
             supersteps: 0,
             analysis_cache: BTreeMap::new(),
         }
@@ -423,11 +434,12 @@ fn exec_stmts(core: &mut EngineCore, backend: &mut dyn CommBackend, stmts: &[Stm
     }
 }
 
-/// One superstep, in two explicit phases: the sequential **resolve
-/// phase** (backend communication against the previous superstep's
-/// state), then the **compute phase** (kernels on their own shards,
-/// possibly threaded), then write observation, reduction, backend
-/// cleanup and the superstep boundary.
+/// One superstep, in two explicit phases: the **resolve phase** (backend
+/// communication against the previous superstep's state — planned
+/// sequentially, applied over disjoint shard pairs with up to
+/// `resolve_workers` threads), then the **compute phase** (kernels on
+/// their own shards, possibly threaded), then write observation,
+/// reduction, backend cleanup and the superstep boundary.
 fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
     let nprocs = core.cfg.nprocs;
     let acc = core.analyze(l);

@@ -22,16 +22,20 @@
 //!   runtime's per-message overhead.
 //!
 //! Execution is BSP, and every superstep is split into two explicit
-//! phases. The **resolve phase** runs sequentially in deterministic node
-//! order: the backend discovers and services every cross-node transfer
-//! the loop needs (faults, ctl pushes, marshalled messages) against the
-//! state the previous superstep left behind. The **compute phase** then
-//! runs each node's kernel against that node's own
-//! [`fgdsm_tempest::NodeShard`] only — zero cross-node access — so the
-//! kernels may be dispatched across real threads
-//! ([`std::thread::scope`]) without changing a single virtual-time
-//! charge: serial and parallel runs produce byte-identical reports.
-//! [`Parallelism`] / the `FGDSM_PAR` env var select the worker count.
+//! phases. The **resolve phase** discovers every cross-node transfer the
+//! loop needs against the state the previous superstep left behind; its
+//! data movement is split into a sequential *plan* pass (call-site
+//! bookkeeping, payload grouping — see [`fgdsm_protocol::TransferPlan`])
+//! and an *apply* stage that executes node-disjoint plans concurrently
+//! over disjoint shard pairs, folding shared state in plan index order.
+//! The **compute phase** then runs each node's kernel against that
+//! node's own [`fgdsm_tempest::NodeShard`] only — zero cross-node access
+//! — dispatched across real threads ([`std::thread::scope`]). Neither
+//! phase's threading changes a single virtual-time charge: serial and
+//! parallel runs produce byte-identical reports and traces.
+//! [`ParallelMode`] / the `FGDSM_PAR` env var select the worker count
+//! for both phases ([`ExecConfig::resolve_parallel`] can pin the resolve
+//! phase separately).
 //!
 //! Set `FGDSM_TRACE=<path>` to export the structured event trace of a run
 //! as JSON (see [`fgdsm_tempest::NodeTrace`]), or call [`execute_traced`]
@@ -81,28 +85,29 @@ pub enum HomeAssign {
     Blocked,
 }
 
-/// How the compute phase is scheduled onto host threads. Purely a
-/// wall-clock knob: virtual-time charges are per-shard, so every setting
-/// produces byte-identical [`ClusterReport`]s and trace streams.
+/// How the compute phase and the resolve phase's apply stage are
+/// scheduled onto host threads. Purely a wall-clock knob: virtual-time
+/// charges are per-shard and plan merges are index-ordered, so every
+/// setting produces byte-identical [`ClusterReport`]s and trace streams.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub enum Parallelism {
+pub enum ParallelMode {
     /// Honor the `FGDSM_PAR` env var (`0` or `1` → serial, `n` → `n`
     /// workers); if unset, use the host's available cores.
     #[default]
     Auto,
-    /// Run kernels on the driver thread, one node at a time.
+    /// Run everything on the driver thread, one node at a time.
     Serial,
-    /// Spawn up to `n` scoped worker threads for the compute phase.
+    /// Spawn up to `n` scoped worker threads per phase.
     Threads(usize),
 }
 
-impl Parallelism {
+impl ParallelMode {
     /// Resolve to a concrete worker count (≥ 1).
     pub fn workers(self) -> usize {
         match self {
-            Parallelism::Serial => 1,
-            Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => match std::env::var("FGDSM_PAR") {
+            ParallelMode::Serial => 1,
+            ParallelMode::Threads(n) => n.max(1),
+            ParallelMode::Auto => match std::env::var("FGDSM_PAR") {
                 Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
                 Err(_) => std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -125,8 +130,13 @@ pub struct ExecConfig {
     pub protocol: ProtocolKind,
     /// Bindings for problem-level symbolics referenced by the program.
     pub base_env: Env,
-    /// Compute-phase scheduling (wall-clock only; never affects results).
-    pub parallel: Parallelism,
+    /// Host-thread scheduling for both superstep phases (wall-clock only;
+    /// never affects results).
+    pub parallel: ParallelMode,
+    /// Override the resolve phase's apply-stage scheduling; `None` follows
+    /// `parallel`. Lets tests pin serial resolve against threaded compute
+    /// (and vice versa) in one run.
+    pub resolve_parallel: Option<ParallelMode>,
     /// Fault-injection knobs for the differential fuzzer (all off by
     /// default; the protocol-level mutations additionally require the
     /// `fault-inject` cargo feature).
@@ -157,6 +167,10 @@ pub struct InjectConfig {
     pub skew_send_range: bool,
     /// Must-catch: skip `flush_range` entirely (needs `fault-inject`).
     pub skip_flush_range: bool,
+    /// Must-catch: reverse the plan order of the resolve phase's apply
+    /// stage under a parallel resolve — a nondeterministic merge the
+    /// differential oracle must detect (needs `fault-inject`).
+    pub reorder_plan_apply: bool,
 }
 
 impl ExecConfig {
@@ -170,7 +184,8 @@ impl ExecConfig {
             backend: Backend::SmUnopt,
             protocol: ProtocolKind::EagerInvalidate,
             base_env: Env::new(),
-            parallel: Parallelism::Auto,
+            parallel: ParallelMode::Auto,
+            resolve_parallel: None,
             inject: InjectConfig::default(),
         }
     }
@@ -213,15 +228,29 @@ impl ExecConfig {
         self
     }
 
-    /// Pin the compute phase to the driver thread.
+    /// Pin both superstep phases to the driver thread.
     pub fn serial(mut self) -> Self {
-        self.parallel = Parallelism::Serial;
+        self.parallel = ParallelMode::Serial;
         self
     }
 
-    /// Dispatch the compute phase across up to `n` scoped threads.
+    /// Dispatch both superstep phases across up to `n` scoped threads.
     pub fn threads(mut self, n: usize) -> Self {
-        self.parallel = Parallelism::Threads(n);
+        self.parallel = ParallelMode::Threads(n);
+        self
+    }
+
+    /// Pin the resolve phase's apply stage to the driver thread, leaving
+    /// the compute phase on `parallel`.
+    pub fn resolve_serial(mut self) -> Self {
+        self.resolve_parallel = Some(ParallelMode::Serial);
+        self
+    }
+
+    /// Dispatch the resolve phase's apply stage across up to `n` scoped
+    /// threads, leaving the compute phase on `parallel`.
+    pub fn resolve_threads(mut self, n: usize) -> Self {
+        self.resolve_parallel = Some(ParallelMode::Threads(n));
         self
     }
 
@@ -335,18 +364,32 @@ mod tests {
     }
 
     #[test]
-    fn parallelism_resolves_to_worker_counts() {
-        assert_eq!(Parallelism::Serial.workers(), 1);
-        assert_eq!(Parallelism::Threads(0).workers(), 1);
-        assert_eq!(Parallelism::Threads(4).workers(), 4);
-        assert!(Parallelism::Auto.workers() >= 1);
+    fn parallel_mode_resolves_to_worker_counts() {
+        assert_eq!(ParallelMode::Serial.workers(), 1);
+        assert_eq!(ParallelMode::Threads(0).workers(), 1);
+        assert_eq!(ParallelMode::Threads(4).workers(), 4);
+        assert!(ParallelMode::Auto.workers() >= 1);
         assert_eq!(
             ExecConfig::sm_unopt(4).threads(2).parallel,
-            Parallelism::Threads(2)
+            ParallelMode::Threads(2)
         );
         assert_eq!(
             ExecConfig::sm_unopt(4).serial().parallel,
-            Parallelism::Serial
+            ParallelMode::Serial
+        );
+        // resolve_parallel defaults to following `parallel`, and the
+        // builders pin it independently.
+        assert_eq!(ExecConfig::sm_unopt(4).resolve_parallel, None);
+        assert_eq!(
+            ExecConfig::sm_unopt(4)
+                .serial()
+                .resolve_threads(3)
+                .resolve_parallel,
+            Some(ParallelMode::Threads(3))
+        );
+        assert_eq!(
+            ExecConfig::sm_unopt(4).resolve_serial().resolve_parallel,
+            Some(ParallelMode::Serial)
         );
     }
 

@@ -5,7 +5,7 @@ use super::backend::CommBackend;
 use super::engine::EngineCore;
 use crate::analysis::LoopAccess;
 use crate::ir::{ParLoop, RefMode};
-use fgdsm_protocol::MpRuntime;
+use fgdsm_protocol::{MpRuntime, MpSendPlan};
 use fgdsm_tempest::ReduceOp;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -32,6 +32,8 @@ impl CommBackend for Mp {
 
     fn resolve(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
         let mut users: BTreeSet<usize> = BTreeSet::new();
+        // Planned strided sends, merged per (owner, user) pair.
+        let mut plans: BTreeMap<(usize, usize), MpSendPlan> = BTreeMap::new();
         // Group identical sections by (owner, array, section).
         let mut groups: BTreeMap<(usize, usize, String), Vec<usize>> = BTreeMap::new();
         for t in acc.read_transfers.iter().chain(&acc.write_transfers) {
@@ -68,20 +70,26 @@ impl CommBackend for Mp {
                     }
                 }
             } else {
+                // Plan → apply: accumulate the strided sections per
+                // (owner, user) pair; disjoint pairs apply concurrently
+                // after the broadcasts, with inboxes folded in plan order.
+                let plan = plans
+                    .entry((t.owner, t.user))
+                    .or_insert_with(|| MpSendPlan {
+                        src: t.owner,
+                        dst: t.user,
+                        sections: Vec::new(),
+                    });
                 for sr in &runs.runs {
-                    self.mp.send_strided(
-                        &mut core.dsm.cluster,
-                        t.owner,
-                        t.user,
-                        sr.base,
-                        sr.run_len,
-                        sr.stride.max(1),
-                        sr.count,
-                    );
+                    plan.sections
+                        .push((sr.base, sr.run_len, sr.stride.max(1), sr.count));
                 }
             }
             users.insert(t.user);
         }
+        let plans: Vec<MpSendPlan> = plans.into_values().collect();
+        self.mp
+            .apply_send_plans(&mut core.dsm.cluster, &plans, core.resolve_workers);
         for &u in &users {
             self.mp.recv_all(&mut core.dsm.cluster, u);
         }

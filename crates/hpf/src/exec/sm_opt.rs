@@ -173,29 +173,49 @@ impl SmOpt {
         core.dsm.release_barrier();
 
         // Phase C: owners push, receivers wait on the counting semaphore.
+        // Plan → apply: the sequential plan pass does all call-site
+        // bookkeeping, then disjoint (owner, reader) plans apply on up to
+        // `resolve_workers` threads with a deterministic merge.
+        let mut entries: Vec<fgdsm_protocol::SendEntry> = Vec::with_capacity(sends.len());
         for (&(o, _a, f, e), readers) in &sends {
             let mut rs = readers.clone();
             rs.sort_unstable();
             rs.dedup();
-            core.dsm.send_range(o, &rs, f, e, self.opt.bulk);
             if self.opt.pre {
                 for &r in &rs {
                     self.pre.record_delivery(r, _a, f, e);
                 }
             }
+            entries.push(fgdsm_protocol::SendEntry {
+                owner: o,
+                readers: rs,
+                first: f,
+                end: e,
+            });
         }
+        let plans = core.dsm.plan_sends(&entries, self.opt.bulk);
+        core.dsm.apply_plans(&plans, core.resolve_workers);
         for &n in incoming.keys() {
             core.dsm.ready_to_recv(n);
         }
     }
 
     /// The post-loop half of the contract: readers discard compiler-
-    /// controlled copies (skipped under RTOE), non-owner writers flush.
+    /// controlled copies (skipped under RTOE), non-owner writers flush —
+    /// through the same plan/apply pipeline as the pushes, so disjoint
+    /// (writer, owner) flushes also apply concurrently.
     fn cleanup_ctl(&mut self, core: &mut EngineCore) {
-        let flushes = std::mem::take(&mut self.pending_flushes);
-        for (w, o, f, e) in flushes {
-            core.dsm.flush_range(w, o, f, e, self.opt.bulk);
-        }
+        let entries: Vec<fgdsm_protocol::FlushEntry> = std::mem::take(&mut self.pending_flushes)
+            .into_iter()
+            .map(|(w, o, f, e)| fgdsm_protocol::FlushEntry {
+                writer: w,
+                owner: o,
+                first: f,
+                end: e,
+            })
+            .collect();
+        let plans = core.dsm.plan_flushes(&entries, self.opt.bulk);
+        core.dsm.apply_plans(&plans, core.resolve_workers);
         let inval = std::mem::take(&mut self.pending_invalidate);
         if !self.opt.rtoe {
             for (n, f, e) in inval {

@@ -36,7 +36,7 @@ pub mod report;
 pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{
-    execute, execute_reference, execute_traced, Backend, ExecConfig, InjectConfig, Parallelism,
+    execute, execute_reference, execute_traced, Backend, ExecConfig, InjectConfig, ParallelMode,
     ReferenceResult, RunResult,
 };
 pub use ir::{

@@ -27,10 +27,27 @@
 //! whole-program owner-computes assumptions and memoizes step 3 so only
 //! the first execution pays the tag changes; the memo test is
 //! [`MEMO_TEST_NS`].
+//!
+//! ## Plan → apply
+//!
+//! The data-movement primitives (`send_range`, `flush_range`) are split
+//! into two stages so an executor can run the apply stage on threads:
+//!
+//! * **plan** ([`Dsm::plan_sends`] / [`Dsm::plan_flushes`]) — a cheap
+//!   sequential pass that does all call-site bookkeeping (ctl events, base
+//!   charges, fault injection, payload grouping) and emits one
+//!   [`TransferPlan`] per (source, destination) node pair;
+//! * **apply** ([`Dsm::apply_plans`]) — executes the plans' pair-local
+//!   work (charges, copies, message counters) over disjoint `&mut` shard
+//!   pairs, concurrently where plans share no node, then folds the
+//!   cross-pair state (ctl inboxes, directory, third-party home tags) in
+//!   plan index order. Plans that share a node are applied in strict plan
+//!   order, so every node's event stream — and therefore every report and
+//!   trace — is byte-identical to a serial apply.
 
 use crate::dir::DirState;
 use crate::proto::Dsm;
-use fgdsm_tempest::{Access, ChargeKind, CtlPrim, Event, NodeId};
+use fgdsm_tempest::{Access, ChargeKind, CostModel, CtlPrim, Event, NodeId, NodeShard};
 
 /// Fixed overhead of issuing any compiler-directed protocol call.
 pub const CTL_CALL_BASE_NS: u64 = 2_000;
@@ -73,6 +90,127 @@ pub fn group_payloads(
             n_blocks: n,
         });
         b += n;
+    }
+    out
+}
+
+/// Minimum total transfer volume (in words) before [`Dsm::apply_plans`]
+/// spawns threads: below this, thread startup dwarfs the payload copies
+/// and a serial apply is faster. Determinism is unaffected either way.
+pub const PAR_APPLY_MIN_WORDS: usize = 2048;
+
+/// What an apply-stage [`TransferPlan`] does to its shard pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanOp {
+    /// §4.2 compiler-directed push, owner → reader (Figure 2D). The
+    /// outcome feeds the destination's ctl inbox for `ready_to_recv`.
+    Push,
+    /// Non-owner-write flush, writer → owner, plus the in-pair tag flips
+    /// (§4.2, non-owner writes). Directory and third-party home tags are
+    /// folded after apply.
+    Flush,
+}
+
+/// One unit of resolve-phase apply work: everything one (src, dst) node
+/// pair exchanges this superstep. Plans for distinct pairs sharing no
+/// node touch disjoint shards and may be applied concurrently; the
+/// planner emits them in a stable (src, dst) order.
+#[derive(Clone, Debug)]
+pub struct TransferPlan {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub op: PlanOp,
+    /// Block ranges in call-site order. Ranges of distinct call sites may
+    /// overlap; the resulting duplicate push is faithful to the direct
+    /// path, which also re-sent the overlap.
+    pub ranges: Vec<(usize, usize)>,
+    /// Payload groupings ([`group_payloads`] per range, concatenated in
+    /// range order).
+    pub payloads: Vec<Payload>,
+}
+
+/// One merged `send_range` call site: `owner` pushes blocks
+/// `[first, end)` to every node in `readers`.
+#[derive(Clone, Debug)]
+pub struct SendEntry {
+    pub owner: NodeId,
+    pub readers: Vec<NodeId>,
+    pub first: usize,
+    pub end: usize,
+}
+
+/// One pending non-owner-write flush call site: `writer` returns blocks
+/// `[first, end)` to `owner`.
+#[derive(Clone, Copy, Debug)]
+pub struct FlushEntry {
+    pub writer: NodeId,
+    pub owner: NodeId,
+    pub first: usize,
+    pub end: usize,
+}
+
+/// Cross-pair state staged by one plan's apply, folded in plan index
+/// order after all pair-local work completes.
+struct PlanOutcome {
+    arrival: u64,
+    payloads: u64,
+    blocks: u64,
+}
+
+/// Pair-local apply of one plan: charges, message counters, and data
+/// copies against exactly the two shards the plan names. Everything that
+/// reaches beyond the pair is staged in the returned [`PlanOutcome`].
+fn apply_plan(
+    plan: &TransferPlan,
+    cfg: &CostModel,
+    src: &mut NodeShard,
+    dst: &mut NodeShard,
+) -> PlanOutcome {
+    let mut out = PlanOutcome {
+        arrival: 0,
+        payloads: 0,
+        blocks: 0,
+    };
+    for p in &plan.payloads {
+        let (s, _) = src.block_words(p.start_block);
+        let (_, e) = src.block_words(p.start_block + p.n_blocks - 1);
+        let bytes = (e - s) * 8;
+        // Per message: the user-level protocol composes and tags the
+        // payload (handler-side work at the sender), injects it, and
+        // occupies the wire — grouping contiguous blocks into bulk
+        // payloads amortizes everything but the wire.
+        let compose = cfg.handler_cost(cfg.handler_dispatch_ns);
+        src.charge(
+            compose + cfg.msg_send_ns + bytes as u64 * cfg.per_byte_ns,
+            ChargeKind::CtlCall,
+        );
+        src.note_msg(bytes);
+        dst.note_msg_recv(bytes);
+        dst.mem_mut()[s..e].copy_from_slice(&src.mem()[s..e]);
+        match plan.op {
+            PlanOp::Push => {
+                out.arrival = out.arrival.max(src.clock_ns() + cfg.net_latency_ns);
+                out.payloads += 1;
+                out.blocks += p.n_blocks as u64;
+                src.record(Event::CtlSend {
+                    blocks: p.n_blocks as u64,
+                });
+            }
+            PlanOp::Flush => {
+                dst.charge_handler(cfg.handler_dispatch_ns + p.n_blocks as u64 * cfg.block_copy_ns);
+            }
+        }
+    }
+    if plan.op == PlanOp::Flush {
+        let mut cost = 0;
+        for &(f, e) in &plan.ranges {
+            for b in f..e {
+                src.set_tag(b, Access::Invalid);
+                dst.set_tag(b, Access::ReadWrite);
+                cost += cfg.tag_change_ns;
+            }
+        }
+        src.charge(cost, ChargeKind::CtlCall);
     }
     out
 }
@@ -253,7 +391,8 @@ impl Dsm {
     /// Owner pushes blocks `[first, end)` to each reader in a specially
     /// tagged data message (Figure 2D). With `bulk`, contiguous blocks are
     /// grouped into payloads of up to `bulk_max_bytes` — the paper's
-    /// "benefit of using larger block sizes".
+    /// "benefit of using larger block sizes". Thin wrapper over the
+    /// plan/apply pipeline with one entry and a serial apply.
     pub fn send_range(
         &mut self,
         owner: NodeId,
@@ -262,55 +401,164 @@ impl Dsm {
         end: usize,
         bulk: bool,
     ) {
-        let cfg = self.cluster.cfg().clone();
-        self.cluster.record(
-            owner,
-            Event::Ctl {
-                prim: CtlPrim::SendRange,
-            },
+        let plans = self.plan_sends(
+            &[SendEntry {
+                owner,
+                readers: readers.to_vec(),
+                first,
+                end,
+            }],
+            bulk,
         );
-        self.cluster
-            .charge(owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
-        // Fault injection (must-catch): an off-by-one section bound — the
-        // send delivers one block fewer than `implicit_writable` promised,
-        // so the readers' last block is writable over stale data.
-        let end = if self.inj_skew_send_range() && end > first {
-            end - 1
-        } else {
-            end
-        };
-        if end <= first {
+        self.apply_plans(&plans, 1);
+    }
+
+    /// Plan stage for a batch of compiler-directed pushes: records the ctl
+    /// events and base charges at each owner, applies fault injection,
+    /// groups payloads, and merges the entries into one [`TransferPlan`]
+    /// per (owner, reader) pair, in stable (owner, reader) order.
+    pub fn plan_sends(&mut self, entries: &[SendEntry], bulk: bool) -> Vec<TransferPlan> {
+        use std::collections::BTreeMap;
+        let cfg = self.cluster.cfg().clone();
+        let mut plans: BTreeMap<(NodeId, NodeId), TransferPlan> = BTreeMap::new();
+        for en in entries {
+            self.cluster.record(
+                en.owner,
+                Event::Ctl {
+                    prim: CtlPrim::SendRange,
+                },
+            );
+            self.cluster
+                .charge(en.owner, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+            // Fault injection (must-catch): an off-by-one section bound —
+            // the send delivers one block fewer than `implicit_writable`
+            // promised, so the readers' last block is writable over stale
+            // data.
+            let end = if self.inj_skew_send_range() && en.end > en.first {
+                en.end - 1
+            } else {
+                en.end
+            };
+            if end <= en.first {
+                continue;
+            }
+            let payloads = group_payloads(en.first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
+            for &r in &en.readers {
+                debug_assert_ne!(r, en.owner);
+                let plan = plans.entry((en.owner, r)).or_insert_with(|| TransferPlan {
+                    src: en.owner,
+                    dst: r,
+                    op: PlanOp::Push,
+                    ranges: vec![],
+                    payloads: vec![],
+                });
+                plan.ranges.push((en.first, end));
+                plan.payloads.extend(payloads.iter().copied());
+            }
+        }
+        plans.into_values().collect()
+    }
+
+    /// Plan stage for the pending non-owner-write flushes: records the ctl
+    /// events and base charges at each writer and merges the entries into
+    /// one [`TransferPlan`] per (writer, owner) pair.
+    pub fn plan_flushes(&mut self, entries: &[FlushEntry], bulk: bool) -> Vec<TransferPlan> {
+        use std::collections::BTreeMap;
+        // Fault injection (must-catch): drop the flushes on the floor. The
+        // writers' modifications never reach the owners, whose copies go
+        // stale — later owner-side sends then push wrong values.
+        if self.inj_skip_flush_range() {
+            return vec![];
+        }
+        let cfg = self.cluster.cfg().clone();
+        let mut plans: BTreeMap<(NodeId, NodeId), TransferPlan> = BTreeMap::new();
+        for en in entries {
+            self.cluster.record(
+                en.writer,
+                Event::Ctl {
+                    prim: CtlPrim::FlushRange,
+                },
+            );
+            self.cluster
+                .charge(en.writer, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
+            if en.end <= en.first {
+                continue;
+            }
+            let payloads =
+                group_payloads(en.first, en.end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
+            let plan = plans
+                .entry((en.writer, en.owner))
+                .or_insert_with(|| TransferPlan {
+                    src: en.writer,
+                    dst: en.owner,
+                    op: PlanOp::Flush,
+                    ranges: vec![],
+                    payloads: vec![],
+                });
+            plan.ranges.push((en.first, en.end));
+            plan.payloads.extend(payloads);
+        }
+        plans.into_values().collect()
+    }
+
+    /// Apply stage: execute the plans' pair-local work over disjoint shard
+    /// pairs — concurrently with up to `workers` threads where plans share
+    /// no node — then fold the staged cross-pair state (ctl inboxes,
+    /// directory, third-party home tags) in plan index order. Plans that
+    /// share a node are applied in strict plan order (wave scheduling in
+    /// [`fgdsm_tempest::Cluster::apply_pairwise`]), so reports and traces
+    /// are byte-identical to a serial apply.
+    pub fn apply_plans(&mut self, plans: &[TransferPlan], workers: usize) {
+        if plans.is_empty() {
             return;
         }
-        let payloads = group_payloads(first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
-        for p in &payloads {
-            let (s, _) = self.cluster.block_words(p.start_block);
-            let (_, e) = self.cluster.block_words(p.start_block + p.n_blocks - 1);
-            let bytes = (e - s) * 8;
-            for &r in readers {
-                debug_assert_ne!(r, owner);
-                // Per message: the user-level protocol composes and tags
-                // the payload (handler-side work at the sender), injects
-                // it, and occupies the wire — grouping contiguous blocks
-                // into bulk payloads amortizes everything but the wire.
-                let compose = cfg.handler_cost(cfg.handler_dispatch_ns);
-                self.cluster.charge(
-                    owner,
-                    compose + cfg.msg_send_ns + bytes as u64 * cfg.per_byte_ns,
-                    ChargeKind::CtlCall,
-                );
-                self.cluster.note_msg(owner, r, bytes);
-                self.cluster.copy_words(owner, r, s, e - s);
-                let arrival = self.cluster.clock_ns(owner) + cfg.net_latency_ns;
-                self.inbox_arrival[r] = self.inbox_arrival[r].max(arrival);
-                self.inbox_payloads[r] += 1;
-                self.inbox_blocks[r] += p.n_blocks as u64;
-                self.cluster.record(
-                    owner,
-                    Event::CtlSend {
-                        blocks: p.n_blocks as u64,
-                    },
-                );
+        let cfg = self.cluster.cfg().clone();
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        if workers > 1 && self.inj_reorder_plan_apply() {
+            // Fault injection (must-catch): a nondeterministic merge —
+            // apply the plans in reversed order under a parallel resolve.
+            // Computed before the volume threshold so the reversal is not
+            // masked by a small transfer falling back to a serial apply.
+            order.reverse();
+        }
+        let total_words: usize = plans
+            .iter()
+            .flat_map(|p| p.payloads.iter())
+            .map(|q| q.n_blocks)
+            .sum::<usize>()
+            * self.cluster.cfg().words_per_block();
+        let workers = if total_words < PAR_APPLY_MIN_WORDS {
+            1
+        } else {
+            workers
+        };
+        let pairs: Vec<(NodeId, NodeId)> = order
+            .iter()
+            .map(|&i| (plans[i].src, plans[i].dst))
+            .collect();
+        let order_ref = &order;
+        let outcomes = self.cluster.apply_pairwise(&pairs, workers, |k, sa, sb| {
+            apply_plan(&plans[order_ref[k]], &cfg, sa, sb)
+        });
+        for (k, o) in outcomes.into_iter().enumerate() {
+            let plan = &plans[order[k]];
+            match plan.op {
+                PlanOp::Push => {
+                    self.inbox_arrival[plan.dst] = self.inbox_arrival[plan.dst].max(o.arrival);
+                    self.inbox_payloads[plan.dst] += o.payloads;
+                    self.inbox_blocks[plan.dst] += o.blocks;
+                }
+                PlanOp::Flush => {
+                    for &(f, e) in &plan.ranges {
+                        for b in f..e {
+                            let h = self.cluster.home_of_block(b);
+                            if h != plan.src && h != plan.dst {
+                                self.cluster.set_tag(h, b, Access::Invalid);
+                            }
+                            self.set_dir(b, DirState::Excl { owner: plan.dst });
+                        }
+                    }
+                }
             }
         }
     }
@@ -371,7 +619,8 @@ impl Dsm {
     /// A non-owner writer flushes its modifications of `[first, end)` back
     /// to the owner and invalidates itself (§4.2, non-owner writes). The
     /// owner ends with the only, current, writable copy and the directory
-    /// reflects it.
+    /// reflects it. Thin wrapper over the plan/apply pipeline with one
+    /// entry and a serial apply.
     pub fn flush_range(
         &mut self,
         writer: NodeId,
@@ -380,51 +629,16 @@ impl Dsm {
         end: usize,
         bulk: bool,
     ) {
-        // Fault injection (must-catch): drop the flush on the floor. The
-        // writer's modifications never reach the owner, whose copy goes
-        // stale — later owner-side sends then push wrong values.
-        if self.inj_skip_flush_range() {
-            return;
-        }
-        let cfg = self.cluster.cfg().clone();
-        self.cluster.record(
-            writer,
-            Event::Ctl {
-                prim: CtlPrim::FlushRange,
-            },
-        );
-        self.cluster
-            .charge(writer, CTL_CALL_BASE_NS, ChargeKind::CtlCall);
-        let payloads = group_payloads(first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
-        for p in &payloads {
-            let (s, _) = self.cluster.block_words(p.start_block);
-            let (_, e) = self.cluster.block_words(p.start_block + p.n_blocks - 1);
-            let bytes = (e - s) * 8;
-            let compose = cfg.handler_cost(cfg.handler_dispatch_ns);
-            self.cluster.charge(
+        let plans = self.plan_flushes(
+            &[FlushEntry {
                 writer,
-                compose + cfg.msg_send_ns + bytes as u64 * cfg.per_byte_ns,
-                ChargeKind::CtlCall,
-            );
-            self.cluster.note_msg(writer, owner, bytes);
-            self.cluster.copy_words(writer, owner, s, e - s);
-            self.cluster.charge_handler(
                 owner,
-                cfg.handler_dispatch_ns + p.n_blocks as u64 * cfg.block_copy_ns,
-            );
-        }
-        let mut cost = 0;
-        for b in first..end {
-            self.cluster.set_tag(writer, b, Access::Invalid);
-            self.cluster.set_tag(owner, b, Access::ReadWrite);
-            let h = self.cluster.home_of_block(b);
-            if h != owner && h != writer {
-                self.cluster.set_tag(h, b, Access::Invalid);
-            }
-            self.set_dir(b, DirState::Excl { owner });
-            cost += cfg.tag_change_ns;
-        }
-        self.cluster.charge(writer, cost, ChargeKind::CtlCall);
+                first,
+                end,
+            }],
+            bulk,
+        );
+        self.apply_plans(&plans, 1);
     }
 }
 
@@ -580,6 +794,294 @@ mod tests {
         d.ready_to_recv(0);
         assert!(d.cluster.clock_ns(0) > before);
         assert!(d.cluster.stats(0).stall_ns > 0);
+    }
+
+    /// Expand a plan's payloads into the flat block list they deliver.
+    fn payload_blocks(p: &TransferPlan) -> Vec<usize> {
+        p.payloads
+            .iter()
+            .flat_map(|q| q.start_block..q.start_block + q.n_blocks)
+            .collect()
+    }
+
+    /// An empty range is pure bookkeeping: the call-site event and base
+    /// charge land at the owner, but no plan (and no data movement) is
+    /// emitted — exactly what the direct path did.
+    #[test]
+    fn plan_sends_empty_range_is_bookkeeping_only() {
+        let mut d = dsm(2);
+        let t0 = d.cluster.clock_ns(1);
+        let plans = d.plan_sends(
+            &[SendEntry {
+                owner: 1,
+                readers: vec![0],
+                first: 4,
+                end: 4,
+            }],
+            true,
+        );
+        assert!(plans.is_empty(), "empty range must plan nothing");
+        assert_eq!(d.cluster.stats(1).send_range_calls, 1);
+        assert_eq!(d.cluster.clock_ns(1) - t0, CTL_CALL_BASE_NS);
+        d.apply_plans(&plans, 4); // no-op, must not panic or charge
+        assert_eq!(d.cluster.clock_ns(1) - t0, CTL_CALL_BASE_NS);
+    }
+
+    /// A one-block range becomes one plan per reader carrying exactly that
+    /// block.
+    #[test]
+    fn plan_sends_one_block() {
+        let mut d = dsm(3);
+        let plans = d.plan_sends(
+            &[SendEntry {
+                owner: 0,
+                readers: vec![2, 1],
+                first: 7,
+                end: 8,
+            }],
+            false,
+        );
+        assert_eq!(plans.len(), 2);
+        // Stable (src, dst) order regardless of the readers' order.
+        assert_eq!((plans[0].src, plans[0].dst), (0, 1));
+        assert_eq!((plans[1].src, plans[1].dst), (0, 2));
+        for p in &plans {
+            assert_eq!(p.op, PlanOp::Push);
+            assert_eq!(p.ranges, vec![(7, 8)]);
+            assert_eq!(payload_blocks(p), vec![7]);
+        }
+    }
+
+    /// A range crossing a page boundary still tiles exactly `[first, end)`
+    /// — payload grouping is in block space and never splits or pads at
+    /// page edges.
+    #[test]
+    fn plan_sends_cross_page_range() {
+        let mut d = dsm(2);
+        let blocks_per_page = d.cluster.words_per_page() / d.cluster.words_per_block();
+        let (f, e) = (blocks_per_page - 2, blocks_per_page + 3);
+        assert_ne!(
+            d.cluster.home_of_block(f),
+            d.cluster.home_of_block(e - 1),
+            "range must actually span two differently-homed pages"
+        );
+        for bulk in [false, true] {
+            let plans = d.plan_sends(
+                &[SendEntry {
+                    owner: 1,
+                    readers: vec![0],
+                    first: f,
+                    end: e,
+                }],
+                bulk,
+            );
+            assert_eq!(plans.len(), 1);
+            assert_eq!(payload_blocks(&plans[0]), (f..e).collect::<Vec<_>>());
+        }
+    }
+
+    /// Multi-entry, multi-reader: the plans partition exactly the blocks
+    /// the direct path (one `send_range` per entry) would have pushed —
+    /// per (owner, reader) pair, the payload blocks are the concatenation
+    /// of that pair's entry ranges, in entry order, nothing more or less.
+    #[test]
+    fn plans_partition_direct_path_blocks() {
+        use std::collections::BTreeMap;
+        let mut d = dsm(4);
+        let entries = [
+            SendEntry {
+                owner: 1,
+                readers: vec![0, 2],
+                first: 0,
+                end: 5,
+            },
+            SendEntry {
+                owner: 3,
+                readers: vec![0],
+                first: 10,
+                end: 11,
+            },
+            SendEntry {
+                owner: 1,
+                readers: vec![2],
+                first: 3, // overlaps the first entry: re-pushed, like the direct path
+                end: 9,
+            },
+        ];
+        let plans = d.plan_sends(&entries, true);
+        let mut expect: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for en in &entries {
+            for &r in &en.readers {
+                expect
+                    .entry((en.owner, r))
+                    .or_default()
+                    .extend(en.first..en.end);
+            }
+        }
+        assert_eq!(plans.len(), expect.len());
+        for p in &plans {
+            assert_eq!(
+                payload_blocks(p),
+                expect[&(p.src, p.dst)],
+                "plan {} -> {} must carry exactly the direct path's blocks",
+                p.src,
+                p.dst
+            );
+        }
+    }
+
+    /// Batched plan/apply is observably identical to the direct per-entry
+    /// `send_range` path: same clocks, same stats, same memory, and the
+    /// same `ready_to_recv` stall at every reader.
+    #[test]
+    fn batched_plan_apply_matches_direct_send_range() {
+        let entries = [
+            SendEntry {
+                owner: 1,
+                readers: vec![0, 2],
+                first: 0,
+                end: 12,
+            },
+            SendEntry {
+                owner: 3,
+                readers: vec![2],
+                first: 16,
+                end: 40,
+            },
+        ];
+        let mut direct = dsm(4);
+        let mut batched = dsm(4);
+        for d in [&mut direct, &mut batched] {
+            for w in 0..1024 {
+                d.cluster.node_mem_mut(w % 4)[w] = w as f64 + 0.5;
+            }
+        }
+        for en in &entries {
+            direct.send_range(en.owner, &en.readers, en.first, en.end, true);
+        }
+        let plans = batched.plan_sends(&entries, true);
+        batched.apply_plans(&plans, 1);
+        for n in [0, 2] {
+            direct.ready_to_recv(n);
+            batched.ready_to_recv(n);
+        }
+        for n in 0..4 {
+            assert_eq!(
+                direct.cluster.clock_ns(n),
+                batched.cluster.clock_ns(n),
+                "clock of node {n}"
+            );
+            assert_eq!(
+                direct.cluster.stats(n),
+                batched.cluster.stats(n),
+                "stats of node {n}"
+            );
+            assert_eq!(
+                direct.cluster.node_mem(n),
+                batched.cluster.node_mem(n),
+                "memory of node {n}"
+            );
+        }
+    }
+
+    /// Above the volume threshold, a threaded apply must stay byte-
+    /// identical to the serial apply — clocks, stats, memory, and trace.
+    #[test]
+    fn apply_plans_threaded_matches_serial() {
+        let entries = [
+            SendEntry {
+                owner: 0,
+                readers: vec![1],
+                first: 0,
+                end: 160,
+            },
+            SendEntry {
+                owner: 2,
+                readers: vec![3],
+                first: 200,
+                end: 360,
+            },
+            SendEntry {
+                owner: 0,
+                readers: vec![1], // merges into the (0, 1) plan: two ranges
+                first: 400,
+                end: 410,
+            },
+        ];
+        let run = |workers: usize| {
+            let mut d = dsm(4);
+            let wpb = d.cluster.words_per_block();
+            assert!(
+                330 * wpb >= PAR_APPLY_MIN_WORDS,
+                "volume must clear the serial-apply threshold"
+            );
+            for w in 0..8192 {
+                d.cluster.node_mem_mut(w % 4)[w] = w as f64 * 1.5;
+            }
+            let plans = d.plan_sends(&entries, true);
+            assert_eq!(plans.len(), 2, "the (0, 1) entries must merge");
+            assert_eq!(plans[0].ranges.len(), 2);
+            d.apply_plans(&plans, workers);
+            d.ready_to_recv(1);
+            d.ready_to_recv(3);
+            d
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        for n in 0..4 {
+            assert_eq!(
+                serial.cluster.clock_ns(n),
+                threaded.cluster.clock_ns(n),
+                "clock of node {n}"
+            );
+            assert_eq!(
+                serial.cluster.stats(n),
+                threaded.cluster.stats(n),
+                "stats of node {n}"
+            );
+            assert_eq!(
+                serial.cluster.node_mem(n),
+                threaded.cluster.node_mem(n),
+                "memory of node {n}"
+            );
+        }
+        assert_eq!(serial.cluster.trace_json(), threaded.cluster.trace_json());
+    }
+
+    /// Flush plans partition the flushed blocks the same way, and an empty
+    /// flush entry plans nothing.
+    #[test]
+    fn plan_flushes_partition_and_edge_cases() {
+        let mut d = dsm(3);
+        let entries = [
+            FlushEntry {
+                writer: 1,
+                owner: 0,
+                first: 0,
+                end: 4,
+            },
+            FlushEntry {
+                writer: 1,
+                owner: 0,
+                first: 6,
+                end: 6, // empty: bookkeeping only
+            },
+            FlushEntry {
+                writer: 2,
+                owner: 0,
+                first: 8,
+                end: 9,
+            },
+        ];
+        let plans = d.plan_flushes(&entries, true);
+        assert_eq!(plans.len(), 2);
+        assert_eq!((plans[0].src, plans[0].dst), (1, 0));
+        assert_eq!(plans[0].op, PlanOp::Flush);
+        assert_eq!(payload_blocks(&plans[0]), vec![0, 1, 2, 3]);
+        assert_eq!((plans[1].src, plans[1].dst), (2, 0));
+        assert_eq!(payload_blocks(&plans[1]), vec![8]);
+        // The empty entry still paid its call-site bookkeeping.
+        assert_eq!(d.cluster.stats(1).flush_range_calls, 2);
     }
 
     #[test]

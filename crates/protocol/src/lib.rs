@@ -31,10 +31,12 @@ pub mod mp;
 pub mod proto;
 pub mod update;
 
-pub use ctl::{CtlStats, Payload};
+pub use ctl::{
+    CtlStats, FlushEntry, Payload, PlanOp, SendEntry, TransferPlan, PAR_APPLY_MIN_WORDS,
+};
 pub use dir::DirState;
 pub use eager::EagerInvalidate;
-pub use mp::MpRuntime;
+pub use mp::{MpRuntime, MpSendPlan};
 #[cfg(feature = "fault-inject")]
 pub use proto::Injection;
 pub use proto::{Dsm, Protocol, ProtocolKind};

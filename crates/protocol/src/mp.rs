@@ -13,6 +13,17 @@
 
 use fgdsm_tempest::{ChargeKind, Cluster, Event, NodeId, ReduceOp};
 
+/// A planned batch of strided sends from one source to one destination —
+/// the message-passing analogue of [`crate::ctl::TransferPlan`], applied
+/// by [`MpRuntime::apply_send_plans`].
+#[derive(Clone, Debug)]
+pub struct MpSendPlan {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// `(base, run_len, stride, count)` sections in call-site order.
+    pub sections: Vec<(usize, usize, usize, usize)>,
+}
+
 /// Runtime state of the message-passing backend: per-node inbox arrival
 /// times and pending unpack work.
 pub struct MpRuntime {
@@ -92,6 +103,61 @@ impl MpRuntime {
         self.inbox_arrival[dst] = self.inbox_arrival[dst].max(arrival);
         self.inbox_msgs[dst] += count as u64;
         self.inbox_elems[dst] += elems as u64;
+    }
+
+    /// Apply a batch of planned strided sends — the message-passing
+    /// analogue of [`crate::ctl::TransferPlan`]. Node-disjoint plans run
+    /// concurrently over disjoint shard pairs (see
+    /// [`Cluster::apply_pairwise`]); inbox state folds in plan index
+    /// order, so the result is byte-identical to calling
+    /// [`MpRuntime::send_strided`] per section in plan order.
+    pub fn apply_send_plans(&mut self, cl: &mut Cluster, plans: &[MpSendPlan], workers: usize) {
+        if plans.is_empty() {
+            return;
+        }
+        let cfg = cl.cfg().clone();
+        let total_elems: usize = plans
+            .iter()
+            .flat_map(|p| p.sections.iter())
+            .map(|&(_, run_len, _, count)| run_len * count)
+            .sum();
+        let workers = if total_elems < crate::ctl::PAR_APPLY_MIN_WORDS {
+            1
+        } else {
+            workers
+        };
+        let pairs: Vec<(NodeId, NodeId)> = plans.iter().map(|p| (p.src, p.dst)).collect();
+        let outcomes = cl.apply_pairwise(&pairs, workers, |k, src, dst| {
+            let plan = &plans[k];
+            let (mut arrival, mut msgs, mut elems_total) = (0u64, 0u64, 0u64);
+            for &(base, run_len, stride, count) in &plan.sections {
+                let elems = run_len * count;
+                let bytes = elems * 8;
+                // Same accounting as `send_strided`: one message per
+                // contiguous run, per-element marshalling, wire occupancy.
+                let cost = count as u64 * (cfg.mp_per_message_ns + cfg.msg_send_ns)
+                    + elems as u64 * cfg.mp_per_element_ns
+                    + bytes as u64 * cfg.per_byte_ns;
+                src.charge(cost, ChargeKind::Stall);
+                for i in 0..count {
+                    let s = base + i * stride;
+                    src.note_msg(run_len * 8);
+                    dst.note_msg_recv(run_len * 8);
+                    dst.mem_mut()[s..s + run_len].copy_from_slice(&src.mem()[s..s + run_len]);
+                    dst.map_range(s, run_len);
+                }
+                arrival = arrival.max(src.clock_ns() + cfg.net_latency_ns);
+                msgs += count as u64;
+                elems_total += elems as u64;
+            }
+            (arrival, msgs, elems_total)
+        });
+        for (k, (arrival, msgs, elems)) in outcomes.into_iter().enumerate() {
+            let dst = plans[k].dst;
+            self.inbox_arrival[dst] = self.inbox_arrival[dst].max(arrival);
+            self.inbox_msgs[dst] += msgs;
+            self.inbox_elems[dst] += elems;
+        }
     }
 
     /// Broadcast a strided region from `src` to several receivers through

@@ -115,6 +115,11 @@ pub struct Injection {
     /// Skip `flush_range` entirely: a non-owner writer's modifications
     /// never reach the owner, so later owner-side sends push stale data.
     pub skip_flush_range: bool,
+    /// Reverse the plan order inside `apply_plans` when the resolve phase
+    /// runs parallel (`workers > 1`): a deliberately nondeterministic
+    /// merge, making threaded-resolve reports and traces diverge from the
+    /// serial plan order the contract guarantees.
+    pub reorder_plan_apply: bool,
 }
 
 impl Dsm {
@@ -184,6 +189,19 @@ impl Dsm {
         #[cfg(feature = "fault-inject")]
         {
             self.injection.skip_flush_range
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
+    /// Whether `apply_plans` should reverse its plan order under a
+    /// parallel resolve (always false without the `fault-inject` feature).
+    pub(crate) fn inj_reorder_plan_apply(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.injection.reorder_plan_apply
         }
         #[cfg(not(feature = "fault-inject"))]
         {

@@ -9,7 +9,7 @@
 #![cfg(feature = "proptest")]
 #![allow(clippy::needless_range_loop)] // word loops index the model vec in parallel
 
-use fgdsm_protocol::Dsm;
+use fgdsm_protocol::{Dsm, SendEntry, TransferPlan};
 use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
 use fgdsm_testkit::{check_cases, Rng};
 
@@ -140,6 +140,134 @@ fn random_intervals_stay_coherent() {
                 );
             }
         }
+    });
+}
+
+/// Build a dsm over a larger segment so random transfer volumes can clear
+/// the parallel-apply threshold ([`fgdsm_protocol::PAR_APPLY_MIN_WORDS`]).
+fn fresh_big(nprocs: usize, blocks: usize) -> Dsm {
+    let cfg = CostModel::paper_dual_cpu();
+    let mut layout = SegmentLayout::new(cfg.words_per_page());
+    layout.alloc(blocks * cfg.words_per_block());
+    Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
+}
+
+/// Random merged send call sites over random geometries.
+fn random_entries(rng: &mut Rng, nprocs: usize, blocks: usize) -> Vec<SendEntry> {
+    let n = rng.range(1, 7);
+    rng.vec(n, |r| {
+        let owner = r.below(nprocs as u64) as usize;
+        let mut readers: Vec<usize> = (0..nprocs).filter(|&p| p != owner && r.flag()).collect();
+        if readers.is_empty() {
+            readers.push((owner + 1) % nprocs);
+        }
+        let first = r.range(0, blocks - 1);
+        let end = (first + r.range(1, 96)).min(blocks);
+        SendEntry {
+            owner,
+            readers,
+            first,
+            end,
+        }
+    })
+}
+
+fn payload_blocks(p: &TransferPlan) -> Vec<usize> {
+    p.payloads
+        .iter()
+        .flat_map(|q| q.start_block..q.start_block + q.n_blocks)
+        .collect()
+}
+
+/// Plan extraction over random ranges and geometries: the emitted plans
+/// partition exactly the blocks the direct per-entry path would have
+/// pushed — per (owner, reader) pair, the payload blocks are the
+/// concatenation of that pair's entry ranges in entry order, under both
+/// payload groupings.
+#[test]
+fn plans_partition_direct_path_blocks_random() {
+    const BIG: usize = 512;
+    check_cases(96, |rng| {
+        let nprocs = rng.range(2, 6);
+        let entries = random_entries(rng, nprocs, BIG);
+        let bulk = rng.flag();
+        let mut d = fresh_big(nprocs, BIG);
+        let plans = d.plan_sends(&entries, bulk);
+        let mut expect: std::collections::BTreeMap<(usize, usize), Vec<usize>> = Default::default();
+        for en in &entries {
+            for &r in &en.readers {
+                expect
+                    .entry((en.owner, r))
+                    .or_default()
+                    .extend(en.first..en.end);
+            }
+        }
+        assert_eq!(
+            plans.len(),
+            expect.len(),
+            "one plan per (owner, reader) pair"
+        );
+        for p in &plans {
+            assert_eq!(
+                payload_blocks(p),
+                expect[&(p.src, p.dst)],
+                "plan {} -> {} (bulk={bulk})",
+                p.src,
+                p.dst
+            );
+        }
+        // Stable order.
+        let keys: Vec<(usize, usize)> = plans.iter().map(|p| (p.src, p.dst)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    });
+}
+
+/// Applying a random plan batch serially and with 4 workers leaves the
+/// cluster in a byte-identical state: clocks, stats, memory, and the full
+/// trace stream. Random volumes land on both sides of the parallel-apply
+/// threshold, so both the serial fallback and the threaded waves are hit.
+#[test]
+fn apply_plans_threaded_matches_serial_random() {
+    const BIG: usize = 512;
+    check_cases(48, |rng| {
+        let nprocs = rng.range(2, 6);
+        let entries = random_entries(rng, nprocs, BIG);
+        let bulk = rng.flag();
+        let seed = rng.below(1 << 62);
+        let run = |workers: usize| {
+            let mut d = fresh_big(nprocs, BIG);
+            let mut r = Rng::new(seed);
+            for w in 0..d.cluster.seg_words() {
+                let node = r.below(nprocs as u64) as usize;
+                d.cluster.node_mem_mut(node)[w] = r.below(1 << 52) as f64 + 0.5;
+            }
+            let plans = d.plan_sends(&entries, bulk);
+            d.apply_plans(&plans, workers);
+            for n in 0..nprocs {
+                d.ready_to_recv(n);
+            }
+            d
+        };
+        let serial = run(1);
+        let threaded = run(4);
+        for n in 0..nprocs {
+            assert_eq!(
+                serial.cluster.clock_ns(n),
+                threaded.cluster.clock_ns(n),
+                "clock of node {n}"
+            );
+            assert_eq!(
+                serial.cluster.stats(n),
+                threaded.cluster.stats(n),
+                "stats of node {n}"
+            );
+            assert_eq!(
+                serial.cluster.node_mem(n),
+                threaded.cluster.node_mem(n),
+                "memory of node {n}"
+            );
+        }
+        assert_eq!(serial.cluster.trace_json(), threaded.cluster.trace_json());
     });
 }
 

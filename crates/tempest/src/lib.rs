@@ -28,10 +28,12 @@
 //!
 //! The simulator is deterministic regardless of how it is scheduled:
 //! cluster state is sharded per node ([`NodeShard`]), cross-node traffic
-//! is serviced in a sequential resolve phase, and kernels touch only
-//! their own shard — so compute may run on real threads while identical
-//! runs still produce bit-identical data, miss counts and virtual times,
-//! which the test suite relies on.
+//! is serviced in a resolve phase that is sequentially *planned* (its
+//! bulk data movement may then apply concurrently over node-disjoint
+//! shard pairs, [`Cluster::apply_pairwise`]), and kernels touch only
+//! their own shard — so both phases may run on real threads while
+//! identical runs still produce bit-identical data, miss counts and
+//! virtual times, which the test suite relies on.
 
 pub mod cache;
 pub mod cluster;

@@ -9,7 +9,9 @@
 //! and run the kernels on real threads ([`std::thread::scope`]) with zero
 //! cross-node access. All cross-node work (block copies, diffs) goes
 //! through the [`Cluster`](crate::cluster::Cluster) coordinator during
-//! the sequential resolve phase, which borrows shard *pairs* disjointly.
+//! the resolve phase, which borrows shard *pairs* disjointly — either
+//! one at a time, or concurrently for node-disjoint pairs via
+//! [`Cluster::apply_pairwise`](crate::cluster::Cluster::apply_pairwise).
 //!
 //! Shards share one immutable [`Geometry`] (via `Arc`): segment shape,
 //! block/page sizes, the home map and the cost model. Sharing it keeps a
@@ -119,6 +121,23 @@ impl NodeShard {
     /// This shard's node index.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The cluster-wide cost model (shared immutable geometry). Plan-apply
+    /// closures run against shard pairs with no coordinator in scope, so
+    /// shards expose the geometry they already carry.
+    pub fn cfg(&self) -> &CostModel {
+        &self.geom.cfg
+    }
+
+    /// Word range `[start, end)` of block `b`.
+    pub fn block_words(&self, b: usize) -> (usize, usize) {
+        self.geom.block_words(b)
+    }
+
+    /// Home node of block `b`.
+    pub fn home_of_block(&self, b: usize) -> NodeId {
+        self.geom.home_of_block(b)
     }
 
     // ------------------------------------------------------------------

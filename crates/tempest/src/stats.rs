@@ -252,23 +252,25 @@ mod tests {
 
     #[test]
     fn traffic_balance_accessor() {
-        let mut r = ClusterReport::default();
-        r.nodes = vec![
-            NodeStats {
-                msgs_sent: 3,
-                bytes_sent: 200,
-                msgs_recv: 1,
-                bytes_recv: 72,
-                ..Default::default()
-            },
-            NodeStats {
-                msgs_sent: 1,
-                bytes_sent: 72,
-                msgs_recv: 3,
-                bytes_recv: 200,
-                ..Default::default()
-            },
-        ];
+        let mut r = ClusterReport {
+            nodes: vec![
+                NodeStats {
+                    msgs_sent: 3,
+                    bytes_sent: 200,
+                    msgs_recv: 1,
+                    bytes_recv: 72,
+                    ..Default::default()
+                },
+                NodeStats {
+                    msgs_sent: 1,
+                    bytes_sent: 72,
+                    msgs_recv: 3,
+                    bytes_recv: 200,
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
         assert_eq!(r.total_msgs(), 4);
         assert_eq!(r.total_msgs_recv(), 4);
         assert_eq!(r.total_bytes(), 272);
