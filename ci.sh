@@ -18,6 +18,22 @@ cargo test -q --workspace
 FGDSM_TEST=1 FGDSM_BENCH_RUNS=1 FGDSM_BENCH_OUT=target/host_perf_smoke.json \
     cargo run --release -q -p fgdsm-bench --bin host_perf
 cargo test -q -p fgdsm-bench --test host_perf_smoke
+# Profile-report smoke: the jacobi run self-asserts a well-formed
+# Chrome-trace export, a per-loop table that sums exactly to the
+# whole-run report, and the co-residency (false-sharing) demo; the
+# emitted table must be non-empty. The Chrome export written via
+# FGDSM_CHROME must also be byte-identical between serial and threaded
+# runs (the in-process determinism suite checks the same property for
+# every app and backend).
+FGDSM_TEST=1 FGDSM_PROFILE_OUT=target/profile_smoke.json \
+    FGDSM_CHROME=target/profile_chrome_par0.json FGDSM_PAR=0 \
+    cargo run --release -q -p fgdsm-bench --bin profile_report -- jacobi \
+    > target/profile_report_smoke.txt
+grep -q "sweep" target/profile_report_smoke.txt
+FGDSM_TEST=1 FGDSM_PROFILE_OUT=target/profile_smoke.json \
+    FGDSM_CHROME=target/profile_chrome_par4.json FGDSM_PAR=4 \
+    cargo run --release -q -p fgdsm-bench --bin profile_report -- jacobi > /dev/null
+cmp target/profile_chrome_par0.json target/profile_chrome_par4.json
 # Differential fuzz corpus: a fixed seed corpus (200 cases unless the
 # caller overrides FGDSM_FUZZ_CASES) through reference vs all backends.
 # A failure prints the failing seed and a shrunk standalone reproducer.

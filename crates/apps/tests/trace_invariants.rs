@@ -7,7 +7,8 @@
 //! named counter rather than a deep engine panic.
 
 use fgdsm_apps::{jacobi, Scale};
-use fgdsm_hpf::{execute, execute_traced, ExecConfig};
+use fgdsm_hpf::{execute, execute_profiled, execute_traced, ExecConfig};
+use std::collections::BTreeSet;
 
 const NPROCS: usize = 4;
 
@@ -47,6 +48,134 @@ fn jacobi_traffic_balances_on_every_backend() {
         }
         assert!(rep.makespan_ns > 0, "{name}: empty makespan");
     }
+}
+
+/// Per-superstep interval stats must decompose the whole run: folding
+/// the loop table back together reproduces the cluster-summed counters
+/// (the engine asserts the per-node form after every run; this checks
+/// the consumer-facing fold on a real app, per backend).
+#[test]
+fn jacobi_loop_table_decomposes_the_whole_run() {
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    let n_loops = prog.par_loops().len() as u32;
+    for (name, cfg) in [
+        ("sm-unopt", ExecConfig::sm_unopt(NPROCS)),
+        ("sm-opt", ExecConfig::sm_opt(NPROCS)),
+        ("mp", ExecConfig::mp(NPROCS)),
+    ] {
+        let r = execute(&prog, &cfg);
+        let table = r.report.loop_table();
+        let mut sum = fgdsm_tempest::NodeStats::default();
+        let mut steps = 0;
+        for row in &table {
+            assert!(
+                row.loop_id < n_loops || row.loop_id == fgdsm_tempest::NO_LOOP,
+                "{name}: loop id {} out of range",
+                row.loop_id
+            );
+            sum.accumulate(&row.total);
+            steps += row.supersteps;
+        }
+        let mut whole = fgdsm_tempest::NodeStats::default();
+        for n in &r.report.nodes {
+            whole.accumulate(n);
+        }
+        assert_eq!(sum, whole, "{name}: loop table does not sum to the run");
+        // One interval per superstep plus the post-run tail.
+        let tail = r
+            .report
+            .intervals
+            .iter()
+            .filter(|iv| iv.step == fgdsm_tempest::NO_STEP)
+            .count() as u64;
+        assert_eq!(
+            steps + tail,
+            r.report.intervals.len() as u64,
+            "{name}: loop table supersteps do not cover the intervals"
+        );
+    }
+}
+
+/// The co-residency (false-sharing) detector on jacobi.
+///
+/// At the Test geometry every node's columns are whole blocks
+/// (96-word columns, 16-word blocks), so no multi-word block is ever
+/// faulted by two nodes in one superstep — both backends must be clean;
+/// the detector confirms the aligned distribution is hazard-free.
+///
+/// At one column per node each ghost column gains two remote readers
+/// and the unoptimized run faults co-resident blocks every sweep. The
+/// §4.2 contract covers the fully-aligned interior blocks — those become
+/// clean — while the partial head/tail blocks (which `shmem_limits`
+/// deliberately leaves to the default protocol) still fault on both
+/// sides. The flagged-block sets make that exact split visible.
+#[test]
+fn jacobi_false_sharing_flags_unopt_coresidency_the_contract_removes() {
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    for cfg in [ExecConfig::sm_unopt(NPROCS), ExecConfig::sm_opt(NPROCS)] {
+        let r = execute(&prog, &cfg);
+        assert!(
+            r.report.false_sharing.is_empty(),
+            "block-aligned jacobi must be free of co-resident faults"
+        );
+    }
+
+    let nprocs = 48; // one column per node: two remote readers per ghost column
+    let un = execute(&prog, &ExecConfig::sm_unopt(nprocs));
+    let op = execute(&prog, &ExecConfig::sm_opt(nprocs));
+    assert!(
+        !un.report.false_sharing.is_empty(),
+        "unoptimized jacobi at one column per node must fault co-resident blocks"
+    );
+    for f in &un.report.false_sharing {
+        assert!(f.nodes.len() >= 2, "flag with fewer than two nodes");
+        assert_eq!(f.loop_id, 1, "jacobi co-residency comes from the sweep");
+    }
+    let un_blocks: BTreeSet<u32> = un.report.false_sharing.iter().map(|f| f.block).collect();
+    let op_blocks: BTreeSet<u32> = op.report.false_sharing.iter().map(|f| f.block).collect();
+    assert!(
+        un_blocks.difference(&op_blocks).next().is_some(),
+        "the contract must clean blocks the unoptimized run faults multi-node"
+    );
+    assert!(
+        op_blocks.is_subset(&un_blocks),
+        "the contract must not introduce new co-resident blocks"
+    );
+    assert!(
+        op.report.false_sharing.len() < un.report.false_sharing.len(),
+        "the contract must strictly reduce co-resident faulting"
+    );
+}
+
+/// The Chrome-trace export is a well-formed JSON array of complete
+/// spans (`X`) and instants (`i`), one track per node, and is emitted
+/// alongside the structured trace by `execute_profiled`.
+#[test]
+fn jacobi_chrome_export_is_wellformed() {
+    let prog = jacobi::build(&jacobi::Params::at(Scale::Test));
+    let (r, trace, chrome) = execute_profiled(&prog, &ExecConfig::sm_opt(NPROCS));
+    assert!(r.report.traffic_balanced());
+    assert!(!trace.is_empty());
+    let c = chrome.trim();
+    assert!(
+        c.starts_with('[') && c.ends_with(']'),
+        "chrome export is not a JSON array"
+    );
+    assert!(c.contains("\"ph\":\"X\""), "no complete spans");
+    assert!(c.contains("\"ph\":\"i\""), "no instant events");
+    for n in 0..NPROCS {
+        assert!(
+            c.contains(&format!("\"tid\":{n},")),
+            "chrome export missing node {n}'s track"
+        );
+    }
+    for field in ["\"pid\":", "\"ts\":", "\"dur\":", "\"name\":"] {
+        assert!(c.contains(field), "chrome export missing {field}");
+    }
+    // Spans must carry the superstep/loop attribution for Perfetto's
+    // args pane.
+    assert!(c.contains("\"step\":"), "spans missing superstep args");
+    assert!(c.contains("\"loop\":"), "spans missing loop args");
 }
 
 #[test]

@@ -8,13 +8,15 @@
 //! not be observable. These tests pin that down end to end across the
 //! whole 3-way mode matrix — fully serial, threaded resolve only, and
 //! threaded resolve + compute — asserting byte-identical canonical report
-//! JSON, byte-identical per-node trace streams, and bit-identical
-//! gathered segment data. Failures name the app, backend, mode pair, and
-//! the first diverging per-node stats field.
+//! JSON, byte-identical per-node trace streams, byte-identical profile
+//! artifacts (per-superstep intervals, heatmaps, false-sharing flags and
+//! the Chrome-trace export), and bit-identical gathered segment data.
+//! Failures name the app, backend, mode pair, and the first diverging
+//! per-node stats field.
 
 use fgdsm_apps::{suite, AppSpec, Scale};
 use fgdsm_bench::NPROCS;
-use fgdsm_hpf::{execute_traced, ExecConfig, RunResult};
+use fgdsm_hpf::{execute_profiled, ExecConfig, RunResult};
 use fgdsm_tempest::NodeStats;
 
 /// Name the first differing `NodeStats` field between two nodes, if any.
@@ -74,13 +76,13 @@ fn explain_report_diff(a: &RunResult, b: &RunResult) -> String {
 /// threaded modes reproduce the serial baseline in every observable
 /// output, naming app/backend/mode/field on failure.
 fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
-    let (rs, ts) = execute_traced(&spec.program, &cfg.clone().serial());
+    let (rs, ts, cs) = execute_profiled(&spec.program, &cfg.clone().serial());
     let threaded = [
         ("rthreads", cfg.clone().serial().resolve_threads(4)),
         ("threads", cfg.clone().threads(4)),
     ];
     for (mode, cfg) in threaded {
-        let (rp, tp) = execute_traced(&spec.program, &cfg);
+        let (rp, tp, cp) = execute_profiled(&spec.program, &cfg);
         assert_eq!(
             rs.report.to_json(),
             rp.report.to_json(),
@@ -91,6 +93,22 @@ fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
         assert_eq!(
             ts, tp,
             "{}/{backend}/{mode}: trace streams diverged from the serial run",
+            spec.name
+        );
+        assert_eq!(
+            rs.report.profile_json(),
+            rp.report.profile_json(),
+            "{}/{backend}/{mode}: profile artifacts diverged from the serial run",
+            spec.name
+        );
+        assert_eq!(
+            cs, cp,
+            "{}/{backend}/{mode}: Chrome-trace export diverged from the serial run",
+            spec.name
+        );
+        assert_eq!(
+            rs.planned, rp.planned,
+            "{}/{backend}/{mode}: planned transfers diverged from the serial run",
             spec.name
         );
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();

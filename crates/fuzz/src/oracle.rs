@@ -15,7 +15,7 @@
 //! wrong answer.
 
 use crate::gen::FuzzSpec;
-use fgdsm_hpf::{execute_reference, execute_traced, ArrayId, ExecConfig, OptLevel};
+use fgdsm_hpf::{execute_profiled, execute_reference, ArrayId, ExecConfig, OptLevel};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One detected disagreement between a backend run and the reference.
@@ -100,9 +100,9 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
     let prog = spec.build();
     let reference = execute_reference(&prog, &ExecConfig::sm_unopt(spec.nprocs));
     for (name, cfg) in backend_configs(spec) {
-        // (report JSON, trace JSON) of the serial run — the determinism
-        // baseline for this backend's threaded runs.
-        let mut baseline: Option<(String, String)> = None;
+        // (report JSON, trace JSON, profile JSON) of the serial run — the
+        // determinism baseline for this backend's threaded runs.
+        let mut baseline: Option<(String, String, String)> = None;
         for (mode, workers) in [("serial", 1usize), ("threads2", 2), ("threads4", 4)] {
             let cfg = if workers == 1 {
                 cfg.clone().serial()
@@ -111,15 +111,27 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
             }
             .with_inject(spec.inject);
             let label = format!("{name}/{mode}");
-            let (r, trace) = match catch_unwind(AssertUnwindSafe(|| execute_traced(&prog, &cfg))) {
-                Err(p) => {
-                    return Err(Divergence {
-                        config: label,
-                        detail: format!("panic: {}", panic_msg(&p)),
-                    })
-                }
-                Ok(rt) => rt,
-            };
+            let (r, trace, _chrome) =
+                match catch_unwind(AssertUnwindSafe(|| execute_profiled(&prog, &cfg))) {
+                    Err(p) => {
+                        return Err(Divergence {
+                            config: label,
+                            detail: format!("panic: {}", panic_msg(&p)),
+                        })
+                    }
+                    Ok(rt) => rt,
+                };
+            // Post-run profile invariants: per-superstep interval stats
+            // sum exactly to the whole-run `NodeStats`, and heatmap
+            // totals match the miss / pushed / bytes counters. The engine
+            // asserts these too; checking here keeps a violation
+            // attributable to the fuzz case even if that assert moves.
+            if let Err(e) = r.report.check_profile_invariants() {
+                return Err(Divergence {
+                    config: label,
+                    detail: format!("profile invariant violated: {e}"),
+                });
+            }
             for ai in 0..prog.arrays.len() {
                 let want = reference.array(&prog, ArrayId(ai));
                 let got = r.array(&prog, ArrayId(ai));
@@ -143,9 +155,10 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
                 }
             }
             let report = r.report.to_json();
+            let profile = r.report.profile_json();
             match &baseline {
-                None => baseline = Some((report, trace)),
-                Some((srep, strace)) => {
+                None => baseline = Some((report, trace, profile)),
+                Some((srep, strace, sprof)) => {
                     if *srep != report {
                         return Err(Divergence {
                             config: label,
@@ -161,6 +174,15 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
                             detail: format!(
                                 "trace diverges from serial run ({})",
                                 first_diff(strace, &trace)
+                            ),
+                        });
+                    }
+                    if *sprof != profile {
+                        return Err(Divergence {
+                            config: label,
+                            detail: format!(
+                                "profile artifacts diverge from serial run ({})",
+                                first_diff(sprof, &profile)
                             ),
                         });
                     }

@@ -33,7 +33,7 @@ use crate::ir::{ArrayHandle, KernelCtx, ParLoop, Program, RefMode, Stmt};
 use crate::plan::{covering_blocks, ArrayMeta};
 use fgdsm_protocol::Dsm;
 use fgdsm_section::{Env, Range, Section};
-use fgdsm_tempest::{ChargeKind, Cluster, HomePolicy, NodeShard, SegmentLayout};
+use fgdsm_tempest::{ChargeKind, Cluster, HomePolicy, NodeShard, SegmentLayout, NO_LOOP, NO_STEP};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
@@ -64,6 +64,18 @@ pub struct EngineCore<'p> {
     /// no symbolic variables are analyzed once (keyed by loop address,
     /// stable for the duration of a run).
     analysis_cache: BTreeMap<usize, Rc<LoopAccess>>,
+    /// Profiler loop ids in program order, keyed by loop address like
+    /// `analysis_cache` (assigned by `run` over the body it executes).
+    loop_ids: BTreeMap<usize, u32>,
+    /// Superstep index of the in-flight superstep ([`NO_STEP`] between
+    /// loops); stamps [`PlannedXfer`](super::PlannedXfer) records.
+    pub cur_step: u32,
+    /// Loop id of the in-flight superstep ([`NO_LOOP`] between loops).
+    pub cur_loop: u32,
+    /// Contract-planned transfer volumes, recorded by the backends via
+    /// [`EngineCore::note_planned`] — the "predicted" side of the
+    /// profiler's predicted-vs-observed comparison.
+    pub planned: Vec<super::PlannedXfer>,
 }
 
 /// Allocate every program array into a fresh page-aligned segment layout.
@@ -142,7 +154,32 @@ impl<'p> EngineCore<'p> {
             resolve_workers: cfg.resolve_parallel.unwrap_or(cfg.parallel).workers(),
             supersteps: 0,
             analysis_cache: BTreeMap::new(),
+            loop_ids: BTreeMap::new(),
+            cur_step: NO_STEP,
+            cur_loop: NO_LOOP,
+            planned: Vec::new(),
         }
+    }
+
+    /// Profiler id of a loop: its position in program order, assigned by
+    /// `run` before execution starts ([`NO_LOOP`] if unregistered).
+    pub fn loop_id(&self, l: &ParLoop) -> u32 {
+        self.loop_ids
+            .get(&(l as *const ParLoop as usize))
+            .copied()
+            .unwrap_or(NO_LOOP)
+    }
+
+    /// Record a contract-planned transfer of `blocks` whole cache blocks
+    /// of `array`, attributed to the in-flight superstep.
+    pub fn note_planned(&mut self, array: usize, blocks: u64) {
+        self.planned.push(super::PlannedXfer {
+            step: self.cur_step,
+            loop_id: self.cur_loop,
+            array: array as u32,
+            blocks,
+            bytes: blocks * self.cfg.cost.block_bytes as u64,
+        });
     }
 
     /// Per-loop access analysis with the compile-time/run-time split of
@@ -351,11 +388,18 @@ pub(super) fn run(
     cfg: &ExecConfig,
     mut backend: Box<dyn CommBackend>,
     want_trace: bool,
-) -> (RunResult, Option<String>) {
+    want_chrome: bool,
+) -> (RunResult, Option<String>, Option<String>) {
     let wall_start = std::time::Instant::now();
     let mut core = EngineCore::new(prog, cfg);
     backend.validate(&core);
     let body = prog.body.clone();
+    // Register profiler loop ids over the body actually executed (the
+    // clone), in program order — the same order `Program::par_loops`
+    // yields, so report consumers can map ids back to loop names.
+    for (i, l) in crate::ir::par_loops_of(&body).into_iter().enumerate() {
+        core.loop_ids.insert(l as *const ParLoop as usize, i as u32);
+    }
     exec_stmts(&mut core, backend.as_mut(), &body);
     // Final synchronization so the report reflects a completed program.
     backend.finish(&mut core);
@@ -372,6 +416,20 @@ pub(super) fn run(
                 .unwrap_or_else(|| core.dsm.cluster.trace_json());
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("FGDSM_TRACE: cannot write {path}: {e}");
+            }
+        }
+    }
+    let mut chrome = None;
+    if want_chrome {
+        chrome = Some(core.dsm.cluster.trace_chrome());
+    }
+    if let Ok(path) = std::env::var("FGDSM_CHROME") {
+        if !path.is_empty() {
+            let json = chrome
+                .clone()
+                .unwrap_or_else(|| core.dsm.cluster.trace_chrome());
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("FGDSM_CHROME: cannot write {path}: {e}");
             }
         }
     }
@@ -397,6 +455,13 @@ pub(super) fn run(
         core.dsm.cluster.clocks_monotone(),
         "post-run trace invariant violated: a node clock moved backwards"
     );
+    // Profiler invariants: per-superstep interval deltas sum exactly to
+    // the whole-run per-node stats, and the block heatmaps account for
+    // every miss and byte. Pure functions of virtual-time state, so they
+    // hold on every backend / scheduling combination.
+    if let Err(e) = report.check_profile_invariants() {
+        panic!("post-run profile invariant violated: {e}");
+    }
     let result = RunResult {
         report,
         scalars: core.scalars,
@@ -405,8 +470,9 @@ pub(super) fn run(
         ctl: core.dsm.ctl_stats(),
         pre_skipped,
         pre_performed,
+        planned: core.planned,
     };
-    (result, trace)
+    (result, trace, chrome)
 }
 
 fn exec_stmts(core: &mut EngineCore, backend: &mut dyn CommBackend, stmts: &[Stmt]) {
@@ -446,6 +512,14 @@ fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
     let acc = &*acc;
     core.supersteps += 1;
 
+    // Open the profiler interval: every event from here to the closing
+    // `end_superstep` is stamped with (superstep index, loop id).
+    let step = (core.supersteps - 1) as u32;
+    let loop_id = core.loop_id(l);
+    core.cur_step = step;
+    core.cur_loop = loop_id;
+    core.dsm.cluster.begin_superstep(step, loop_id);
+
     // --- Resolve phase: all cross-node traffic, deterministic order. ---
     if core.cfg.inject.clear_iw_memo {
         // Tolerated perturbation: forget every first-time memoization
@@ -468,10 +542,13 @@ fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
         core.scalars.insert(rs.target, v);
     }
 
-    // End of loop: backend cleanup + synchronization, then mark the
-    // superstep boundary in the event trace.
+    // End of loop: backend cleanup + synchronization, then close the
+    // profiler interval (stamps the superstep boundary into the event
+    // trace, snapshots per-node stats, and runs the false-sharing scan).
     backend.post_loop(core, l, acc);
-    core.dsm.cluster.record_superstep();
+    core.dsm.cluster.end_superstep(step, loop_id);
+    core.cur_step = NO_STEP;
+    core.cur_loop = NO_LOOP;
 }
 
 /// The compute phase of one superstep: run each node's kernel against

@@ -261,6 +261,20 @@ impl ExecConfig {
     }
 }
 
+/// One contract-planned transfer: the §4.2 schedule decided to move
+/// `blocks` whole cache blocks of `array` during superstep `step` (loop
+/// `loop_id`). The profiler compares these against the measured per-loop
+/// traffic to expose loops the contract failed to cover (bytes moved by
+/// default-protocol faults instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedXfer {
+    pub step: u32,
+    pub loop_id: u32,
+    pub array: u32,
+    pub blocks: u64,
+    pub bytes: u64,
+}
+
 /// The result of executing a program.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -273,6 +287,9 @@ pub struct RunResult {
     /// PRE statistics: transfers skipped as redundant / performed.
     pub pre_skipped: u64,
     pub pre_performed: u64,
+    /// Contract-planned transfer volumes, in planning order (empty for
+    /// backends that plan nothing: `sm_unopt`, `mp`).
+    pub planned: Vec<PlannedXfer>,
 }
 
 impl RunResult {
@@ -301,7 +318,7 @@ fn make_backend(cfg: &ExecConfig) -> Box<dyn CommBackend> {
 
 /// Execute `prog` under `cfg`.
 pub fn execute(prog: &Program, cfg: &ExecConfig) -> RunResult {
-    engine::run(prog, cfg, make_backend(cfg), false).0
+    engine::run(prog, cfg, make_backend(cfg), false, false).0
 }
 
 /// Execute `prog` under `cfg` and also return the structured event-trace
@@ -310,8 +327,22 @@ pub fn execute(prog: &Program, cfg: &ExecConfig) -> RunResult {
 /// across configurations use this to stay race-free under a parallel
 /// test harness.
 pub fn execute_traced(prog: &Program, cfg: &ExecConfig) -> (RunResult, String) {
-    let (result, trace) = engine::run(prog, cfg, make_backend(cfg), true);
+    let (result, trace, _) = engine::run(prog, cfg, make_backend(cfg), true, false);
     (result, trace.expect("trace requested"))
+}
+
+/// Execute `prog` under `cfg` and also return both profiler exports: the
+/// structured event-trace JSON and the Chrome trace-event timeline (the
+/// documents `FGDSM_TRACE=<path>` / `FGDSM_CHROME=<path>` would write).
+/// Both are pure functions of virtual-time state — byte-identical across
+/// serial and threaded runs.
+pub fn execute_profiled(prog: &Program, cfg: &ExecConfig) -> (RunResult, String, String) {
+    let (result, trace, chrome) = engine::run(prog, cfg, make_backend(cfg), true, true);
+    (
+        result,
+        trace.expect("trace requested"),
+        chrome.expect("chrome trace requested"),
+    )
 }
 
 #[cfg(test)]

@@ -19,8 +19,9 @@ use std::collections::BTreeMap;
 pub struct SmOpt {
     opt: OptLevel,
     pre: PreCache,
-    /// Non-owner-write flushes pending for the current loop's cleanup.
-    pending_flushes: Vec<(usize, usize, usize, usize)>,
+    /// Non-owner-write flushes pending for the current loop's cleanup:
+    /// (writer, owner, first, end, array).
+    pending_flushes: Vec<(usize, usize, usize, usize, usize)>,
     /// Reader invalidations pending for the current loop's cleanup.
     pending_invalidate: Vec<(usize, usize, usize)>,
 }
@@ -43,8 +44,8 @@ impl SmOpt {
         let mut sends: BTreeMap<(usize, usize, usize, usize), Vec<usize>> = BTreeMap::new();
         // Incoming ranges per node (for implicit_writable / invalidate).
         let mut incoming: BTreeMap<usize, Vec<(usize, usize, usize)>> = BTreeMap::new();
-        // Non-owner-write flushes: (writer, owner, first, end).
-        let mut flushes: Vec<(usize, usize, usize, usize)> = Vec::new();
+        // Non-owner-write flushes: (writer, owner, first, end, array).
+        let mut flushes: Vec<(usize, usize, usize, usize, usize)> = Vec::new();
 
         let opt = self.opt;
         // Collect per (owner, array, user): the ctl ranges of every
@@ -106,7 +107,9 @@ impl SmOpt {
                 sends.entry((owner, array, f, e)).or_default().push(user);
                 incoming.entry(user).or_default().push((array, f, e));
                 if is_write {
-                    flushes.push((user, owner, f, e));
+                    flushes.push((user, owner, f, e, array));
+                    // The write-back is part of the planned section volume.
+                    core.note_planned(array, (e - f) as u64);
                 }
             }
         }
@@ -177,20 +180,23 @@ impl SmOpt {
         // bookkeeping, then disjoint (owner, reader) plans apply on up to
         // `resolve_workers` threads with a deterministic merge.
         let mut entries: Vec<fgdsm_protocol::SendEntry> = Vec::with_capacity(sends.len());
-        for (&(o, _a, f, e), readers) in &sends {
+        for (&(o, a, f, e), readers) in &sends {
             let mut rs = readers.clone();
             rs.sort_unstable();
             rs.dedup();
             if self.opt.pre {
                 for &r in &rs {
-                    self.pre.record_delivery(r, _a, f, e);
+                    self.pre.record_delivery(r, a, f, e);
                 }
             }
+            // One copy of the section reaches every reader.
+            core.note_planned(a, ((e - f) * rs.len()) as u64);
             entries.push(fgdsm_protocol::SendEntry {
                 owner: o,
                 readers: rs,
                 first: f,
                 end: e,
+                array: a as u32,
             });
         }
         let plans = core.dsm.plan_sends(&entries, self.opt.bulk);
@@ -207,11 +213,12 @@ impl SmOpt {
     fn cleanup_ctl(&mut self, core: &mut EngineCore) {
         let entries: Vec<fgdsm_protocol::FlushEntry> = std::mem::take(&mut self.pending_flushes)
             .into_iter()
-            .map(|(w, o, f, e)| fgdsm_protocol::FlushEntry {
+            .map(|(w, o, f, e, a)| fgdsm_protocol::FlushEntry {
                 writer: w,
                 owner: o,
                 first: f,
                 end: e,
+                array: a as u32,
             })
             .collect();
         let plans = core.dsm.plan_flushes(&entries, self.opt.bulk);

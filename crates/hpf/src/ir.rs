@@ -371,6 +371,25 @@ pub struct Program {
     pub scalars: Vec<(&'static str, f64)>,
 }
 
+/// Every parallel loop in a statement list, in program order (recursing
+/// into `Time` bodies). The position of a loop in this list is its
+/// profiler loop id — the engine and report consumers must agree on it,
+/// so they both walk through here.
+pub fn par_loops_of(stmts: &[Stmt]) -> Vec<&ParLoop> {
+    fn walk<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a ParLoop>) {
+        for s in stmts {
+            match s {
+                Stmt::Par(l) => out.push(l),
+                Stmt::Time { body, .. } => walk(body, out),
+                Stmt::Scalar { .. } => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(stmts, &mut out);
+    out
+}
+
 impl Program {
     /// Start building a program.
     pub fn builder() -> ProgramBuilder {
@@ -389,18 +408,7 @@ impl Program {
 
     /// Iterate over every parallel loop in the body (recursively).
     pub fn par_loops(&self) -> Vec<&ParLoop> {
-        fn walk<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a ParLoop>) {
-            for s in stmts {
-                match s {
-                    Stmt::Par(l) => out.push(l),
-                    Stmt::Time { body, .. } => walk(body, out),
-                    Stmt::Scalar { .. } => {}
-                }
-            }
-        }
-        let mut out = Vec::new();
-        walk(&self.body, &mut out);
-        out
+        par_loops_of(&self.body)
     }
 
     /// Validate structural invariants (dimensions match, ids in range).

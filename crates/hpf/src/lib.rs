@@ -36,8 +36,8 @@ pub mod report;
 pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{
-    execute, execute_reference, execute_traced, Backend, ExecConfig, InjectConfig, ParallelMode,
-    ReferenceResult, RunResult,
+    execute, execute_profiled, execute_reference, execute_traced, Backend, ExecConfig,
+    InjectConfig, ParallelMode, PlannedXfer, ReferenceResult, RunResult,
 };
 pub use ir::{
     ARef, ArrayHandle, CompDist, Kernel, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder,

@@ -47,7 +47,7 @@
 
 use crate::dir::DirState;
 use crate::proto::Dsm;
-use fgdsm_tempest::{Access, ChargeKind, CostModel, CtlPrim, Event, NodeId, NodeShard};
+use fgdsm_tempest::{Access, ChargeKind, CostModel, CtlPrim, Event, NodeId, NodeShard, NO_ARRAY};
 
 /// Fixed overhead of issuing any compiler-directed protocol call.
 pub const CTL_CALL_BASE_NS: u64 = 2_000;
@@ -57,11 +57,13 @@ pub const CTL_CALL_BASE_NS: u64 = 2_000;
 pub const MEMO_TEST_NS: u64 = 300;
 
 /// One grouped transfer payload: `n_blocks` contiguous blocks starting at
-/// `start_block`.
+/// `start_block`, on behalf of `array` (a compiler-assigned id carried
+/// opaquely into the trace; [`NO_ARRAY`] when unknown).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Payload {
     pub start_block: usize,
     pub n_blocks: usize,
+    pub array: u32,
 }
 
 /// Group the block range `[first, end)` into payloads of at most
@@ -88,6 +90,7 @@ pub fn group_payloads(
         out.push(Payload {
             start_block: b,
             n_blocks: n,
+            array: NO_ARRAY,
         });
         b += n;
     }
@@ -137,6 +140,10 @@ pub struct SendEntry {
     pub readers: Vec<NodeId>,
     pub first: usize,
     pub end: usize,
+    /// Compiler-assigned array id the range belongs to ([`NO_ARRAY`] when
+    /// the caller has no array context). Threaded into the payloads and
+    /// the [`Event::CtlSend`] trace events for the profiler.
+    pub array: u32,
 }
 
 /// One pending non-owner-write flush call site: `writer` returns blocks
@@ -147,6 +154,9 @@ pub struct FlushEntry {
     pub owner: NodeId,
     pub first: usize,
     pub end: usize,
+    /// Compiler-assigned array id the range belongs to ([`NO_ARRAY`] when
+    /// the caller has no array context).
+    pub array: u32,
 }
 
 /// Cross-pair state staged by one plan's apply, folded in plan index
@@ -184,7 +194,7 @@ fn apply_plan(
             compose + cfg.msg_send_ns + bytes as u64 * cfg.per_byte_ns,
             ChargeKind::CtlCall,
         );
-        src.note_msg(bytes);
+        src.note_msg_at(bytes, p.start_block);
         dst.note_msg_recv(bytes);
         dst.mem_mut()[s..e].copy_from_slice(&src.mem()[s..e]);
         match plan.op {
@@ -194,6 +204,8 @@ fn apply_plan(
                 out.blocks += p.n_blocks as u64;
                 src.record(Event::CtlSend {
                     blocks: p.n_blocks as u64,
+                    first_block: p.start_block as u32,
+                    array: p.array,
                 });
             }
             PlanOp::Flush => {
@@ -286,7 +298,7 @@ impl Dsm {
                 latency_paid = true;
             }
             if h != owner {
-                self.cluster.note_msg(owner, h, 8);
+                self.cluster.note_msg_at(owner, h, 8, b);
             }
             self.cluster
                 .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
@@ -308,7 +320,7 @@ impl Dsm {
                 for r in DirState::nodes(readers) {
                     if r != node {
                         if r != h {
-                            self.cluster.note_msg(h, r, 8);
+                            self.cluster.note_msg_at(h, r, 8, b);
                         }
                         self.cluster
                             .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
@@ -320,7 +332,7 @@ impl Dsm {
                 if owner != h {
                     self.cluster
                         .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.note_msg(owner, h, cfg.block_bytes);
+                    self.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                     self.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                     self.cluster.copy_words(owner, h, s, e - s);
@@ -335,7 +347,7 @@ impl Dsm {
         }
         if need_data && node != h {
             self.cluster.charge_handler(h, cfg.block_copy_ns);
-            self.cluster.note_msg(h, node, cfg.block_bytes);
+            self.cluster.note_msg_at(h, node, cfg.block_bytes, b);
             self.cluster.copy_words(h, node, s, e - s);
             *cost += cfg.block_bytes as u64 * cfg.per_byte_ns + cfg.block_copy_ns;
         }
@@ -407,6 +419,7 @@ impl Dsm {
                 readers: readers.to_vec(),
                 first,
                 end,
+                array: NO_ARRAY,
             }],
             bulk,
         );
@@ -442,7 +455,11 @@ impl Dsm {
             if end <= en.first {
                 continue;
             }
-            let payloads = group_payloads(en.first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
+            let mut payloads =
+                group_payloads(en.first, end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
+            for p in &mut payloads {
+                p.array = en.array;
+            }
             for &r in &en.readers {
                 debug_assert_ne!(r, en.owner);
                 let plan = plans.entry((en.owner, r)).or_insert_with(|| TransferPlan {
@@ -484,8 +501,11 @@ impl Dsm {
             if en.end <= en.first {
                 continue;
             }
-            let payloads =
+            let mut payloads =
                 group_payloads(en.first, en.end, cfg.block_bytes, bulk, cfg.bulk_max_bytes);
+            for p in &mut payloads {
+                p.array = en.array;
+            }
             let plan = plans
                 .entry((en.writer, en.owner))
                 .or_insert_with(|| TransferPlan {
@@ -635,6 +655,7 @@ impl Dsm {
                 owner,
                 first,
                 end,
+                array: NO_ARRAY,
             }],
             bulk,
         );
@@ -817,6 +838,7 @@ mod tests {
                 readers: vec![0],
                 first: 4,
                 end: 4,
+                array: NO_ARRAY,
             }],
             true,
         );
@@ -838,6 +860,7 @@ mod tests {
                 readers: vec![2, 1],
                 first: 7,
                 end: 8,
+                array: NO_ARRAY,
             }],
             false,
         );
@@ -872,6 +895,7 @@ mod tests {
                     readers: vec![0],
                     first: f,
                     end: e,
+                    array: NO_ARRAY,
                 }],
                 bulk,
             );
@@ -894,18 +918,21 @@ mod tests {
                 readers: vec![0, 2],
                 first: 0,
                 end: 5,
+                array: NO_ARRAY,
             },
             SendEntry {
                 owner: 3,
                 readers: vec![0],
                 first: 10,
                 end: 11,
+                array: NO_ARRAY,
             },
             SendEntry {
                 owner: 1,
                 readers: vec![2],
                 first: 3, // overlaps the first entry: re-pushed, like the direct path
                 end: 9,
+                array: NO_ARRAY,
             },
         ];
         let plans = d.plan_sends(&entries, true);
@@ -941,12 +968,14 @@ mod tests {
                 readers: vec![0, 2],
                 first: 0,
                 end: 12,
+                array: NO_ARRAY,
             },
             SendEntry {
                 owner: 3,
                 readers: vec![2],
                 first: 16,
                 end: 40,
+                array: NO_ARRAY,
             },
         ];
         let mut direct = dsm(4);
@@ -994,18 +1023,21 @@ mod tests {
                 readers: vec![1],
                 first: 0,
                 end: 160,
+                array: NO_ARRAY,
             },
             SendEntry {
                 owner: 2,
                 readers: vec![3],
                 first: 200,
                 end: 360,
+                array: NO_ARRAY,
             },
             SendEntry {
                 owner: 0,
                 readers: vec![1], // merges into the (0, 1) plan: two ranges
                 first: 400,
                 end: 410,
+                array: NO_ARRAY,
             },
         ];
         let run = |workers: usize| {
@@ -1059,18 +1091,21 @@ mod tests {
                 owner: 0,
                 first: 0,
                 end: 4,
+                array: NO_ARRAY,
             },
             FlushEntry {
                 writer: 1,
                 owner: 0,
                 first: 6,
                 end: 6, // empty: bookkeeping only
+                array: NO_ARRAY,
             },
             FlushEntry {
                 writer: 2,
                 owner: 0,
                 first: 8,
                 end: 9,
+                array: NO_ARRAY,
             },
         ];
         let plans = d.plan_flushes(&entries, true);

@@ -50,7 +50,7 @@ impl Protocol for EagerInvalidate {
         let mut stall = cfg.fault_detect_ns;
         if p != h {
             stall += cfg.one_way_ns(8) + d.hc(cfg.handler_dispatch_ns);
-            d.cluster.note_msg(p, h, 8);
+            d.cluster.note_msg_at(p, h, 8, b);
             d.cluster
                 .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
         }
@@ -86,12 +86,12 @@ impl Protocol for EagerInvalidate {
                     + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
                     + cfg.one_way_ns(cfg.block_bytes)
                     + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns);
-                d.cluster.note_msg(h, owner, 8);
+                d.cluster.note_msg_at(h, owner, 8, b);
                 d.cluster.charge_handler(
                     owner,
                     cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
                 );
-                d.cluster.note_msg(owner, h, cfg.block_bytes);
+                d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                 d.cluster.charge_handler(
                     h,
                     cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns,
@@ -118,7 +118,7 @@ impl Protocol for EagerInvalidate {
                     let mask = d.diff_mask(w, b);
                     if mask != 0 && w != h {
                         let bytes = 8 + 8 * mask.count_ones() as usize;
-                        d.cluster.note_msg(w, h, bytes);
+                        d.cluster.note_msg_at(w, h, bytes, b);
                         d.cluster
                             .charge_handler(w, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                         d.cluster
@@ -171,7 +171,7 @@ impl Protocol for EagerInvalidate {
         if p != h {
             // Eager ownership request: injection only.
             stall += cfg.msg_send_ns;
-            d.cluster.note_msg(p, h, 8);
+            d.cluster.note_msg_at(p, h, 8, b);
             d.cluster.note_pending_write(p);
         }
         d.cluster
@@ -184,7 +184,7 @@ impl Protocol for EagerInvalidate {
                 for r in DirState::nodes(readers) {
                     if r != p {
                         if r != h {
-                            d.cluster.note_msg(h, r, 8);
+                            d.cluster.note_msg_at(h, r, 8, b);
                         }
                         d.cluster
                             .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
@@ -206,8 +206,8 @@ impl Protocol for EagerInvalidate {
                         owner,
                         cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
                     );
-                    d.cluster.note_msg(h, owner, 8);
-                    d.cluster.note_msg(owner, h, cfg.block_bytes);
+                    d.cluster.note_msg_at(h, owner, 8, b);
+                    d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                     d.cluster.copy_words(owner, h, s, e - s);
@@ -259,7 +259,7 @@ impl Protocol for EagerInvalidate {
         let mut stall = cfg.fault_detect_ns + cfg.tag_change_ns;
         if p != h {
             stall += cfg.msg_send_ns;
-            d.cluster.note_msg(p, h, 8);
+            d.cluster.note_msg_at(p, h, 8, b);
             d.cluster.note_pending_write(p);
         }
         d.cluster
@@ -278,7 +278,7 @@ impl Protocol for EagerInvalidate {
                     // Owner flushes its current copy home and keeps writing.
                     d.cluster
                         .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.cluster.note_msg(owner, h, cfg.block_bytes);
+                    d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                     d.cluster.copy_words(owner, h, s, e - s);
@@ -294,7 +294,7 @@ impl Protocol for EagerInvalidate {
                 for r in DirState::nodes(readers) {
                     if r != p {
                         if r != h {
-                            d.cluster.note_msg(h, r, 8);
+                            d.cluster.note_msg_at(h, r, 8, b);
                         }
                         d.cluster
                             .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
@@ -346,7 +346,7 @@ impl Protocol for EagerInvalidate {
                 let dirty = mask.count_ones() as usize;
                 let bytes = 8 + 8 * dirty;
                 if w != h {
-                    d.cluster.note_msg(w, h, bytes);
+                    d.cluster.note_msg_at(w, h, bytes, b);
                     d.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);

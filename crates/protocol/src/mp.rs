@@ -11,7 +11,7 @@
 //! fixed per-message software overhead (`mp_per_message_ns`) plus a
 //! per-element marshalling cost (`mp_per_element_ns`) on each side.
 
-use fgdsm_tempest::{ChargeKind, Cluster, Event, NodeId, ReduceOp};
+use fgdsm_tempest::{ChargeKind, Cluster, Event, NodeId, ReduceOp, NO_BLOCK};
 
 /// A planned batch of strided sends from one source to one destination —
 /// the message-passing analogue of [`crate::ctl::TransferPlan`], applied
@@ -58,7 +58,7 @@ impl MpRuntime {
             + cfg.msg_send_ns
             + bytes as u64 * cfg.per_byte_ns;
         cl.charge(src, cost, ChargeKind::Stall);
-        cl.note_msg(src, dst, bytes);
+        cl.note_msg_at(src, dst, bytes, start / cfg.words_per_block());
         cl.copy_words(src, dst, start, len);
         cl.map_range(dst, start, len);
         let arrival = cl.clock_ns(src) + cfg.net_latency_ns;
@@ -95,7 +95,7 @@ impl MpRuntime {
         cl.charge(src, cost, ChargeKind::Stall);
         for i in 0..count {
             let s = base + i * stride;
-            cl.note_msg(src, dst, run_len * 8);
+            cl.note_msg_at(src, dst, run_len * 8, s / cfg.words_per_block());
             cl.copy_words(src, dst, s, run_len);
             cl.map_range(dst, s, run_len);
         }
@@ -141,7 +141,7 @@ impl MpRuntime {
                 src.charge(cost, ChargeKind::Stall);
                 for i in 0..count {
                     let s = base + i * stride;
-                    src.note_msg(run_len * 8);
+                    src.note_msg_at(run_len * 8, src.block_of(s));
                     dst.note_msg_recv(run_len * 8);
                     dst.mem_mut()[s..s + run_len].copy_from_slice(&src.mem()[s..s + run_len]);
                     dst.map_range(s, run_len);
@@ -246,7 +246,13 @@ impl MpRuntime {
             // round; recording both sides keeps the traffic counters
             // balanced.
             for _ in 0..rounds {
-                cl.record(n, Event::Msg { bytes: 8 });
+                cl.record(
+                    n,
+                    Event::Msg {
+                        bytes: 8,
+                        block: NO_BLOCK,
+                    },
+                );
                 cl.record(n, Event::MsgRecv { bytes: 8 });
             }
         }

@@ -312,7 +312,7 @@ impl Dsm {
             return cfg.tag_change_ns;
         }
         self.cluster.charge_handler(h, cfg.block_copy_ns);
-        self.cluster.note_msg(h, p, cfg.block_bytes);
+        self.cluster.note_msg_at(h, p, cfg.block_bytes, b);
         self.cluster.copy_words(h, p, s, e - s);
         self.hc(cfg.block_copy_ns)
             + cfg.one_way_ns(cfg.block_bytes)

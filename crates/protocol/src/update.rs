@@ -67,7 +67,7 @@ impl WriteUpdate {
         if p != h {
             // Eager registration with the home directory.
             stall += cfg.msg_send_ns;
-            d.cluster.note_msg(p, h, 8);
+            d.cluster.note_msg_at(p, h, 8, b);
             d.cluster.note_pending_write(p);
             d.cluster
                 .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
@@ -119,7 +119,7 @@ impl Protocol for WriteUpdate {
         let mut stall = cfg.fault_detect_ns + d.hc(cfg.dir_lookup_ns);
         if p != h {
             stall += cfg.one_way_ns(8) + d.hc(cfg.handler_dispatch_ns);
-            d.cluster.note_msg(p, h, 8);
+            d.cluster.note_msg_at(p, h, 8, b);
             d.cluster
                 .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
         }
@@ -170,7 +170,7 @@ impl Protocol for WriteUpdate {
                 if t == w {
                     continue;
                 }
-                d.cluster.note_msg(w, t, bytes);
+                d.cluster.note_msg_at(w, t, bytes, b);
                 d.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
                 d.cluster
                     .charge_handler(t, cfg.handler_dispatch_ns + cfg.block_copy_ns);

@@ -168,6 +168,7 @@ fn random_entries(rng: &mut Rng, nprocs: usize, blocks: usize) -> Vec<SendEntry>
             readers,
             first,
             end,
+            array: fgdsm_tempest::NO_ARRAY,
         }
     })
 }

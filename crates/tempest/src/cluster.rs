@@ -20,10 +20,11 @@
 //! parallel execution produce bit-identical reports.
 
 use crate::costs::CostModel;
+use crate::profile::{FalseSharingFlag, NodeHeatmap, ProfileState, StepInterval};
 use crate::shard::{Geometry, NodeShard};
 use crate::stats::{ClusterReport, NodeStats};
-use crate::trace::{Event, NodeTrace};
-use std::collections::BTreeSet;
+use crate::trace::{Event, NodeTrace, NO_ARRAY, NO_BLOCK, NO_LOOP, NO_STEP};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Index of a node in the cluster.
@@ -109,6 +110,9 @@ pub struct Cluster {
     geom: Arc<Geometry>,
     shards: Vec<NodeShard>,
     makespan_ns: u64,
+    /// Accumulating profile artifacts: superstep interval snapshots and
+    /// false-sharing flags (see [`crate::profile`]).
+    profile: ProfileState,
 }
 
 impl Cluster {
@@ -146,13 +150,25 @@ impl Cluster {
             n_pages,
             home,
         });
-        let shards = (0..nprocs)
+        let mut shards: Vec<NodeShard> = (0..nprocs)
             .map(|n| NodeShard::new(n, Arc::clone(&geom)))
             .collect();
+        // FGDSM_TRACE_CAP overrides the per-node trace-ring capacity at
+        // construction (aggregates are exact regardless; the cap only
+        // bounds how many raw entries exports retain).
+        if let Some(cap) = std::env::var("FGDSM_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            for sh in &mut shards {
+                sh.trace_mut().set_capacity(cap);
+            }
+        }
         Cluster {
             geom,
             shards,
             makespan_ns: 0,
+            profile: ProfileState::new(nprocs),
         }
     }
 
@@ -470,11 +486,58 @@ impl Cluster {
         }
     }
 
-    /// Mark a superstep boundary (one parallel loop completed) on every
-    /// node.
-    pub fn record_superstep(&mut self) {
+    /// Enter superstep `step` running IR loop `loop_id`: every event
+    /// recorded on any shard until the matching
+    /// [`Cluster::end_superstep`] is stamped with this context.
+    pub fn begin_superstep(&mut self, step: u32, loop_id: u32) {
         for sh in &mut self.shards {
-            sh.record(Event::Superstep);
+            sh.trace_mut().set_context(step, loop_id);
+        }
+    }
+
+    /// Close superstep `step`: record the boundary marker on every
+    /// shard, snapshot the per-node stats delta accrued since the
+    /// previous boundary into the interval list, run the false-sharing
+    /// detector over the blocks faulted this superstep, and reset the
+    /// attribution context to the outside-any-superstep sentinels.
+    pub fn end_superstep(&mut self, step: u32, loop_id: u32) {
+        for sh in &mut self.shards {
+            sh.record(Event::Superstep { step, loop_id });
+        }
+        // False sharing: a multi-word block faulted by ≥2 distinct nodes
+        // within this superstep. Single-word blocks cannot be falsely
+        // shared — there is no co-resident word to collide with.
+        let mut faulters: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+        for (n, sh) in self.shards.iter_mut().enumerate() {
+            for b in sh.trace_mut().take_step_faults() {
+                faulters.entry(b).or_default().push(n);
+            }
+        }
+        for (b, nodes) in faulters {
+            let (s, e) = self.geom.block_words(b as usize);
+            if nodes.len() >= 2 && e - s > 1 {
+                self.profile.false_sharing.push(FalseSharingFlag {
+                    step,
+                    loop_id,
+                    block: b,
+                    nodes,
+                });
+            }
+        }
+        let nodes: Vec<NodeStats> = self
+            .shards
+            .iter()
+            .zip(&self.profile.prev)
+            .map(|(sh, prev)| sh.stats().delta(prev))
+            .collect();
+        self.profile.prev = self.shards.iter().map(|sh| sh.stats().clone()).collect();
+        self.profile.intervals.push(StepInterval {
+            step,
+            loop_id,
+            nodes,
+        });
+        for sh in &mut self.shards {
+            sh.trace_mut().set_context(NO_STEP, NO_LOOP);
         }
     }
 
@@ -499,6 +562,16 @@ impl Cluster {
     pub fn note_msg(&mut self, src: NodeId, dst: NodeId, payload_bytes: usize) {
         debug_assert_ne!(src, dst, "note_msg: self-send is not a message");
         self.shards[src].note_msg(payload_bytes);
+        self.shards[dst].note_msg_recv(payload_bytes);
+    }
+
+    /// Like [`Cluster::note_msg`], additionally attributing the payload
+    /// to the cache block whose coherence traffic it is — protocol call
+    /// sites that know the block use this so the sender's heatmap can
+    /// account the bytes.
+    pub fn note_msg_at(&mut self, src: NodeId, dst: NodeId, payload_bytes: usize, block: usize) {
+        debug_assert_ne!(src, dst, "note_msg_at: self-send is not a message");
+        self.shards[src].note_msg_at(payload_bytes, block);
         self.shards[dst].note_msg_recv(payload_bytes);
     }
 
@@ -556,7 +629,12 @@ impl Cluster {
             // 8-byte partial per round, so record both sides symmetrically
             // and the cluster-wide traffic counters stay balanced.
             for _ in 0..rounds {
-                sh.record(Event::Msg { bytes: 8 });
+                // Reduction partials are not block coherence traffic, so
+                // the bytes stay unattributed in the heatmap.
+                sh.record(Event::Msg {
+                    bytes: 8,
+                    block: NO_BLOCK,
+                });
                 sh.record(Event::MsgRecv { bytes: 8 });
             }
         }
@@ -580,11 +658,38 @@ impl Cluster {
         let makespan = self
             .makespan_ns
             .max(self.shards.iter().map(|s| s.clock_ns()).max().unwrap_or(0));
+        let mut intervals = self.profile.intervals.clone();
+        // Whatever accrued after the last superstep boundary (final
+        // gather, the run-ending barrier) goes in a trailing catch-all
+        // interval so the intervals always decompose the whole run.
+        let tail: Vec<NodeStats> = self
+            .shards
+            .iter()
+            .zip(&self.profile.prev)
+            .map(|(sh, prev)| sh.stats().delta(prev))
+            .collect();
+        if !tail.iter().all(|d| d.is_zero()) || intervals.is_empty() {
+            intervals.push(StepInterval {
+                step: NO_STEP,
+                loop_id: NO_LOOP,
+                nodes: tail,
+            });
+        }
         ClusterReport {
             nodes: self.shards.iter().map(|s| s.stats().clone()).collect(),
             handler_in_comm: self.geom.cfg.cpu == crate::costs::CpuMode::Single,
             makespan_ns: makespan,
             wall_ns: 0,
+            intervals,
+            false_sharing: self.profile.false_sharing.clone(),
+            heatmaps: self
+                .shards
+                .iter()
+                .map(|sh| NodeHeatmap {
+                    blocks: sh.trace().heat().iter().map(|(&b, &h)| (b, h)).collect(),
+                    unattributed_bytes: sh.trace().unattributed_bytes(),
+                })
+                .collect(),
         }
     }
 
@@ -600,6 +705,122 @@ impl Cluster {
             sh.trace().write_json(n, &mut out);
         }
         out.push_str("]}");
+        out
+    }
+
+    /// Render the retained trace entries as Chrome trace-event JSON —
+    /// one track (`tid`) per node, complete spans (`ph:"X"`) for the
+    /// time-consuming events (compute/stall/ctl-call charges, barrier
+    /// waits) and instants (`ph:"i"`) for the rest — loadable in
+    /// Perfetto or `chrome://tracing`. Timestamps are virtual-time
+    /// microseconds rendered with fixed-point integer math, so the
+    /// output is a pure function of virtual-time state and byte-
+    /// identical between serial and threaded runs.
+    pub fn trace_chrome(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("[");
+        let mut first = true;
+        for (n, sh) in self.shards.iter().enumerate() {
+            for e in sh.trace().entries() {
+                let name = match e.event {
+                    Event::Charge {
+                        kind: ChargeKind::Compute,
+                        ..
+                    } => "compute",
+                    Event::Charge {
+                        kind: ChargeKind::Stall,
+                        ..
+                    } => "stall",
+                    Event::Charge {
+                        kind: ChargeKind::CtlCall,
+                        ..
+                    } => "ctl_call",
+                    Event::BarrierWait { .. } => "barrier",
+                    Event::Fault { .. } => "fault",
+                    Event::Ctl { .. } => "ctl",
+                    Event::CtlSend { .. } => "ctl_send",
+                    Event::Msg { .. } => "msg",
+                    Event::MsgRecv { .. } => "msg_recv",
+                    Event::PageMap { .. } => "page_map",
+                    Event::Handler { .. } => "handler",
+                    Event::Barrier => "barrier_crossed",
+                    Event::Reduction => "reduction",
+                    Event::Superstep { .. } => "superstep",
+                };
+                let span_ns = match e.event {
+                    Event::Charge { ns, .. } | Event::BarrierWait { ns } => Some(ns),
+                    _ => None,
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                // Charges and waits are recorded at their *end* time, so
+                // the span starts `ns` earlier.
+                let start_ns = e.t_ns - span_ns.unwrap_or(0);
+                write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"ph\":\"{}\",\"pid\":0,\"tid\":{n},\"ts\":{}.{:03}",
+                    if span_ns.is_some() { 'X' } else { 'i' },
+                    start_ns / 1000,
+                    start_ns % 1000
+                )
+                .unwrap();
+                if let Some(ns) = span_ns {
+                    write!(out, ",\"dur\":{}.{:03}", ns / 1000, ns % 1000).unwrap();
+                } else {
+                    out.push_str(",\"s\":\"t\"");
+                }
+                let mut args: Vec<(&str, String)> = Vec::new();
+                if e.step != NO_STEP {
+                    args.push(("step", e.step.to_string()));
+                    args.push(("loop", e.loop_id.to_string()));
+                }
+                match e.event {
+                    Event::Fault { block, kind } => {
+                        args.push(("block", block.to_string()));
+                        args.push(("kind", format!("\"{kind:?}\"")));
+                    }
+                    Event::Ctl { prim } => args.push(("prim", format!("\"{prim:?}\""))),
+                    Event::CtlSend {
+                        blocks,
+                        first_block,
+                        array,
+                    } => {
+                        args.push(("blocks", blocks.to_string()));
+                        if first_block != NO_BLOCK {
+                            args.push(("first_block", first_block.to_string()));
+                        }
+                        if array != NO_ARRAY {
+                            args.push(("array", array.to_string()));
+                        }
+                    }
+                    Event::Msg { bytes, block } => {
+                        args.push(("bytes", bytes.to_string()));
+                        if block != NO_BLOCK {
+                            args.push(("block", block.to_string()));
+                        }
+                    }
+                    Event::MsgRecv { bytes } => args.push(("bytes", bytes.to_string())),
+                    Event::PageMap { pages } => args.push(("pages", pages.to_string())),
+                    Event::Handler { ns } => args.push(("ns", ns.to_string())),
+                    Event::Superstep { step, loop_id } => {
+                        args.push(("index", step.to_string()));
+                        args.push(("loop_id", loop_id.to_string()));
+                    }
+                    _ => {}
+                }
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write!(out, "\"{k}\":{v}").unwrap();
+                }
+                out.push_str("}}");
+            }
+        }
+        out.push(']');
         out
     }
 }
@@ -810,6 +1031,108 @@ mod tests {
             assert_eq!(c1.node_mem(n), c4.node_mem(n), "memory of node {n}");
         }
         assert_eq!(c1.trace_json(), c4.trace_json());
+    }
+
+    #[test]
+    fn superstep_boundaries_attribute_and_snapshot() {
+        use crate::trace::FaultKind;
+        let mut c = small_cluster(2);
+        c.begin_superstep(0, 3);
+        c.charge(0, 100, ChargeKind::Compute);
+        // Both nodes fault the same multi-word block within the step.
+        c.record(
+            0,
+            Event::Fault {
+                block: 0,
+                kind: FaultKind::Upgrade,
+            },
+        );
+        c.record(
+            1,
+            Event::Fault {
+                block: 0,
+                kind: FaultKind::Read,
+            },
+        );
+        c.end_superstep(0, 3);
+        c.begin_superstep(1, 4);
+        c.charge(1, 50, ChargeKind::Stall);
+        // Same block faulted again, but by only one node: no flag.
+        c.record(
+            1,
+            Event::Fault {
+                block: 0,
+                kind: FaultKind::Read,
+            },
+        );
+        c.end_superstep(1, 4);
+        c.charge(0, 25, ChargeKind::Compute); // after the last superstep
+        let r = c.report();
+        assert_eq!(r.intervals.len(), 3, "two supersteps + tail");
+        assert_eq!((r.intervals[0].step, r.intervals[0].loop_id), (0, 3));
+        assert_eq!(r.intervals[0].nodes[0].compute_ns, 100);
+        assert_eq!(r.intervals[1].nodes[1].stall_ns, 50);
+        assert_eq!(r.intervals[2].step, crate::trace::NO_STEP);
+        assert_eq!(r.intervals[2].nodes[0].compute_ns, 25);
+        r.check_profile_invariants().unwrap();
+        assert_eq!(r.false_sharing.len(), 1);
+        let f = &r.false_sharing[0];
+        assert_eq!((f.step, f.loop_id, f.block), (0, 3, 0));
+        assert_eq!(f.nodes, vec![0, 1]);
+        // The per-loop fold covers the whole run.
+        let rows = r.loop_table();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].loop_id, 3);
+        assert_eq!(rows[0].total.compute_ns, 100);
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic_json() {
+        use crate::trace::FaultKind;
+        let mut c = small_cluster(2);
+        c.begin_superstep(0, 0);
+        c.charge(0, 1500, ChargeKind::Compute);
+        c.record(
+            0,
+            Event::Fault {
+                block: 2,
+                kind: FaultKind::Read,
+            },
+        );
+        c.end_superstep(0, 0);
+        let j = c.trace_chrome();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(
+            j.contains(
+                "\"name\":\"compute\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"dur\":1.500"
+            ),
+            "got: {j}"
+        );
+        assert!(j.contains("\"name\":\"fault\",\"ph\":\"i\""));
+        assert!(j.contains("\"step\":0,\"loop\":0"));
+        assert!(j.contains("\"name\":\"superstep\""));
+    }
+
+    #[test]
+    fn attributed_messages_heat_the_senders_blocks() {
+        let mut c = small_cluster(2);
+        c.note_msg_at(0, 1, 128, 3);
+        c.note_msg(0, 1, 8);
+        let r = c.report();
+        assert_eq!(r.nodes[0].bytes_sent, 136);
+        assert_eq!(r.heatmaps[0].unattributed_bytes, 8);
+        assert_eq!(
+            r.heatmaps[0].blocks,
+            vec![(
+                3,
+                crate::trace::BlockHeat {
+                    bytes_sent: 128,
+                    ..Default::default()
+                }
+            )]
+        );
+        assert!(r.traffic_balanced());
+        r.check_profile_invariants().unwrap();
     }
 
     #[test]

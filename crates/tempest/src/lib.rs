@@ -38,6 +38,7 @@
 pub mod cache;
 pub mod cluster;
 pub mod costs;
+pub mod profile;
 pub mod shard;
 pub mod stats;
 pub mod trace;
@@ -45,6 +46,10 @@ pub mod trace;
 pub use cache::CacheModel;
 pub use cluster::{Access, ChargeKind, Cluster, HomePolicy, NodeId, ReduceOp, SegmentLayout};
 pub use costs::{CostModel, CpuMode};
+pub use profile::{FalseSharingFlag, LoopRow, NodeHeatmap, StepInterval};
 pub use shard::NodeShard;
 pub use stats::{ClusterReport, NodeStats};
-pub use trace::{CtlPrim, Event, FaultKind, NodeTrace, TraceEntry};
+pub use trace::{
+    BlockHeat, CtlPrim, Event, FaultKind, NodeTrace, TraceEntry, NO_ARRAY, NO_BLOCK, NO_LOOP,
+    NO_STEP,
+};

@@ -135,6 +135,11 @@ impl NodeShard {
         self.geom.block_words(b)
     }
 
+    /// Block containing word offset `w`.
+    pub fn block_of(&self, w: usize) -> usize {
+        self.geom.block_of(w)
+    }
+
     /// Home node of block `b`.
     pub fn home_of_block(&self, b: usize) -> NodeId {
         self.geom.home_of_block(b)
@@ -259,9 +264,23 @@ impl NodeShard {
 
     /// Record a message of `payload_bytes` sent from this node (stats
     /// only; time is charged by the caller per the transaction shape).
+    /// The bytes stay unattributed in the block heatmap; call sites that
+    /// know which block the transfer services use
+    /// [`NodeShard::note_msg_at`].
     pub fn note_msg(&mut self, payload_bytes: usize) {
         self.record(Event::Msg {
             bytes: payload_bytes as u64,
+            block: crate::trace::NO_BLOCK,
+        });
+    }
+
+    /// Record a message of `payload_bytes` sent from this node servicing
+    /// cache block `block`, attributing the bytes to that block in the
+    /// sender's heatmap.
+    pub fn note_msg_at(&mut self, payload_bytes: usize, block: usize) {
+        self.record(Event::Msg {
+            bytes: payload_bytes as u64,
+            block: block as u32,
         });
     }
 

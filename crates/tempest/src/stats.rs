@@ -5,6 +5,38 @@
 //! transfers + protocol occupancy + synchronization) and counts per-node
 //! misses; Figure 3's speedups derive from total virtual time.
 
+/// Apply a callback macro to every counter field of [`NodeStats`], in
+/// declaration order — the single source of truth for field-generic code
+/// (interval deltas, accumulation, the canonical JSON encoding and the
+/// profile invariant checks). Adding a field here and to the struct is
+/// all it takes for every consumer to pick it up.
+macro_rules! with_stat_fields {
+    ($cb:ident) => {
+        $cb!(
+            compute_ns,
+            stall_ns,
+            handler_ns,
+            barrier_ns,
+            ctl_call_ns,
+            read_misses,
+            write_misses,
+            msgs_sent,
+            bytes_sent,
+            msgs_recv,
+            bytes_recv,
+            pages_mapped,
+            mk_writable_calls,
+            implicit_writable_calls,
+            implicit_invalidate_calls,
+            send_range_calls,
+            ready_recv_calls,
+            flush_range_calls,
+            blocks_pushed,
+            reductions
+        );
+    };
+}
+
 /// Counters and time breakdown for one node.
 #[derive(Clone, Default, Debug, PartialEq)]
 pub struct NodeStats {
@@ -68,6 +100,66 @@ impl NodeStats {
         let h = if handler_in_comm { self.handler_ns } else { 0 };
         self.stall_ns + self.barrier_ns + self.ctl_call_ns + h
     }
+
+    /// Field-wise difference `self − prev`. Counters are monotone, so a
+    /// later snapshot dominates an earlier one field by field; panics on
+    /// underflow (which would mean a counter ran backwards).
+    pub fn delta(&self, prev: &NodeStats) -> NodeStats {
+        let mut out = NodeStats::default();
+        macro_rules! sub {
+            ($($f:ident),* $(,)?) => { $(out.$f = self.$f - prev.$f;)* };
+        }
+        with_stat_fields!(sub);
+        out
+    }
+
+    /// Field-wise accumulate `other` into `self` — the inverse of
+    /// [`NodeStats::delta`]: summing every interval delta reproduces the
+    /// whole-run snapshot exactly.
+    pub fn accumulate(&mut self, other: &NodeStats) {
+        macro_rules! add {
+            ($($f:ident),* $(,)?) => { $(self.$f += other.$f;)* };
+        }
+        with_stat_fields!(add);
+    }
+
+    /// True if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == NodeStats::default()
+    }
+
+    /// Append the canonical JSON object for this node's counters to
+    /// `out` — the per-node encoding shared by
+    /// [`ClusterReport::to_json`] and the profile artifacts. Fields
+    /// appear in declaration order.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push('{');
+        let mut first = true;
+        macro_rules! emit {
+            ($($f:ident),* $(,)?) => { $(
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                write!(out, "\"{}\":{}", stringify!($f), self.$f).unwrap();
+            )* };
+        }
+        with_stat_fields!(emit);
+        let _ = first;
+        out.push('}');
+    }
+
+    /// Visit every counter as a `(name, value)` pair, in declaration
+    /// order — lets external checkers (the determinism suite, the fuzz
+    /// invariants) compare stats field by field without hand-listing the
+    /// fields.
+    pub fn for_each_field(&self, mut f: impl FnMut(&'static str, u64)) {
+        macro_rules! visit {
+            ($($fld:ident),* $(,)?) => { $(f(stringify!($fld), self.$fld);)* };
+        }
+        with_stat_fields!(visit);
+    }
 }
 
 /// Aggregated view over all nodes of a run.
@@ -89,6 +181,20 @@ pub struct ClusterReport {
     /// canonical [`ClusterReport::to_json`] encoding (which must be
     /// byte-identical between serial and parallel execution).
     pub wall_ns: u64,
+    /// Per-superstep interval deltas: one entry per superstep (plus a
+    /// trailing catch-all for events outside any superstep), each holding
+    /// the per-node stats delta accrued during that superstep. Summing
+    /// every interval reproduces [`ClusterReport::nodes`] exactly (see
+    /// [`ClusterReport::check_profile_invariants`]). Excluded from
+    /// [`ClusterReport::to_json`]; encoded by
+    /// [`ClusterReport::profile_json`].
+    pub intervals: Vec<crate::profile::StepInterval>,
+    /// Multi-word blocks faulted by ≥2 distinct nodes within one
+    /// superstep — the co-residency hazard `shmem_limits` shrinking
+    /// exists to avoid.
+    pub false_sharing: Vec<crate::profile::FalseSharingFlag>,
+    /// Per-node block heatmaps folded from the event stream.
+    pub heatmaps: Vec<crate::profile::NodeHeatmap>,
 }
 
 impl ClusterReport {
@@ -170,37 +276,7 @@ impl ClusterReport {
             if i > 0 {
                 out.push(',');
             }
-            write!(
-                out,
-                "{{\"compute_ns\":{},\"stall_ns\":{},\"handler_ns\":{},\"barrier_ns\":{},\
-                 \"ctl_call_ns\":{},\"read_misses\":{},\"write_misses\":{},\"msgs_sent\":{},\
-                 \"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},\"pages_mapped\":{},\
-                 \"mk_writable_calls\":{},\
-                 \"implicit_writable_calls\":{},\"implicit_invalidate_calls\":{},\
-                 \"send_range_calls\":{},\"ready_recv_calls\":{},\"flush_range_calls\":{},\
-                 \"blocks_pushed\":{},\"reductions\":{}}}",
-                n.compute_ns,
-                n.stall_ns,
-                n.handler_ns,
-                n.barrier_ns,
-                n.ctl_call_ns,
-                n.read_misses,
-                n.write_misses,
-                n.msgs_sent,
-                n.bytes_sent,
-                n.msgs_recv,
-                n.bytes_recv,
-                n.pages_mapped,
-                n.mk_writable_calls,
-                n.implicit_writable_calls,
-                n.implicit_invalidate_calls,
-                n.send_range_calls,
-                n.ready_recv_calls,
-                n.flush_range_calls,
-                n.blocks_pushed,
-                n.reductions
-            )
-            .unwrap();
+            n.write_json(&mut out);
         }
         out.push_str("]}");
         out
@@ -281,6 +357,37 @@ mod tests {
     }
 
     #[test]
+    fn delta_and_accumulate_roundtrip() {
+        let a = NodeStats {
+            compute_ns: 100,
+            read_misses: 3,
+            bytes_sent: 64,
+            ..Default::default()
+        };
+        let b = NodeStats {
+            compute_ns: 250,
+            read_misses: 7,
+            bytes_sent: 64,
+            reductions: 1,
+            ..Default::default()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.compute_ns, 150);
+        assert_eq!(d.read_misses, 4);
+        assert_eq!(d.bytes_sent, 0);
+        assert_eq!(d.reductions, 1);
+        let mut back = a.clone();
+        back.accumulate(&d);
+        assert_eq!(back, b);
+        assert!(!d.is_zero());
+        assert!(b.delta(&b).is_zero());
+        let mut names = vec![];
+        b.for_each_field(|n, _| names.push(n));
+        assert_eq!(names.len(), 20, "every counter visited exactly once");
+        assert_eq!(names[0], "compute_ns");
+    }
+
+    #[test]
     fn canonical_json_ignores_wall_clock() {
         let mut r = ClusterReport {
             nodes: vec![NodeStats {
@@ -291,6 +398,7 @@ mod tests {
             handler_in_comm: true,
             makespan_ns: 999,
             wall_ns: 0,
+            ..Default::default()
         };
         let a = r.to_json();
         r.wall_ns = 55_555; // host time must not perturb the encoding

@@ -23,10 +23,24 @@
 
 use crate::cluster::ChargeKind;
 use crate::stats::NodeStats;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Default per-node ring capacity (entries kept for export).
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Sentinel superstep index: the event happened outside any superstep
+/// (initialization, final gather, the run-ending barrier).
+pub const NO_STEP: u32 = u32::MAX;
+
+/// Sentinel loop id: the event is not attributable to a parallel loop.
+pub const NO_LOOP: u32 = u32::MAX;
+
+/// Sentinel block index: the message is not attributable to one cache
+/// block (reduction partials, marshalled multi-block payload remainders).
+pub const NO_BLOCK: u32 = u32::MAX;
+
+/// Sentinel array id: the transfer is not attributable to a source array.
+pub const NO_ARRAY: u32 = u32::MAX;
 
 /// Which kind of access-control fault a node took.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,10 +75,21 @@ pub enum Event {
     /// A compiler-directed control call was issued (the node performing
     /// the work: the owner for sends/flushes, the user otherwise).
     Ctl { prim: CtlPrim },
-    /// Blocks pushed to a consumer by a compiler-directed send.
-    CtlSend { blocks: u64 },
-    /// A message left this node carrying `bytes` of payload.
-    Msg { bytes: u64 },
+    /// Blocks pushed to a consumer by a compiler-directed send:
+    /// `blocks` contiguous blocks starting at `first_block`, carved out
+    /// of array `array` by the compiler's contract ([`NO_ARRAY`] when the
+    /// caller did not thread the array through).
+    CtlSend {
+        blocks: u64,
+        first_block: u32,
+        array: u32,
+    },
+    /// A message left this node carrying `bytes` of payload. `block` is
+    /// the cache block the transfer serviced ([`NO_BLOCK`] when the
+    /// payload is not block-addressed, e.g. reduction partials); bulk
+    /// payloads spanning several contiguous blocks are attributed to
+    /// their first block.
+    Msg { bytes: u64, block: u32 },
     /// A message arrived at this node carrying `bytes` of payload. Every
     /// `Msg` on a sender has a matching `MsgRecv` on the destination, so
     /// the cluster-wide counters balance (see
@@ -83,15 +108,39 @@ pub enum Event {
     Barrier,
     /// This node participated in a reduction.
     Reduction,
-    /// The executor finished a superstep (one parallel loop).
-    Superstep,
+    /// The executor finished superstep `step`, which ran parallel loop
+    /// `loop_id` — consumers can segment the event stream on these
+    /// markers without replaying engine state.
+    Superstep { step: u32, loop_id: u32 },
 }
 
-/// An event plus the virtual time at which it completed on its node.
+/// An event plus the virtual time at which it completed on its node and
+/// the superstep/loop context in force when it was recorded
+/// ([`NO_STEP`]/[`NO_LOOP`] outside any superstep).
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct TraceEntry {
     pub t_ns: u64,
+    pub step: u32,
+    pub loop_id: u32,
     pub event: Event,
+}
+
+/// Per-block communication heat, folded online from the event stream —
+/// one accumulator per cache block this node faulted on, pushed, or sent
+/// payload bytes for.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct BlockHeat {
+    /// Read misses this node took on the block.
+    pub read_misses: u64,
+    /// Write misses/upgrades this node took on the block.
+    pub write_misses: u64,
+    /// Of the write misses, how many were ownership upgrades.
+    pub upgrades: u64,
+    /// Times the block was pushed from this node by a compiler-directed
+    /// send.
+    pub pushed: u64,
+    /// Payload bytes sent from this node attributed to the block.
+    pub bytes_sent: u64,
 }
 
 /// One node's event ring plus exact folded aggregates. Owned by that
@@ -108,6 +157,17 @@ pub struct NodeTrace {
     /// Cleared if any event was ever recorded with a timestamp earlier
     /// than its predecessor — i.e. the node's virtual clock ran backwards.
     monotone: bool,
+    /// Superstep/loop context stamped onto every recorded entry; set by
+    /// the executor at superstep boundaries, sentinel-valued outside.
+    cur_step: u32,
+    cur_loop: u32,
+    /// Per-block heat accumulators (exact, unaffected by ring eviction).
+    heat: BTreeMap<u32, BlockHeat>,
+    /// Payload bytes sent that no call site attributed to a block.
+    unattributed_bytes: u64,
+    /// Blocks this node faulted on since the last superstep boundary —
+    /// drained by the cluster's false-sharing detector.
+    step_faults: BTreeSet<u32>,
 }
 
 impl Default for NodeTrace {
@@ -131,7 +191,26 @@ impl NodeTrace {
             dropped: 0,
             last_t_ns: 0,
             monotone: true,
+            cur_step: NO_STEP,
+            cur_loop: NO_LOOP,
+            heat: BTreeMap::new(),
+            unattributed_bytes: 0,
+            step_faults: BTreeSet::new(),
         }
+    }
+
+    /// Set the superstep/loop context stamped onto subsequently recorded
+    /// entries. The executor calls this at superstep boundaries; pass the
+    /// sentinels ([`NO_STEP`], [`NO_LOOP`]) to mark events as outside any
+    /// superstep.
+    pub fn set_context(&mut self, step: u32, loop_id: u32) {
+        self.cur_step = step;
+        self.cur_loop = loop_id;
+    }
+
+    /// The superstep/loop context currently in force.
+    pub fn context(&self) -> (u32, u32) {
+        (self.cur_step, self.cur_loop)
     }
 
     /// Change the ring capacity, evicting the oldest retained entries if
@@ -154,12 +233,25 @@ impl NodeTrace {
         self.last_t_ns = t_ns;
         let s = &mut self.stats;
         match event {
-            Event::Fault { kind, .. } => match kind {
-                FaultKind::Read => s.read_misses += 1,
-                FaultKind::Write | FaultKind::Upgrade | FaultKind::MultiWrite => {
-                    s.write_misses += 1
+            Event::Fault { block, kind } => {
+                let h = self.heat.entry(block as u32).or_default();
+                match kind {
+                    FaultKind::Read => {
+                        s.read_misses += 1;
+                        h.read_misses += 1;
+                    }
+                    FaultKind::Write | FaultKind::MultiWrite => {
+                        s.write_misses += 1;
+                        h.write_misses += 1;
+                    }
+                    FaultKind::Upgrade => {
+                        s.write_misses += 1;
+                        h.write_misses += 1;
+                        h.upgrades += 1;
+                    }
                 }
-            },
+                self.step_faults.insert(block as u32);
+            }
             Event::Ctl { prim } => match prim {
                 CtlPrim::MkWritable => s.mk_writable_calls += 1,
                 CtlPrim::ImplicitWritable => s.implicit_writable_calls += 1,
@@ -168,10 +260,26 @@ impl NodeTrace {
                 CtlPrim::ReadyToRecv => s.ready_recv_calls += 1,
                 CtlPrim::FlushRange => s.flush_range_calls += 1,
             },
-            Event::CtlSend { blocks } => s.blocks_pushed += blocks,
-            Event::Msg { bytes } => {
+            Event::CtlSend {
+                blocks,
+                first_block,
+                ..
+            } => {
+                s.blocks_pushed += blocks;
+                if first_block != NO_BLOCK {
+                    for b in first_block as u64..first_block as u64 + blocks {
+                        self.heat.entry(b as u32).or_default().pushed += 1;
+                    }
+                }
+            }
+            Event::Msg { bytes, block } => {
                 s.msgs_sent += 1;
                 s.bytes_sent += bytes;
+                if block == NO_BLOCK {
+                    self.unattributed_bytes += bytes;
+                } else {
+                    self.heat.entry(block).or_default().bytes_sent += bytes;
+                }
             }
             Event::MsgRecv { bytes } => {
                 s.msgs_recv += 1;
@@ -185,14 +293,19 @@ impl NodeTrace {
             Event::Handler { ns } => s.handler_ns += ns,
             Event::PageMap { pages } => s.pages_mapped += pages,
             Event::BarrierWait { ns } => s.barrier_ns += ns,
-            Event::Barrier | Event::Superstep => {}
+            Event::Barrier | Event::Superstep { .. } => {}
             Event::Reduction => s.reductions += 1,
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(TraceEntry { t_ns, event });
+        self.ring.push_back(TraceEntry {
+            t_ns,
+            step: self.cur_step,
+            loop_id: self.cur_loop,
+            event,
+        });
     }
 
     /// Folded aggregates (exact, even after ring wrap).
@@ -208,6 +321,23 @@ impl NodeTrace {
     /// How many entries have fallen off the ring.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Per-block heat accumulators (exact, even after ring wrap).
+    pub fn heat(&self) -> &BTreeMap<u32, BlockHeat> {
+        &self.heat
+    }
+
+    /// Payload bytes sent that no call site attributed to a block.
+    pub fn unattributed_bytes(&self) -> u64 {
+        self.unattributed_bytes
+    }
+
+    /// Drain the set of blocks this node faulted on since the previous
+    /// drain — the cluster's false-sharing detector calls this at every
+    /// superstep boundary.
+    pub fn take_step_faults(&mut self) -> BTreeSet<u32> {
+        std::mem::take(&mut self.step_faults)
     }
 
     /// Timestamp of the most recently recorded event.
@@ -239,16 +369,36 @@ impl NodeTrace {
                 out.push(',');
             }
             write!(out, "{{\"t_ns\":{},", e.t_ns).unwrap();
+            if e.step != NO_STEP {
+                write!(out, "\"step\":{},\"loop\":{},", e.step, e.loop_id).unwrap();
+            }
             match e.event {
                 Event::Fault { block, kind } => write!(
                     out,
                     "\"type\":\"fault\",\"block\":{block},\"kind\":\"{kind:?}\""
                 ),
                 Event::Ctl { prim } => write!(out, "\"type\":\"ctl\",\"prim\":\"{prim:?}\""),
-                Event::CtlSend { blocks } => {
-                    write!(out, "\"type\":\"ctl_send\",\"blocks\":{blocks}")
+                Event::CtlSend {
+                    blocks,
+                    first_block,
+                    array,
+                } => {
+                    write!(out, "\"type\":\"ctl_send\",\"blocks\":{blocks}").unwrap();
+                    if first_block != NO_BLOCK {
+                        write!(out, ",\"first_block\":{first_block}").unwrap();
+                    }
+                    if array != NO_ARRAY {
+                        write!(out, ",\"array\":{array}").unwrap();
+                    }
+                    Ok(())
                 }
-                Event::Msg { bytes } => write!(out, "\"type\":\"msg\",\"bytes\":{bytes}"),
+                Event::Msg { bytes, block } => {
+                    write!(out, "\"type\":\"msg\",\"bytes\":{bytes}").unwrap();
+                    if block != NO_BLOCK {
+                        write!(out, ",\"block\":{block}").unwrap();
+                    }
+                    Ok(())
+                }
                 Event::MsgRecv { bytes } => {
                     write!(out, "\"type\":\"msg_recv\",\"bytes\":{bytes}")
                 }
@@ -264,7 +414,10 @@ impl NodeTrace {
                 }
                 Event::Barrier => write!(out, "\"type\":\"barrier\""),
                 Event::Reduction => write!(out, "\"type\":\"reduction\""),
-                Event::Superstep => write!(out, "\"type\":\"superstep\""),
+                Event::Superstep { step, loop_id } => write!(
+                    out,
+                    "\"type\":\"superstep\",\"index\":{step},\"loop_id\":{loop_id}"
+                ),
             }
             .unwrap();
             out.push('}');
@@ -302,14 +455,27 @@ mod tests {
                 ns: 500,
             },
         );
-        a.record(40, Event::Msg { bytes: 128 });
+        a.record(
+            40,
+            Event::Msg {
+                bytes: 128,
+                block: 3,
+            },
+        );
         b.record(
             15,
             Event::Ctl {
                 prim: CtlPrim::MkWritable,
             },
         );
-        b.record(25, Event::CtlSend { blocks: 7 });
+        b.record(
+            25,
+            Event::CtlSend {
+                blocks: 7,
+                first_block: 10,
+                array: 0,
+            },
+        );
         b.record(35, Event::Handler { ns: 42 });
         b.record(45, Event::Reduction);
         let s0 = a.stats();
@@ -323,6 +489,63 @@ mod tests {
         assert_eq!(s1.blocks_pushed, 7);
         assert_eq!(s1.handler_ns, 42);
         assert_eq!(s1.reductions, 1);
+        // Heat follows the same events: faults and attributed bytes on a,
+        // pushed blocks on b.
+        let ha = a.heat();
+        assert_eq!(ha[&3].read_misses, 1);
+        assert_eq!(ha[&3].bytes_sent, 128);
+        assert_eq!(ha[&4].write_misses, 1);
+        assert_eq!(ha[&4].upgrades, 1);
+        assert_eq!(a.unattributed_bytes(), 0);
+        let hb = b.heat();
+        assert_eq!((10..17).map(|i| hb[&i].pushed).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn unattributed_bytes_fold_separately() {
+        let mut t = NodeTrace::new();
+        t.record(
+            1,
+            Event::Msg {
+                bytes: 8,
+                block: NO_BLOCK,
+            },
+        );
+        t.record(
+            2,
+            Event::Msg {
+                bytes: 64,
+                block: 5,
+            },
+        );
+        assert_eq!(t.stats().bytes_sent, 72);
+        assert_eq!(t.unattributed_bytes(), 8);
+        assert_eq!(t.heat()[&5].bytes_sent, 64);
+        let total: u64 = t.heat().values().map(|h| h.bytes_sent).sum();
+        assert_eq!(total + t.unattributed_bytes(), t.stats().bytes_sent);
+    }
+
+    #[test]
+    fn context_stamps_entries_and_step_faults_drain() {
+        let mut t = NodeTrace::new();
+        t.set_context(2, 1);
+        t.record(
+            5,
+            Event::Fault {
+                block: 9,
+                kind: FaultKind::Read,
+            },
+        );
+        t.set_context(NO_STEP, NO_LOOP);
+        t.record(6, Event::Barrier);
+        let entries: Vec<_> = t.entries().copied().collect();
+        assert_eq!((entries[0].step, entries[0].loop_id), (2, 1));
+        assert_eq!((entries[1].step, entries[1].loop_id), (NO_STEP, NO_LOOP));
+        assert_eq!(t.take_step_faults().into_iter().collect::<Vec<_>>(), [9]);
+        assert!(t.take_step_faults().is_empty(), "drained");
+        let mut j = String::new();
+        t.write_json(0, &mut j);
+        assert!(j.contains("\"step\":2,\"loop\":1,"), "got: {j}");
     }
 
     #[test]
@@ -359,7 +582,13 @@ mod tests {
     fn msg_recv_folds_and_balances() {
         let mut snd = NodeTrace::new();
         let mut rcv = NodeTrace::new();
-        snd.record(10, Event::Msg { bytes: 64 });
+        snd.record(
+            10,
+            Event::Msg {
+                bytes: 64,
+                block: NO_BLOCK,
+            },
+        );
         rcv.record(5, Event::MsgRecv { bytes: 64 });
         assert_eq!(snd.stats().msgs_sent, 1);
         assert_eq!(snd.stats().bytes_sent, 64);
