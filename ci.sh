@@ -15,9 +15,20 @@ cargo test -q --workspace
 # produce a parseable, full-matrix host_perf.json (written to a scratch
 # path so the committed bench-scale artifact is untouched), then the
 # smoke suite validates the committed artifact too.
-FGDSM_TEST=1 FGDSM_BENCH_RUNS=1 FGDSM_BENCH_OUT=target/host_perf_smoke.json \
+FGDSM_TEST=1 FGDSM_SCALE=1,8 FGDSM_BENCH_RUNS=1 FGDSM_BENCH_OUT=target/host_perf_smoke.json \
     cargo run --release -q -p fgdsm-bench --bin host_perf
 cargo test -q -p fgdsm-bench --test host_perf_smoke
+# Perf gate, two halves. `smoke`: jacobi + pde at bench scale stretched
+# by factor 8 — the regime where per-superstep volume amortizes every
+# fixed threading cost, so threading wins on multi-core hosts and must
+# at least break even on single-core ones — fail if the threaded
+# median exceeds 1.2x the serial median. `trend`: the working
+# tree's committed host_perf.json must not regress its threads/serial
+# ratios by more than 1.25x against the artifact committed at HEAD
+# (missing or old-format previous artifacts are tolerated).
+cargo run --release -q -p fgdsm-bench --bin perf_gate -- smoke
+git show HEAD:bench_results/host_perf.json > target/host_perf_prev.json 2>/dev/null || true
+cargo run --release -q -p fgdsm-bench --bin perf_gate -- trend target/host_perf_prev.json
 # Profile-report smoke: the jacobi run self-asserts a well-formed
 # Chrome-trace export, a per-loop table that sums exactly to the
 # whole-run report, and the co-residency (false-sharing) demo; the

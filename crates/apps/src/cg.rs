@@ -56,6 +56,13 @@ impl Params {
             },
         }
     }
+
+    /// Grow per-superstep work ~linearly with `factor` by stretching the
+    /// row extent (each CG step is linear in `n`).
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.n *= factor.max(1);
+        self
+    }
 }
 
 fn init_kernel(ctx: &mut KernelCtx) {

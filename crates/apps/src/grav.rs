@@ -76,6 +76,13 @@ impl Params {
         }
     }
 
+    /// Grow total work ~linearly with `factor`: the dominant arrays are
+    /// cubic in the grid size, so the edge stretches by the cube root.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.g *= crate::dim_scale(factor, 3);
+        self
+    }
+
     fn e(&self) -> usize {
         self.g + 1
     }

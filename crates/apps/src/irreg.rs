@@ -61,6 +61,15 @@ impl Params {
             },
         }
     }
+
+    /// Grow per-superstep work ~linearly with `factor`; the gather span
+    /// stretches with `n` so the locality profile is scale-invariant.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        self.n *= factor;
+        self.span *= factor;
+        self
+    }
 }
 
 /// Deterministic pseudo-random gather target for position `i`.

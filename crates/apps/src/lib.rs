@@ -56,23 +56,55 @@ pub enum Scale {
     Test,
 }
 
+/// Work-growth factor for the scaled suite, read from `FGDSM_SCALE`
+/// (default 1 = the unscaled sizes of [`suite`]). Values below 1 clamp
+/// to 1.
+pub fn scale_factor() -> usize {
+    parse_scale(std::env::var("FGDSM_SCALE").ok().as_deref())
+}
+
+fn parse_scale(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Per-dimension multiplier that grows total work ~linearly with
+/// `factor` for a kernel whose cost is `dims`-ic in the stretched
+/// extent: the nearest integer to the `dims`-th root of `factor`.
+pub fn dim_scale(factor: usize, dims: u32) -> usize {
+    (factor as f64).powf(1.0 / f64::from(dims)).round().max(1.0) as usize
+}
+
 /// Build the entire application suite at a given scale, in Table 2 order.
 pub fn suite(scale: Scale) -> Vec<AppSpec> {
+    suite_scaled(scale, 1)
+}
+
+/// [`suite`] with each app's problem stretched so per-superstep (or
+/// total) work grows roughly linearly with `factor` — the `FGDSM_SCALE`
+/// axis of the host-perf harness. `factor == 1` is exactly [`suite`].
+pub fn suite_scaled(scale: Scale, factor: usize) -> Vec<AppSpec> {
     vec![
-        pde::spec(&pde::Params::at(scale)),
-        shallow::spec(&shallow::Params::at(scale)),
-        grav::spec(&grav::Params::at(scale)),
-        lu::spec(&lu::Params::at(scale)),
-        cg::spec(&cg::Params::at(scale)),
-        jacobi::spec(&jacobi::Params::at(scale)),
+        pde::spec(&pde::Params::at(scale).scaled(factor)),
+        shallow::spec(&shallow::Params::at(scale).scaled(factor)),
+        grav::spec(&grav::Params::at(scale).scaled(factor)),
+        lu::spec(&lu::Params::at(scale).scaled(factor)),
+        cg::spec(&cg::Params::at(scale).scaled(factor)),
+        jacobi::spec(&jacobi::Params::at(scale).scaled(factor)),
     ]
 }
 
 /// The Table 2 suite plus the extension workloads (currently `irreg`,
 /// the paper's §7 future-work affine/indirect mix).
 pub fn extended_suite(scale: Scale) -> Vec<AppSpec> {
-    let mut apps = suite(scale);
-    apps.push(irreg::spec(&irreg::Params::at(scale)));
+    extended_suite_scaled(scale, 1)
+}
+
+/// [`extended_suite`] under the [`suite_scaled`] work-growth factor.
+pub fn extended_suite_scaled(scale: Scale, factor: usize) -> Vec<AppSpec> {
+    let mut apps = suite_scaled(scale, factor);
+    apps.push(irreg::spec(&irreg::Params::at(scale).scaled(factor)));
     apps
 }
 
@@ -104,5 +136,48 @@ mod tests {
         assert!(mb["cg"] < 8.0);
         assert!(mb["grav"] > 15.0 && mb["grav"] < 20.0); // already 17
         assert!(mb["shallow"] > 40.0 && mb["shallow"] < 70.0); // 2×28
+    }
+
+    #[test]
+    fn scaled_suite_grows_every_app() {
+        let base = extended_suite(Scale::Test);
+        let big = extended_suite_scaled(Scale::Test, 8);
+        assert_eq!(base.len(), big.len());
+        for (b, s) in base.iter().zip(&big) {
+            assert_eq!(b.name, s.name);
+            assert!(
+                s.program.memory_bytes() > b.program.memory_bytes(),
+                "{} did not grow at factor 8",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_factor_of_one_is_identity() {
+        let base = suite(Scale::Test);
+        let same = suite_scaled(Scale::Test, 1);
+        for (b, s) in base.iter().zip(&same) {
+            assert_eq!(b.problem, s.problem);
+            assert_eq!(b.program.memory_bytes(), s.program.memory_bytes());
+        }
+    }
+
+    #[test]
+    fn parse_scale_clamps_and_defaults() {
+        assert_eq!(parse_scale(None), 1);
+        assert_eq!(parse_scale(Some("")), 1);
+        assert_eq!(parse_scale(Some("junk")), 1);
+        assert_eq!(parse_scale(Some("0")), 1);
+        assert_eq!(parse_scale(Some(" 8 ")), 8);
+    }
+
+    #[test]
+    fn dim_scale_tracks_roots() {
+        assert_eq!(dim_scale(1, 3), 1);
+        assert_eq!(dim_scale(8, 3), 2);
+        assert_eq!(dim_scale(27, 3), 3);
+        assert_eq!(dim_scale(8, 1), 8);
+        assert_eq!(dim_scale(4, 2), 2);
     }
 }

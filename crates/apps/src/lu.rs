@@ -40,6 +40,13 @@ impl Params {
             Scale::Test => Params { n: 40, runs: 1 },
         }
     }
+
+    /// Grow total work ~linearly with `factor`: factorization is cubic
+    /// in `n`, so the matrix edge stretches by the cube root of `factor`.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.n *= crate::dim_scale(factor, 3);
+        self
+    }
 }
 
 /// Matrix entry: diagonally dominant so factoring without pivoting is

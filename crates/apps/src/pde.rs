@@ -41,6 +41,13 @@ impl Params {
             Scale::Test => Params { g: 34, iters: 3 },
         }
     }
+
+    /// Grow total work ~linearly with `factor`: the RELAX sweep is cubic
+    /// in `g`, so the grid edge stretches by the cube root of `factor`.
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.g *= crate::dim_scale(factor, 3);
+        self
+    }
 }
 
 fn init_kernel(ctx: &mut KernelCtx) {

@@ -66,6 +66,13 @@ impl Params {
             },
         }
     }
+
+    /// Grow per-superstep work ~linearly with `factor` by stretching the
+    /// first grid extent (every sweep is linear in `m`).
+    pub fn scaled(mut self, factor: usize) -> Self {
+        self.m *= factor.max(1);
+        self
+    }
 }
 
 // Physical constants of the benchmark (shape-faithful, simplified: tdt is

@@ -14,9 +14,9 @@
 //!     FGDSM_BENCH_RUNS=9 FGDSM_PAR=8 cargo run --release -p fgdsm-bench --bin host_perf
 //!     FGDSM_TEST=1 FGDSM_BENCH_RUNS=1 cargo run --release -p fgdsm-bench --bin host_perf
 
-use fgdsm_bench::host_perf::{git_describe, measure, speedup_table};
+use fgdsm_bench::host_perf::{git_describe, measure, refuse_dirty_tree, speedup_table};
 use fgdsm_bench::json::ToJson;
-use fgdsm_bench::{save_json, scale, scale_label};
+use fgdsm_bench::{save_json, scale, scale_factors, scale_label};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -28,17 +28,25 @@ fn env_usize(key: &str, default: usize) -> usize {
 fn main() {
     let runs = env_usize("FGDSM_BENCH_RUNS", 5).max(1);
     let workers = env_usize("FGDSM_PAR", 4).max(2);
+    let factors = scale_factors();
+    let git = git_describe();
     println!(
-        "host perf — {} — {runs} run(s) per row, {workers} workers in threaded modes, {}\n",
+        "host perf — {} — scale factors {factors:?} — {runs} run(s) per row, {workers} workers \
+         in threaded modes, {git}\n",
         scale_label(scale()),
-        git_describe(),
     );
-    let rows = measure(scale(), runs, workers);
+    let rows = measure(scale(), &factors, runs, workers);
     match std::env::var("FGDSM_BENCH_OUT") {
         Ok(path) => {
             std::fs::write(&path, format!("{}\n", rows.to_json()))
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("wrote {}", path);
+        }
+        Err(_) if refuse_dirty_tree(&git) => {
+            eprintln!(
+                "NOT writing bench_results/host_perf.json: working tree is dirty ({git}). \
+                 Commit first, or set FGDSM_BENCH_FORCE=1 to overwrite anyway."
+            );
         }
         Err(_) => {
             save_json("host_perf", &rows);

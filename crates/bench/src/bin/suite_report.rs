@@ -11,13 +11,15 @@
 //!     FGDSM_FULL=1 cargo run --release -p fgdsm-bench --bin suite_report
 //!     FGDSM_PAR=8 cargo run --release -p fgdsm-bench --bin suite_report
 
-use fgdsm_apps::suite;
+use fgdsm_apps::{scale_factor, suite_scaled};
 use fgdsm_bench::{json_row, save_json, scale};
 use fgdsm_hpf::{execute, ExecConfig, ParallelMode, RunResult};
 
 json_row! {
     struct Row {
         app: &'static str,
+        /// `FGDSM_SCALE` work-growth factor of the measured problem.
+        scale: u64,
         uni_s: f64,
         unopt_s: f64,
         unopt_comm_s: f64,
@@ -31,13 +33,14 @@ json_row! {
 }
 
 fn main() {
+    let factor = scale_factor();
     println!(
-        "suite report — {} — {} compute worker(s)\n",
+        "suite report — {} — scale factor {factor} — {} compute worker(s)\n",
         fgdsm_bench::scale_label(scale()),
         ParallelMode::Auto.workers(),
     );
     let mut rows = Vec::new();
-    for spec in suite(scale()) {
+    for spec in suite_scaled(scale(), factor) {
         let uni = execute(&spec.program, &ExecConfig::sm_unopt(1));
         let un = execute(&spec.program, &ExecConfig::sm_unopt(8));
         let op = execute(&spec.program, &ExecConfig::sm_opt(8));
@@ -61,6 +64,7 @@ fn main() {
         let wall = |r: &RunResult| r.report.wall_ns;
         rows.push(Row {
             app: spec.name,
+            scale: factor as u64,
             uni_s: uni.total_s(),
             unopt_s: un.total_s(),
             unopt_comm_s: un.report.comm_s(),

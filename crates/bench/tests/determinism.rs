@@ -72,16 +72,17 @@ fn explain_report_diff(a: &RunResult, b: &RunResult) -> String {
     "report JSON differs outside per-node stats".into()
 }
 
-/// Run `spec` under `cfg` in all three parallelism modes; assert the two
-/// threaded modes reproduce the serial baseline in every observable
+/// Run `spec` serially, then under each `(mode, cfg)` variant; assert
+/// every variant reproduces the serial baseline in every observable
 /// output, naming app/backend/mode/field on failure.
-fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
+fn assert_modes_match(
+    spec: &AppSpec,
+    cfg: &ExecConfig,
+    backend: &str,
+    modes: Vec<(&str, ExecConfig)>,
+) {
     let (rs, ts, cs) = execute_profiled(&spec.program, &cfg.clone().serial());
-    let threaded = [
-        ("rthreads", cfg.clone().serial().resolve_threads(4)),
-        ("threads", cfg.clone().threads(4)),
-    ];
-    for (mode, cfg) in threaded {
+    for (mode, cfg) in modes {
         let (rp, tp, cp) = execute_profiled(&spec.program, &cfg);
         assert_eq!(
             rs.report.to_json(),
@@ -126,6 +127,35 @@ fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
     }
 }
 
+/// The original three-way matrix: fully serial, threaded resolve only,
+/// threaded resolve + compute.
+fn assert_deterministic(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
+    assert_modes_match(
+        spec,
+        cfg,
+        backend,
+        vec![
+            ("rthreads", cfg.clone().serial().resolve_threads(4)),
+            ("threads", cfg.clone().threads(4)),
+        ],
+    );
+}
+
+/// The worker-strategy matrix: the persistent pool and the per-phase
+/// `thread::scope` fallback must both reproduce the serial baseline —
+/// so switching `FGDSM_POOL` can never be observable.
+fn assert_pool_invariant(spec: &AppSpec, cfg: &ExecConfig, backend: &str) {
+    assert_modes_match(
+        spec,
+        cfg,
+        backend,
+        vec![
+            ("threads-pooled", cfg.clone().threads(4).pooled()),
+            ("threads-scoped", cfg.clone().threads(4).scoped()),
+        ],
+    );
+}
+
 /// Every Table 2 application, every executor configuration, tiny sizes.
 #[test]
 fn whole_suite_is_schedule_independent_at_test_scale() {
@@ -148,5 +178,27 @@ fn jacobi_and_grav_are_schedule_independent_at_bench_scale() {
     {
         assert_deterministic(&spec, &ExecConfig::sm_unopt(NPROCS), "sm_unopt");
         assert_deterministic(&spec, &ExecConfig::sm_opt(NPROCS), "sm_opt");
+    }
+}
+
+/// Three representative applications with the problem stretched by the
+/// `FGDSM_SCALE`-axis factor 4 — large enough that both the compute
+/// volume gate and the parallel-apply threshold are cleared, so the
+/// persistent pool genuinely runs — pinned byte-identical across
+/// serial/rthreads/threads AND across pool-vs-scoped worker strategies.
+#[test]
+fn scaled_suite_is_schedule_and_pool_independent() {
+    for spec in fgdsm_apps::suite_scaled(Scale::Test, 4)
+        .into_iter()
+        .filter(|s| matches!(s.name, "jacobi" | "pde" | "grav"))
+    {
+        for (backend, cfg) in [
+            ("sm_unopt", ExecConfig::sm_unopt(NPROCS)),
+            ("sm_opt", ExecConfig::sm_opt(NPROCS)),
+            ("mp", ExecConfig::mp(NPROCS)),
+        ] {
+            assert_deterministic(&spec, &cfg, backend);
+            assert_pool_invariant(&spec, &cfg, backend);
+        }
     }
 }

@@ -101,13 +101,22 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
     let reference = execute_reference(&prog, &ExecConfig::sm_unopt(spec.nprocs));
     for (name, cfg) in backend_configs(spec) {
         // (report JSON, trace JSON, profile JSON) of the serial run — the
-        // determinism baseline for this backend's threaded runs.
+        // determinism baseline for this backend's threaded runs. The
+        // threaded modes force the persistent worker pool on (size 2 and
+        // 4); `scoped2` runs the same 2-worker schedule through the
+        // per-phase `thread::scope` fallback, so both worker strategies
+        // are fuzzed against the serial baseline bit-for-bit.
         let mut baseline: Option<(String, String, String)> = None;
-        for (mode, workers) in [("serial", 1usize), ("threads2", 2), ("threads4", 4)] {
-            let cfg = if workers == 1 {
-                cfg.clone().serial()
-            } else {
-                cfg.clone().threads(workers)
+        for (mode, workers) in [
+            ("serial", 1usize),
+            ("threads2", 2),
+            ("threads4", 4),
+            ("scoped2", 2),
+        ] {
+            let cfg = match (mode, workers) {
+                (_, 1) => cfg.clone().serial(),
+                ("scoped2", w) => cfg.clone().threads(w).scoped(),
+                (_, w) => cfg.clone().threads(w).pooled(),
             }
             .with_inject(spec.inject);
             let label = format!("{name}/{mode}");

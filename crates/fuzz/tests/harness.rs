@@ -27,6 +27,7 @@ fn tolerated_perturbations_are_invisible() {
             skew_send_range: false,
             skip_flush_range: false,
             reorder_plan_apply: false,
+            misfold_pool: false,
         };
         if let Err(d) = check_spec(&spec) {
             panic!("tolerated perturbation diverged at seed {seed:#x}: {d}");
@@ -120,6 +121,40 @@ fn must_catch_reordered_plan_apply() {
     );
     assert!(
         d.config.ends_with("threads2") || d.config.ends_with("threads4"),
+        "the serial baseline is unaffected; divergence must be in a threaded run, got {d}"
+    );
+    assert!(
+        d.detail.contains("diverges from serial run"),
+        "must be caught by the determinism comparison, not the reference: {d}"
+    );
+}
+
+/// Same sharing pattern as [`reorder_victim`] — at least two conflicting
+/// `TransferPlan`s per owner — but the injection rotates the parallel
+/// apply stage's outcome vector out of plan-index order before the fold:
+/// the merge mistake a worker-pool integration could make. Serial runs
+/// fold a single outcome stream and are unaffected, so only the
+/// threaded-vs-serial determinism comparison can catch it.
+fn misfold_victim() -> FuzzSpec {
+    FuzzSpec {
+        inject: InjectConfig {
+            misfold_pool: true,
+            ..InjectConfig::default()
+        },
+        ..reorder_victim()
+    }
+}
+
+#[test]
+fn must_catch_misfolded_pool_results() {
+    let spec = misfold_victim();
+    let d = check_spec(&spec).expect_err("out-of-order pool fold must be detected");
+    assert!(
+        d.config.starts_with("sm_opt"),
+        "plans only exist on the ctl path, diverged at {d}"
+    );
+    assert!(
+        !d.config.ends_with("serial"),
         "the serial baseline is unaffected; divergence must be in a threaded run, got {d}"
     );
     assert!(

@@ -30,12 +30,24 @@ use super::backend::CommBackend;
 use super::{ExecConfig, HomeAssign, RunResult};
 use crate::analysis::{self, LoopAccess};
 use crate::ir::{ArrayHandle, KernelCtx, ParLoop, Program, RefMode, Stmt};
-use crate::plan::{covering_blocks, ArrayMeta};
+use crate::plan::{covering_blocks_into, ArrayMeta};
 use fgdsm_protocol::Dsm;
 use fgdsm_section::{Env, Range, Section};
-use fgdsm_tempest::{ChargeKind, Cluster, HomePolicy, NodeShard, SegmentLayout, NO_LOOP, NO_STEP};
+use fgdsm_tempest::{
+    CacheAligned, ChargeKind, Cluster, HomePolicy, Job, NodeShard, SegmentLayout, WorkerPool,
+    NO_LOOP, NO_STEP,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// Minimum total kernel iteration count (summed over nodes) before the
+/// compute phase dispatches onto worker threads: below this, even parked
+/// pool workers cost more to wake than the kernels cost to run, and a
+/// serial compute is faster. The compute analogue of
+/// [`fgdsm_protocol::PAR_APPLY_MIN_WORDS`]; determinism is unaffected
+/// either way.
+pub const PAR_COMPUTE_MIN_POINTS: u64 = 2048;
 
 /// Shared execution state: the program binding, the DSM, and the helpers
 /// every backend composes (section linearization, default-protocol
@@ -76,7 +88,17 @@ pub struct EngineCore<'p> {
     /// [`EngineCore::note_planned`] — the "predicted" side of the
     /// profiler's predicted-vs-observed comparison.
     pub planned: Vec<super::PlannedXfer>,
+    /// Recycled compute-phase reduction slots, one padded cache line per
+    /// node so concurrent workers' stores never share a line.
+    partials_scratch: Vec<CacheAligned<f64>>,
+    /// Recycled per-node covering-block buffers for `resolve_default`
+    /// (write covers, read covers) — reused across supersteps with their
+    /// capacity intact.
+    cover_scratch: (CoverScratch, CoverScratch),
 }
+
+/// Per-node `(first, end)` covering-block buffers, one vector per node.
+type CoverScratch = Vec<Vec<(usize, usize)>>;
 
 /// Allocate every program array into a fresh page-aligned segment layout.
 /// Shared by the engine and the sequential reference interpreter so both
@@ -133,12 +155,14 @@ impl<'p> EngineCore<'p> {
             skew_send_range: cfg.inject.skew_send_range,
             skip_flush_range: cfg.inject.skip_flush_range,
             reorder_plan_apply: cfg.inject.reorder_plan_apply,
+            misfold_pool: cfg.inject.misfold_pool,
         });
         #[cfg(not(feature = "fault-inject"))]
         assert!(
             !cfg.inject.skew_send_range
                 && !cfg.inject.skip_flush_range
-                && !cfg.inject.reorder_plan_apply,
+                && !cfg.inject.reorder_plan_apply
+                && !cfg.inject.misfold_pool,
             "protocol-level fault injection requires the `fault-inject` feature"
         );
         EngineCore {
@@ -158,6 +182,8 @@ impl<'p> EngineCore<'p> {
             cur_step: NO_STEP,
             cur_loop: NO_LOOP,
             planned: Vec::new(),
+            partials_scratch: Vec::new(),
+            cover_scratch: (Vec::new(), Vec::new()),
         }
     }
 
@@ -221,8 +247,12 @@ impl<'p> EngineCore<'p> {
         let nprocs = self.cfg.nprocs;
         let wpb = self.wpb;
         // Per node: merged covering block ranges for writes and reads.
-        let mut wcover: Vec<Vec<(usize, usize)>> = vec![vec![]; nprocs];
-        let mut rcover: Vec<Vec<(usize, usize)>> = vec![vec![]; nprocs];
+        // Recycled across supersteps (taken out of `self` so the borrow
+        // checker allows the `&self` helper calls below; restored at the
+        // end of the function, which has no early returns).
+        let (mut wcover, mut rcover) = std::mem::take(&mut self.cover_scratch);
+        wcover.resize_with(nprocs, Vec::new);
+        rcover.resize_with(nprocs, Vec::new);
         // Boundary candidates: the first and last block of every raw write
         // run (before merging). A block written by two nodes necessarily
         // contains a section boundary of each, so it is an extremal block
@@ -273,8 +303,8 @@ impl<'p> EngineCore<'p> {
                     });
                 }
             }
-            wcover[p] = covering_blocks(&wruns, wpb);
-            rcover[p] = covering_blocks(&rruns, wpb);
+            covering_blocks_into(&wruns, wpb, &mut wcover[p]);
+            covering_blocks_into(&rruns, wpb, &mut rcover[p]);
         }
         // A candidate block needs the multiple-writer (twin/diff) path if
         // two or more nodes write it, or if one node writes it while
@@ -324,6 +354,7 @@ impl<'p> EngineCore<'p> {
                 }
             }
         }
+        self.cover_scratch = (wcover, rcover);
     }
 
     /// Inspector for indirect references (`x(idx(i))`): enumerate the
@@ -392,6 +423,16 @@ pub(super) fn run(
 ) -> (RunResult, Option<String>, Option<String>) {
     let wall_start = std::time::Instant::now();
     let mut core = EngineCore::new(prog, cfg);
+    // Persistent worker pool: spawned once here, reused by every
+    // superstep's compute phase and resolve-apply waves. Skipped when
+    // both phases are pinned serial, or when `PoolMode` asks for the
+    // legacy scoped-thread spawns.
+    let pool_workers = core.workers.max(core.resolve_workers);
+    if pool_workers > 1 && cfg.pool.persistent() {
+        core.dsm
+            .cluster
+            .set_worker_pool(Some(Arc::new(WorkerPool::new(pool_workers))));
+    }
     backend.validate(&core);
     let body = prog.body.clone();
     // Register profiler loop ids over the body actually executed (the
@@ -531,16 +572,23 @@ fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
     backend.resolve(core, l, acc);
 
     // --- Compute phase: zero cross-node access from here to the join. --
-    let mut partials = vec![0.0f64; nprocs];
+    // One padded cache line per node (recycled across supersteps):
+    // adjacent nodes' reduction slots never false-share even when a
+    // chunk boundary puts them on different workers.
+    let mut partials = std::mem::take(&mut core.partials_scratch);
+    partials.clear();
+    partials.resize(nprocs, CacheAligned(0.0));
     compute_phase(core, l, acc, &mut partials);
 
     backend.note_kernel_writes(core, l, acc);
 
     // Reduction.
     if let Some(rs) = l.reduction {
-        let v = backend.reduce(core, &partials, rs.op);
+        let plain: Vec<f64> = partials.iter().map(|c| c.0).collect();
+        let v = backend.reduce(core, &plain, rs.op);
         core.scalars.insert(rs.target, v);
     }
+    core.partials_scratch = partials;
 
     // End of loop: backend cleanup + synchronization, then close the
     // profiler interval (stamps the superstep boundary into the event
@@ -554,11 +602,19 @@ fn exec_par(core: &mut EngineCore, backend: &mut dyn CommBackend, l: &ParLoop) {
 /// The compute phase of one superstep: run each node's kernel against
 /// that node's shard, charging the (analysis-determined) compute cost to
 /// the shard's clock. Per-node work touches only `&mut NodeShard` plus
-/// shared immutable state, so the shards can be split across scoped
-/// threads; contiguous chunking keeps each shard on exactly one worker
-/// and per-shard state makes the outcome independent of the schedule —
-/// the serial path below produces byte-identical traces.
-fn compute_phase(core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess, partials: &mut [f64]) {
+/// shared immutable state, so the shards can be split across workers —
+/// the installed persistent [`WorkerPool`] when one exists, scoped
+/// threads otherwise. Contiguous chunking keeps each shard on exactly
+/// one worker and per-shard state makes the outcome independent of the
+/// schedule — the serial path below produces byte-identical traces.
+/// Loops below [`PAR_COMPUTE_MIN_POINTS`] total iterations run serially
+/// regardless: waking workers would cost more than the kernels.
+fn compute_phase(
+    core: &mut EngineCore,
+    l: &ParLoop,
+    acc: &LoopAccess,
+    partials: &mut [CacheAligned<f64>],
+) {
     let EngineCore {
         cfg,
         handles,
@@ -572,7 +628,7 @@ fn compute_phase(core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess, partials:
     let (env, scalars, handles) = (&*env, &*scalars, &handles[..]);
     let cache = &cfg.cache;
 
-    let run_node = |sh: &mut NodeShard, partial: &mut f64| {
+    let run_node = |sh: &mut NodeShard, partial: &mut CacheAligned<f64>| {
         let p = sh.id();
         let iter = &acc.iters[p];
         if iter.iter().any(Range::is_empty) {
@@ -594,25 +650,57 @@ fn compute_phase(core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess, partials:
             handles,
         };
         l.kernel.call(&mut ctx);
-        *partial = ctx.partial;
+        partial.0 = ctx.partial;
     };
 
+    // Volume gate: total kernel iterations this superstep, summed over
+    // nodes. Tiny steps (grav's moment loops, scalar-ish updates) run
+    // serially even when `FGDSM_PAR` asks for workers.
+    let total_points: u64 = (0..nprocs)
+        .map(|p| {
+            let iter = &acc.iters[p];
+            if iter.iter().any(Range::is_empty) {
+                0
+            } else {
+                iter.iter().map(Range::count).product()
+            }
+        })
+        .sum();
+    let pool = dsm.cluster.worker_pool().cloned();
     let shards = dsm.cluster.shards_mut();
-    let workers = (*workers).min(nprocs).max(1);
+    let mut workers = (*workers).min(nprocs).max(1);
+    if total_points < PAR_COMPUTE_MIN_POINTS {
+        workers = 1;
+    }
     if workers > 1 {
         let chunk = nprocs.div_ceil(workers);
         let run_node = &run_node;
-        std::thread::scope(|s| {
-            for (shard_chunk, partial_chunk) in
-                shards.chunks_mut(chunk).zip(partials.chunks_mut(chunk))
-            {
-                s.spawn(move || {
-                    for (sh, partial) in shard_chunk.iter_mut().zip(partial_chunk.iter_mut()) {
-                        run_node(sh, partial);
-                    }
-                });
-            }
-        });
+        if let Some(pool) = &pool {
+            let jobs: Vec<Job> = shards
+                .chunks_mut(chunk)
+                .zip(partials.chunks_mut(chunk))
+                .map(|(shard_chunk, partial_chunk)| {
+                    Box::new(move || {
+                        for (sh, partial) in shard_chunk.iter_mut().zip(partial_chunk.iter_mut()) {
+                            run_node(sh, partial);
+                        }
+                    }) as Job
+                })
+                .collect();
+            pool.run(jobs);
+        } else {
+            std::thread::scope(|s| {
+                for (shard_chunk, partial_chunk) in
+                    shards.chunks_mut(chunk).zip(partials.chunks_mut(chunk))
+                {
+                    s.spawn(move || {
+                        for (sh, partial) in shard_chunk.iter_mut().zip(partial_chunk.iter_mut()) {
+                            run_node(sh, partial);
+                        }
+                    });
+                }
+            });
+        }
     } else {
         for (sh, partial) in shards.iter_mut().zip(partials.iter_mut()) {
             run_node(sh, partial);

@@ -117,6 +117,39 @@ impl ParallelMode {
     }
 }
 
+/// How worker threads are provisioned when a phase runs parallel.
+/// Wall-clock only — the pool and scoped paths dispatch and fold the
+/// identical deterministic work items.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PoolMode {
+    /// Honor the `FGDSM_POOL` env var (`0` or `scoped` → scoped threads);
+    /// defaults to the persistent pool.
+    #[default]
+    Auto,
+    /// One long-lived [`fgdsm_tempest::WorkerPool`] per `execute`, shared
+    /// by the compute phase and the resolve phase's apply waves.
+    Persistent,
+    /// Legacy behavior: fresh [`std::thread::scope`] spawns per phase.
+    Scoped,
+}
+
+impl PoolMode {
+    /// Whether a persistent pool should be created for this run.
+    pub fn persistent(self) -> bool {
+        match self {
+            PoolMode::Persistent => true,
+            PoolMode::Scoped => false,
+            PoolMode::Auto => match std::env::var("FGDSM_POOL") {
+                Ok(v) => {
+                    let v = v.trim();
+                    !(v == "0" || v.eq_ignore_ascii_case("scoped"))
+                }
+                Err(_) => true,
+            },
+        }
+    }
+}
+
 /// A full execution configuration.
 #[derive(Clone, Debug)]
 pub struct ExecConfig {
@@ -137,6 +170,9 @@ pub struct ExecConfig {
     /// `parallel`. Lets tests pin serial resolve against threaded compute
     /// (and vice versa) in one run.
     pub resolve_parallel: Option<ParallelMode>,
+    /// Worker provisioning for parallel phases: persistent pool vs fresh
+    /// scoped threads (wall-clock only; never affects results).
+    pub pool: PoolMode,
     /// Fault-injection knobs for the differential fuzzer (all off by
     /// default; the protocol-level mutations additionally require the
     /// `fault-inject` cargo feature).
@@ -171,6 +207,10 @@ pub struct InjectConfig {
     /// stage under a parallel resolve — a nondeterministic merge the
     /// differential oracle must detect (needs `fault-inject`).
     pub reorder_plan_apply: bool,
+    /// Must-catch: fold the parallel apply stage's outcomes rotated out
+    /// of plan-index order — the merge mistake a worker-pool integration
+    /// could make (needs `fault-inject`).
+    pub misfold_pool: bool,
 }
 
 impl ExecConfig {
@@ -186,6 +226,7 @@ impl ExecConfig {
             base_env: Env::new(),
             parallel: ParallelMode::Auto,
             resolve_parallel: None,
+            pool: PoolMode::Auto,
             inject: InjectConfig::default(),
         }
     }
@@ -251,6 +292,19 @@ impl ExecConfig {
     /// threads, leaving the compute phase on `parallel`.
     pub fn resolve_threads(mut self, n: usize) -> Self {
         self.resolve_parallel = Some(ParallelMode::Threads(n));
+        self
+    }
+
+    /// Provision parallel phases from one persistent worker pool.
+    pub fn pooled(mut self) -> Self {
+        self.pool = PoolMode::Persistent;
+        self
+    }
+
+    /// Provision parallel phases with fresh scoped threads per phase
+    /// (the pre-pool behavior).
+    pub fn scoped(mut self) -> Self {
+        self.pool = PoolMode::Scoped;
         self
     }
 

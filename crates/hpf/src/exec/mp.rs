@@ -75,11 +75,7 @@ impl CommBackend for Mp {
                 // after the broadcasts, with inboxes folded in plan order.
                 let plan = plans
                     .entry((t.owner, t.user))
-                    .or_insert_with(|| MpSendPlan {
-                        src: t.owner,
-                        dst: t.user,
-                        sections: Vec::new(),
-                    });
+                    .or_insert_with(|| self.mp.take_send_plan(t.owner, t.user));
                 for sr in &runs.runs {
                     plan.sections
                         .push((sr.base, sr.run_len, sr.stride.max(1), sr.count));
@@ -87,9 +83,12 @@ impl CommBackend for Mp {
             }
             users.insert(t.user);
         }
-        let plans: Vec<MpSendPlan> = plans.into_values().collect();
+        let mut plan_vec = self.mp.take_send_plan_vec();
+        plan_vec.extend(plans.into_values());
+        let plans = plan_vec;
         self.mp
             .apply_send_plans(&mut core.dsm.cluster, &plans, core.resolve_workers);
+        self.mp.recycle_send_plans(plans);
         for &u in &users {
             self.mp.recv_all(&mut core.dsm.cluster, u);
         }

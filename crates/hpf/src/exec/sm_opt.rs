@@ -201,6 +201,7 @@ impl SmOpt {
         }
         let plans = core.dsm.plan_sends(&entries, self.opt.bulk);
         core.dsm.apply_plans(&plans, core.resolve_workers);
+        core.dsm.recycle_plans(plans);
         for &n in incoming.keys() {
             core.dsm.ready_to_recv(n);
         }
@@ -223,6 +224,7 @@ impl SmOpt {
             .collect();
         let plans = core.dsm.plan_flushes(&entries, self.opt.bulk);
         core.dsm.apply_plans(&plans, core.resolve_workers);
+        core.dsm.recycle_plans(plans);
         let inval = std::mem::take(&mut self.pending_invalidate);
         if !self.opt.rtoe {
             for (n, f, e) in inval {

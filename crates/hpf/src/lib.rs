@@ -37,7 +37,7 @@ pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{
     execute, execute_profiled, execute_reference, execute_traced, Backend, ExecConfig,
-    InjectConfig, ParallelMode, PlannedXfer, ReferenceResult, RunResult,
+    InjectConfig, ParallelMode, PlannedXfer, PoolMode, ReferenceResult, RunResult,
 };
 pub use ir::{
     ARef, ArrayHandle, CompDist, Kernel, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder,

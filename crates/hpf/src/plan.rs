@@ -186,6 +186,20 @@ pub fn shmem_limits(runs: &LinearRanges, words_per_block: usize) -> CtlRanges {
 /// Blocks covered (fully or partially) by a set of word runs — the blocks
 /// the *default* protocol must make accessible for the section.
 pub fn covering_blocks(runs: &LinearRanges, words_per_block: usize) -> Vec<(usize, usize)> {
+    let mut merged = Vec::new();
+    covering_blocks_into(runs, words_per_block, &mut merged);
+    merged
+}
+
+/// [`covering_blocks`] writing into a caller-supplied buffer (cleared
+/// first) so the engine's per-superstep resolve scratch can recycle its
+/// capacity instead of reallocating.
+pub fn covering_blocks_into(
+    runs: &LinearRanges,
+    words_per_block: usize,
+    merged: &mut Vec<(usize, usize)>,
+) {
+    merged.clear();
     let mut out: Vec<(usize, usize)> = Vec::new();
     for (start, len) in runs.iter_runs() {
         if len == 0 {
@@ -196,14 +210,12 @@ pub fn covering_blocks(runs: &LinearRanges, words_per_block: usize) -> Vec<(usiz
         out.push((f, e));
     }
     out.sort_unstable();
-    let mut merged: Vec<(usize, usize)> = Vec::with_capacity(out.len());
     for (f, e) in out {
         match merged.last_mut() {
             Some(last) if f <= last.1 => last.1 = last.1.max(e),
             _ => merged.push((f, e)),
         }
     }
-    merged
 }
 
 #[cfg(test)]

@@ -132,6 +132,44 @@ pub struct TransferPlan {
     pub payloads: Vec<Payload>,
 }
 
+/// Capacity-retaining free lists for the plan/apply hot path: plan
+/// *carcasses* (a [`TransferPlan`] whose `ranges`/`payloads` vectors are
+/// emptied but keep their capacity) and outer plan vectors, recycled
+/// across supersteps by [`Dsm::recycle_plans`] so steady-state planning
+/// allocates nothing. Bounded so a pathological superstep cannot pin
+/// unbounded memory.
+#[derive(Default, Debug)]
+pub(crate) struct PlanScratch {
+    carcasses: Vec<TransferPlan>,
+    vecs: fgdsm_tempest::VecPool<TransferPlan>,
+}
+
+/// Most carcasses a [`PlanScratch`] retains: enough for every (src, dst)
+/// pair of an 8-node superstep with room to spare.
+const PLAN_CARCASS_CAP: usize = 128;
+
+impl PlanScratch {
+    /// An empty plan for `(src, dst, op)` — recycled with warm
+    /// `ranges`/`payloads` capacity when a carcass is available.
+    fn take(&mut self, src: NodeId, dst: NodeId, op: PlanOp) -> TransferPlan {
+        match self.carcasses.pop() {
+            Some(mut p) => {
+                p.src = src;
+                p.dst = dst;
+                p.op = op;
+                p
+            }
+            None => TransferPlan {
+                src,
+                dst,
+                op,
+                ranges: vec![],
+                payloads: vec![],
+            },
+        }
+    }
+}
+
 /// One merged `send_range` call site: `owner` pushes blocks
 /// `[first, end)` to every node in `readers`.
 #[derive(Clone, Debug)]
@@ -424,6 +462,7 @@ impl Dsm {
             bulk,
         );
         self.apply_plans(&plans, 1);
+        self.recycle_plans(plans);
     }
 
     /// Plan stage for a batch of compiler-directed pushes: records the ctl
@@ -462,18 +501,16 @@ impl Dsm {
             }
             for &r in &en.readers {
                 debug_assert_ne!(r, en.owner);
-                let plan = plans.entry((en.owner, r)).or_insert_with(|| TransferPlan {
-                    src: en.owner,
-                    dst: r,
-                    op: PlanOp::Push,
-                    ranges: vec![],
-                    payloads: vec![],
-                });
+                let plan = plans
+                    .entry((en.owner, r))
+                    .or_insert_with(|| self.plan_scratch.take(en.owner, r, PlanOp::Push));
                 plan.ranges.push((en.first, end));
                 plan.payloads.extend(payloads.iter().copied());
             }
         }
-        plans.into_values().collect()
+        let mut out = self.plan_scratch.vecs.take();
+        out.extend(plans.into_values());
+        out
     }
 
     /// Plan stage for the pending non-owner-write flushes: records the ctl
@@ -508,17 +545,28 @@ impl Dsm {
             }
             let plan = plans
                 .entry((en.writer, en.owner))
-                .or_insert_with(|| TransferPlan {
-                    src: en.writer,
-                    dst: en.owner,
-                    op: PlanOp::Flush,
-                    ranges: vec![],
-                    payloads: vec![],
-                });
+                .or_insert_with(|| self.plan_scratch.take(en.writer, en.owner, PlanOp::Flush));
             plan.ranges.push((en.first, en.end));
             plan.payloads.extend(payloads);
         }
-        plans.into_values().collect()
+        let mut out = self.plan_scratch.vecs.take();
+        out.extend(plans.into_values());
+        out
+    }
+
+    /// Return a spent plan batch to the scratch pool: the outer vector
+    /// and each plan's `ranges`/`payloads` capacity are retained for the
+    /// next superstep's planning pass. Purely an allocation optimization
+    /// — dropping the batch instead is always correct.
+    pub fn recycle_plans(&mut self, mut plans: Vec<TransferPlan>) {
+        for mut p in plans.drain(..) {
+            if self.plan_scratch.carcasses.len() < PLAN_CARCASS_CAP {
+                p.ranges.clear();
+                p.payloads.clear();
+                self.plan_scratch.carcasses.push(p);
+            }
+        }
+        self.plan_scratch.vecs.put(plans);
     }
 
     /// Apply stage: execute the plans' pair-local work over disjoint shard
@@ -541,6 +589,11 @@ impl Dsm {
             // masked by a small transfer falling back to a serial apply.
             order.reverse();
         }
+        // Fault injection (must-catch): fold the parallel outcomes rotated
+        // out of plan-index order — the bug a worker-pool merge could
+        // introduce. Decided before the volume threshold, like the
+        // reorder injection, so small transfers don't mask it.
+        let misfold = workers > 1 && self.inj_misfold_pool();
         let total_words: usize = plans
             .iter()
             .flat_map(|p| p.payloads.iter())
@@ -557,9 +610,12 @@ impl Dsm {
             .map(|&i| (plans[i].src, plans[i].dst))
             .collect();
         let order_ref = &order;
-        let outcomes = self.cluster.apply_pairwise(&pairs, workers, |k, sa, sb| {
+        let mut outcomes = self.cluster.apply_pairwise(&pairs, workers, |k, sa, sb| {
             apply_plan(&plans[order_ref[k]], &cfg, sa, sb)
         });
+        if misfold && outcomes.len() > 1 {
+            outcomes.rotate_left(1);
+        }
         for (k, o) in outcomes.into_iter().enumerate() {
             let plan = &plans[order[k]];
             match plan.op {
@@ -660,6 +716,7 @@ impl Dsm {
             bulk,
         );
         self.apply_plans(&plans, 1);
+        self.recycle_plans(plans);
     }
 }
 

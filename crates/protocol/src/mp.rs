@@ -33,7 +33,16 @@ pub struct MpRuntime {
     /// Bytes delivered pre-packed (broadcast images): receivers only pay
     /// a contiguous copy, not per-element unmarshalling.
     inbox_bulk_bytes: Vec<u64>,
+    /// Free lists for [`MpSendPlan`] batches, recycled across supersteps
+    /// by [`MpRuntime::recycle_send_plans`] (capacity-retaining, like the
+    /// ctl backend's plan scratch).
+    plan_carcasses: Vec<MpSendPlan>,
+    plan_vecs: fgdsm_tempest::VecPool<MpSendPlan>,
 }
+
+/// Most plan carcasses the runtime retains (see `PLAN_CARCASS_CAP` in
+/// `ctl`): bounds scratch memory under pathological plan counts.
+const MP_PLAN_CARCASS_CAP: usize = 128;
 
 impl MpRuntime {
     /// Create the runtime for an `nprocs`-node cluster.
@@ -43,7 +52,44 @@ impl MpRuntime {
             inbox_msgs: vec![0; nprocs],
             inbox_elems: vec![0; nprocs],
             inbox_bulk_bytes: vec![0; nprocs],
+            plan_carcasses: Vec::new(),
+            plan_vecs: fgdsm_tempest::VecPool::default(),
         }
+    }
+
+    /// An empty [`MpSendPlan`] for `(src, dst)` — recycled with warm
+    /// `sections` capacity when a carcass is available.
+    pub fn take_send_plan(&mut self, src: NodeId, dst: NodeId) -> MpSendPlan {
+        match self.plan_carcasses.pop() {
+            Some(mut p) => {
+                p.src = src;
+                p.dst = dst;
+                p
+            }
+            None => MpSendPlan {
+                src,
+                dst,
+                sections: vec![],
+            },
+        }
+    }
+
+    /// An empty plan vector recycled from the scratch pool.
+    pub fn take_send_plan_vec(&mut self) -> Vec<MpSendPlan> {
+        self.plan_vecs.take()
+    }
+
+    /// Return a spent plan batch to the scratch pool (outer vector and
+    /// each plan's `sections` capacity retained). Purely an allocation
+    /// optimization — dropping the batch is always correct.
+    pub fn recycle_send_plans(&mut self, mut plans: Vec<MpSendPlan>) {
+        for mut p in plans.drain(..) {
+            if self.plan_carcasses.len() < MP_PLAN_CARCASS_CAP {
+                p.sections.clear();
+                self.plan_carcasses.push(p);
+            }
+        }
+        self.plan_vecs.put(plans);
     }
 
     /// Send `len` words starting at word offset `start` from `src`'s copy

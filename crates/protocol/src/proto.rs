@@ -92,6 +92,10 @@ pub struct Dsm {
     /// Memo for run-time overhead elimination: ranges already made
     /// implicitly writable at a node (§4.3's "first time around" test).
     pub(crate) iw_memo: std::collections::BTreeSet<(NodeId, usize, usize)>,
+    /// Capacity-retaining free lists for transfer plans, recycled across
+    /// supersteps by [`Dsm::recycle_plans`] so steady-state planning
+    /// allocates nothing.
+    pub(crate) plan_scratch: crate::ctl::PlanScratch,
     /// Active contract mutations (fuzzer teeth; all off by default).
     #[cfg(feature = "fault-inject")]
     injection: Injection,
@@ -120,6 +124,12 @@ pub struct Injection {
     /// merge, making threaded-resolve reports and traces diverge from the
     /// serial plan order the contract guarantees.
     pub reorder_plan_apply: bool,
+    /// Rotate the parallel-apply outcome vector before folding it, so
+    /// pool/thread results are merged out of plan-index order — the
+    /// exact mistake a worker-pool integration could make, which the
+    /// determinism oracle must catch (arrival times and inbox counters
+    /// land on the wrong receivers).
+    pub misfold_pool: bool,
 }
 
 impl Dsm {
@@ -157,6 +167,7 @@ impl Dsm {
             inbox_payloads: vec![0; nprocs],
             inbox_blocks: vec![0; nprocs],
             iw_memo: std::collections::BTreeSet::new(),
+            plan_scratch: crate::ctl::PlanScratch::default(),
             #[cfg(feature = "fault-inject")]
             injection: Injection::default(),
             proto: Some(proto),
@@ -202,6 +213,20 @@ impl Dsm {
         #[cfg(feature = "fault-inject")]
         {
             self.injection.reorder_plan_apply
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
+    /// Whether parallel `apply_plans` should fold its outcomes rotated
+    /// out of plan-index order (always false without the `fault-inject`
+    /// feature).
+    pub(crate) fn inj_misfold_pool(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.injection.misfold_pool
         }
         #[cfg(not(feature = "fault-inject"))]
         {

@@ -20,7 +20,9 @@
 //! parallel execution produce bit-identical reports.
 
 use crate::costs::CostModel;
+use crate::pool::{Job, WorkerPool};
 use crate::profile::{FalseSharingFlag, NodeHeatmap, ProfileState, StepInterval};
+use crate::scratch::CACHE_LINE_BYTES;
 use crate::shard::{Geometry, NodeShard};
 use crate::stats::{ClusterReport, NodeStats};
 use crate::trace::{Event, NodeTrace, NO_ARRAY, NO_BLOCK, NO_LOOP, NO_STEP};
@@ -113,6 +115,10 @@ pub struct Cluster {
     /// Accumulating profile artifacts: superstep interval snapshots and
     /// false-sharing flags (see [`crate::profile`]).
     profile: ProfileState,
+    /// Persistent worker pool for [`Cluster::apply_pairwise`] waves,
+    /// installed by the executor once per run ([`Cluster::set_worker_pool`]).
+    /// `None` falls back to per-wave [`std::thread::scope`] spawns.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl Cluster {
@@ -169,7 +175,22 @@ impl Cluster {
             shards,
             makespan_ns: 0,
             profile: ProfileState::new(nprocs),
+            pool: None,
         }
+    }
+
+    /// Install (or clear) the persistent worker pool used by
+    /// [`Cluster::apply_pairwise`]. The executor creates one pool per
+    /// `execute` and installs it here so every superstep's apply waves
+    /// run on the same parked workers instead of fresh scoped threads.
+    pub fn set_worker_pool(&mut self, pool: Option<Arc<WorkerPool>>) {
+        self.pool = pool;
+    }
+
+    /// The installed worker pool, if any (shared with the engine's
+    /// compute phase).
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -319,6 +340,9 @@ impl Cluster {
             last_wave[a] = Some(w);
             last_wave[b] = Some(w);
         }
+        // Clone the pool handle up front so the wave loop's raw shard
+        // borrows don't conflict with a borrow of `self.pool`.
+        let pool = self.pool.clone();
         let mut outcomes: Vec<Option<O>> = (0..pairs.len()).map(|_| None).collect();
         for wave in waves {
             if wave.len() == 1 {
@@ -353,20 +377,43 @@ impl Cluster {
                 chunks[k % nchunks].push(job);
             }
             let f = &f;
-            let done: Vec<Vec<(usize, O)>> = std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
+            let done: Vec<Vec<(usize, O)>> = if let Some(pool) = &pool {
+                // Persistent-pool path: one job per chunk, each writing a
+                // private slot; `run` blocks until the wave completes, so
+                // the shard borrows stay contained (scoped-batch
+                // contract, see `crate::pool`).
+                let mut slots: Vec<Vec<(usize, O)>> =
+                    (0..chunks.len()).map(|_| Vec::new()).collect();
+                let batch: Vec<Job> = chunks
                     .into_iter()
-                    .map(|chunk| {
-                        s.spawn(move || {
-                            chunk
+                    .zip(slots.iter_mut())
+                    .map(|(chunk, slot)| {
+                        Box::new(move || {
+                            *slot = chunk
                                 .into_iter()
                                 .map(|(i, sa, sb)| (i, f(i, sa, sb)))
-                                .collect::<Vec<_>>()
-                        })
+                                .collect();
+                        }) as Job
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
+                pool.run(batch);
+                slots
+            } else {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            s.spawn(move || {
+                                chunk
+                                    .into_iter()
+                                    .map(|(i, sa, sb)| (i, f(i, sa, sb)))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+            };
             for (i, o) in done.into_iter().flatten() {
                 outcomes[i] = Some(o);
             }
@@ -530,7 +577,12 @@ impl Cluster {
             .zip(&self.profile.prev)
             .map(|(sh, prev)| sh.stats().delta(prev))
             .collect();
-        self.profile.prev = self.shards.iter().map(|sh| sh.stats().clone()).collect();
+        // Refresh the boundary snapshot in place: `NodeStats` is plain
+        // counters (no heap), so `clone_from` rewrites the existing slots
+        // instead of reallocating a whole snapshot vector per superstep.
+        for (prev, sh) in self.profile.prev.iter_mut().zip(&self.shards) {
+            prev.clone_from(sh.stats());
+        }
         self.profile.intervals.push(StepInterval {
             step,
             loop_id,
@@ -691,6 +743,40 @@ impl Cluster {
                 })
                 .collect(),
         }
+    }
+
+    /// Do the runtime's own hot structures falsely share cache lines?
+    /// Every shard's write-hot counters must sit on a line no other
+    /// shard's hot state occupies — the compute-phase analogue of the
+    /// PR-5 detector's "≥2 nodes faulting one multi-word block" rule,
+    /// applied to ourselves.
+    pub fn hot_lines_disjoint(&self) -> bool {
+        let mut lines = BTreeSet::new();
+        self.shards.iter().all(|sh| lines.insert(sh.hot_line()))
+    }
+
+    /// Heatmap-style self-report on the *host* layout of the runtime's
+    /// own hot structures: the PR-5 false-sharing detector's logic,
+    /// pointed at the simulator itself. Reports shard size/alignment and
+    /// each shard's hot-state cache-line index, and whether those lines
+    /// are pairwise disjoint (no ping-ponging possible between
+    /// compute-phase workers updating their own shard's clock).
+    pub fn layout_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"cache_line_bytes\":{CACHE_LINE_BYTES},\"shard_size\":{},\"shard_align\":{},\"hot_lines_disjoint\":{},\"hot_lines\":[",
+            std::mem::size_of::<NodeShard>(),
+            std::mem::align_of::<NodeShard>(),
+            self.hot_lines_disjoint(),
+        ));
+        for (n, sh) in self.shards.iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&sh.hot_line().to_string());
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Render all retained trace entries as one JSON document (one object
@@ -1031,6 +1117,65 @@ mod tests {
             assert_eq!(c1.node_mem(n), c4.node_mem(n), "memory of node {n}");
         }
         assert_eq!(c1.trace_json(), c4.trace_json());
+    }
+
+    /// The persistent-pool path must be indistinguishable from both the
+    /// serial path and the scoped-thread path — same outcomes, clocks,
+    /// stats, memory and trace bytes — across repeated calls reusing the
+    /// same pool (the per-superstep reuse pattern).
+    #[test]
+    fn apply_pairwise_pool_matches_scoped_and_serial() {
+        let pairs = [(0, 1), (2, 3), (1, 2), (4, 5), (0, 4), (3, 5), (2, 3)];
+        let run = |workers: usize, pool: bool| {
+            let mut c = small_cluster(6);
+            if pool {
+                c.set_worker_pool(Some(Arc::new(WorkerPool::new(workers))));
+            }
+            for w in 0..2048 {
+                c.node_mem_mut(w % 6)[w] = w as f64 + 0.25;
+            }
+            // Several rounds over the same pool, like supersteps do.
+            let mut all = Vec::new();
+            for _round in 0..3 {
+                let outcomes = c.apply_pairwise(&pairs, workers, |i, sa, sb| {
+                    sa.charge(100 * (i as u64 + 1), ChargeKind::CtlCall);
+                    sa.note_msg(64);
+                    sb.note_msg_recv(64);
+                    let lo = i * 8;
+                    let (dst, src) = (sb.mem_mut(), sa.mem());
+                    dst[lo..lo + 8].copy_from_slice(&src[lo..lo + 8]);
+                    sa.clock_ns()
+                });
+                all.push(outcomes);
+            }
+            c.set_worker_pool(None);
+            (all, c)
+        };
+        let (o_serial, c_serial) = run(1, false);
+        let (o_scoped, c_scoped) = run(4, false);
+        let (o_pool, c_pool) = run(4, true);
+        assert_eq!(o_serial, o_scoped);
+        assert_eq!(o_serial, o_pool, "pool outcomes in pair index order");
+        for n in 0..6 {
+            assert_eq!(c_serial.clock_ns(n), c_pool.clock_ns(n));
+            assert_eq!(c_scoped.stats(n), c_pool.stats(n));
+            assert_eq!(c_serial.node_mem(n), c_pool.node_mem(n));
+        }
+        assert_eq!(c_serial.trace_json(), c_pool.trace_json());
+    }
+
+    /// The runtime's own layout must pass the false-sharing rule we
+    /// apply to simulated apps: every shard's hot counters on a private
+    /// cache line.
+    #[test]
+    fn shard_hot_state_does_not_false_share() {
+        let c = small_cluster(8);
+        assert!(c.hot_lines_disjoint(), "{}", c.layout_report());
+        let report = c.layout_report();
+        assert!(report.contains("\"hot_lines_disjoint\":true"));
+        assert!(report.contains("\"cache_line_bytes\":64"));
+        assert_eq!(std::mem::align_of::<NodeShard>() % 64, 0);
+        assert_eq!(std::mem::size_of::<NodeShard>() % 64, 0);
     }
 
     #[test]

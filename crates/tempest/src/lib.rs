@@ -38,7 +38,9 @@
 pub mod cache;
 pub mod cluster;
 pub mod costs;
+pub mod pool;
 pub mod profile;
+pub mod scratch;
 pub mod shard;
 pub mod stats;
 pub mod trace;
@@ -46,7 +48,9 @@ pub mod trace;
 pub use cache::CacheModel;
 pub use cluster::{Access, ChargeKind, Cluster, HomePolicy, NodeId, ReduceOp, SegmentLayout};
 pub use costs::{CostModel, CpuMode};
+pub use pool::{Job, WorkerPool};
 pub use profile::{FalseSharingFlag, LoopRow, NodeHeatmap, StepInterval};
+pub use scratch::{CacheAligned, VecPool, CACHE_LINE_BYTES};
 pub use shard::NodeShard;
 pub use stats::{ClusterReport, NodeStats};
 pub use trace::{

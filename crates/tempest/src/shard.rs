@@ -63,18 +63,42 @@ impl Geometry {
     }
 }
 
+/// The write-hot scalar state of one shard, padded to its own cache
+/// line: the virtual clock is bumped by every charge and the pending
+/// eager-write count by every non-owner write. With several shards'
+/// kernels running on distinct host threads, keeping each shard's hot
+/// counters on a private line (instead of straddling the boundary to a
+/// neighboring shard in the `Vec<NodeShard>`) is what stops the
+/// compute phase from ping-ponging a shared line between cores — the
+/// same false-sharing hazard the PR-5 detector flags in simulated apps,
+/// fixed here in the simulator's own layout.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct HotState {
+    clock_ns: u64,
+    pending_writes: u64, // outstanding eager-write transactions
+}
+
 /// All mutable state owned by one node. See the module docs for the
 /// ownership story; the short version is that two shards never alias,
 /// so `&mut NodeShard` is safe to move to a worker thread.
+///
+/// Layout: the struct is cache-line aligned (via the embedded
+/// [`HotState`], which carries `#[repr(align(64))]`), so adjacent
+/// shards in the cluster's `Vec<NodeShard>` never share a line. The
+/// write-hot scalars lead the struct on their own line; the read-mostly
+/// geometry handle and the buffer headers follow. See
+/// [`crate::cluster::Cluster::layout_report`] for the self-check.
 #[derive(Debug)]
 pub struct NodeShard {
+    /// Write-hot scalars on their own leading cache line.
+    hot: HotState,
     id: NodeId,
+    /// Read-mostly: shared immutable cluster geometry.
     geom: Arc<Geometry>,
     mem: Vec<f64>,
     mapped: Vec<u64>, // page bitset
     tags: Vec<Access>,
-    clock_ns: u64,
-    pending_writes: u64, // outstanding eager-write transactions
     /// Blocks whose tag currently differs from the initial assignment
     /// (home → ReadWrite, everyone else → Invalid). Resolve-phase scans
     /// iterate this instead of every block in the segment, so their cost
@@ -86,12 +110,11 @@ pub struct NodeShard {
 impl NodeShard {
     pub(crate) fn new(id: NodeId, geom: Arc<Geometry>) -> Self {
         let mut sh = NodeShard {
+            hot: HotState::default(),
             id,
             mem: vec![0.0; geom.seg_words],
             mapped: vec![0u64; geom.n_pages.div_ceil(64)],
             tags: vec![Access::Invalid; geom.n_blocks],
-            clock_ns: 0,
-            pending_writes: 0,
             dirty: BTreeSet::new(),
             trace: NodeTrace::new(),
             geom,
@@ -233,7 +256,14 @@ impl NodeShard {
 
     /// Current virtual clock in ns.
     pub fn clock_ns(&self) -> u64 {
-        self.clock_ns
+        self.hot.clock_ns
+    }
+
+    /// Cache-line index of this shard's write-hot state — used by
+    /// [`crate::cluster::Cluster::layout_report`] to prove adjacent
+    /// shards never share a hot line.
+    pub fn hot_line(&self) -> usize {
+        (&self.hot as *const HotState as usize) / crate::scratch::CACHE_LINE_BYTES
     }
 
     /// Record a typed trace event, stamped with the current virtual
@@ -241,12 +271,12 @@ impl NodeShard {
     /// into aggregates online, so the event log and the report can never
     /// disagree.
     pub fn record(&mut self, event: Event) {
-        self.trace.record(self.clock_ns, event);
+        self.trace.record(self.hot.clock_ns, event);
     }
 
     /// Charge `ns` to the clock under the given accounting category.
     pub fn charge(&mut self, ns: u64, kind: ChargeKind) {
-        self.clock_ns += ns;
+        self.hot.clock_ns += ns;
         self.record(Event::Charge { kind, ns });
     }
 
@@ -257,7 +287,7 @@ impl NodeShard {
     pub fn charge_handler(&mut self, ns: u64) {
         let scaled = self.geom.cfg.handler_cost(ns);
         if self.geom.cfg.cpu == CpuMode::Single {
-            self.clock_ns += scaled;
+            self.hot.clock_ns += scaled;
         }
         self.record(Event::Handler { ns: scaled });
     }
@@ -298,24 +328,24 @@ impl NodeShard {
     /// consistency: the node does not stall for the ownership grant, but
     /// must drain at the next release point).
     pub fn note_pending_write(&mut self) {
-        self.pending_writes += 1;
+        self.hot.pending_writes += 1;
     }
 
     /// Release point: stall for each outstanding eager-write transaction,
     /// then clear them.
     pub(crate) fn drain_pending_writes(&mut self) {
-        let drain = self.pending_writes * self.geom.cfg.release_drain_ns;
+        let drain = self.hot.pending_writes * self.geom.cfg.release_drain_ns;
         if drain > 0 {
             self.charge(drain, ChargeKind::Stall);
-            self.pending_writes = 0;
+            self.hot.pending_writes = 0;
         }
     }
 
     /// Advance the clock to the common completion time `to`, recording
     /// the wait (and a barrier crossing when `barrier` is set).
     pub(crate) fn align_clock(&mut self, to: u64, barrier: bool) {
-        let wait = to - self.clock_ns;
-        self.clock_ns = to;
+        let wait = to - self.hot.clock_ns;
+        self.hot.clock_ns = to;
         self.record(Event::BarrierWait { ns: wait });
         if barrier {
             self.record(Event::Barrier);
