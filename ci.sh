@@ -29,6 +29,10 @@ cargo test -q -p fgdsm-bench --test host_perf_smoke
 cargo run --release -q -p fgdsm-bench --bin perf_gate -- smoke
 git show HEAD:bench_results/host_perf.json > target/host_perf_prev.json 2>/dev/null || true
 cargo run --release -q -p fgdsm-bench --bin perf_gate -- trend target/host_perf_prev.json
+# Wire-seam gate: the chan backend (every transfer enveloped, carried
+# over channels and decoded back — no shared-memory shortcut) must stay
+# within 2x of sm_opt's serial median on the same stretched problems.
+cargo run --release -q -p fgdsm-bench --bin perf_gate -- chan
 # Profile-report smoke: the jacobi run self-asserts a well-formed
 # Chrome-trace export, a per-loop table that sums exactly to the
 # whole-run report, and the co-residency (false-sharing) demo; the
@@ -45,10 +49,23 @@ FGDSM_TEST=1 FGDSM_PROFILE_OUT=target/profile_smoke.json \
     FGDSM_CHROME=target/profile_chrome_par4.json FGDSM_PAR=4 \
     cargo run --release -q -p fgdsm-bench --bin profile_report -- jacobi > /dev/null
 cmp target/profile_chrome_par0.json target/profile_chrome_par4.json
+# Wire-format determinism: the whole determinism suite again with every
+# backend forced through envelope encode/decode (FGDSM_WIRE=strict), and
+# the chan profile-report smoke with its wire-accounting invariants
+# (frames > 0, payload <= cluster bytes_sent, clean heatmap attribution).
+FGDSM_WIRE=strict cargo test -q -p fgdsm-bench --test determinism
+FGDSM_TEST=1 FGDSM_BACKEND=chan FGDSM_PROFILE_OUT=target/profile_chan_smoke.json \
+    cargo run --release -q -p fgdsm-bench --bin profile_report -- jacobi \
+    > target/profile_chan_smoke.txt
+grep -q "wire:" target/profile_chan_smoke.txt
 # Differential fuzz corpus: a fixed seed corpus (200 cases unless the
 # caller overrides FGDSM_FUZZ_CASES) through reference vs all backends.
 # A failure prints the failing seed and a shrunk standalone reproducer.
 cargo test -q --test fuzz_corpus -- --nocapture
+# A 50-case slice of the same corpus with the strict wire mode forced on
+# the whole oracle matrix — cheap insurance that envelope routing stays
+# divergence-free under randomized programs, not just the curated suite.
+FGDSM_WIRE=strict FGDSM_FUZZ_CASES=50 cargo test -q --test fuzz_corpus -- --nocapture
 # Property suites (proptest is an optional, offline-vendored dev feature).
 cargo test -q --workspace \
     --features fgdsm-section/proptest,fgdsm-tempest/proptest,fgdsm-protocol/proptest,fgdsm-hpf/proptest

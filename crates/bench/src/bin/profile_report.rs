@@ -12,8 +12,15 @@
 //! superstep) are summarized per run, and every run's Chrome-trace
 //! export is validated as well-formed before the table is trusted.
 //!
+//! `FGDSM_BACKEND=chan` appends the channel-backed distributed backend
+//! to the per-app matrix; each chan run additionally self-asserts the
+//! strict-wire accounting invariants (every heatmap byte attributed for
+//! reduction-free apps, wire payload reconciling with the cluster's
+//! `bytes_sent`).
+//!
 //!     cargo run --release -p fgdsm-bench --bin profile_report
 //!     cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
+//!     FGDSM_BACKEND=chan cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
 //!     FGDSM_CHROME=/tmp/j.json cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
 
 use fgdsm_apps::suite;
@@ -81,6 +88,57 @@ fn validate_chrome(app: &str, backend: &str, chrome: &str) {
             );
         }
     }
+}
+
+/// Extra backends requested through `FGDSM_BACKEND` (currently only
+/// `chan` is recognized), appended after the standard two.
+fn extra_backends() -> Vec<(&'static str, ExecConfig)> {
+    match std::env::var("FGDSM_BACKEND").ok().as_deref() {
+        None | Some("") => Vec::new(),
+        Some("chan") => vec![("chan", ExecConfig::chan(NPROCS))],
+        Some(other) => panic!("FGDSM_BACKEND: unknown backend `{other}` (expected `chan`)"),
+    }
+}
+
+/// Strict-wire accounting invariants of a `chan` run: the run actually
+/// moved envelopes, the payload words they carried never exceed the
+/// protocol's own byte accounting (`bytes_sent` adds fixed per-message
+/// headers on top, reduction traffic is counted but not enveloped), and
+/// for reduction-free apps every heatmap byte is block-attributed —
+/// reductions are the only traffic with no home block, so nothing else
+/// may leak into `unattributed_bytes`.
+fn check_chan_wire_invariants(app: &str, run: &RunResult) {
+    let mut whole = fgdsm_tempest::NodeStats::default();
+    for n in &run.report.nodes {
+        whole.accumulate(n);
+    }
+    assert!(
+        run.wire_frames > 0 || whole.bytes_sent == 0,
+        "{app}/chan: traffic flowed ({} bytes) but no envelopes were routed",
+        whole.bytes_sent
+    );
+    assert!(
+        run.wire_payload_bytes > 0 || whole.bytes_sent == 0,
+        "{app}/chan: envelopes routed but carried no payload"
+    );
+    assert!(
+        run.wire_payload_bytes <= whole.bytes_sent,
+        "{app}/chan: wire payload {} exceeds cluster bytes_sent {}",
+        run.wire_payload_bytes,
+        whole.bytes_sent
+    );
+    if whole.reductions == 0 {
+        for (n, hm) in run.report.heatmaps.iter().enumerate() {
+            assert_eq!(
+                hm.unattributed_bytes, 0,
+                "{app}/chan: node {n} sent unattributed bytes in a reduction-free app"
+            );
+        }
+    }
+    println!(
+        "    wire: {} frames, {} payload bytes ({} cluster bytes_sent)",
+        run.wire_frames, run.wire_payload_bytes, whole.bytes_sent
+    );
 }
 
 fn report_run(
@@ -237,12 +295,17 @@ fn main() {
         println!("{}", spec.name);
         let loop_names: Vec<&'static str> =
             spec.program.par_loops().iter().map(|l| l.name).collect();
-        for (backend, cfg) in [
+        let mut backends = vec![
             ("sm-unopt", ExecConfig::sm_unopt(NPROCS)),
             ("sm-opt", ExecConfig::sm_opt(NPROCS)),
-        ] {
+        ];
+        backends.extend(extra_backends());
+        for (backend, cfg) in backends {
             let (run, _trace, chrome) = execute_profiled(&spec.program, &cfg);
             report_run(spec.name, backend, &loop_names, &run, &chrome, &mut rows);
+            if backend == "chan" {
+                check_chan_wire_invariants(spec.name, &run);
+            }
         }
         println!();
     }

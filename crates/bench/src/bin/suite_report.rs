@@ -27,7 +27,9 @@ json_row! {
         opt_comm_s: f64,
         mp_s: f64,
         mp_comm_s: f64,
-        /// Host wall-clock for the four runs above, in order.
+        chan_s: f64,
+        chan_comm_s: f64,
+        /// Host wall-clock for the five runs above, in order.
         wall_ns: Vec<u64>,
     }
 }
@@ -45,12 +47,13 @@ fn main() {
         let un = execute(&spec.program, &ExecConfig::sm_unopt(8));
         let op = execute(&spec.program, &ExecConfig::sm_opt(8));
         let mp = execute(&spec.program, &ExecConfig::mp(8));
-        let wall_ms: f64 = [&uni, &un, &op, &mp]
+        let chan = execute(&spec.program, &ExecConfig::chan(8));
+        let wall_ms: f64 = [&uni, &un, &op, &mp, &chan]
             .iter()
             .map(|r| r.report.wall_s() * 1e3)
             .sum();
         println!(
-            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3} | wall {:8.1}ms",
+            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3} | chan tot {:7.3} comm {:7.3} | wall {:8.1}ms",
             spec.name,
             uni.total_s(),
             un.total_s(),
@@ -59,6 +62,8 @@ fn main() {
             op.report.comm_s(),
             mp.total_s(),
             mp.report.comm_s(),
+            chan.total_s(),
+            chan.report.comm_s(),
             wall_ms,
         );
         let wall = |r: &RunResult| r.report.wall_ns;
@@ -72,7 +77,9 @@ fn main() {
             opt_comm_s: op.report.comm_s(),
             mp_s: mp.total_s(),
             mp_comm_s: mp.report.comm_s(),
-            wall_ns: vec![wall(&uni), wall(&un), wall(&op), wall(&mp)],
+            chan_s: chan.total_s(),
+            chan_comm_s: chan.report.comm_s(),
+            wall_ns: vec![wall(&uni), wall(&un), wall(&op), wall(&mp), wall(&chan)],
         });
     }
     save_json("suite", &rows);

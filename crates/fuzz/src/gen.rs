@@ -440,6 +440,8 @@ impl FuzzSpec {
             "            reorder_plan_apply: {},",
             i.reorder_plan_apply
         );
+        let _ = writeln!(s, "            misfold_pool: {},", i.misfold_pool);
+        let _ = writeln!(s, "            corrupt_envelope: {},", i.corrupt_envelope);
         let _ = writeln!(s, "        }},");
         let _ = writeln!(s, "    }};");
         let _ = writeln!(s, "    check_spec(&spec).unwrap();");

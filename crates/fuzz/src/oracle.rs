@@ -49,10 +49,21 @@ fn opt_label(o: &OptLevel) -> String {
     s
 }
 
+/// The `sm_opt` config label at the full optimization level — the
+/// config the `chan` backend is pinned byte-identical to.
+fn sm_opt_full_label() -> String {
+    format!("sm_opt[{}]", opt_label(&OptLevel::full()))
+}
+
 /// The backend matrix for a spec: `sm_unopt`, `sm_opt` at every
 /// [`OptLevel`] toggle combination, and `mp` — unless the spec performs
 /// non-owner writes, which the owner-computes `mp` backend does not
 /// model (it never flushes written data back to the distribution owner).
+/// After the fast-path configs, the same corners re-run in strict wire
+/// mode (every transfer round-trips through encoded [`fgdsm_hpf`] wire
+/// envelopes over a loopback transport), and the `chan` backend closes
+/// the matrix: channel workers carrying owned bytes, whose serial run
+/// must additionally be byte-identical to `sm_opt[full]`'s.
 pub fn backend_configs(spec: &FuzzSpec) -> Vec<(String, ExecConfig)> {
     let n = spec.nprocs;
     let mut v = vec![("sm_unopt".to_string(), ExecConfig::sm_unopt(n))];
@@ -65,6 +76,18 @@ pub fn backend_configs(spec: &FuzzSpec) -> Vec<(String, ExecConfig)> {
     if !spec.has_nonowner_writes() {
         v.push(("mp".to_string(), ExecConfig::mp(n)));
     }
+    v.push((
+        "sm_unopt/wire-strict".to_string(),
+        ExecConfig::sm_unopt(n).strict(),
+    ));
+    v.push((
+        format!("{}/wire-strict", sm_opt_full_label()),
+        ExecConfig::sm_unopt(n).with_opt(OptLevel::full()).strict(),
+    ));
+    if !spec.has_nonowner_writes() {
+        v.push(("mp/wire-strict".to_string(), ExecConfig::mp(n).strict()));
+    }
+    v.push(("chan".to_string(), ExecConfig::chan(n)));
     v
 }
 
@@ -99,6 +122,11 @@ fn first_diff(a: &str, b: &str) -> String {
 pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
     let prog = spec.build();
     let reference = execute_reference(&prog, &ExecConfig::sm_unopt(spec.nprocs));
+    // `chan` is `sm_opt[full]` behind a channel transport, so beyond
+    // agreeing with the reference it must reproduce that config's serial
+    // artifacts byte for byte — the cross-backend pin that proves the
+    // wire seam changes nothing observable.
+    let mut smopt_full_serial: Option<(String, String, String)> = None;
     for (name, cfg) in backend_configs(spec) {
         // (report JSON, trace JSON, profile JSON) of the serial run — the
         // determinism baseline for this backend's threaded runs. The
@@ -195,6 +223,29 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
                             ),
                         });
                     }
+                }
+            }
+        }
+        let serial = baseline.expect("serial mode always runs");
+        if name == sm_opt_full_label() {
+            smopt_full_serial = Some(serial);
+        } else if name == "chan" {
+            let want = smopt_full_serial
+                .as_ref()
+                .expect("sm_opt[full] runs before chan in the matrix");
+            for (what, w, g) in [
+                ("report", &want.0, &serial.0),
+                ("trace", &want.1, &serial.1),
+                ("profile artifacts", &want.2, &serial.2),
+            ] {
+                if w != g {
+                    return Err(Divergence {
+                        config: "chan/serial".into(),
+                        detail: format!(
+                            "{what} diverges from sm_opt[full]/serial ({})",
+                            first_diff(w, g)
+                        ),
+                    });
                 }
             }
         }

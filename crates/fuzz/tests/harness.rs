@@ -28,6 +28,7 @@ fn tolerated_perturbations_are_invisible() {
             skip_flush_range: false,
             reorder_plan_apply: false,
             misfold_pool: false,
+            corrupt_envelope: false,
         };
         if let Err(d) = check_spec(&spec) {
             panic!("tolerated perturbation diverged at seed {seed:#x}: {d}");
@@ -160,6 +161,34 @@ fn must_catch_misfolded_pool_results() {
     assert!(
         d.detail.contains("diverges from serial run"),
         "must be caught by the determinism comparison, not the reference: {d}"
+    );
+}
+
+/// The same traffic-heavy program as [`skew_victim`], but with a byte
+/// flipped inside the first envelope routed in strict wire mode: decode
+/// validation must reject the frame and fail the run loudly. The
+/// fast-path configs never see an envelope, so the divergence must land
+/// on a `wire-strict` config or the `chan` backend — proving the
+/// injection (and thus the validation) lives on the wire seam itself.
+#[test]
+fn must_catch_corrupt_envelope() {
+    let mut spec = skew_victim();
+    spec.inject = InjectConfig {
+        corrupt_envelope: true,
+        ..InjectConfig::default()
+    };
+    let d = check_spec(&spec).expect_err("corrupt envelope must be detected");
+    assert!(
+        d.config.contains("wire-strict") || d.config.starts_with("chan"),
+        "only envelope paths can observe the corruption, diverged at {d}"
+    );
+    assert!(
+        d.detail.contains("panic"),
+        "a corrupt frame must fail the run loudly, not diverge quietly: {d}"
+    );
+    assert!(
+        d.detail.contains("envelope decode failed"),
+        "failure must come from wire decode validation: {d}"
     );
 }
 

@@ -1,0 +1,83 @@
+//! The channel-backed distributed backend: `sm_opt`'s full §4.2 contract
+//! with every inter-node transfer round-tripped through encoded
+//! [`fgdsm_protocol::WireMsg`] bytes.
+//!
+//! The backend itself delegates the whole superstep protocol to
+//! [`SmOpt`] at the full optimization level — the difference is the data
+//! path the engine installs for it: strict wire mode over a
+//! [`fgdsm_protocol::ChanTransport`], whose per-node mpsc worker threads
+//! receive only owned byte frames (no shard memory crosses a channel),
+//! decode each envelope, and echo a re-encoded copy back. Every word a
+//! node learns therefore survived `WireMsg::to_bytes` → channel →
+//! `WireMsg::from_bytes` — exactly the seam a real distributed port
+//! would cut — while charges and counters stay byte-identical to
+//! `sm_opt`, which the determinism suite and the fuzz oracle pin.
+
+use super::backend::CommBackend;
+use super::engine::EngineCore;
+use super::sm_opt::SmOpt;
+use crate::analysis::LoopAccess;
+use crate::ir::ParLoop;
+use crate::plan::OptLevel;
+use fgdsm_tempest::ReduceOp;
+
+/// `sm_opt(full)` behind the channel transport (see module docs).
+pub struct Chan {
+    inner: SmOpt,
+}
+
+impl Chan {
+    pub fn new() -> Self {
+        Chan {
+            inner: SmOpt::new(OptLevel::full()),
+        }
+    }
+}
+
+impl Default for Chan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommBackend for Chan {
+    fn name(&self) -> &'static str {
+        "chan"
+    }
+
+    fn validate(&self, core: &EngineCore) {
+        assert!(
+            core.dsm.wire_strict(),
+            "chan backend requires strict wire mode (engine installs it)"
+        );
+        self.inner.validate(core);
+    }
+
+    fn resolve(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
+        self.inner.resolve(core, l, acc);
+    }
+
+    fn note_kernel_writes(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
+        self.inner.note_kernel_writes(core, l, acc);
+    }
+
+    fn reduce(&mut self, core: &mut EngineCore, partials: &[f64], op: ReduceOp) -> f64 {
+        self.inner.reduce(core, partials, op)
+    }
+
+    fn post_loop(&mut self, core: &mut EngineCore, l: &ParLoop, acc: &LoopAccess) {
+        self.inner.post_loop(core, l, acc);
+    }
+
+    fn finish(&mut self, core: &mut EngineCore) {
+        self.inner.finish(core);
+    }
+
+    fn gather(&mut self, core: &mut EngineCore) -> Vec<f64> {
+        self.inner.gather(core)
+    }
+
+    fn pre_stats(&self) -> (u64, u64) {
+        self.inner.pre_stats()
+    }
+}

@@ -156,15 +156,26 @@ impl<'p> EngineCore<'p> {
             skip_flush_range: cfg.inject.skip_flush_range,
             reorder_plan_apply: cfg.inject.reorder_plan_apply,
             misfold_pool: cfg.inject.misfold_pool,
+            corrupt_envelope: cfg.inject.corrupt_envelope,
         });
         #[cfg(not(feature = "fault-inject"))]
         assert!(
             !cfg.inject.skew_send_range
                 && !cfg.inject.skip_flush_range
                 && !cfg.inject.reorder_plan_apply
-                && !cfg.inject.misfold_pool,
+                && !cfg.inject.misfold_pool
+                && !cfg.inject.corrupt_envelope,
             "protocol-level fault injection requires the `fault-inject` feature"
         );
+        // Strict wire mode: the chan backend always routes envelopes
+        // (through real channel workers); the other backends do so when
+        // `WireMode` asks (loopback transport — same encode/decode
+        // round-trip, no threads).
+        if matches!(cfg.backend, super::Backend::Chan) {
+            dsm.set_wire(Box::new(fgdsm_protocol::ChanTransport::new(cfg.nprocs)));
+        } else if cfg.wire.is_strict() {
+            dsm.set_wire(Box::new(fgdsm_protocol::Loopback));
+        }
         EngineCore {
             prog,
             cfg,
@@ -503,6 +514,7 @@ pub(super) fn run(
     if let Err(e) = report.check_profile_invariants() {
         panic!("post-run profile invariant violated: {e}");
     }
+    let (wire_frames, wire_payload_bytes) = core.dsm.wire_stats();
     let result = RunResult {
         report,
         scalars: core.scalars,
@@ -512,6 +524,8 @@ pub(super) fn run(
         pre_skipped,
         pre_performed,
         planned: core.planned,
+        wire_frames,
+        wire_payload_bytes,
     };
     (result, trace, chrome)
 }

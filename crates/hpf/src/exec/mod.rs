@@ -1,7 +1,7 @@
 //! Executors: run a mini-HPF program over the simulated DSM.
 //!
 //! The executor is split into a backend-agnostic BSP **superstep driver**
-//! ([`engine`]) and three pluggable **communication backends** behind the
+//! ([`engine`]) and four pluggable **communication backends** behind the
 //! [`backend::CommBackend`] trait:
 //!
 //! * [`sm_unopt::SmUnopt`] — every remote access goes through the default
@@ -20,6 +20,14 @@
 //! * [`mp::Mp`] — the message-passing backend: owner-computes with direct
 //!   marshalled messages, no coherence machinery at all, paying the PGI
 //!   runtime's per-message overhead.
+//! * [`chan::Chan`] — `sm_opt`'s full contract over a channel transport:
+//!   every inter-node transfer is encoded into a
+//!   [`fgdsm_protocol::WireMsg`] envelope, carried between per-node
+//!   worker threads that share no shard memory, decoded, and applied
+//!   from the payload — the seam a real distributed port would use.
+//!   Byte-identical to `sm_opt` (determinism suite + fuzz oracle).
+//!   [`WireMode`] / `FGDSM_WIRE=strict` force the same envelope
+//!   round-trip under the sm_* and mp backends for differential testing.
 //!
 //! Execution is BSP, and every superstep is split into two explicit
 //! phases. The **resolve phase** discovers every cross-node transfer the
@@ -42,6 +50,7 @@
 //! to get the same document back directly.
 
 pub mod backend;
+pub mod chan;
 pub mod engine;
 pub mod mp;
 pub mod reference;
@@ -67,6 +76,43 @@ pub enum Backend {
     SmOpt(OptLevel),
     /// Message-passing backend.
     Mp,
+    /// Channel-backed distributed backend: `sm_opt`'s full contract, but
+    /// every inter-node transfer round-trips through encoded
+    /// [`fgdsm_protocol::WireMsg`] bytes carried by per-node channel
+    /// worker threads that share no shard memory. Byte-identical to
+    /// `sm_opt` at the full optimization level (pinned by the determinism
+    /// suite and the fuzz oracle).
+    Chan,
+}
+
+/// Whether inter-node data movement must round-trip through encoded
+/// [`fgdsm_protocol::WireMsg`] envelopes. The strict path exists for
+/// differential testing: it is behaviorally identical to the zero-copy
+/// fast path — same charges, same counters, bit-identical data — and the
+/// determinism suite holds it to that.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WireMode {
+    /// Honor the `FGDSM_WIRE` env var (`strict` → strict); fast
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Zero-copy fast path (shard-to-shard copies).
+    Fast,
+    /// Envelope every transfer: encode → transport → decode → apply.
+    Strict,
+}
+
+impl WireMode {
+    /// Resolve to the concrete strictness (reads `FGDSM_WIRE` on `Auto`).
+    pub fn is_strict(self) -> bool {
+        match self {
+            WireMode::Strict => true,
+            WireMode::Fast => false,
+            WireMode::Auto => std::env::var("FGDSM_WIRE")
+                .map(|v| v.trim().eq_ignore_ascii_case("strict"))
+                .unwrap_or(false),
+        }
+    }
 }
 
 /// How page homes are assigned relative to the data distribution.
@@ -173,6 +219,10 @@ pub struct ExecConfig {
     /// Worker provisioning for parallel phases: persistent pool vs fresh
     /// scoped threads (wall-clock only; never affects results).
     pub pool: PoolMode,
+    /// Wire discipline for inter-node data movement: zero-copy fast path
+    /// or strict envelope round-tripping (`FGDSM_WIRE=strict`). The
+    /// `chan` backend is always strict regardless of this knob.
+    pub wire: WireMode,
     /// Fault-injection knobs for the differential fuzzer (all off by
     /// default; the protocol-level mutations additionally require the
     /// `fault-inject` cargo feature).
@@ -211,6 +261,12 @@ pub struct InjectConfig {
     /// of plan-index order — the merge mistake a worker-pool integration
     /// could make (needs `fault-inject`).
     pub misfold_pool: bool,
+    /// Must-catch: flip a byte inside the first envelope routed in strict
+    /// wire mode — `WireMsg::from_bytes` must reject the frame and fail
+    /// the run loudly, proving decode validation has teeth (needs
+    /// `fault-inject` and an envelope path: the `chan` backend or
+    /// `FGDSM_WIRE=strict`).
+    pub corrupt_envelope: bool,
 }
 
 impl ExecConfig {
@@ -227,6 +283,7 @@ impl ExecConfig {
             parallel: ParallelMode::Auto,
             resolve_parallel: None,
             pool: PoolMode::Auto,
+            wire: WireMode::Auto,
             inject: InjectConfig::default(),
         }
     }
@@ -243,6 +300,16 @@ impl ExecConfig {
     pub fn mp(nprocs: usize) -> Self {
         ExecConfig {
             backend: Backend::Mp,
+            ..Self::sm_unopt(nprocs)
+        }
+    }
+
+    /// Channel-backed distributed backend (`FGDSM_BACKEND=chan`): the
+    /// full `sm_opt` contract with every transfer round-tripped through
+    /// encoded envelopes over per-node channel workers.
+    pub fn chan(nprocs: usize) -> Self {
+        ExecConfig {
+            backend: Backend::Chan,
             ..Self::sm_unopt(nprocs)
         }
     }
@@ -308,6 +375,13 @@ impl ExecConfig {
         self
     }
 
+    /// Force every inter-node transfer through an encoded wire envelope
+    /// (the `FGDSM_WIRE=strict` differential-testing path).
+    pub fn strict(mut self) -> Self {
+        self.wire = WireMode::Strict;
+        self
+    }
+
     /// Replace the fault-injection configuration.
     pub fn with_inject(mut self, inject: InjectConfig) -> Self {
         self.inject = inject;
@@ -344,6 +418,12 @@ pub struct RunResult {
     /// Contract-planned transfer volumes, in planning order (empty for
     /// backends that plan nothing: `sm_unopt`, `mp`).
     pub planned: Vec<PlannedXfer>,
+    /// Envelope frames routed through the wire layer (0 on the zero-copy
+    /// fast path). Wire accounting only — deliberately outside the
+    /// canonical report so strict and fast runs stay byte-identical.
+    pub wire_frames: u64,
+    /// Total on-wire payload bytes carried by those frames.
+    pub wire_payload_bytes: u64,
 }
 
 impl RunResult {
@@ -367,6 +447,7 @@ fn make_backend(cfg: &ExecConfig) -> Box<dyn CommBackend> {
         Backend::SmUnopt => Box::new(sm_unopt::SmUnopt),
         Backend::SmOpt(opt) => Box::new(sm_opt::SmOpt::new(opt)),
         Backend::Mp => Box::new(mp::Mp::new(cfg.nprocs)),
+        Backend::Chan => Box::new(chan::Chan::new()),
     }
 }
 

@@ -49,7 +49,7 @@ impl CommBackend for Mp {
                 let pts = t.section.points();
                 for pt in &pts {
                     let off = meta.offset(pt);
-                    core.dsm.cluster.copy_words(t.owner, t.user, off, 1);
+                    core.dsm.wire_copy(t.owner, t.user, off, 1);
                 }
                 continue;
             };
@@ -59,7 +59,7 @@ impl CommBackend for Mp {
                 if group[0] == t.user {
                     for sr in &runs.runs {
                         self.mp.broadcast(
-                            &mut core.dsm.cluster,
+                            &mut core.dsm,
                             t.owner,
                             group,
                             sr.base,
@@ -87,7 +87,7 @@ impl CommBackend for Mp {
         plan_vec.extend(plans.into_values());
         let plans = plan_vec;
         self.mp
-            .apply_send_plans(&mut core.dsm.cluster, &plans, core.resolve_workers);
+            .apply_send_plans(&mut core.dsm, &plans, core.resolve_workers);
         self.mp.recycle_send_plans(plans);
         for &u in &users {
             self.mp.recv_all(&mut core.dsm.cluster, u);

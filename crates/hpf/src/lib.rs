@@ -17,13 +17,15 @@
 //! * [`report`] — `-Minfo`-style diagnostics of the per-loop analysis
 //!   and planning decisions;
 //! * [`exec`] — execution: a backend-agnostic BSP superstep driver
-//!   ([`exec::engine`]) plus three pluggable communication backends
+//!   ([`exec::engine`]) plus four pluggable communication backends
 //!   behind the [`exec::backend::CommBackend`] trait — unoptimized
 //!   shared memory ([`exec::sm_unopt`]), optimized shared memory with
-//!   compiler-orchestrated incoherence ([`exec::sm_opt`]), and message
-//!   passing ([`exec::mp`]) — all over the same program. Set
-//!   `FGDSM_TRACE=<path>` to export a run's structured event trace as
-//!   JSON.
+//!   compiler-orchestrated incoherence ([`exec::sm_opt`]), message
+//!   passing ([`exec::mp`]), and a channel-backed distributed backend
+//!   whose every transfer round-trips through encoded wire envelopes
+//!   ([`exec::chan`], `FGDSM_WIRE=strict` forces the same discipline on
+//!   the others) — all over the same program. Set `FGDSM_TRACE=<path>`
+//!   to export a run's structured event trace as JSON.
 
 pub mod analysis;
 pub mod dist;
@@ -37,7 +39,7 @@ pub use analysis::{analyze, LoopAccess, Transfer};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{
     execute, execute_profiled, execute_reference, execute_traced, Backend, ExecConfig,
-    InjectConfig, ParallelMode, PlannedXfer, PoolMode, ReferenceResult, RunResult,
+    InjectConfig, ParallelMode, PlannedXfer, PoolMode, ReferenceResult, RunResult, WireMode,
 };
 pub use ir::{
     ARef, ArrayHandle, CompDist, Kernel, KernelCtx, KernelFn, ParLoop, Program, ProgramBuilder,

@@ -47,6 +47,7 @@
 
 use crate::dir::DirState;
 use crate::proto::Dsm;
+use crate::wire::{WireHeader, WireMsg};
 use fgdsm_tempest::{Access, ChargeKind, CostModel, CtlPrim, Event, NodeId, NodeShard, NO_ARRAY};
 
 /// Fixed overhead of issuing any compiler-directed protocol call.
@@ -208,8 +209,15 @@ struct PlanOutcome {
 /// Pair-local apply of one plan: charges, message counters, and data
 /// copies against exactly the two shards the plan names. Everything that
 /// reaches beyond the pair is staged in the returned [`PlanOutcome`].
+///
+/// In strict wire mode `wire` carries the plan's decoded envelopes (one
+/// per payload, filled by copying out of the source shard at *plan*
+/// time) and the destination stores the envelope payload — the apply no
+/// longer reads the source shard's memory. Accounting is identical
+/// either way, so reports and traces cannot tell the paths apart.
 fn apply_plan(
     plan: &TransferPlan,
+    wire: Option<&[WireMsg]>,
     cfg: &CostModel,
     src: &mut NodeShard,
     dst: &mut NodeShard,
@@ -219,7 +227,7 @@ fn apply_plan(
         payloads: 0,
         blocks: 0,
     };
-    for p in &plan.payloads {
+    for (i, p) in plan.payloads.iter().enumerate() {
         let (s, _) = src.block_words(p.start_block);
         let (_, e) = src.block_words(p.start_block + p.n_blocks - 1);
         let bytes = (e - s) * 8;
@@ -234,7 +242,16 @@ fn apply_plan(
         );
         src.note_msg_at(bytes, p.start_block);
         dst.note_msg_recv(bytes);
-        dst.mem_mut()[s..e].copy_from_slice(&src.mem()[s..e]);
+        if let Some(msgs) = wire {
+            let words = msgs[i].words();
+            debug_assert_eq!(words.len(), e - s, "wire payload vs plan geometry");
+            let mem = dst.mem_mut();
+            for (k, bits) in words.iter().enumerate() {
+                mem[s + k] = f64::from_bits(*bits);
+            }
+        } else {
+            dst.mem_mut()[s..e].copy_from_slice(&src.mem()[s..e]);
+        }
         match plan.op {
             PlanOp::Push => {
                 out.arrival = out.arrival.max(src.clock_ns() + cfg.net_latency_ns);
@@ -373,7 +390,7 @@ impl Dsm {
                     self.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                     self.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.copy_words(owner, h, s, e - s);
+                    self.wire_copy(owner, h, s, e - s);
                     *cost += cfg.block_bytes as u64 * cfg.per_byte_ns;
                 }
                 self.cluster.set_tag(owner, b, Access::Invalid);
@@ -386,7 +403,7 @@ impl Dsm {
         if need_data && node != h {
             self.cluster.charge_handler(h, cfg.block_copy_ns);
             self.cluster.note_msg_at(h, node, cfg.block_bytes, b);
-            self.cluster.copy_words(h, node, s, e - s);
+            self.wire_copy(h, node, s, e - s);
             *cost += cfg.block_bytes as u64 * cfg.per_byte_ns + cfg.block_copy_ns;
         }
         if h != node {
@@ -510,6 +527,7 @@ impl Dsm {
         }
         let mut out = self.plan_scratch.vecs.take();
         out.extend(plans.into_values());
+        self.wire_post_plan_frames(&out);
         out
     }
 
@@ -551,6 +569,7 @@ impl Dsm {
         }
         let mut out = self.plan_scratch.vecs.take();
         out.extend(plans.into_values());
+        self.wire_post_plan_frames(&out);
         out
     }
 
@@ -569,6 +588,105 @@ impl Dsm {
         self.plan_scratch.vecs.put(plans);
     }
 
+    /// Strict wire mode's encode half of the plan/apply pipeline: as soon
+    /// as a plan batch is finalized, fill one envelope per payload by
+    /// copying out of the source shard, encode it, and post the frame to
+    /// the destination's mailbox. From this point the plan no longer
+    /// needs the source shard alive — apply reads the decoded payload.
+    /// No-op on the fast path.
+    fn wire_post_plan_frames(&mut self, plans: &[TransferPlan]) {
+        if self.wire.is_none() {
+            return;
+        }
+        for plan in plans {
+            let ctx = self.cluster.node_trace(plan.src).context();
+            for p in &plan.payloads {
+                let (s, _) = self.cluster.block_words(p.start_block);
+                let (_, e) = self.cluster.block_words(p.start_block + p.n_blocks - 1);
+                let mut words = self.wire.as_mut().unwrap().words_pool.take();
+                words.extend(
+                    self.cluster.node_mem(plan.src)[s..e]
+                        .iter()
+                        .map(|x| x.to_bits()),
+                );
+                let hdr = WireHeader::for_blocks(
+                    plan.src,
+                    plan.dst,
+                    ctx,
+                    p.array,
+                    p.start_block,
+                    p.n_blocks,
+                );
+                let msg = match plan.op {
+                    PlanOp::Push => WireMsg::Push {
+                        hdr,
+                        start_block: p.start_block as u32,
+                        n_blocks: p.n_blocks as u32,
+                        words,
+                    },
+                    PlanOp::Flush => WireMsg::Flush {
+                        hdr,
+                        start_block: p.start_block as u32,
+                        n_blocks: p.n_blocks as u32,
+                        words,
+                    },
+                };
+                let w = self.wire.as_mut().unwrap();
+                let mut buf = w.mailbox.take_buf();
+                msg.encode(&mut buf);
+                w.frames += 1;
+                w.payload_bytes += msg.payload_bytes();
+                w.words_pool.put(msg.into_words());
+                w.mailbox.post(plan.dst, buf);
+            }
+        }
+    }
+
+    /// Strict wire mode's delivery stage: drain each destination's posted
+    /// frames from the mailbox, carry them through the transport, and
+    /// decode them back into envelopes in plan order (per-destination
+    /// FIFO order matches posting order, so frame *i* of a destination's
+    /// batch is payload *i* of its plans in batch order). Returns `None`
+    /// on the fast path. A frame the decoder rejects fails the run loudly.
+    fn wire_deliver(&mut self, plans: &[TransferPlan]) -> Option<Vec<Vec<WireMsg>>> {
+        use std::collections::{BTreeMap, VecDeque};
+        self.wire.as_ref()?;
+        let mut corrupt = self.take_corrupt_token();
+        let w = self.wire.as_mut().unwrap();
+        let mut routed: BTreeMap<NodeId, VecDeque<Vec<u8>>> = BTreeMap::new();
+        for plan in plans {
+            if routed.contains_key(&plan.dst) {
+                continue;
+            }
+            let mut frames = w.mailbox.take_inbox(plan.dst);
+            if corrupt {
+                if let Some(f) = frames.first_mut() {
+                    crate::proto::corrupt_frame(f);
+                    corrupt = false;
+                }
+            }
+            let frames = w.transport.route(plan.dst, frames);
+            routed.insert(plan.dst, frames.into());
+        }
+        let mut decoded = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let q = routed.get_mut(&plan.dst).expect("routed batch per dst");
+            let mut msgs = Vec::with_capacity(plan.payloads.len());
+            for _ in 0..plan.payloads.len() {
+                let frame = q.pop_front().expect("wire: frame for planned payload");
+                match WireMsg::from_bytes(&frame) {
+                    Ok(m) => msgs.push(m),
+                    Err(e) => panic!("wire: envelope decode failed at node {}: {e}", plan.dst),
+                }
+                w.mailbox.recycle_buf(frame);
+            }
+            decoded.push(msgs);
+        }
+        debug_assert!(routed.values().all(|q| q.is_empty()));
+        debug_assert!(w.mailbox.all_delivered());
+        Some(decoded)
+    }
+
     /// Apply stage: execute the plans' pair-local work over disjoint shard
     /// pairs — concurrently with up to `workers` threads where plans share
     /// no node — then fold the staged cross-pair state (ctl inboxes,
@@ -580,6 +698,7 @@ impl Dsm {
         if plans.is_empty() {
             return;
         }
+        let decoded = self.wire_deliver(plans);
         let cfg = self.cluster.cfg().clone();
         let mut order: Vec<usize> = (0..plans.len()).collect();
         if workers > 1 && self.inj_reorder_plan_apply() {
@@ -610,8 +729,16 @@ impl Dsm {
             .map(|&i| (plans[i].src, plans[i].dst))
             .collect();
         let order_ref = &order;
+        let decoded_ref = decoded.as_deref();
         let mut outcomes = self.cluster.apply_pairwise(&pairs, workers, |k, sa, sb| {
-            apply_plan(&plans[order_ref[k]], &cfg, sa, sb)
+            let j = order_ref[k];
+            apply_plan(
+                &plans[j],
+                decoded_ref.map(|d| d[j].as_slice()),
+                &cfg,
+                sa,
+                sb,
+            )
         });
         if misfold && outcomes.len() > 1 {
             outcomes.rotate_left(1);
@@ -634,6 +761,14 @@ impl Dsm {
                             self.set_dir(b, DirState::Excl { owner: plan.dst });
                         }
                     }
+                }
+            }
+        }
+        if let Some(d) = decoded {
+            let w = self.wire.as_mut().expect("wire state present when strict");
+            for msgs in d {
+                for m in msgs {
+                    w.words_pool.put(m.into_words());
                 }
             }
         }

@@ -97,7 +97,7 @@ impl Protocol for EagerInvalidate {
                     cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.dir_lookup_ns,
                 );
                 // Data: owner → home, owner downgrades, home readable.
-                d.cluster.copy_words(owner, h, s, e - s);
+                d.wire_copy(owner, h, s, e - s);
                 d.cluster.set_tag(owner, b, Access::ReadOnly);
                 d.cluster.set_tag(h, b, Access::ReadOnly);
                 stall += d.data_home_to(p, h, b);
@@ -117,13 +117,11 @@ impl Protocol for EagerInvalidate {
                 for w in DirState::nodes(writers) {
                     let mask = d.diff_mask(w, b);
                     if mask != 0 && w != h {
-                        let bytes = 8 + 8 * mask.count_ones() as usize;
-                        d.cluster.note_msg_at(w, h, bytes, b);
+                        let bytes = d.wire_diff(w, h, b, mask);
                         d.cluster
                             .charge_handler(w, cfg.handler_dispatch_ns + cfg.block_copy_ns);
                         d.cluster
                             .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                        d.cluster.merge_block_words(w, h, b, mask);
                         stall += cfg.one_way_ns(bytes) + d.hc(2 * cfg.handler_dispatch_ns);
                     } else if mask != 0 {
                         d.cluster.merge_block_words(w, h, b, mask);
@@ -210,7 +208,7 @@ impl Protocol for EagerInvalidate {
                     d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.cluster.copy_words(owner, h, s, e - s);
+                    d.wire_copy(owner, h, s, e - s);
                     stall += cfg.one_way_ns(8)
                         + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
                         + cfg.one_way_ns(cfg.block_bytes)
@@ -281,7 +279,7 @@ impl Protocol for EagerInvalidate {
                     d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.cluster.copy_words(owner, h, s, e - s);
+                    d.wire_copy(owner, h, s, e - s);
                     stall += cfg.one_way_ns(8)
                         + d.hc(2 * cfg.handler_dispatch_ns + 2 * cfg.block_copy_ns)
                         + cfg.one_way_ns(cfg.block_bytes);
@@ -343,14 +341,11 @@ impl Protocol for EagerInvalidate {
             }
             for w in DirState::nodes(writers) {
                 let mask = d.diff_mask(w, b);
-                let dirty = mask.count_ones() as usize;
-                let bytes = 8 + 8 * dirty;
                 if w != h {
-                    d.cluster.note_msg_at(w, h, bytes, b);
+                    d.wire_diff(w, h, b, mask);
                     d.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
                     d.cluster
                         .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.cluster.merge_block_words(w, h, b, mask);
                 }
                 d.cluster.set_tag(w, b, Access::Invalid);
                 d.remove_twin(w, b);

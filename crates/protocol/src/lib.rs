@@ -30,6 +30,7 @@ pub mod eager;
 pub mod mp;
 pub mod proto;
 pub mod update;
+pub mod wire;
 
 pub use ctl::{
     CtlStats, FlushEntry, Payload, PlanOp, SendEntry, TransferPlan, PAR_APPLY_MIN_WORDS,
@@ -41,3 +42,7 @@ pub use mp::{MpRuntime, MpSendPlan};
 pub use proto::Injection;
 pub use proto::{Dsm, Protocol, ProtocolKind};
 pub use update::WriteUpdate;
+pub use wire::{
+    diff_bytes, ChanTransport, Loopback, WireError, WireHeader, WireMsg, WireTransport, WIRE_MAGIC,
+    WIRE_VERSION,
+};

@@ -11,7 +11,9 @@
 //! fixed per-message software overhead (`mp_per_message_ns`) plus a
 //! per-element marshalling cost (`mp_per_element_ns`) on each side.
 
-use fgdsm_tempest::{ChargeKind, Cluster, Event, NodeId, ReduceOp, NO_BLOCK};
+use crate::proto::Dsm;
+use crate::wire::{WireHeader, WireMsg};
+use fgdsm_tempest::{ChargeKind, Cluster, Event, NodeId, ReduceOp, NO_ARRAY, NO_BLOCK};
 
 /// A planned batch of strided sends from one source to one destination —
 /// the message-passing analogue of [`crate::ctl::TransferPlan`], applied
@@ -157,10 +159,17 @@ impl MpRuntime {
     /// [`Cluster::apply_pairwise`]); inbox state folds in plan index
     /// order, so the result is byte-identical to calling
     /// [`MpRuntime::send_strided`] per section in plan order.
-    pub fn apply_send_plans(&mut self, cl: &mut Cluster, plans: &[MpSendPlan], workers: usize) {
+    ///
+    /// In strict wire mode each section is packed into a
+    /// [`WireMsg::Strided`] envelope at plan time, carried by the
+    /// transport, and unpacked from the decoded payload — same charges,
+    /// same counters, bit-identical data.
+    pub fn apply_send_plans(&mut self, d: &mut Dsm, plans: &[MpSendPlan], workers: usize) {
         if plans.is_empty() {
             return;
         }
+        let decoded = mp_wire_deliver(d, plans);
+        let cl = &mut d.cluster;
         let cfg = cl.cfg().clone();
         let total_elems: usize = plans
             .iter()
@@ -173,10 +182,12 @@ impl MpRuntime {
             workers
         };
         let pairs: Vec<(NodeId, NodeId)> = plans.iter().map(|p| (p.src, p.dst)).collect();
+        let decoded_ref = decoded.as_deref();
         let outcomes = cl.apply_pairwise(&pairs, workers, |k, src, dst| {
             let plan = &plans[k];
+            let wire_msgs = decoded_ref.map(|dd| dd[k].as_slice());
             let (mut arrival, mut msgs, mut elems_total) = (0u64, 0u64, 0u64);
-            for &(base, run_len, stride, count) in &plan.sections {
+            for (j, &(base, run_len, stride, count)) in plan.sections.iter().enumerate() {
                 let elems = run_len * count;
                 let bytes = elems * 8;
                 // Same accounting as `send_strided`: one message per
@@ -189,7 +200,17 @@ impl MpRuntime {
                     let s = base + i * stride;
                     src.note_msg_at(run_len * 8, src.block_of(s));
                     dst.note_msg_recv(run_len * 8);
-                    dst.mem_mut()[s..s + run_len].copy_from_slice(&src.mem()[s..s + run_len]);
+                    if let Some(msgs) = wire_msgs {
+                        let WireMsg::Strided { words, .. } = &msgs[j] else {
+                            unreachable!("mp plan section delivered a non-Strided envelope")
+                        };
+                        let mem = dst.mem_mut();
+                        for (t, bits) in words[i * run_len..(i + 1) * run_len].iter().enumerate() {
+                            mem[s + t] = f64::from_bits(*bits);
+                        }
+                    } else {
+                        dst.mem_mut()[s..s + run_len].copy_from_slice(&src.mem()[s..s + run_len]);
+                    }
                     dst.map_range(s, run_len);
                 }
                 arrival = arrival.max(src.clock_ns() + cfg.net_latency_ns);
@@ -204,6 +225,14 @@ impl MpRuntime {
             self.inbox_msgs[dst] += msgs;
             self.inbox_elems[dst] += elems;
         }
+        if let Some(dd) = decoded {
+            let w = d.wire.as_mut().expect("wire state present when strict");
+            for msgs in dd {
+                for m in msgs {
+                    w.words_pool.put(m.into_words());
+                }
+            }
+        }
     }
 
     /// Broadcast a strided region from `src` to several receivers through
@@ -214,7 +243,7 @@ impl MpRuntime {
     #[allow(clippy::too_many_arguments)]
     pub fn broadcast(
         &mut self,
-        cl: &mut Cluster,
+        d: &mut Dsm,
         src: NodeId,
         dsts: &[NodeId],
         base: usize,
@@ -222,7 +251,7 @@ impl MpRuntime {
         stride: usize,
         count: usize,
     ) {
-        let cfg = cl.cfg().clone();
+        let cfg = d.cluster.cfg().clone();
         let elems = run_len * count;
         let bytes = elems * 8;
         // Sender: one runtime call, one *contiguous* pack (the collective
@@ -231,9 +260,9 @@ impl MpRuntime {
         let cost = cfg.mp_per_message_ns
             + 2 * bytes as u64 * cfg.per_byte_ns // memcpy + wire occupancy
             + cfg.msg_send_ns;
-        cl.charge(src, cost, ChargeKind::Stall);
+        d.cluster.charge(src, cost, ChargeKind::Stall);
         let depth = (usize::BITS - dsts.len().leading_zeros()) as u64; // ⌈log₂(n+1)⌉
-        let arrival = cl.clock_ns(src)
+        let arrival = d.cluster.clock_ns(src)
             + depth
                 * (cfg.net_latency_ns + cfg.handler_dispatch_ns + bytes as u64 * cfg.per_byte_ns);
         for &dst in dsts {
@@ -241,11 +270,56 @@ impl MpRuntime {
             // Star accounting: the payload reaches every receiver, so one
             // logical message per destination keeps the cluster-wide
             // sent/received counters balanced (time is still tree-shaped).
-            cl.note_msg(src, dst, bytes);
-            for i in 0..count {
-                let s = base + i * stride;
-                cl.copy_words(src, dst, s, run_len);
-                cl.map_range(dst, s, run_len);
+            d.cluster.note_msg(src, dst, bytes);
+            if d.wire_strict() {
+                // One forwarded image per receiver: the packed section
+                // rides a Strided envelope and lands from the decoded
+                // payload.
+                let ctx = d.cluster.node_trace(src).context();
+                let b0 = d.cluster.block_of(base);
+                let hdr = WireHeader::for_blocks(src, dst, ctx, NO_ARRAY, b0, 1);
+                let mut words = d.wire.as_mut().unwrap().words_pool.take();
+                {
+                    let mem = d.cluster.node_mem(src);
+                    for i in 0..count {
+                        let s = base + i * stride;
+                        words.extend(mem[s..s + run_len].iter().map(|x| x.to_bits()));
+                    }
+                }
+                let msg = WireMsg::Strided {
+                    hdr,
+                    base: base as u64,
+                    run_len: run_len as u32,
+                    stride: stride as u64,
+                    count: count as u32,
+                    words,
+                };
+                match d.wire_route_one(msg) {
+                    WireMsg::Strided { words, .. } => {
+                        let mem = d.cluster.node_mem_mut(dst);
+                        for i in 0..count {
+                            let s = base + i * stride;
+                            for (t, bits) in
+                                words[i * run_len..(i + 1) * run_len].iter().enumerate()
+                            {
+                                mem[s + t] = f64::from_bits(*bits);
+                            }
+                        }
+                        d.wire.as_mut().unwrap().words_pool.put(words);
+                    }
+                    other => {
+                        panic!("wire: expected Strided envelope, got kind {}", other.kind())
+                    }
+                }
+                for i in 0..count {
+                    d.cluster.map_range(dst, base + i * stride, run_len);
+                }
+            } else {
+                for i in 0..count {
+                    let s = base + i * stride;
+                    d.cluster.copy_words(src, dst, s, run_len);
+                    d.cluster.map_range(dst, s, run_len);
+                }
             }
             self.inbox_arrival[dst] = self.inbox_arrival[dst].max(arrival);
             self.inbox_msgs[dst] += 1;
@@ -318,6 +392,81 @@ impl MpRuntime {
     }
 }
 
+/// Strict wire mode's plan delivery for the message-passing backend: pack
+/// each plan section into a [`WireMsg::Strided`] envelope (payload copied
+/// out of the source shard at plan time), post the frames per
+/// destination, carry them through the transport, and decode them back in
+/// plan order. Returns `None` on the fast path. Mirrors the ctl
+/// pipeline's encode/deliver stages.
+fn mp_wire_deliver(d: &mut Dsm, plans: &[MpSendPlan]) -> Option<Vec<Vec<WireMsg>>> {
+    use std::collections::{BTreeMap, VecDeque};
+    d.wire.as_ref()?;
+    for plan in plans {
+        let ctx = d.cluster.node_trace(plan.src).context();
+        for &(base, run_len, stride, count) in &plan.sections {
+            let mut words = d.wire.as_mut().unwrap().words_pool.take();
+            {
+                let mem = d.cluster.node_mem(plan.src);
+                for i in 0..count {
+                    let s = base + i * stride;
+                    words.extend(mem[s..s + run_len].iter().map(|x| x.to_bits()));
+                }
+            }
+            let b0 = d.cluster.block_of(base);
+            let hdr = WireHeader::for_blocks(plan.src, plan.dst, ctx, NO_ARRAY, b0, 1);
+            let msg = WireMsg::Strided {
+                hdr,
+                base: base as u64,
+                run_len: run_len as u32,
+                stride: stride as u64,
+                count: count as u32,
+                words,
+            };
+            let w = d.wire.as_mut().unwrap();
+            let mut buf = w.mailbox.take_buf();
+            msg.encode(&mut buf);
+            w.frames += 1;
+            w.payload_bytes += msg.payload_bytes();
+            w.words_pool.put(msg.into_words());
+            w.mailbox.post(plan.dst, buf);
+        }
+    }
+    let mut corrupt = d.take_corrupt_token();
+    let w = d.wire.as_mut().unwrap();
+    let mut routed: BTreeMap<NodeId, VecDeque<Vec<u8>>> = BTreeMap::new();
+    for plan in plans {
+        if routed.contains_key(&plan.dst) {
+            continue;
+        }
+        let mut frames = w.mailbox.take_inbox(plan.dst);
+        if corrupt {
+            if let Some(f) = frames.first_mut() {
+                crate::proto::corrupt_frame(f);
+                corrupt = false;
+            }
+        }
+        let frames = w.transport.route(plan.dst, frames);
+        routed.insert(plan.dst, frames.into());
+    }
+    let mut decoded = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let q = routed.get_mut(&plan.dst).expect("routed batch per dst");
+        let mut msgs = Vec::with_capacity(plan.sections.len());
+        for _ in 0..plan.sections.len() {
+            let frame = q.pop_front().expect("wire: frame for planned section");
+            match WireMsg::from_bytes(&frame) {
+                Ok(m) => msgs.push(m),
+                Err(e) => panic!("wire: envelope decode failed at node {}: {e}", plan.dst),
+            }
+            w.mailbox.recycle_buf(frame);
+        }
+        decoded.push(msgs);
+    }
+    debug_assert!(routed.values().all(|q| q.is_empty()));
+    debug_assert!(w.mailbox.all_delivered());
+    Some(decoded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,16 +511,16 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_all_with_single_pack() {
-        let mut cl = cluster(4);
+        let mut d = Dsm::new(cluster(4));
         let mut mp = MpRuntime::new(4);
-        cl.node_mem_mut(0)[5] = 9.0;
-        mp.broadcast(&mut cl, 0, &[1, 2, 3], 0, 16, 1, 1);
+        d.cluster.node_mem_mut(0)[5] = 9.0;
+        mp.broadcast(&mut d, 0, &[1, 2, 3], 0, 16, 1, 1);
         for n in 1..4 {
-            mp.recv_all(&mut cl, n);
-            assert_eq!(cl.node_mem(n)[5], 9.0);
+            mp.recv_all(&mut d.cluster, n);
+            assert_eq!(d.cluster.node_mem(n)[5], 9.0);
         }
         // Sender pays the runtime overhead once, not once per receiver.
-        assert!(cl.stats(0).stall_ns < 2 * cl.cfg().mp_per_message_ns);
+        assert!(d.cluster.stats(0).stall_ns < 2 * d.cluster.cfg().mp_per_message_ns);
     }
 
     #[test]

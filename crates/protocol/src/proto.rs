@@ -13,7 +13,8 @@
 use crate::dir::DirState;
 use crate::eager::EagerInvalidate;
 use crate::update::WriteUpdate;
-use fgdsm_tempest::{Access, Cluster, NodeId};
+use crate::wire::{WireHeader, WireMsg, WireTransport};
+use fgdsm_tempest::{Access, Cluster, Mailbox, NodeId, VecPool, NO_ARRAY};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which built-in default coherence protocol the DSM runs.
@@ -96,12 +97,58 @@ pub struct Dsm {
     /// supersteps by [`Dsm::recycle_plans`] so steady-state planning
     /// allocates nothing.
     pub(crate) plan_scratch: crate::ctl::PlanScratch,
+    /// Strict wire mode: when present, every inter-node data movement is
+    /// encoded into a [`WireMsg`] envelope, carried by the transport, and
+    /// applied from the decoded payload (`None` = zero-copy fast path).
+    pub(crate) wire: Option<WireState>,
     /// Active contract mutations (fuzzer teeth; all off by default).
     #[cfg(feature = "fault-inject")]
     injection: Injection,
     /// The active protocol; taken out during dispatch to avoid a double
     /// borrow, always put back (`None` only mid-call).
     proto: Option<Box<dyn Protocol>>,
+}
+
+/// Everything strict wire mode needs: the per-node [`Mailbox`] staging
+/// encoded frames, the transport that carries them, payload-buffer
+/// recycling, and frame/byte counters for reconciliation against
+/// `NodeStats`.
+pub(crate) struct WireState {
+    pub mailbox: Mailbox,
+    pub transport: Box<dyn WireTransport>,
+    /// Recycled payload buffers (PR-6 scratch discipline): encode takes
+    /// one, apply hands the decoded payload back.
+    pub words_pool: VecPool<u64>,
+    /// Envelopes routed so far.
+    pub frames: u64,
+    /// Total on-wire payload bytes ([`WireMsg::payload_bytes`]).
+    pub payload_bytes: u64,
+    /// One-shot marker: the `corrupt_envelope` injection has fired.
+    /// Only consulted when the `fault-inject` feature is compiled in.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    pub corrupted: bool,
+}
+
+impl WireState {
+    fn new(nprocs: usize, transport: Box<dyn WireTransport>) -> Self {
+        WireState {
+            mailbox: Mailbox::new(nprocs),
+            transport,
+            words_pool: VecPool::default(),
+            frames: 0,
+            payload_bytes: 0,
+            corrupted: false,
+        }
+    }
+}
+
+/// Deliberately damage an encoded frame for the `corrupt_envelope`
+/// must-catch injection: flipping a version bit leaves the payload
+/// intact, so only a decoder that actually validates will notice.
+pub(crate) fn corrupt_frame(buf: &mut [u8]) {
+    if buf.len() > 2 {
+        buf[2] ^= 0x40;
+    }
 }
 
 /// Deliberate contract violations for the differential fuzzer's
@@ -130,6 +177,11 @@ pub struct Injection {
     /// determinism oracle must catch (arrival times and inbox counters
     /// land on the wrong receivers).
     pub misfold_pool: bool,
+    /// Flip a byte inside the first envelope routed in strict wire mode:
+    /// `WireMsg::from_bytes` must reject the frame and fail the run
+    /// loudly, proving decode validation has teeth (a vacuous decoder
+    /// would apply the payload anyway and diverge from nothing).
+    pub corrupt_envelope: bool,
 }
 
 impl Dsm {
@@ -168,10 +220,34 @@ impl Dsm {
             inbox_blocks: vec![0; nprocs],
             iw_memo: std::collections::BTreeSet::new(),
             plan_scratch: crate::ctl::PlanScratch::default(),
+            wire: None,
             #[cfg(feature = "fault-inject")]
             injection: Injection::default(),
             proto: Some(proto),
         }
+    }
+
+    /// Switch on strict wire mode: from here on, every inter-node data
+    /// movement round-trips through an encoded [`WireMsg`] carried by
+    /// `transport`. Observable behavior (clocks, stats, traces, data)
+    /// is byte-identical to the fast path — only the data path changes.
+    pub fn set_wire(&mut self, transport: Box<dyn WireTransport>) {
+        let nprocs = self.cluster.nprocs();
+        self.wire = Some(WireState::new(nprocs, transport));
+    }
+
+    /// Whether strict wire mode is active.
+    pub fn wire_strict(&self) -> bool {
+        self.wire.is_some()
+    }
+
+    /// `(frames routed, payload bytes)` so far; `(0, 0)` on the fast
+    /// path. Exposed outside the report so wire accounting can be
+    /// reconciled against `NodeStats` without perturbing byte-identity.
+    pub fn wire_stats(&self) -> (u64, u64) {
+        self.wire
+            .as_ref()
+            .map_or((0, 0), |w| (w.frames, w.payload_bytes))
     }
 
     /// Arm (or disarm) the must-catch contract mutations. Compiled only
@@ -232,6 +308,145 @@ impl Dsm {
         {
             false
         }
+    }
+
+    /// Consume the one-shot `corrupt_envelope` token: true exactly once
+    /// per run, for the first routed frame, when the injection is armed
+    /// and strict wire mode is active.
+    pub(crate) fn take_corrupt_token(&mut self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            if self.injection.corrupt_envelope {
+                if let Some(w) = self.wire.as_mut() {
+                    if !w.corrupted {
+                        w.corrupted = true;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Strict wire mode: envelope encode / route / decode / apply
+    // ------------------------------------------------------------------
+
+    /// Encode `msg`, carry it through the transport as bytes, decode the
+    /// delivered frame. The source payload buffer is recycled; a frame
+    /// the decoder rejects fails the run loudly (dropped traffic is
+    /// never papered over).
+    pub(crate) fn wire_route_one(&mut self, msg: WireMsg) -> WireMsg {
+        let corrupt = self.take_corrupt_token();
+        let w = self.wire.as_mut().expect("wire_route_one: strict mode off");
+        let dst = msg.hdr().dst as usize;
+        let mut buf = w.mailbox.take_buf();
+        msg.encode(&mut buf);
+        w.frames += 1;
+        w.payload_bytes += msg.payload_bytes();
+        w.words_pool.put(msg.into_words());
+        if corrupt {
+            corrupt_frame(&mut buf);
+        }
+        let mut frames = w.transport.route(dst, vec![buf]);
+        let frame = frames.pop().expect("wire: transport dropped a frame");
+        let out = match WireMsg::from_bytes(&frame) {
+            Ok(m) => m,
+            Err(e) => panic!("wire: envelope decode failed at node {dst}: {e}"),
+        };
+        w.mailbox.recycle_buf(frame);
+        out
+    }
+
+    /// Move `len` words `src → dst` starting at word `start`. Fast path:
+    /// a direct shard-to-shard copy. Strict wire mode: the words travel
+    /// as an encoded [`WireMsg::Copy`] through the transport and land
+    /// from the decoded payload — behaviorally identical, bit for bit.
+    /// Charges and message accounting stay at the call sites.
+    pub fn wire_copy(&mut self, src: NodeId, dst: NodeId, start: usize, len: usize) {
+        if src == dst || len == 0 {
+            return;
+        }
+        if self.wire.is_none() {
+            self.cluster.copy_words(src, dst, start, len);
+            return;
+        }
+        let ctx = self.cluster.node_trace(src).context();
+        let b0 = self.cluster.block_of(start);
+        let b1 = self.cluster.block_of(start + len - 1);
+        let hdr = WireHeader::for_blocks(src, dst, ctx, NO_ARRAY, b0, b1 - b0 + 1);
+        let mut words = self.wire.as_mut().unwrap().words_pool.take();
+        words.extend(
+            self.cluster.node_mem(src)[start..start + len]
+                .iter()
+                .map(|x| x.to_bits()),
+        );
+        let msg = WireMsg::Copy {
+            hdr,
+            start_word: start as u64,
+            words,
+        };
+        match self.wire_route_one(msg) {
+            WireMsg::Copy {
+                start_word, words, ..
+            } => {
+                let s = start_word as usize;
+                let mem = self.cluster.node_mem_mut(dst);
+                for (i, bits) in words.iter().enumerate() {
+                    mem[s + i] = f64::from_bits(*bits);
+                }
+                self.wire.as_mut().unwrap().words_pool.put(words);
+            }
+            other => panic!("wire: expected Copy envelope, got kind {}", other.kind()),
+        }
+    }
+
+    /// The single home of (array, block) diff attribution: account the
+    /// word-diff message `src → dst` for block `b` (the mask word plus
+    /// one word per dirty bit, [`crate::wire::diff_bytes`]) and move the
+    /// masked words — enveloped as [`WireMsg::Diff`] in strict wire
+    /// mode. Returns the on-wire bytes for the caller's latency charge.
+    pub fn wire_diff(&mut self, src: NodeId, dst: NodeId, b: usize, mask: u64) -> usize {
+        let bytes = crate::wire::diff_bytes(mask);
+        self.cluster.note_msg_at(src, dst, bytes, b);
+        if self.wire.is_none() {
+            self.cluster.merge_block_words(src, dst, b, mask);
+            return bytes;
+        }
+        let ctx = self.cluster.node_trace(src).context();
+        let hdr = WireHeader::for_blocks(src, dst, ctx, NO_ARRAY, b, 1);
+        let (s, _) = self.cluster.block_words(b);
+        let mut words = self.wire.as_mut().unwrap().words_pool.take();
+        let mem = self.cluster.node_mem(src);
+        for bit in 0..64u32 {
+            if mask & (1u64 << bit) != 0 {
+                words.push(mem[s + bit as usize].to_bits());
+            }
+        }
+        let msg = WireMsg::Diff {
+            hdr,
+            block: b as u64,
+            mask,
+            words,
+        };
+        match self.wire_route_one(msg) {
+            WireMsg::Diff {
+                block, mask, words, ..
+            } => {
+                let (s, _) = self.cluster.block_words(block as usize);
+                let mem = self.cluster.node_mem_mut(dst);
+                let mut i = 0;
+                for bit in 0..64u32 {
+                    if mask & (1u64 << bit) != 0 {
+                        mem[s + bit as usize] = f64::from_bits(words[i]);
+                        i += 1;
+                    }
+                }
+                self.wire.as_mut().unwrap().words_pool.put(words);
+            }
+            other => panic!("wire: expected Diff envelope, got kind {}", other.kind()),
+        }
+        bytes
     }
 
     fn proto(&self) -> &dyn Protocol {
@@ -338,7 +553,7 @@ impl Dsm {
         }
         self.cluster.charge_handler(h, cfg.block_copy_ns);
         self.cluster.note_msg_at(h, p, cfg.block_bytes, b);
-        self.cluster.copy_words(h, p, s, e - s);
+        self.wire_copy(h, p, s, e - s);
         self.hc(cfg.block_copy_ns)
             + cfg.one_way_ns(cfg.block_bytes)
             + self.hc(cfg.handler_dispatch_ns)

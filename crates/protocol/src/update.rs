@@ -162,7 +162,6 @@ impl Protocol for WriteUpdate {
             if mask == 0 {
                 continue;
             }
-            let bytes = 8 + 8 * mask.count_ones() as usize;
             let DirState::Shared { readers } = d.dir_state(b) else {
                 unreachable!("update-protocol blocks are always Shared");
             };
@@ -170,11 +169,10 @@ impl Protocol for WriteUpdate {
                 if t == w {
                     continue;
                 }
-                d.cluster.note_msg_at(w, t, bytes, b);
+                d.wire_diff(w, t, b, mask);
                 d.cluster.charge(w, cfg.msg_send_ns, ChargeKind::Stall);
                 d.cluster
                     .charge_handler(t, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                d.cluster.merge_block_words(w, t, b, mask);
             }
         }
     }

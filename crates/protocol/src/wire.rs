@@ -1,0 +1,704 @@
+//! Serializable message envelopes: the wire format under every
+//! inter-node transfer.
+//!
+//! PR 4's plan/apply seam moved data with in-process structs that
+//! borrow shard memory (`TransferPlan` ranges, `MpSendPlan` sections,
+//! per-block fault copies). This module gives all of them one
+//! self-contained representation: a [`WireMsg`] envelope carrying an
+//! attributed header plus an explicit payload buffer, with a versioned,
+//! deterministic binary encoding (`to_bytes`/`from_bytes`, no external
+//! serialization dependency). Planning fills payloads by copying out of
+//! the source shard, so a routed envelope no longer needs the source
+//! alive — the property a cross-process transport needs.
+//!
+//! ## v1 binary layout (all fields little-endian)
+//!
+//! | offset | field | type |
+//! |---|---|---|
+//! | 0 | magic (`0xFD57`) | u16 |
+//! | 2 | version (`1`) | u16 |
+//! | 4 | kind (0=Push 1=Flush 2=Copy 3=Diff 4=Strided) | u8 |
+//! | 5 | src | u32 |
+//! | 9 | dst | u32 |
+//! | 13 | superstep | u32 |
+//! | 17 | loop_id | u32 |
+//! | 21 | array | u32 |
+//! | 25 | block-list length `n` | u32 |
+//! | 29 | attributed blocks | n × u32 |
+//! | … | variant fields (see [`WireMsg`]) | — |
+//! | … | payload length `w` | u64 |
+//! | … | payload words (`f64::to_bits`) | w × u64 |
+//!
+//! Versioning rule: any change to the header layout or a variant's
+//! field set bumps `WIRE_VERSION`; decoders reject every version they
+//! were not built for (no silent best-effort parsing). The golden-bytes
+//! test below pins the v1 layout against accidental breaks.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// First two bytes of every frame.
+pub const WIRE_MAGIC: u16 = 0xFD57;
+/// Current format version; decoders accept exactly this.
+pub const WIRE_VERSION: u16 = 1;
+
+/// On-wire size in bytes of a word-diff message body for `mask`: the
+/// 8-byte dirty mask plus one 8-byte word per set bit. This is the one
+/// place the diff-size arithmetic lives — the eager/update release
+/// paths and the envelope encoder all charge through it, so profiler
+/// attribution and wire accounting can never drift apart.
+pub fn diff_bytes(mask: u64) -> usize {
+    8 + 8 * mask.count_ones() as usize
+}
+
+/// Everything a receiver needs to account a transfer without looking at
+/// the sender's state: endpoints, the superstep/loop the transfer is
+/// attributed to (filled at encode time, exactly once), the array it
+/// belongs to (`NO_ARRAY` for protocol-level fault traffic), and the
+/// blocks it touches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireHeader {
+    pub src: u32,
+    pub dst: u32,
+    pub superstep: u32,
+    pub loop_id: u32,
+    pub array: u32,
+    pub blocks: Vec<u32>,
+}
+
+impl WireHeader {
+    /// Header for a transfer covering the block range `[first, first+n)`.
+    pub fn for_blocks(
+        src: usize,
+        dst: usize,
+        ctx: (u32, u32),
+        array: u32,
+        first: usize,
+        n: usize,
+    ) -> Self {
+        WireHeader {
+            src: src as u32,
+            dst: dst as u32,
+            superstep: ctx.0,
+            loop_id: ctx.1,
+            array,
+            blocks: (first..first + n).map(|b| b as u32).collect(),
+        }
+    }
+}
+
+/// A self-contained transfer: header plus explicit payload words
+/// (`f64::to_bits` of the shard data, so bit-exactness survives NaNs).
+///
+/// The variants unify the three transfer shapes the backends produce:
+/// `Push`/`Flush` are the §4.2 ctl plan payloads (`TransferPlan`,
+/// recorded as `CtlSend` events), `Copy` and `Diff` are the default
+/// protocol's fault-path block fetches and multiple-writer diff merges,
+/// and `Strided` is a message-passing section (`MpSendPlan`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMsg {
+    /// Compiler-directed send: contiguous blocks, owner → reader.
+    Push {
+        hdr: WireHeader,
+        start_block: u32,
+        n_blocks: u32,
+        words: Vec<u64>,
+    },
+    /// Non-owner-write flush: contiguous blocks, writer → owner.
+    Flush {
+        hdr: WireHeader,
+        start_block: u32,
+        n_blocks: u32,
+        words: Vec<u64>,
+    },
+    /// Fault-path word-range fetch (block data to a faulting node).
+    Copy {
+        hdr: WireHeader,
+        start_word: u64,
+        words: Vec<u64>,
+    },
+    /// Word diff of one block: `words[i]` is the value for the `i`-th
+    /// set bit of `mask` (LSB first).
+    Diff {
+        hdr: WireHeader,
+        block: u64,
+        mask: u64,
+        words: Vec<u64>,
+    },
+    /// Message-passing section: `count` runs of `run_len` words,
+    /// starting at `base`, `stride` words apart; payload concatenates
+    /// the runs in order.
+    Strided {
+        hdr: WireHeader,
+        base: u64,
+        run_len: u32,
+        stride: u64,
+        count: u32,
+        words: Vec<u64>,
+    },
+}
+
+const KIND_PUSH: u8 = 0;
+const KIND_FLUSH: u8 = 1;
+const KIND_COPY: u8 = 2;
+const KIND_DIFF: u8 = 3;
+const KIND_STRIDED: u8 = 4;
+
+/// Why a frame failed to decode. Every variant is a hard error: a
+/// malformed frame is dropped traffic, never a best-effort apply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame ended before a declared field.
+    Truncated,
+    /// First two bytes are not [`WIRE_MAGIC`].
+    BadMagic(u16),
+    /// Version this decoder was not built for.
+    BadVersion(u16),
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// A declared count disagrees with the payload that follows.
+    CountMismatch(&'static str),
+    /// Bytes left over after the payload — the frame lies about itself.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#06x} (want {WIRE_MAGIC:#06x})"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v} (want {WIRE_VERSION})"),
+            WireError::BadKind(k) => write!(f, "unknown kind byte {k}"),
+            WireError::CountMismatch(what) => write!(f, "count mismatch: {what}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let s = self
+            .b
+            .get(self.pos..self.pos + n)
+            .ok_or(WireError::Truncated)?;
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl WireMsg {
+    pub fn kind(&self) -> u8 {
+        match self {
+            WireMsg::Push { .. } => KIND_PUSH,
+            WireMsg::Flush { .. } => KIND_FLUSH,
+            WireMsg::Copy { .. } => KIND_COPY,
+            WireMsg::Diff { .. } => KIND_DIFF,
+            WireMsg::Strided { .. } => KIND_STRIDED,
+        }
+    }
+
+    pub fn hdr(&self) -> &WireHeader {
+        match self {
+            WireMsg::Push { hdr, .. }
+            | WireMsg::Flush { hdr, .. }
+            | WireMsg::Copy { hdr, .. }
+            | WireMsg::Diff { hdr, .. }
+            | WireMsg::Strided { hdr, .. } => hdr,
+        }
+    }
+
+    /// The payload words.
+    pub fn words(&self) -> &[u64] {
+        match self {
+            WireMsg::Push { words, .. }
+            | WireMsg::Flush { words, .. }
+            | WireMsg::Copy { words, .. }
+            | WireMsg::Diff { words, .. }
+            | WireMsg::Strided { words, .. } => words,
+        }
+    }
+
+    /// Consume the envelope, handing back its payload buffer for pool
+    /// recycling.
+    pub fn into_words(self) -> Vec<u64> {
+        match self {
+            WireMsg::Push { words, .. }
+            | WireMsg::Flush { words, .. }
+            | WireMsg::Copy { words, .. }
+            | WireMsg::Diff { words, .. }
+            | WireMsg::Strided { words, .. } => words,
+        }
+    }
+
+    /// On-wire data bytes of this transfer: what the simulated network
+    /// carries beyond fixed headers. Matches the byte counts the
+    /// protocols feed `note_msg_at`, so wire accounting reconciles with
+    /// `NodeStats` (a Diff counts its 8-byte mask, exactly like the
+    /// `diff_bytes` charge).
+    pub fn payload_bytes(&self) -> u64 {
+        let extra = match self {
+            WireMsg::Diff { .. } => 8,
+            _ => 0,
+        };
+        extra + 8 * self.words().len() as u64
+    }
+
+    /// Append the v1 encoding of `self` to `out` (which is cleared
+    /// first, so pooled buffers can be passed straight in).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&WIRE_MAGIC.to_le_bytes());
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.push(self.kind());
+        let hdr = self.hdr();
+        for f in [hdr.src, hdr.dst, hdr.superstep, hdr.loop_id, hdr.array] {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out.extend_from_slice(&(hdr.blocks.len() as u32).to_le_bytes());
+        for b in &hdr.blocks {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        match self {
+            WireMsg::Push {
+                start_block,
+                n_blocks,
+                ..
+            }
+            | WireMsg::Flush {
+                start_block,
+                n_blocks,
+                ..
+            } => {
+                out.extend_from_slice(&start_block.to_le_bytes());
+                out.extend_from_slice(&n_blocks.to_le_bytes());
+            }
+            WireMsg::Copy { start_word, .. } => {
+                out.extend_from_slice(&start_word.to_le_bytes());
+            }
+            WireMsg::Diff { block, mask, .. } => {
+                out.extend_from_slice(&block.to_le_bytes());
+                out.extend_from_slice(&mask.to_le_bytes());
+            }
+            WireMsg::Strided {
+                base,
+                run_len,
+                stride,
+                count,
+                ..
+            } => {
+                out.extend_from_slice(&base.to_le_bytes());
+                out.extend_from_slice(&run_len.to_le_bytes());
+                out.extend_from_slice(&stride.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        let words = self.words();
+        out.extend_from_slice(&(words.len() as u64).to_le_bytes());
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// The v1 encoding as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + 8 * self.words().len());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode and validate a v1 frame. Rejects wrong magic/version,
+    /// unknown kinds, truncation, count/payload disagreements and
+    /// trailing bytes — a frame either reconstructs the exact envelope
+    /// that was encoded or it is an error, never a partial apply.
+    pub fn from_bytes(bytes: &[u8]) -> Result<WireMsg, WireError> {
+        let mut c = Cursor { b: bytes, pos: 0 };
+        let magic = c.u16()?;
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = c.u16()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = c.u8()?;
+        let (src, dst, superstep, loop_id, array) =
+            (c.u32()?, c.u32()?, c.u32()?, c.u32()?, c.u32()?);
+        let nblocks = c.u32()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks.min(bytes.len() / 4));
+        for _ in 0..nblocks {
+            blocks.push(c.u32()?);
+        }
+        let hdr = WireHeader {
+            src,
+            dst,
+            superstep,
+            loop_id,
+            array,
+            blocks,
+        };
+        let msg = match kind {
+            KIND_PUSH | KIND_FLUSH => {
+                let start_block = c.u32()?;
+                let n_blocks = c.u32()?;
+                if n_blocks as usize != hdr.blocks.len() {
+                    return Err(WireError::CountMismatch("n_blocks vs header block list"));
+                }
+                let words = decode_words(&mut c)?;
+                if kind == KIND_PUSH {
+                    WireMsg::Push {
+                        hdr,
+                        start_block,
+                        n_blocks,
+                        words,
+                    }
+                } else {
+                    WireMsg::Flush {
+                        hdr,
+                        start_block,
+                        n_blocks,
+                        words,
+                    }
+                }
+            }
+            KIND_COPY => {
+                let start_word = c.u64()?;
+                let words = decode_words(&mut c)?;
+                WireMsg::Copy {
+                    hdr,
+                    start_word,
+                    words,
+                }
+            }
+            KIND_DIFF => {
+                let block = c.u64()?;
+                let mask = c.u64()?;
+                let words = decode_words(&mut c)?;
+                if words.len() != mask.count_ones() as usize {
+                    return Err(WireError::CountMismatch("diff mask popcount vs payload"));
+                }
+                WireMsg::Diff {
+                    hdr,
+                    block,
+                    mask,
+                    words,
+                }
+            }
+            KIND_STRIDED => {
+                let base = c.u64()?;
+                let run_len = c.u32()?;
+                let stride = c.u64()?;
+                let count = c.u32()?;
+                let words = decode_words(&mut c)?;
+                if words.len() != run_len as usize * count as usize {
+                    return Err(WireError::CountMismatch("run_len*count vs payload"));
+                }
+                WireMsg::Strided {
+                    hdr,
+                    base,
+                    run_len,
+                    stride,
+                    count,
+                    words,
+                }
+            }
+            k => return Err(WireError::BadKind(k)),
+        };
+        if c.pos != bytes.len() {
+            return Err(WireError::TrailingBytes(bytes.len() - c.pos));
+        }
+        Ok(msg)
+    }
+}
+
+fn decode_words(c: &mut Cursor<'_>) -> Result<Vec<u64>, WireError> {
+    let n = c.u64()? as usize;
+    // Guard the allocation against lying length prefixes before
+    // touching the heap: the remaining frame must actually hold n words.
+    match n.checked_mul(8) {
+        Some(need) if c.b.len() - c.pos >= need => {}
+        _ => return Err(WireError::Truncated),
+    }
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(c.u64()?);
+    }
+    Ok(words)
+}
+
+/// Carries encoded frames to their destination node. Implementations
+/// must deliver each batch in order and return exactly the frames that
+/// arrived; they never interpret payloads (the apply stage decodes).
+pub trait WireTransport {
+    fn name(&self) -> &'static str;
+    /// Route a batch of encoded frames to `dst`, returning the frames
+    /// as delivered (same order).
+    fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>>;
+}
+
+/// In-process delivery: frames arrive exactly as posted. This is the
+/// strict-mode transport for the sm_* backends — the bytes still pass
+/// through `to_bytes`/`from_bytes`, only the carry is a no-op.
+pub struct Loopback;
+
+impl WireTransport for Loopback {
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+    fn route(&mut self, _dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        frames
+    }
+}
+
+/// The `chan` backend's transport: one worker thread per node, linked
+/// by `std::sync::mpsc` channels. Workers share *no* shard memory —
+/// each receives owned byte buffers, reconstructs every envelope from
+/// bytes alone (`from_bytes`), re-encodes it into a fresh buffer and
+/// sends the bytes back. Every transfer therefore round-trips through
+/// the wire format across a real thread boundary twice; a frame the
+/// decoder rejects is reported back and fails the run loudly.
+pub struct ChanTransport {
+    to_node: Vec<Sender<Vec<Vec<u8>>>>,
+    from_node: Vec<Receiver<Result<Vec<Vec<u8>>, String>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ChanTransport {
+    pub fn new(nprocs: usize) -> Self {
+        let mut to_node = Vec::with_capacity(nprocs);
+        let mut from_node = Vec::with_capacity(nprocs);
+        let mut workers = Vec::with_capacity(nprocs);
+        for node in 0..nprocs {
+            let (tx_in, rx_in) = channel::<Vec<Vec<u8>>>();
+            let (tx_out, rx_out) = channel::<Result<Vec<Vec<u8>>, String>>();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fgdsm-chan-{node}"))
+                    .spawn(move || {
+                        while let Ok(frames) = rx_in.recv() {
+                            let mut out = Vec::with_capacity(frames.len());
+                            let mut err = None;
+                            for f in &frames {
+                                match WireMsg::from_bytes(f) {
+                                    Ok(msg) => out.push(msg.to_bytes()),
+                                    Err(e) => {
+                                        err = Some(format!("node {node}: {e}"));
+                                        break;
+                                    }
+                                }
+                            }
+                            let reply = match err {
+                                None => Ok(out),
+                                Some(e) => Err(e),
+                            };
+                            if tx_out.send(reply).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn chan worker"),
+            );
+            to_node.push(tx_in);
+            from_node.push(rx_out);
+        }
+        ChanTransport {
+            to_node,
+            from_node,
+            workers,
+        }
+    }
+}
+
+impl WireTransport for ChanTransport {
+    fn name(&self) -> &'static str {
+        "chan"
+    }
+    fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        if frames.is_empty() {
+            return frames;
+        }
+        self.to_node[dst].send(frames).expect("chan worker hung up");
+        match self.from_node[dst].recv().expect("chan worker hung up") {
+            Ok(frames) => frames,
+            Err(e) => panic!("wire: envelope decode failed in transit: {e}"),
+        }
+    }
+}
+
+impl Drop for ChanTransport {
+    fn drop(&mut self) {
+        self.to_node.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_msg() -> WireMsg {
+        WireMsg::Push {
+            hdr: WireHeader {
+                src: 1,
+                dst: 2,
+                superstep: 3,
+                loop_id: 4,
+                array: 5,
+                blocks: vec![7, 8],
+            },
+            start_block: 7,
+            n_blocks: 2,
+            words: vec![1.5f64.to_bits(), f64::NAN.to_bits()],
+        }
+    }
+
+    /// Pins the v1 layout byte for byte: any accidental reordering,
+    /// widening or endianness change of the header breaks this test,
+    /// which is the cue to bump `WIRE_VERSION` instead.
+    #[test]
+    fn golden_v1_push_frame() {
+        let bytes = push_msg().to_bytes();
+        let mut want = Vec::new();
+        want.extend_from_slice(&0xFD57u16.to_le_bytes()); // magic
+        want.extend_from_slice(&1u16.to_le_bytes()); // version
+        want.push(0); // kind = Push
+        for f in [1u32, 2, 3, 4, 5] {
+            want.extend_from_slice(&f.to_le_bytes()); // src dst step loop array
+        }
+        want.extend_from_slice(&2u32.to_le_bytes()); // block-list len
+        want.extend_from_slice(&7u32.to_le_bytes());
+        want.extend_from_slice(&8u32.to_le_bytes());
+        want.extend_from_slice(&7u32.to_le_bytes()); // start_block
+        want.extend_from_slice(&2u32.to_le_bytes()); // n_blocks
+        want.extend_from_slice(&2u64.to_le_bytes()); // payload words
+        want.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        want.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(bytes, want);
+    }
+
+    #[test]
+    fn round_trip_every_variant() {
+        let hdr = WireHeader::for_blocks(0, 3, (9, 2), u32::MAX, 12, 1);
+        let msgs = vec![
+            push_msg(),
+            WireMsg::Flush {
+                hdr: hdr.clone(),
+                start_block: 12,
+                n_blocks: 1,
+                words: vec![0, u64::MAX],
+            },
+            WireMsg::Copy {
+                hdr: hdr.clone(),
+                start_word: 96,
+                words: vec![42],
+            },
+            WireMsg::Diff {
+                hdr: hdr.clone(),
+                block: 12,
+                mask: 0b101,
+                words: vec![1, 2],
+            },
+            WireMsg::Strided {
+                hdr,
+                base: 640,
+                run_len: 2,
+                stride: 10,
+                count: 3,
+                words: vec![1, 2, 3, 4, 5, 6],
+            },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(WireMsg::from_bytes(&bytes).unwrap(), m, "kind {}", m.kind());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_frames() {
+        let good = push_msg().to_bytes();
+        assert_eq!(WireMsg::from_bytes(&[]), Err(WireError::Truncated));
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            WireMsg::from_bytes(&bad),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut bad = good.clone();
+        bad[2] = 0x7F; // future version
+        assert_eq!(WireMsg::from_bytes(&bad), Err(WireError::BadVersion(0x7F)));
+
+        let mut bad = good.clone();
+        bad[4] = 200;
+        assert_eq!(WireMsg::from_bytes(&bad), Err(WireError::BadKind(200)));
+
+        let mut bad = good.clone();
+        bad.truncate(bad.len() - 1);
+        assert_eq!(WireMsg::from_bytes(&bad), Err(WireError::Truncated));
+
+        let mut bad = good.clone();
+        bad.push(0);
+        assert_eq!(WireMsg::from_bytes(&bad), Err(WireError::TrailingBytes(1)));
+
+        // Diff whose mask popcount disagrees with its payload.
+        let diff = WireMsg::Diff {
+            hdr: WireHeader::for_blocks(0, 1, (0, 0), 0, 0, 1),
+            block: 0,
+            mask: 0b11,
+            words: vec![1, 2],
+        };
+        let mut bytes = diff.to_bytes();
+        // mask sits 8 bytes before the payload-length word.
+        let mask_off = bytes.len() - 2 * 8 - 8 - 8;
+        bytes[mask_off] = 0b111;
+        assert_eq!(
+            WireMsg::from_bytes(&bytes),
+            Err(WireError::CountMismatch("diff mask popcount vs payload"))
+        );
+    }
+
+    #[test]
+    fn payload_bytes_match_note_msg_accounting() {
+        assert_eq!(push_msg().payload_bytes(), 16);
+        let diff = WireMsg::Diff {
+            hdr: WireHeader::for_blocks(0, 1, (0, 0), 0, 0, 1),
+            block: 0,
+            mask: 0b1101,
+            words: vec![1, 2, 3],
+        };
+        assert_eq!(diff.payload_bytes() as usize, diff_bytes(0b1101));
+    }
+
+    #[test]
+    fn chan_transport_round_trips_and_rejects() {
+        let mut t = ChanTransport::new(2);
+        let frames = vec![push_msg().to_bytes()];
+        let back = t.route(1, frames.clone());
+        assert_eq!(back, frames, "decode + re-encode is the identity");
+        assert!(t.route(0, Vec::new()).is_empty());
+        let corrupt = vec![vec![0u8; 4]];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.route(0, corrupt)));
+        assert!(r.is_err(), "corrupt frame must fail the route loudly");
+    }
+}

@@ -9,7 +9,7 @@
 #![cfg(feature = "proptest")]
 #![allow(clippy::needless_range_loop)] // word loops index the model vec in parallel
 
-use fgdsm_protocol::{Dsm, SendEntry, TransferPlan};
+use fgdsm_protocol::{Dsm, SendEntry, TransferPlan, WireHeader, WireMsg};
 use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
 use fgdsm_testkit::{check_cases, Rng};
 
@@ -269,6 +269,137 @@ fn apply_plans_threaded_matches_serial_random() {
             );
         }
         assert_eq!(serial.cluster.trace_json(), threaded.cluster.trace_json());
+    });
+}
+
+/// A random header whose block list is consistent with what the
+/// Push/Flush variants require (decode cross-checks `n_blocks` against
+/// the header block list).
+fn random_wire_hdr(rng: &mut Rng) -> (WireHeader, usize, usize) {
+    let first = rng.range(0, 1 << 16);
+    let n = rng.range(0, 9);
+    let hdr = WireHeader::for_blocks(
+        rng.range(0, 64),
+        rng.range(0, 64),
+        (rng.below(1 << 20) as u32, rng.below(1 << 12) as u32),
+        if rng.flag() {
+            u32::MAX
+        } else {
+            rng.below(64) as u32
+        },
+        first,
+        n,
+    );
+    (hdr, first, n)
+}
+
+fn random_words(rng: &mut Rng, n: usize) -> Vec<u64> {
+    rng.vec(n, |r| match r.below(4) {
+        0 => f64::NAN.to_bits(),
+        1 => (-0.0f64).to_bits(),
+        2 => u64::MAX,
+        _ => r.next_u64(),
+    })
+}
+
+fn random_wire_msg(rng: &mut Rng) -> WireMsg {
+    let (hdr, first, n) = random_wire_hdr(rng);
+    match rng.below(5) {
+        0 => {
+            let nw = rng.range(0, 65);
+            WireMsg::Push {
+                hdr,
+                start_block: first as u32,
+                n_blocks: n as u32,
+                words: random_words(rng, nw),
+            }
+        }
+        1 => {
+            let nw = rng.range(0, 65);
+            WireMsg::Flush {
+                hdr,
+                start_block: first as u32,
+                n_blocks: n as u32,
+                words: random_words(rng, nw),
+            }
+        }
+        2 => {
+            let nw = rng.range(0, 65);
+            WireMsg::Copy {
+                hdr,
+                start_word: rng.below(1 << 40),
+                words: random_words(rng, nw),
+            }
+        }
+        3 => {
+            let mask = rng.next_u64() & rng.next_u64(); // sparse-ish
+            let words = random_words(rng, mask.count_ones() as usize);
+            WireMsg::Diff {
+                hdr,
+                block: rng.below(1 << 30),
+                mask,
+                words,
+            }
+        }
+        _ => {
+            let run_len = rng.range(0, 9) as u32;
+            let count = rng.range(0, 9) as u32;
+            WireMsg::Strided {
+                hdr,
+                base: rng.below(1 << 40),
+                run_len,
+                stride: rng.below(1 << 20),
+                count,
+                words: random_words(rng, (run_len * count) as usize),
+            }
+        }
+    }
+}
+
+/// Every envelope variant with random headers, geometries and payloads
+/// (NaNs, signed zeros, all-ones words) survives encode → decode
+/// bit-exactly, through fresh buffers and recycled ones alike.
+#[test]
+fn wire_envelopes_round_trip_random() {
+    check_cases(256, |rng| {
+        let msg = random_wire_msg(rng);
+        let bytes = msg.to_bytes();
+        assert_eq!(
+            WireMsg::from_bytes(&bytes).expect("fresh encode must decode"),
+            msg,
+            "kind {}",
+            msg.kind()
+        );
+        // `encode` into a dirty pooled buffer is byte-identical.
+        let mut pooled = vec![0xA5u8; rng.range(0, 200)];
+        msg.encode(&mut pooled);
+        assert_eq!(pooled, bytes);
+        assert_eq!(msg.payload_bytes() as usize % 8, 0);
+    });
+}
+
+/// Decode validation has no blind spots: no strict prefix of a valid
+/// frame decodes, and flipping any single bit either fails decode or
+/// yields a *different* envelope — never a silent misparse back to the
+/// original (every encoded byte is semantic; there is no padding).
+#[test]
+fn wire_decode_rejects_mutations_random() {
+    check_cases(128, |rng| {
+        let msg = random_wire_msg(rng);
+        let bytes = msg.to_bytes();
+        let cut = rng.range(0, bytes.len());
+        assert!(
+            WireMsg::from_bytes(&bytes[..cut]).is_err(),
+            "prefix of len {cut}/{} must not decode",
+            bytes.len()
+        );
+        let mut flipped = bytes.clone();
+        let at = rng.range(0, flipped.len());
+        flipped[at] ^= 1 << rng.below(8);
+        match WireMsg::from_bytes(&flipped) {
+            Err(_) => {}
+            Ok(m2) => assert_ne!(m2, msg, "bit flip at byte {at} decoded as the original"),
+        }
     });
 }
 
