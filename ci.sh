@@ -58,6 +58,12 @@ FGDSM_TEST=1 FGDSM_BACKEND=chan FGDSM_PROFILE_OUT=target/profile_chan_smoke.json
     cargo run --release -q -p fgdsm-bench --bin profile_report -- jacobi \
     > target/profile_chan_smoke.txt
 grep -q "wire:" target/profile_chan_smoke.txt
+# Bounded model checker: exhaustive small-model closure of the abstract
+# coherence protocol + §4.2 contract (both protocol variants), the
+# must-catch mutation sweep (each seeded bug yields a minimal printed
+# counterexample), and conformance replays of enumerated sequences
+# through the real Dsm on the fast path and the chan wire path.
+cargo test -q -p fgdsm-model
 # Differential fuzz corpus: a fixed seed corpus (200 cases unless the
 # caller overrides FGDSM_FUZZ_CASES) through reference vs all backends.
 # A failure prints the failing seed and a shrunk standalone reproducer.

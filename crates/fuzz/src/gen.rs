@@ -435,6 +435,7 @@ impl FuzzSpec {
         let _ = writeln!(s, "            force_boundary: {},", i.force_boundary);
         let _ = writeln!(s, "            skew_send_range: {},", i.skew_send_range);
         let _ = writeln!(s, "            skip_flush_range: {},", i.skip_flush_range);
+        let _ = writeln!(s, "            stale_owner_push: {},", i.stale_owner_push);
         let _ = writeln!(
             s,
             "            reorder_plan_apply: {},",

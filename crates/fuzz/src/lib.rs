@@ -31,10 +31,12 @@
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
+pub mod taxonomy;
 
 pub use gen::{gen_spec, ArraySpec, FStmt, FuzzSpec, LoopSpec, ReadSpec};
 pub use oracle::{check_spec, Divergence};
 pub use shrink::shrink;
+pub use taxonomy::{Detector, Fault};
 
 /// Golden stride between corpus seeds (the SplitMix64 increment, so
 /// corpus seeds match `fgdsm_testkit::check_cases` numbering).

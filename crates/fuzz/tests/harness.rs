@@ -4,7 +4,8 @@
 //! case must shrink to a smaller spec that still diverges.
 
 use fgdsm_fuzz::{
-    case_seed, check_spec, gen_spec, shrink, ArraySpec, FStmt, FuzzSpec, LoopSpec, ReadSpec,
+    case_seed, check_spec, gen_spec, shrink, ArraySpec, Detector, FStmt, Fault, FuzzSpec, LoopSpec,
+    ReadSpec,
 };
 use fgdsm_hpf::InjectConfig;
 use fgdsm_testkit::Rng;
@@ -26,6 +27,7 @@ fn tolerated_perturbations_are_invisible() {
             force_boundary: true,
             skew_send_range: false,
             skip_flush_range: false,
+            stale_owner_push: false,
             reorder_plan_apply: false,
             misfold_pool: false,
             corrupt_envelope: false,
@@ -239,6 +241,36 @@ fn must_catch_skipped_flush_range() {
         d.config.starts_with("sm_opt"),
         "flush_range only exists on the ctl path, diverged at {d}"
     );
+}
+
+/// The taxonomy sweep: every engine-detectable fault in the shared
+/// [`Fault`] taxonomy, armed through [`Fault::arm`] on its canonical
+/// victim program, must make the oracle report a divergence. Faults the
+/// taxonomy routes to the model checker (whose symptom needs states the
+/// engine's layouts never reach) are must-catch over in `fgdsm-model`'s
+/// mutation sweep instead — this test pins that nothing falls through.
+#[test]
+fn must_catch_every_engine_fault_in_taxonomy() {
+    for f in Fault::ALL {
+        match f.detected_by() {
+            Detector::Engine | Detector::Both => {
+                let mut spec = match f {
+                    Fault::SkewSendRange | Fault::CorruptEnvelope => skew_victim(),
+                    Fault::SkipFlushRange => flush_victim(),
+                    Fault::ReorderPlanApply | Fault::MisfoldPool => reorder_victim(),
+                    Fault::StaleOwnerPush => unreachable!("model-level fault"),
+                };
+                spec.inject = Default::default();
+                f.arm(&mut spec.inject);
+                check_spec(&spec)
+                    .expect_err(&format!("taxonomy fault {} must be caught", f.name()));
+            }
+            Detector::Model => {
+                // Covered by fgdsm-model's must-catch mutation sweep.
+                assert_eq!(f, Fault::StaleOwnerPush);
+            }
+        }
+    }
 }
 
 /// Pad a diverging spec with junk (an unused array, an extra harmless

@@ -154,6 +154,7 @@ impl<'p> EngineCore<'p> {
         dsm.set_injection(fgdsm_protocol::Injection {
             skew_send_range: cfg.inject.skew_send_range,
             skip_flush_range: cfg.inject.skip_flush_range,
+            stale_owner_push: cfg.inject.stale_owner_push,
             reorder_plan_apply: cfg.inject.reorder_plan_apply,
             misfold_pool: cfg.inject.misfold_pool,
             corrupt_envelope: cfg.inject.corrupt_envelope,
@@ -162,6 +163,7 @@ impl<'p> EngineCore<'p> {
         assert!(
             !cfg.inject.skew_send_range
                 && !cfg.inject.skip_flush_range
+                && !cfg.inject.stale_owner_push
                 && !cfg.inject.reorder_plan_apply
                 && !cfg.inject.misfold_pool
                 && !cfg.inject.corrupt_envelope,

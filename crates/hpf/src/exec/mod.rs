@@ -253,6 +253,10 @@ pub struct InjectConfig {
     pub skew_send_range: bool,
     /// Must-catch: skip `flush_range` entirely (needs `fault-inject`).
     pub skip_flush_range: bool,
+    /// Must-catch: redirect `send_range` pushes to the (possibly stale)
+    /// home copy whenever the home is a third party — the §4.3 stale
+    /// owner-memo hazard (needs `fault-inject`).
+    pub stale_owner_push: bool,
     /// Must-catch: reverse the plan order of the resolve phase's apply
     /// stage under a parallel resolve — a nondeterministic merge the
     /// differential oracle must detect (needs `fault-inject`).

@@ -28,6 +28,7 @@
 //!   to export a run's structured event trace as JSON.
 
 pub mod analysis;
+pub mod contract;
 pub mod dist;
 pub mod exec;
 pub mod ir;
@@ -36,6 +37,7 @@ pub mod redundancy;
 pub mod report;
 
 pub use analysis::{analyze, LoopAccess, Transfer};
+pub use contract::{ContractTracker, CtlOp};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{
     execute, execute_profiled, execute_reference, execute_traced, Backend, ExecConfig,

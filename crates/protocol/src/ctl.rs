@@ -47,6 +47,7 @@
 
 use crate::dir::DirState;
 use crate::proto::Dsm;
+use crate::trans;
 use crate::wire::{WireHeader, WireMsg};
 use fgdsm_tempest::{Access, ChargeKind, CostModel, CtlPrim, Event, NodeId, NodeShard, NO_ARRAY};
 
@@ -370,35 +371,30 @@ impl Dsm {
         let cfg = self.cluster.cfg().clone();
         let h = self.cluster.home_of_block(b);
         let (s, e) = self.cluster.block_words(b);
-        match self.dir_state(b) {
-            DirState::Shared { readers } => {
-                for r in DirState::nodes(readers) {
-                    if r != node {
-                        if r != h {
-                            self.cluster.note_msg_at(h, r, 8, b);
-                        }
-                        self.cluster
-                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
-                        self.cluster.set_tag(r, b, Access::Invalid);
-                    }
-                }
+        let cur = self.dir_state(b);
+        if matches!(cur, DirState::Multi { .. }) {
+            unreachable!("mk_writable on a Multi block: compiler ranges exclude boundaries")
+        }
+        let eff = trans::acquire_excl(cur, node, h);
+        for r in DirState::nodes(eff.invalidate_readers) {
+            if r != h {
+                self.cluster.note_msg_at(h, r, 8, b);
             }
-            DirState::Excl { owner } if owner != node => {
-                if owner != h {
-                    self.cluster
-                        .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
-                    self.cluster
-                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    self.wire_copy(owner, h, s, e - s);
-                    *cost += cfg.block_bytes as u64 * cfg.per_byte_ns;
-                }
-                self.cluster.set_tag(owner, b, Access::Invalid);
-            }
-            DirState::Excl { .. } => {}
-            DirState::Multi { .. } => {
-                unreachable!("mk_writable on a Multi block: compiler ranges exclude boundaries")
-            }
+            self.cluster
+                .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+            self.cluster.set_tag(r, b, Access::Invalid);
+        }
+        if let Some(owner) = eff.flush_owner {
+            self.cluster
+                .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+            self.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
+            self.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+            self.wire_copy(owner, h, s, e - s);
+            *cost += cfg.block_bytes as u64 * cfg.per_byte_ns;
+        }
+        if let Some(owner) = eff.invalidate_owner {
+            self.cluster.set_tag(owner, b, Access::Invalid);
         }
         if need_data && node != h {
             self.cluster.charge_handler(h, cfg.block_copy_ns);
@@ -410,7 +406,7 @@ impl Dsm {
             self.cluster.set_tag(h, b, Access::Invalid);
         }
         self.cluster.set_tag(node, b, Access::ReadWrite);
-        self.set_dir(b, DirState::Excl { owner: node });
+        self.set_dir(b, eff.next);
     }
 
     /// Tag blocks `[first, end)` ReadWrite at a reader, *without data*, so
@@ -518,9 +514,18 @@ impl Dsm {
             }
             for &r in &en.readers {
                 debug_assert_ne!(r, en.owner);
+                // Fault injection (must-catch): a stale owner memo pushes
+                // the *home's* copy — which the real owner never flushed —
+                // whenever the home is a third party (§4.3 RTOE hazard).
+                let src = trans::push_source(
+                    en.owner,
+                    r,
+                    self.cluster.home_of_block(en.first),
+                    self.inj_stale_owner_push(),
+                );
                 let plan = plans
-                    .entry((en.owner, r))
-                    .or_insert_with(|| self.plan_scratch.take(en.owner, r, PlanOp::Push));
+                    .entry((src, r))
+                    .or_insert_with(|| self.plan_scratch.take(src, r, PlanOp::Push));
                 plan.ranges.push((en.first, end));
                 plan.payloads.extend(payloads.iter().copied());
             }
@@ -755,10 +760,11 @@ impl Dsm {
                     for &(f, e) in &plan.ranges {
                         for b in f..e {
                             let h = self.cluster.home_of_block(b);
-                            if h != plan.src && h != plan.dst {
+                            let (invalidate_home, next) = trans::flush_fold(plan.src, plan.dst, h);
+                            if invalidate_home {
                                 self.cluster.set_tag(h, b, Access::Invalid);
                             }
-                            self.set_dir(b, DirState::Excl { owner: plan.dst });
+                            self.set_dir(b, next);
                         }
                     }
                 }

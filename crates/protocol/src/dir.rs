@@ -61,4 +61,35 @@ mod tests {
         assert!(!DirState::Excl { owner: 3 }.is_excl_by(2));
         assert!(!DirState::Shared { readers: 8 }.is_excl_by(3));
     }
+
+    /// The empty mask iterates nothing — the zero-sharer `Shared` state a
+    /// full invalidation sweep leaves behind is inert, not an error.
+    #[test]
+    fn empty_mask_iterates_nothing() {
+        assert_eq!(DirState::nodes(0).count(), 0);
+        assert!(!DirState::Shared { readers: 0 }.is_excl_by(0));
+    }
+
+    /// `Multi` is never exclusive, even with a single writer bit set.
+    #[test]
+    fn multi_is_never_excl() {
+        let m = DirState::Multi {
+            writers: DirState::bit(2),
+            readers: 0,
+        };
+        for n in 0..64 {
+            assert!(!m.is_excl_by(n));
+        }
+    }
+
+    /// The max node id (63) round-trips through bit/nodes without
+    /// shifting out of the mask, and a full mask yields all 64 nodes.
+    #[test]
+    fn max_node_id_masks() {
+        assert_eq!(DirState::bit(63), 1u64 << 63);
+        let all: Vec<_> = DirState::nodes(u64::MAX).collect();
+        assert_eq!(all.len(), 64);
+        assert_eq!(all[63], 63);
+        assert!(DirState::Excl { owner: 63 }.is_excl_by(63));
+    }
 }

@@ -3,6 +3,7 @@
 
 use crate::dir::DirState;
 use crate::proto::{Dsm, Protocol};
+use crate::trans;
 use fgdsm_tempest::{Access, ChargeKind, Event, FaultKind, NodeId};
 
 /// Eager-invalidate multiple-writer release consistency.
@@ -56,30 +57,20 @@ impl Protocol for EagerInvalidate {
         }
         stall += d.hc(cfg.dir_lookup_ns);
 
-        match d.dir_state(b) {
-            DirState::Shared { readers } => {
+        let cur = d.dir_state(b);
+        match cur {
+            DirState::Shared { .. } => {
                 // Clean: home copy is current.
                 stall += d.data_home_to(p, h, b);
-                d.set_dir(
-                    b,
-                    DirState::Shared {
-                        readers: readers | DirState::bit(p),
-                    },
-                );
             }
             DirState::Excl { owner } if owner == h => {
                 stall += d.data_home_to(p, h, b);
                 // Home downgrades to read-only so its own later writes fault.
                 d.cluster.set_tag(h, b, Access::ReadOnly);
-                d.set_dir(
-                    b,
-                    DirState::Shared {
-                        readers: DirState::bit(p) | DirState::bit(h),
-                    },
-                );
             }
             DirState::Excl { owner } => {
                 assert_ne!(owner, p, "read fault by recorded exclusive owner");
+                debug_assert_eq!(trans::read_flush_owner(cur, h), Some(owner));
                 // 4-hop (Figure 1(a)): put-data-request to owner, data back
                 // to home, then response to requester.
                 stall += cfg.one_way_ns(8)
@@ -101,14 +92,8 @@ impl Protocol for EagerInvalidate {
                 d.cluster.set_tag(owner, b, Access::ReadOnly);
                 d.cluster.set_tag(h, b, Access::ReadOnly);
                 stall += d.data_home_to(p, h, b);
-                d.set_dir(
-                    b,
-                    DirState::Shared {
-                        readers: DirState::bit(p) | DirState::bit(owner) | DirState::bit(h),
-                    },
-                );
             }
-            DirState::Multi { writers, readers } => {
+            DirState::Multi { writers, .. } => {
                 // A non-writer reads a false-shared block mid-interval
                 // (wide stencil): every writer flushes its diff home so the
                 // merge base is current, then the home serves the reader.
@@ -131,15 +116,9 @@ impl Protocol for EagerInvalidate {
                     d.make_twin(w, b);
                 }
                 stall += d.data_home_to(p, h, b);
-                d.set_dir(
-                    b,
-                    DirState::Multi {
-                        writers,
-                        readers: readers | DirState::bit(p),
-                    },
-                );
             }
         }
+        d.set_dir(b, trans::read_next(cur, p, h));
         d.cluster.set_tag(p, b, Access::ReadOnly);
         stall += cfg.tag_change_ns;
         d.cluster.charge(p, stall, ChargeKind::Stall);
@@ -176,58 +155,53 @@ impl Protocol for EagerInvalidate {
             .charge_handler(h, cfg.handler_dispatch_ns + cfg.dir_lookup_ns);
 
         let need_data = d.cluster.tag(p, b) == Access::Invalid;
-        match d.dir_state(b) {
-            DirState::Shared { readers } => {
-                // Invalidate every other reader, eagerly.
-                for r in DirState::nodes(readers) {
-                    if r != p {
-                        if r != h {
-                            d.cluster.note_msg_at(h, r, 8, b);
-                        }
-                        d.cluster
-                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
-                        d.cluster.set_tag(r, b, Access::Invalid);
-                    }
-                }
-                if need_data {
-                    stall += d.data_home_to(p, h, b);
-                }
+        let cur = d.dir_state(b);
+        if let DirState::Excl { owner } = cur {
+            assert_ne!(
+                owner, p,
+                "write fault by a node that is already exclusive owner"
+            );
+        }
+        if matches!(cur, DirState::Multi { .. }) {
+            unreachable!("steal write on a Multi block: use write_access_multi")
+        }
+        let eff = trans::acquire_excl(cur, p, h);
+        // Invalidate every other reader, eagerly.
+        for r in DirState::nodes(eff.invalidate_readers) {
+            if r != h {
+                d.cluster.note_msg_at(h, r, 8, b);
             }
-            DirState::Excl { owner } => {
-                assert_ne!(
-                    owner, p,
-                    "write fault by a node that is already exclusive owner"
-                );
-                if owner != h {
-                    // Current data is at `owner`: flush home, invalidate.
-                    d.cluster.charge_handler(
-                        owner,
-                        cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
-                    );
-                    d.cluster.note_msg_at(h, owner, 8, b);
-                    d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
-                    d.cluster
-                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.wire_copy(owner, h, s, e - s);
-                    stall += cfg.one_way_ns(8)
-                        + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
-                        + cfg.one_way_ns(cfg.block_bytes)
-                        + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                }
-                d.cluster.set_tag(owner, b, Access::Invalid);
-                if need_data {
-                    stall += d.data_home_to(p, h, b);
-                }
-            }
-            DirState::Multi { .. } => {
-                unreachable!("steal write on a Multi block: use write_access_multi")
-            }
+            d.cluster
+                .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+            d.cluster.set_tag(r, b, Access::Invalid);
+        }
+        if let Some(owner) = eff.flush_owner {
+            // Current data is at `owner`: flush home, invalidate.
+            d.cluster.charge_handler(
+                owner,
+                cfg.handler_dispatch_ns + cfg.block_copy_ns + cfg.tag_change_ns,
+            );
+            d.cluster.note_msg_at(h, owner, 8, b);
+            d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
+            d.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+            d.wire_copy(owner, h, s, e - s);
+            stall += cfg.one_way_ns(8)
+                + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns)
+                + cfg.one_way_ns(cfg.block_bytes)
+                + d.hc(cfg.handler_dispatch_ns + cfg.block_copy_ns);
+        }
+        if let Some(owner) = eff.invalidate_owner {
+            d.cluster.set_tag(owner, b, Access::Invalid);
+        }
+        if need_data {
+            stall += d.data_home_to(p, h, b);
         }
         if h != p {
             d.cluster.set_tag(h, b, Access::Invalid);
         }
         d.cluster.set_tag(p, b, Access::ReadWrite);
-        d.set_dir(b, DirState::Excl { owner: p });
+        d.set_dir(b, eff.next);
         d.cluster.charge(p, stall, ChargeKind::Stall);
     }
 
@@ -265,62 +239,43 @@ impl Protocol for EagerInvalidate {
 
         // First entry into Multi: normalize the previous state so the home
         // copy is the merge base.
-        let mut cur_readers = 0u64;
-        let mut writers = match d.dir_state(b) {
-            DirState::Multi { writers, readers } => {
-                cur_readers = readers;
-                writers
+        let eff = trans::enter_multi(d.dir_state(b), p, h);
+        if let Some(owner) = eff.flush_owner {
+            // Owner flushes its current copy home and keeps writing.
+            d.cluster
+                .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+            d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
+            d.cluster
+                .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
+            d.wire_copy(owner, h, s, e - s);
+            stall += cfg.one_way_ns(8)
+                + d.hc(2 * cfg.handler_dispatch_ns + 2 * cfg.block_copy_ns)
+                + cfg.one_way_ns(cfg.block_bytes);
+        }
+        if let Some(owner) = eff.twin_owner {
+            d.make_twin(owner, b);
+        }
+        for r in DirState::nodes(eff.invalidate_readers) {
+            if r != h {
+                d.cluster.note_msg_at(h, r, 8, b);
             }
-            DirState::Excl { owner } => {
-                if owner != h {
-                    // Owner flushes its current copy home and keeps writing.
-                    d.cluster
-                        .charge_handler(owner, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.cluster.note_msg_at(owner, h, cfg.block_bytes, b);
-                    d.cluster
-                        .charge_handler(h, cfg.handler_dispatch_ns + cfg.block_copy_ns);
-                    d.wire_copy(owner, h, s, e - s);
-                    stall += cfg.one_way_ns(8)
-                        + d.hc(2 * cfg.handler_dispatch_ns + 2 * cfg.block_copy_ns)
-                        + cfg.one_way_ns(cfg.block_bytes);
-                }
-                d.make_twin(owner, b);
-                self.multi_blocks.push(b);
-                DirState::bit(owner)
-            }
-            DirState::Shared { readers } => {
-                for r in DirState::nodes(readers) {
-                    if r != p {
-                        if r != h {
-                            d.cluster.note_msg_at(h, r, 8, b);
-                        }
-                        d.cluster
-                            .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
-                        d.cluster.set_tag(r, b, Access::Invalid);
-                    }
-                }
-                self.multi_blocks.push(b);
-                0
-            }
-        };
+            d.cluster
+                .charge_handler(r, cfg.handler_dispatch_ns + cfg.tag_change_ns);
+            d.cluster.set_tag(r, b, Access::Invalid);
+        }
+        if eff.first_entry {
+            self.multi_blocks.push(b);
+        }
         // `p` joins: fetch the merge base if it has no valid copy.
         if d.cluster.tag(p, b) == Access::Invalid {
             stall += d.data_home_to(p, h, b);
         }
         d.make_twin(p, b);
         d.cluster.set_tag(p, b, Access::ReadWrite);
-        writers |= DirState::bit(p);
-        cur_readers &= !DirState::bit(p);
-        if h != p && writers & DirState::bit(h) == 0 {
+        if eff.invalidate_home {
             d.cluster.set_tag(h, b, Access::Invalid);
         }
-        d.set_dir(
-            b,
-            DirState::Multi {
-                writers,
-                readers: cur_readers,
-            },
-        );
+        d.set_dir(b, eff.next);
         d.cluster.charge(p, stall, ChargeKind::Stall);
     }
 
@@ -351,7 +306,7 @@ impl Protocol for EagerInvalidate {
                 d.remove_twin(w, b);
             }
             d.cluster.set_tag(h, b, Access::ReadWrite);
-            d.set_dir(b, DirState::Excl { owner: h });
+            d.set_dir(b, trans::release_next(h));
         }
     }
 

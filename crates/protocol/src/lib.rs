@@ -29,6 +29,7 @@ pub mod dir;
 pub mod eager;
 pub mod mp;
 pub mod proto;
+pub mod trans;
 pub mod update;
 pub mod wire;
 
@@ -41,6 +42,7 @@ pub use mp::{MpRuntime, MpSendPlan};
 #[cfg(feature = "fault-inject")]
 pub use proto::Injection;
 pub use proto::{Dsm, Protocol, ProtocolKind};
+pub use trans::{AcquireExcl, EnterMulti};
 pub use update::WriteUpdate;
 pub use wire::{
     diff_bytes, ChanTransport, Loopback, WireError, WireHeader, WireMsg, WireTransport, WIRE_MAGIC,

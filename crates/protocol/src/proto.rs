@@ -166,6 +166,11 @@ pub struct Injection {
     /// Skip `flush_range` entirely: a non-owner writer's modifications
     /// never reach the owner, so later owner-side sends push stale data.
     pub skip_flush_range: bool,
+    /// Redirect every `send_range` push to read from the range's *home*
+    /// node instead of the recorded exclusive owner whenever the home is
+    /// a third party: the §4.3 RTOE hazard — a stale owner memo pushing
+    /// a copy that was never flushed home.
+    pub stale_owner_push: bool,
     /// Reverse the plan order inside `apply_plans` when the resolve phase
     /// runs parallel (`workers > 1`): a deliberately nondeterministic
     /// merge, making threaded-resolve reports and traces diverge from the
@@ -276,6 +281,20 @@ impl Dsm {
         #[cfg(feature = "fault-inject")]
         {
             self.injection.skip_flush_range
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            false
+        }
+    }
+
+    /// Whether `send_range` should push the home's (possibly stale) copy
+    /// instead of the owner's (always false without the `fault-inject`
+    /// feature).
+    pub(crate) fn inj_stale_owner_push(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            self.injection.stale_owner_push
         }
         #[cfg(not(feature = "fault-inject"))]
         {

@@ -3,6 +3,7 @@
 
 use crate::dir::DirState;
 use crate::proto::{Dsm, Protocol};
+use crate::trans;
 use fgdsm_tempest::{Access, ChargeKind, Event, FaultKind, NodeId};
 
 /// Write-update release consistency.
@@ -40,17 +41,8 @@ impl WriteUpdate {
                 d.cluster.charge(p, cfg.tag_change_ns, ChargeKind::Stall);
                 // Normalize the directory (the home node starts out
                 // recorded as an exclusive owner).
-                let readers = match d.dir_state(b) {
-                    DirState::Shared { readers } => readers,
-                    _ => 0,
-                };
                 let h = d.cluster.home_of_block(b);
-                d.set_dir(
-                    b,
-                    DirState::Shared {
-                        readers: readers | DirState::bit(p) | DirState::bit(h),
-                    },
-                );
+                d.set_dir(b, trans::update_share(d.dir_state(b), p, h));
             }
             return;
         }
@@ -79,16 +71,7 @@ impl WriteUpdate {
         d.make_twin(p, b);
         self.update_set.push((b, p));
         d.cluster.charge(p, stall, ChargeKind::Stall);
-        let readers = match d.dir_state(b) {
-            DirState::Shared { readers } => readers,
-            _ => DirState::bit(h),
-        };
-        d.set_dir(
-            b,
-            DirState::Shared {
-                readers: readers | DirState::bit(p) | DirState::bit(h),
-            },
-        );
+        d.set_dir(b, trans::update_share(d.dir_state(b), p, h));
     }
 }
 
@@ -127,16 +110,7 @@ impl Protocol for WriteUpdate {
         d.cluster.set_tag(p, b, Access::ReadOnly);
         stall += cfg.tag_change_ns;
         d.cluster.charge(p, stall, ChargeKind::Stall);
-        let readers = match d.dir_state(b) {
-            DirState::Shared { readers } => readers,
-            _ => DirState::bit(h),
-        };
-        d.set_dir(
-            b,
-            DirState::Shared {
-                readers: readers | DirState::bit(p) | DirState::bit(h),
-            },
-        );
+        d.set_dir(b, trans::update_share(d.dir_state(b), p, h));
     }
 
     fn write_access_excl(&mut self, d: &mut Dsm, p: NodeId, b: usize) {

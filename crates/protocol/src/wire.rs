@@ -525,6 +525,23 @@ impl ChanTransport {
             workers,
         }
     }
+
+    /// Tear down the worker threads. The drop-order contract that keeps
+    /// this deadlock-free: the senders are cleared *before* any join, so
+    /// every worker's `rx_in.recv()` returns `Err` (all senders gone)
+    /// and the thread exits its loop — even when this runs during a
+    /// panic unwind with requests still undrained. Joining first would
+    /// deadlock: a worker parked in `recv()` never wakes while a sender
+    /// is still alive in `self.to_node`.
+    ///
+    /// Idempotent (both vectors are drained), so an explicit call
+    /// followed by `Drop` is fine.
+    pub fn shutdown(&mut self) {
+        self.to_node.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 impl WireTransport for ChanTransport {
@@ -545,10 +562,7 @@ impl WireTransport for ChanTransport {
 
 impl Drop for ChanTransport {
     fn drop(&mut self) {
-        self.to_node.clear();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.shutdown();
     }
 }
 

@@ -1,0 +1,116 @@
+//! `ChanTransport` teardown must never deadlock: the drop-order contract
+//! (clear the senders *before* joining the workers) has to hold on the
+//! clean path, after a route panic, and during the unwind of a
+//! panicking strict-mode run. Each test runs the teardown on a separate
+//! thread under a watchdog so a regression fails loudly instead of
+//! hanging the suite.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::time::Duration;
+
+use fgdsm_protocol::{ChanTransport, Dsm, WireTransport};
+use fgdsm_tempest::{Cluster, CostModel, HomePolicy, SegmentLayout};
+
+const WATCHDOG: Duration = Duration::from_secs(20);
+
+/// Run `f` on its own thread and fail the test if it doesn't finish
+/// within the watchdog — the deadlock detector for every drop test.
+fn must_finish(label: &str, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = channel();
+    let t = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(()) => t.join().unwrap(),
+        Err(RecvTimeoutError::Timeout) => {
+            panic!("{label}: teardown deadlocked (watchdog expired)")
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            // The worker thread itself panicked: surface that panic.
+            t.join().unwrap();
+            unreachable!()
+        }
+    }
+}
+
+fn dsm(nprocs: usize) -> Dsm {
+    let cfg = CostModel::paper_dual_cpu();
+    let mut layout = SegmentLayout::new(cfg.words_per_page());
+    layout.alloc(8192);
+    Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
+}
+
+/// Dropping an idle transport (workers parked in `recv`) joins cleanly.
+#[test]
+fn idle_drop_joins_workers() {
+    must_finish("idle drop", || {
+        let t = ChanTransport::new(4);
+        drop(t);
+    });
+}
+
+/// An explicit `shutdown` followed by `Drop` is idempotent.
+#[test]
+fn shutdown_is_idempotent() {
+    must_finish("double shutdown", || {
+        let mut t = ChanTransport::new(3);
+        t.shutdown();
+        t.shutdown();
+        drop(t);
+    });
+}
+
+/// A garbage frame makes `route` panic ("decode failed in transit") —
+/// and dropping the transport afterwards, mid-recovery, must still join
+/// every worker thread.
+#[test]
+fn drop_after_route_panic_joins_workers() {
+    must_finish("drop after route panic", || {
+        let mut t = ChanTransport::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            t.route(1, vec![vec![0xde, 0xad, 0xbe, 0xef]]);
+        }));
+        let msg = *r
+            .expect_err("garbage frames must not decode")
+            .downcast::<String>()
+            .unwrap();
+        assert!(
+            msg.contains("envelope decode failed in transit"),
+            "wrong panic: {msg}"
+        );
+        drop(t);
+    });
+}
+
+/// The real seam: a strict-mode `Dsm` wired over `ChanTransport` whose
+/// run panics mid-superstep. The unwind drops the `Dsm` (and with it the
+/// transport) while channel workers may still hold undrained requests —
+/// join-on-drop must not deadlock, because the senders die first.
+#[test]
+fn panicking_strict_run_does_not_deadlock_workers() {
+    must_finish("panicking strict-mode run", || {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let mut d = dsm(2);
+            d.set_wire(Box::new(ChanTransport::new(2)));
+            // Real traffic through the workers first, so they are warm.
+            d.mk_writable(1, 0, 2);
+            let plans = d.plan_sends(
+                &[fgdsm_protocol::SendEntry {
+                    owner: 1,
+                    readers: vec![0],
+                    first: 0,
+                    end: 2,
+                    array: fgdsm_tempest::NO_ARRAY,
+                }],
+                true,
+            );
+            d.apply_plans(&plans, 1);
+            d.recycle_plans(plans);
+            panic!("superstep failed mid-run");
+        }));
+        let msg = *r.expect_err("run must panic").downcast::<&str>().unwrap();
+        assert_eq!(msg, "superstep failed mid-run");
+    });
+}

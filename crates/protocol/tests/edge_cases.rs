@@ -1,0 +1,124 @@
+//! Directory-protocol edge cases: self-transitions (an owner re-faulting
+//! its own block), zero-sharer invalidation sweeps, and max-node-id
+//! (node 63) directory entries — the boundary states the model checker
+//! enumerates, pinned here against the real `Dsm`.
+
+use fgdsm_protocol::{DirState, Dsm};
+use fgdsm_tempest::{Access, Cluster, CostModel, HomePolicy, SegmentLayout};
+
+fn dsm(nprocs: usize) -> Dsm {
+    let cfg = CostModel::paper_dual_cpu();
+    let mut layout = SegmentLayout::new(cfg.words_per_page());
+    layout.alloc(8192);
+    Dsm::new(Cluster::new(nprocs, cfg, &layout, HomePolicy::RoundRobin))
+}
+
+/// An owner re-faulting (or re-requesting) its own exclusive block is a
+/// self-transition: the directory must not change, no other node's tag
+/// may move, and the state must stay consistent.
+#[test]
+fn owner_self_refault_is_a_noop() {
+    let mut d = dsm(2);
+    let b = 0; // homed at node 0, initially Excl{0} with RW tag
+    assert!(d.dir_state(b).is_excl_by(0));
+    let t0 = d.cluster.clock_ns(0);
+
+    // A write by the standing owner hits the RW-tag fast path.
+    d.write_access_excl(0, b);
+    assert!(d.dir_state(b).is_excl_by(0));
+    assert_eq!(d.cluster.clock_ns(0), t0, "owner re-fault must be free");
+
+    // The ctl self-transition: mk_writable by the node that already owns
+    // the range leaves the directory untouched.
+    d.mk_writable(0, b, b + 1);
+    assert!(d.dir_state(b).is_excl_by(0));
+    assert_eq!(d.cluster.tag(1, b), Access::Invalid);
+    d.release_barrier();
+    d.check_consistency().unwrap();
+}
+
+/// A read by the current exclusive owner must not downgrade anyone
+/// else's copy or move the directory through a foreign state.
+#[test]
+fn owner_self_read_downgrades_only_itself() {
+    let mut d = dsm(2);
+    let b = 0;
+    // Owner's tag is RW, so the read is a tag no-op.
+    d.read_access(0, b);
+    assert!(d.dir_state(b).is_excl_by(0));
+    assert_eq!(d.cluster.tag(0, b), Access::ReadWrite);
+    d.release_barrier();
+    d.check_consistency().unwrap();
+}
+
+/// A `Shared` entry whose reader mask is empty (what a full invalidation
+/// sweep leaves behind) must be inert: the next write fault acquires
+/// exclusivity over the empty mask without panicking or invalidating
+/// anyone.
+#[test]
+fn zero_sharer_invalidate_sweep() {
+    let mut d = dsm(2);
+    let b = 0;
+    d.set_dir(b, DirState::Shared { readers: 0 });
+    d.cluster.set_tag(0, b, Access::ReadOnly); // home holds the only copy
+
+    let t1 = d.cluster.clock_ns(1);
+    d.write_access_excl(1, b);
+    assert!(d.dir_state(b).is_excl_by(1));
+    assert_eq!(d.cluster.tag(1, b), Access::ReadWrite);
+    assert!(d.cluster.clock_ns(1) > t1, "a real fault was taken");
+    d.release_barrier();
+    d.check_consistency().unwrap();
+}
+
+/// The ctl path over a zero-sharer `Shared` entry: `mk_writable` finds
+/// nobody to invalidate and still takes ownership.
+#[test]
+fn zero_sharer_mk_writable() {
+    let mut d = dsm(2);
+    let b = 1;
+    d.set_dir(b, DirState::Shared { readers: 0 });
+    d.cluster.set_tag(0, b, Access::ReadOnly);
+    d.mk_writable(1, b, b + 1);
+    assert!(d.dir_state(b).is_excl_by(1));
+    d.release_barrier();
+    d.check_consistency().unwrap();
+}
+
+/// Directory entries must track the max node id (63): a 64-node cluster
+/// where node 63 reads, then steals, a block homed at node 0 — the
+/// sharer bit and owner field both sit on the top bit of the mask.
+#[test]
+fn max_node_id_directory_entries() {
+    let mut d = dsm(64);
+    let b = 0; // page 0 → homed at node 0
+    assert_eq!(d.cluster.home_of_block(b), 0);
+
+    d.read_access(63, b);
+    match d.dir_state(b) {
+        DirState::Shared { readers } => {
+            assert_ne!(readers & DirState::bit(63), 0, "top sharer bit lost");
+            assert_ne!(readers & DirState::bit(0), 0, "home downgrade lost");
+        }
+        s => panic!("expected Shared after a read miss, got {s:?}"),
+    }
+    assert_eq!(d.cluster.tag(63, b), Access::ReadOnly);
+
+    d.write_access_excl(63, b);
+    assert!(d.dir_state(b).is_excl_by(63));
+    assert_eq!(d.cluster.tag(63, b), Access::ReadWrite);
+    assert_eq!(d.cluster.tag(0, b), Access::Invalid);
+
+    // And back: a third node reads the block out of node 63's hands
+    // (the 4-hop path with the owner on the top bit).
+    d.read_access(62, b);
+    match d.dir_state(b) {
+        DirState::Shared { readers } => {
+            assert_ne!(readers & DirState::bit(62), 0);
+            assert_ne!(readers & DirState::bit(63), 0, "old owner keeps RO copy");
+        }
+        s => panic!("expected Shared after the 4-hop read, got {s:?}"),
+    }
+    d.release_barrier();
+    d.check_consistency().unwrap();
+}
