@@ -16,11 +16,16 @@
 //! to the per-app matrix; each chan run additionally self-asserts the
 //! strict-wire accounting invariants (every heatmap byte attributed for
 //! reduction-free apps, wire payload reconciling with the cluster's
-//! `bytes_sent`).
+//! `bytes_sent`). `FGDSM_BACKEND=tcp` appends the socket-backed
+//! multi-process backend instead: the same invariants apply, and the
+//! report closes with a predicted-vs-measured latency table putting the
+//! Table-1 cost model's virtual communication time next to the host
+//! nanoseconds the real socket round-trips actually took.
 //!
 //!     cargo run --release -p fgdsm-bench --bin profile_report
 //!     cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
 //!     FGDSM_BACKEND=chan cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
+//!     FGDSM_BACKEND=tcp cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
 //!     FGDSM_CHROME=/tmp/j.json cargo run --release -p fgdsm-bench --bin profile_report -- jacobi
 
 use fgdsm_apps::suite;
@@ -90,40 +95,54 @@ fn validate_chrome(app: &str, backend: &str, chrome: &str) {
     }
 }
 
-/// Extra backends requested through `FGDSM_BACKEND` (currently only
-/// `chan` is recognized), appended after the standard two.
+/// Extra backends requested through `FGDSM_BACKEND` (`chan` or `tcp`),
+/// appended after the standard two. Requesting `tcp` in a sandbox that
+/// forbids sockets is a loud error — the CI gate probes availability
+/// before setting the variable.
 fn extra_backends() -> Vec<(&'static str, ExecConfig)> {
     match std::env::var("FGDSM_BACKEND").ok().as_deref() {
         None | Some("") => Vec::new(),
         Some("chan") => vec![("chan", ExecConfig::chan(NPROCS))],
-        Some(other) => panic!("FGDSM_BACKEND: unknown backend `{other}` (expected `chan`)"),
+        Some("tcp") => {
+            assert!(
+                fgdsm_hpf::tcp_available(),
+                "FGDSM_BACKEND=tcp but the sandbox forbids sockets \
+                 (probe with `fgdsm-node --probe tcp` first)"
+            );
+            vec![("tcp", ExecConfig::tcp(NPROCS))]
+        }
+        Some(other) => {
+            panic!("FGDSM_BACKEND: unknown backend `{other}` (expected `chan` or `tcp`)")
+        }
     }
 }
 
-/// Strict-wire accounting invariants of a `chan` run: the run actually
-/// moved envelopes, the payload words they carried never exceed the
-/// protocol's own byte accounting (`bytes_sent` adds fixed per-message
-/// headers on top, reduction traffic is counted but not enveloped), and
-/// for reduction-free apps every heatmap byte is block-attributed —
-/// reductions are the only traffic with no home block, so nothing else
-/// may leak into `unattributed_bytes`.
-fn check_chan_wire_invariants(app: &str, run: &RunResult) {
+/// Strict-wire accounting invariants of a `chan` or `tcp` run: the run
+/// actually moved envelopes, the payload words they carried never exceed
+/// the protocol's own byte accounting (`bytes_sent` adds fixed
+/// per-message headers on top, reduction traffic is counted but not
+/// enveloped), and for reduction-free apps every heatmap byte is
+/// block-attributed — reductions are the only traffic with no home
+/// block, so nothing else may leak into `unattributed_bytes`. A `tcp`
+/// run must additionally accrue *measured* route time: real socket
+/// round-trips cost host nanoseconds the in-process backends never see.
+fn check_wire_invariants(app: &str, backend: &str, run: &RunResult) {
     let mut whole = fgdsm_tempest::NodeStats::default();
     for n in &run.report.nodes {
         whole.accumulate(n);
     }
     assert!(
         run.wire_frames > 0 || whole.bytes_sent == 0,
-        "{app}/chan: traffic flowed ({} bytes) but no envelopes were routed",
+        "{app}/{backend}: traffic flowed ({} bytes) but no envelopes were routed",
         whole.bytes_sent
     );
     assert!(
         run.wire_payload_bytes > 0 || whole.bytes_sent == 0,
-        "{app}/chan: envelopes routed but carried no payload"
+        "{app}/{backend}: envelopes routed but carried no payload"
     );
     assert!(
         run.wire_payload_bytes <= whole.bytes_sent,
-        "{app}/chan: wire payload {} exceeds cluster bytes_sent {}",
+        "{app}/{backend}: wire payload {} exceeds cluster bytes_sent {}",
         run.wire_payload_bytes,
         whole.bytes_sent
     );
@@ -131,14 +150,58 @@ fn check_chan_wire_invariants(app: &str, run: &RunResult) {
         for (n, hm) in run.report.heatmaps.iter().enumerate() {
             assert_eq!(
                 hm.unattributed_bytes, 0,
-                "{app}/chan: node {n} sent unattributed bytes in a reduction-free app"
+                "{app}/{backend}: node {n} sent unattributed bytes in a reduction-free app"
             );
         }
+    }
+    if backend == "tcp" {
+        assert!(
+            run.wire_route_ns() > 0 || run.wire_frames == 0,
+            "{app}/tcp: socket round-trips must accrue measured route time"
+        );
     }
     println!(
         "    wire: {} frames, {} payload bytes ({} cluster bytes_sent)",
         run.wire_frames, run.wire_payload_bytes, whole.bytes_sent
     );
+}
+
+/// One app's predicted-vs-measured latency comparison: the Table-1 cost
+/// model's virtual communication time against the host time the real
+/// socket round-trips took.
+struct LatencyRow {
+    app: &'static str,
+    predicted_comm_ns: u64,
+    measured_route_ns: u64,
+    frames: u64,
+    payload_bytes: u64,
+}
+
+/// Render the closing predicted-vs-measured table for the `tcp` runs.
+/// The two columns answer different questions — the predicted side is
+/// the simulated network of Table 1 (fixed per-message latency plus
+/// bandwidth), the measured side is loopback-socket host time — so the
+/// table validates *liveness and proportionality* of the cost model
+/// (more frames cost more on both clocks), not equality.
+fn latency_table(rows: &[LatencyRow]) {
+    println!("predicted vs measured wire latency — Table 1 cost model vs host sockets");
+    println!(
+        "{:<10} {:>15} {:>15} {:>8} {:>11} {:>13} {:>13}",
+        "app", "predicted_ns", "measured_ns", "frames", "payload_B", "pred_ns/frm", "meas_ns/frm"
+    );
+    for r in rows {
+        let per = |ns: u64| if r.frames == 0 { 0 } else { ns / r.frames };
+        println!(
+            "{:<10} {:>15} {:>15} {:>8} {:>11} {:>13} {:>13}",
+            r.app,
+            r.predicted_comm_ns,
+            r.measured_route_ns,
+            r.frames,
+            r.payload_bytes,
+            per(r.predicted_comm_ns),
+            per(r.measured_route_ns),
+        );
+    }
 }
 
 fn report_run(
@@ -284,6 +347,7 @@ fn main() {
         NPROCS
     );
     let mut rows = Vec::new();
+    let mut latency = Vec::new();
     let mut ran = 0;
     for spec in suite(scale()) {
         if let Some(f) = &filter {
@@ -303,13 +367,30 @@ fn main() {
         for (backend, cfg) in backends {
             let (run, _trace, chrome) = execute_profiled(&spec.program, &cfg);
             report_run(spec.name, backend, &loop_names, &run, &chrome, &mut rows);
-            if backend == "chan" {
-                check_chan_wire_invariants(spec.name, &run);
+            if backend == "chan" || backend == "tcp" {
+                check_wire_invariants(spec.name, backend, &run);
+            }
+            if backend == "tcp" {
+                let mut whole = fgdsm_tempest::NodeStats::default();
+                for n in &run.report.nodes {
+                    whole.accumulate(n);
+                }
+                latency.push(LatencyRow {
+                    app: spec.name,
+                    predicted_comm_ns: whole.comm_ns(run.report.handler_in_comm),
+                    measured_route_ns: run.wire_route_ns(),
+                    frames: run.wire_frames,
+                    payload_bytes: run.wire_payload_bytes,
+                });
             }
         }
         println!();
     }
     assert!(ran > 0, "no app matched {filter:?}");
+    if !latency.is_empty() {
+        latency_table(&latency);
+        println!();
+    }
     if filter.is_none() || filter.as_deref() == Some("jacobi") {
         false_sharing_demo();
     }

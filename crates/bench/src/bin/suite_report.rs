@@ -7,13 +7,19 @@
 //! (`FGDSM_PAR`, see README). Wall-clock is host-dependent and is *not*
 //! part of the canonical report JSON.
 //!
+//! When the sandbox allows sockets, each row also carries the
+//! socket-backed `tcp` backend's virtual times (`tcp_s`/`tcp_comm_s`
+//! must equal `chan`'s — both are `sm_opt[full]` behind a wire seam)
+//! and a sixth wall-clock entry; otherwise those fields are `null` and
+//! the wall vector keeps its five in-process entries.
+//!
 //!     cargo run --release -p fgdsm-bench --bin suite_report
 //!     FGDSM_FULL=1 cargo run --release -p fgdsm-bench --bin suite_report
 //!     FGDSM_PAR=8 cargo run --release -p fgdsm-bench --bin suite_report
 
 use fgdsm_apps::{scale_factor, suite_scaled};
 use fgdsm_bench::{json_row, save_json, scale};
-use fgdsm_hpf::{execute, ExecConfig, ParallelMode, RunResult};
+use fgdsm_hpf::{execute, tcp_available, ExecConfig, ParallelMode, RunResult};
 
 json_row! {
     struct Row {
@@ -29,13 +35,22 @@ json_row! {
         mp_comm_s: f64,
         chan_s: f64,
         chan_comm_s: f64,
-        /// Host wall-clock for the five runs above, in order.
+        /// Socket-backed multi-process backend; `null` when the sandbox
+        /// forbids sockets.
+        tcp_s: Option<f64>,
+        tcp_comm_s: Option<f64>,
+        /// Host wall-clock for the runs above, in order (a sixth entry
+        /// when the `tcp` run participates).
         wall_ns: Vec<u64>,
     }
 }
 
 fn main() {
     let factor = scale_factor();
+    let with_tcp = tcp_available();
+    if !with_tcp {
+        eprintln!("notice: sandbox forbids sockets; suite report carries no tcp columns");
+    }
     println!(
         "suite report — {} — scale factor {factor} — {} compute worker(s)\n",
         fgdsm_bench::scale_label(scale()),
@@ -48,12 +63,23 @@ fn main() {
         let op = execute(&spec.program, &ExecConfig::sm_opt(8));
         let mp = execute(&spec.program, &ExecConfig::mp(8));
         let chan = execute(&spec.program, &ExecConfig::chan(8));
-        let wall_ms: f64 = [&uni, &un, &op, &mp, &chan]
-            .iter()
-            .map(|r| r.report.wall_s() * 1e3)
-            .sum();
+        let tcp = with_tcp.then(|| execute(&spec.program, &ExecConfig::tcp(8)));
+        let wall = |r: &RunResult| r.report.wall_ns;
+        let mut walls = vec![wall(&uni), wall(&un), wall(&op), wall(&mp), wall(&chan)];
+        if let Some(t) = &tcp {
+            walls.push(wall(t));
+        }
+        let wall_ms: f64 = walls.iter().map(|&ns| ns as f64 / 1e6).sum();
+        let tcp_col = match &tcp {
+            Some(t) => format!(
+                " | tcp tot {:7.3} comm {:7.3}",
+                t.total_s(),
+                t.report.comm_s()
+            ),
+            None => String::new(),
+        };
         println!(
-            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3} | chan tot {:7.3} comm {:7.3} | wall {:8.1}ms",
+            "{:8} uni {:8.3}s | unopt tot {:7.3} comm {:7.3} | opt tot {:7.3} comm {:7.3} | mp tot {:7.3} comm {:7.3} | chan tot {:7.3} comm {:7.3}{tcp_col} | wall {:8.1}ms",
             spec.name,
             uni.total_s(),
             un.total_s(),
@@ -66,7 +92,6 @@ fn main() {
             chan.report.comm_s(),
             wall_ms,
         );
-        let wall = |r: &RunResult| r.report.wall_ns;
         rows.push(Row {
             app: spec.name,
             scale: factor as u64,
@@ -79,7 +104,9 @@ fn main() {
             mp_comm_s: mp.report.comm_s(),
             chan_s: chan.total_s(),
             chan_comm_s: chan.report.comm_s(),
-            wall_ns: vec![wall(&uni), wall(&un), wall(&op), wall(&mp), wall(&chan)],
+            tcp_s: tcp.as_ref().map(RunResult::total_s),
+            tcp_comm_s: tcp.as_ref().map(|t| t.report.comm_s()),
+            wall_ns: walls,
         });
     }
     save_json("suite", &rows);

@@ -502,10 +502,12 @@ pub mod host_perf {
         git.ends_with("-dirty") && !std::env::var("FGDSM_BENCH_FORCE").is_ok_and(|v| v == "1")
     }
 
-    /// Measure the full 6-app × 4-backend × scale-factor × 3-mode matrix:
+    /// Measure the full 6-app × 5-backend × scale-factor × 3-mode matrix:
     /// `runs` timed executions each, `workers` threads in the threaded
     /// modes, one problem stretch per entry of `factors` (the
-    /// `FGDSM_SCALE` axis).
+    /// `FGDSM_SCALE` axis). The `tcp` backend rows time real socket
+    /// round-trips to spawned `fgdsm-node` processes; they are skipped
+    /// (with a notice) when the sandbox forbids sockets.
     pub fn measure(
         scale: Scale,
         factors: &[usize],
@@ -516,15 +518,21 @@ pub mod host_perf {
         assert!(workers >= 2, "threaded modes need at least two workers");
         assert!(!factors.is_empty(), "need at least one scale factor");
         let git = git_describe();
+        let mut backends = vec![
+            ("sm_unopt", ExecConfig::sm_unopt(crate::NPROCS)),
+            ("sm_opt", ExecConfig::sm_opt(crate::NPROCS)),
+            ("mp", ExecConfig::mp(crate::NPROCS)),
+            ("chan", ExecConfig::chan(crate::NPROCS)),
+        ];
+        if fgdsm_hpf::tcp_available() {
+            backends.push(("tcp", ExecConfig::tcp(crate::NPROCS)));
+        } else {
+            eprintln!("notice: sandbox forbids sockets; host_perf measures no tcp rows");
+        }
         let mut rows = Vec::new();
         for &factor in factors {
             for spec in fgdsm_apps::suite_scaled(scale, factor) {
-                for (backend, cfg) in [
-                    ("sm_unopt", ExecConfig::sm_unopt(crate::NPROCS)),
-                    ("sm_opt", ExecConfig::sm_opt(crate::NPROCS)),
-                    ("mp", ExecConfig::mp(crate::NPROCS)),
-                    ("chan", ExecConfig::chan(crate::NPROCS)),
-                ] {
+                for (backend, cfg) in &backends {
                     for par in MODES {
                         let cfg = match par {
                             "serial" => cfg.clone().serial(),

@@ -193,6 +193,36 @@ fn chan_is_byte_identical_to_sm_opt() {
     }
 }
 
+/// The socket-backed distributed backend is the same contract as `chan`
+/// carried over real sockets to spawned `fgdsm-node` processes — so the
+/// identical cross-backend pin applies: every observable artifact must
+/// be byte-identical to the `sm_opt` serial baseline, in serial and
+/// threaded mode alike, even though the data path round-trips through
+/// kernel socket buffers and separate address spaces. Skips with a
+/// notice when the sandbox forbids sockets.
+#[test]
+fn tcp_is_byte_identical_to_sm_opt() {
+    if !fgdsm_hpf::tcp_available() {
+        eprintln!("notice: sandbox forbids sockets; skipping tcp_is_byte_identical_to_sm_opt");
+        return;
+    }
+    for spec in suite(Scale::Test) {
+        assert_modes_match(
+            &spec,
+            &ExecConfig::sm_opt(NPROCS),
+            "tcp-vs-sm_opt",
+            vec![
+                ("tcp-serial", ExecConfig::tcp(NPROCS).serial()),
+                (
+                    "tcp-rthreads",
+                    ExecConfig::tcp(NPROCS).serial().resolve_threads(4),
+                ),
+                ("tcp-threads", ExecConfig::tcp(NPROCS).threads(4)),
+            ],
+        );
+    }
+}
+
 /// Strict wire mode (`FGDSM_WIRE=strict`) reroutes every inter-node
 /// transfer through encoded envelopes on every backend, but charges and
 /// counters are taken at exactly the same points — so each backend's

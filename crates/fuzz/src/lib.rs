@@ -34,7 +34,7 @@ pub mod shrink;
 pub mod taxonomy;
 
 pub use gen::{gen_spec, ArraySpec, FStmt, FuzzSpec, LoopSpec, ReadSpec};
-pub use oracle::{check_spec, Divergence};
+pub use oracle::{check_spec, check_spec_tcp, Divergence};
 pub use shrink::shrink;
 pub use taxonomy::{Detector, Fault};
 
@@ -62,6 +62,25 @@ pub fn check_case(seed: u64) {
              shrunk:   {small_d}\n\
              reproducer:\n{}",
             small.to_rust()
+        );
+    }
+}
+
+/// Replay one corpus case over the socket-backed `tcp` path: generate
+/// from `seed` and run [`check_spec_tcp`] (serial tcp vs the reference
+/// bitwise, and vs `sm_opt[full]`'s serial artifacts byte for byte).
+/// No shrink pass — the in-process matrix already shrinks this seed if
+/// the divergence is not socket-specific, and spawning process fleets
+/// per shrink candidate would dominate the suite. Callers gate on
+/// [`fgdsm_hpf::tcp_available`].
+pub fn check_case_tcp(seed: u64) {
+    let mut rng = fgdsm_testkit::Rng::new(seed);
+    let spec = gen_spec(&mut rng, seed);
+    if let Err(d) = check_spec_tcp(&spec) {
+        panic!(
+            "tcp fuzz divergence at seed {seed:#x}: {d}\n\
+             reproducer spec:\n{}",
+            spec.to_rust()
         );
     }
 }

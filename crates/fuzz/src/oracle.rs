@@ -95,6 +95,13 @@ fn panic_msg(p: &Box<dyn std::any::Any + Send>) -> String {
     p.downcast_ref::<String>()
         .cloned()
         .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+        .or_else(|| {
+            // Transport failures unwind with a typed payload (see
+            // `fgdsm_protocol::WireError`); render it so a divergence
+            // report names the peer and failure kind.
+            p.downcast_ref::<fgdsm_protocol::WireError>()
+                .map(|e| e.to_string())
+        })
         .unwrap_or_else(|| "non-string panic".into())
 }
 
@@ -248,6 +255,91 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
                     });
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// Differential check of the socket-backed `tcp` backend for one spec:
+/// a serial tcp run — every inter-node transfer framed over a real
+/// socket to spawned `fgdsm-node` worker processes — must agree with
+/// the sequential reference bitwise AND reproduce `sm_opt[full]`'s
+/// serial report, trace and profile artifacts byte for byte, exactly as
+/// `chan` does inside [`check_spec`].
+///
+/// Kept out of [`backend_configs`]: one tcp run spawns a whole process
+/// fleet, so the corpus replays a separately sized slice through this
+/// oracle (`FGDSM_FUZZ_TCP_CASES`). Callers must gate on
+/// [`fgdsm_hpf::tcp_available`] — sandboxes may forbid sockets.
+pub fn check_spec_tcp(spec: &FuzzSpec) -> Result<(), Divergence> {
+    let prog = spec.build();
+    let reference = execute_reference(&prog, &ExecConfig::sm_unopt(spec.nprocs));
+    let smopt_cfg = ExecConfig::sm_unopt(spec.nprocs)
+        .with_opt(OptLevel::full())
+        .serial()
+        .with_inject(spec.inject);
+    let (want, want_trace, _) =
+        match catch_unwind(AssertUnwindSafe(|| execute_profiled(&prog, &smopt_cfg))) {
+            Err(p) => {
+                return Err(Divergence {
+                    config: format!("{}/serial", sm_opt_full_label()),
+                    detail: format!("panic: {}", panic_msg(&p)),
+                })
+            }
+            Ok(rt) => rt,
+        };
+    let tcp_cfg = ExecConfig::tcp(spec.nprocs)
+        .serial()
+        .with_inject(spec.inject);
+    let (r, trace, _) = match catch_unwind(AssertUnwindSafe(|| execute_profiled(&prog, &tcp_cfg))) {
+        Err(p) => {
+            return Err(Divergence {
+                config: "tcp/serial".into(),
+                detail: format!("panic: {}", panic_msg(&p)),
+            })
+        }
+        Ok(rt) => rt,
+    };
+    for ai in 0..prog.arrays.len() {
+        let wanted = reference.array(&prog, ArrayId(ai));
+        let got = r.array(&prog, ArrayId(ai));
+        if let Some(at) = (0..wanted.len()).find(|&k| wanted[k].to_bits() != got[k].to_bits()) {
+            return Err(Divergence {
+                config: "tcp/serial".into(),
+                detail: format!(
+                    "array `{}` diverges at flat index {at}: reference {} vs {}",
+                    prog.arrays[ai].name, wanted[at], got[at]
+                ),
+            });
+        }
+    }
+    for (k, wanted) in &reference.scalars {
+        let got = r.scalars.get(k).copied();
+        if got.map(f64::to_bits) != Some(wanted.to_bits()) {
+            return Err(Divergence {
+                config: "tcp/serial".into(),
+                detail: format!("scalar `{k}` diverges: reference {wanted} vs {got:?}"),
+            });
+        }
+    }
+    for (what, w, g) in [
+        ("report", want.report.to_json(), r.report.to_json()),
+        ("trace", want_trace, trace),
+        (
+            "profile artifacts",
+            want.report.profile_json(),
+            r.report.profile_json(),
+        ),
+    ] {
+        if w != g {
+            return Err(Divergence {
+                config: "tcp/serial".into(),
+                detail: format!(
+                    "{what} diverges from {}/serial ({})",
+                    sm_opt_full_label(),
+                    first_diff(&w, &g)
+                ),
+            });
         }
     }
     Ok(())

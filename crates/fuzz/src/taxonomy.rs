@@ -39,6 +39,10 @@ pub enum Fault {
     MisfoldPool,
     /// A byte flipped in the first strict-mode wire envelope.
     CorruptEnvelope,
+    /// The length prefix of the first framed data message on the `tcp`
+    /// backend overwritten with an oversized value — the node's framing
+    /// cap must reject it before allocating.
+    CorruptFrameLen,
     /// `send_range` pushes the home's (possibly stale) copy instead of
     /// the recorded exclusive owner's — the §4.3 stale-memo hazard.
     StaleOwnerPush,
@@ -46,12 +50,13 @@ pub enum Fault {
 
 impl Fault {
     /// Every fault, in declaration order.
-    pub const ALL: [Fault; 6] = [
+    pub const ALL: [Fault; 7] = [
         Fault::SkewSendRange,
         Fault::SkipFlushRange,
         Fault::ReorderPlanApply,
         Fault::MisfoldPool,
         Fault::CorruptEnvelope,
+        Fault::CorruptFrameLen,
         Fault::StaleOwnerPush,
     ];
 
@@ -63,6 +68,7 @@ impl Fault {
             Fault::ReorderPlanApply => "reorder_plan_apply",
             Fault::MisfoldPool => "misfold_pool",
             Fault::CorruptEnvelope => "corrupt_envelope",
+            Fault::CorruptFrameLen => "corrupt_frame_len",
             Fault::StaleOwnerPush => "stale_owner_push",
         }
     }
@@ -75,6 +81,7 @@ impl Fault {
             Fault::ReorderPlanApply => inject.reorder_plan_apply = true,
             Fault::MisfoldPool => inject.misfold_pool = true,
             Fault::CorruptEnvelope => inject.corrupt_envelope = true,
+            Fault::CorruptFrameLen => inject.corrupt_frame_len = true,
             Fault::StaleOwnerPush => inject.stale_owner_push = true,
         }
     }
@@ -86,9 +93,10 @@ impl Fault {
     pub fn detected_by(self) -> Detector {
         match self {
             Fault::SkewSendRange | Fault::SkipFlushRange => Detector::Both,
-            Fault::ReorderPlanApply | Fault::MisfoldPool | Fault::CorruptEnvelope => {
-                Detector::Engine
-            }
+            Fault::ReorderPlanApply
+            | Fault::MisfoldPool
+            | Fault::CorruptEnvelope
+            | Fault::CorruptFrameLen => Detector::Engine,
             // Engine layouts keep owner == home for pushed ranges, so the
             // symptom needs the model's 3-node third-party-home states.
             Fault::StaleOwnerPush => Detector::Model,

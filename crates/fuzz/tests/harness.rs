@@ -4,8 +4,8 @@
 //! case must shrink to a smaller spec that still diverges.
 
 use fgdsm_fuzz::{
-    case_seed, check_spec, gen_spec, shrink, ArraySpec, Detector, FStmt, Fault, FuzzSpec, LoopSpec,
-    ReadSpec,
+    case_seed, check_spec, check_spec_tcp, gen_spec, shrink, ArraySpec, Detector, FStmt, Fault,
+    FuzzSpec, LoopSpec, ReadSpec,
 };
 use fgdsm_hpf::InjectConfig;
 use fgdsm_testkit::Rng;
@@ -31,6 +31,8 @@ fn tolerated_perturbations_are_invisible() {
             reorder_plan_apply: false,
             misfold_pool: false,
             corrupt_envelope: false,
+            corrupt_frame_len: false,
+            tcp_node_fault: None,
         };
         if let Err(d) = check_spec(&spec) {
             panic!("tolerated perturbation diverged at seed {seed:#x}: {d}");
@@ -194,6 +196,38 @@ fn must_catch_corrupt_envelope() {
     );
 }
 
+/// The same traffic-heavy program as [`skew_victim`], but the `tcp`
+/// coordinator overwrites the length prefix of the first data frame it
+/// sends with an oversized value: the node's framing layer must reject
+/// it against the frame cap *before allocating*, reply with a decode
+/// error, and fail the run loudly. Skipped (with a notice) when the
+/// sandbox forbids sockets.
+#[test]
+fn must_catch_corrupt_frame_len() {
+    if !fgdsm_hpf::tcp_available() {
+        eprintln!("notice: sandbox forbids sockets; skipping must_catch_corrupt_frame_len");
+        return;
+    }
+    let mut spec = skew_victim();
+    spec.inject = InjectConfig {
+        corrupt_frame_len: true,
+        ..InjectConfig::default()
+    };
+    let d = check_spec_tcp(&spec).expect_err("corrupt frame length must be detected");
+    assert!(
+        d.config.starts_with("tcp"),
+        "only the socket path frames messages, diverged at {d}"
+    );
+    assert!(
+        d.detail.contains("panic"),
+        "a corrupt frame must fail the run loudly, not diverge quietly: {d}"
+    );
+    assert!(
+        d.detail.contains("exceeds cap"),
+        "failure must come from the framing cap: {d}"
+    );
+}
+
 /// A block-distributed 2-D array written under a *cyclic* partition
 /// (`dist_by`): every superstep performs non-owner writes that the
 /// optimized backend must flush home with `flush_range` — which the
@@ -255,13 +289,32 @@ fn must_catch_every_engine_fault_in_taxonomy() {
         match f.detected_by() {
             Detector::Engine | Detector::Both => {
                 let mut spec = match f {
-                    Fault::SkewSendRange | Fault::CorruptEnvelope => skew_victim(),
+                    Fault::SkewSendRange | Fault::CorruptEnvelope | Fault::CorruptFrameLen => {
+                        skew_victim()
+                    }
                     Fault::SkipFlushRange => flush_victim(),
                     Fault::ReorderPlanApply | Fault::MisfoldPool => reorder_victim(),
                     Fault::StaleOwnerPush => unreachable!("model-level fault"),
                 };
                 spec.inject = Default::default();
                 f.arm(&mut spec.inject);
+                if f == Fault::CorruptFrameLen {
+                    // Transport-level: only the socket path frames
+                    // messages, so this fault is must-catch through the
+                    // tcp oracle (skipped when the sandbox forbids
+                    // sockets — `must_catch_corrupt_frame_len` carries
+                    // the full assertions).
+                    if fgdsm_hpf::tcp_available() {
+                        check_spec_tcp(&spec)
+                            .expect_err(&format!("taxonomy fault {} must be caught", f.name()));
+                    } else {
+                        eprintln!(
+                            "notice: sandbox forbids sockets; corrupt_frame_len covered by \
+                             must_catch_corrupt_frame_len when they are available"
+                        );
+                    }
+                    continue;
+                }
                 check_spec(&spec)
                     .expect_err(&format!("taxonomy fault {} must be caught", f.name()));
             }

@@ -170,13 +170,38 @@ impl<'p> EngineCore<'p> {
             "protocol-level fault injection requires the `fault-inject` feature"
         );
         // Strict wire mode: the chan backend always routes envelopes
-        // (through real channel workers); the other backends do so when
+        // (through real channel workers) and the tcp backend through
+        // spawned node processes; the other backends do so when
         // `WireMode` asks (loopback transport — same encode/decode
         // round-trip, no threads).
-        if matches!(cfg.backend, super::Backend::Chan) {
-            dsm.set_wire(Box::new(fgdsm_protocol::ChanTransport::new(cfg.nprocs)));
-        } else if cfg.wire.is_strict() {
-            dsm.set_wire(Box::new(fgdsm_protocol::Loopback));
+        match cfg.backend {
+            super::Backend::Chan => {
+                dsm.set_wire(Box::new(fgdsm_protocol::ChanTransport::new(cfg.nprocs)));
+            }
+            super::Backend::Tcp => {
+                let geom = fgdsm_net::NetGeometry {
+                    nprocs: cfg.nprocs,
+                    wpb: cfg.cost.words_per_block() as u32,
+                    seg_words: layout.total_words() as u64,
+                };
+                let opts = fgdsm_net::SocketOpts {
+                    corrupt_frame_len: cfg.inject.corrupt_frame_len,
+                    node_fault: cfg.inject.tcp_node_fault,
+                    ..fgdsm_net::SocketOpts::default()
+                };
+                match fgdsm_net::SocketTransport::spawn(geom, opts) {
+                    Ok(t) => dsm.set_wire(Box::new(t)),
+                    Err(e) => panic!(
+                        "tcp backend: cannot start node processes: {e} \
+                         (check fgdsm_hpf::exec::tcp_available() before \
+                         selecting Backend::Tcp)"
+                    ),
+                }
+            }
+            _ if cfg.wire.is_strict() => {
+                dsm.set_wire(Box::new(fgdsm_protocol::Loopback));
+            }
+            _ => {}
         }
         EngineCore {
             prog,
@@ -491,6 +516,7 @@ pub(super) fn run(
     // Host time, stamped outside the deterministic virtual-time state
     // (excluded from the canonical report encoding).
     report.wall_ns = wall_start.elapsed().as_nanos() as u64;
+    report.wire_route_ns = core.dsm.wire_route_ns();
     // Post-run invariants: the protocol left a consistent directory and
     // the trace is sane. These hold for every backend on every program;
     // the fuzz oracle (and every test) gets them for free.

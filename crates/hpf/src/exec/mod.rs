@@ -56,8 +56,10 @@ pub mod mp;
 pub mod reference;
 pub mod sm_opt;
 pub mod sm_unopt;
+pub mod tcp;
 
 pub use reference::{execute_reference, ReferenceResult};
+pub use tcp::tcp_available;
 
 use crate::ir::Program;
 use crate::plan::{ArrayMeta, OptLevel};
@@ -83,6 +85,16 @@ pub enum Backend {
     /// `sm_opt` at the full optimization level (pinned by the determinism
     /// suite and the fuzz oracle).
     Chan,
+    /// Socket-backed multi-process distributed backend: `sm_opt`'s full
+    /// contract, but every inter-node transfer is framed over a real
+    /// socket (TCP loopback, or Unix-domain where TCP is forbidden) to a
+    /// spawned `fgdsm-node` worker *process* that owns a mirror of the
+    /// shard words, decodes each envelope with the paranoid wire
+    /// decoder, applies it, and re-encodes the reply from its own
+    /// memory. Byte-identical to `sm_opt` at the full optimization
+    /// level. Peer death and recv deadlines surface as typed
+    /// [`fgdsm_protocol::WireError`]s through [`try_execute`].
+    Tcp,
 }
 
 /// Whether inter-node data movement must round-trip through encoded
@@ -271,6 +283,21 @@ pub struct InjectConfig {
     /// `fault-inject` and an envelope path: the `chan` backend or
     /// `FGDSM_WIRE=strict`).
     pub corrupt_envelope: bool,
+    /// Must-catch: overwrite the length prefix of the first data frame
+    /// the coordinator sends with an oversized value — the node's
+    /// framing layer must reject it against [`fgdsm_protocol::MAX_FRAME_BYTES`]
+    /// before allocating, and the run must fail loudly. Transport-level
+    /// (lives in `fgdsm-net`, not the protocol), so it does **not**
+    /// require the `fault-inject` feature — but it only has an effect on
+    /// the `tcp` backend.
+    pub corrupt_frame_len: bool,
+    /// Fault-tolerance harness knob: arm node `n` of the `tcp` backend
+    /// with a [`fgdsm_net::NodeFault`] (exit or wedge after a batch
+    /// count). The coordinator must surface a typed
+    /// [`fgdsm_protocol::WireError`] within the configured deadline —
+    /// no hang, no partial artifact. Transport-level; no effect on
+    /// in-process backends.
+    pub tcp_node_fault: Option<(u32, fgdsm_net::NodeFault)>,
 }
 
 impl ExecConfig {
@@ -314,6 +341,17 @@ impl ExecConfig {
     pub fn chan(nprocs: usize) -> Self {
         ExecConfig {
             backend: Backend::Chan,
+            ..Self::sm_unopt(nprocs)
+        }
+    }
+
+    /// Socket-backed multi-process backend (`FGDSM_BACKEND=tcp`): the
+    /// full `sm_opt` contract with every transfer framed over loopback
+    /// TCP (or UDS) to spawned `fgdsm-node` worker processes. Check
+    /// [`tcp_available`] first — sandboxes may forbid sockets.
+    pub fn tcp(nprocs: usize) -> Self {
+        ExecConfig {
+            backend: Backend::Tcp,
             ..Self::sm_unopt(nprocs)
         }
     }
@@ -442,6 +480,14 @@ impl RunResult {
     pub fn total_s(&self) -> f64 {
         self.report.total_s()
     }
+
+    /// Measured host time spent inside the wire transport's `route`
+    /// calls (0 on the zero-copy fast path). Real time, like
+    /// [`fgdsm_tempest::ClusterReport::wall_ns`] — outside the canonical
+    /// report so strict/fast/socket runs stay byte-identical.
+    pub fn wire_route_ns(&self) -> u64 {
+        self.report.wire_route_ns
+    }
 }
 
 /// Instantiate the communication backend for a configuration — the one
@@ -452,12 +498,66 @@ fn make_backend(cfg: &ExecConfig) -> Box<dyn CommBackend> {
         Backend::SmOpt(opt) => Box::new(sm_opt::SmOpt::new(opt)),
         Backend::Mp => Box::new(mp::Mp::new(cfg.nprocs)),
         Backend::Chan => Box::new(chan::Chan::new()),
+        Backend::Tcp => Box::new(tcp::Tcp::new()),
     }
 }
 
 /// Execute `prog` under `cfg`.
 pub fn execute(prog: &Program, cfg: &ExecConfig) -> RunResult {
     engine::run(prog, cfg, make_backend(cfg), false, false).0
+}
+
+/// How an execution failed. The engine reports failures by panicking —
+/// typed [`fgdsm_protocol::WireError`] payloads for transport-level
+/// failures (peer death, recv deadline, framing cap), strings for
+/// everything else (decode rejections, invariant violations).
+/// [`try_execute`] catches both and hands them back as values.
+#[derive(Clone, Debug)]
+pub enum ExecError {
+    /// The wire transport failed: a peer process died, a recv deadline
+    /// fired, or a frame length exceeded the cap.
+    Wire(fgdsm_protocol::WireError),
+    /// Any other engine panic, stringified (decode failures keep their
+    /// pinned `wire: envelope decode failed in transit: …` message).
+    Panic(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Wire(e) => write!(f, "wire transport failed: {e}"),
+            ExecError::Panic(msg) => write!(f, "execution panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute `prog` under `cfg`, catching engine failures as typed values
+/// instead of unwinding. This is the fault-tolerant entry point for the
+/// distributed backends: a killed `fgdsm-node` process surfaces as
+/// `Err(ExecError::Wire(WireError::PeerGone(n)))`, a wedged one as
+/// `Err(ExecError::Wire(WireError::Timeout(n)))` — within the configured
+/// recv deadline, with no partial artifacts. Successful runs are
+/// indistinguishable from [`execute`].
+pub fn try_execute(prog: &Program, cfg: &ExecConfig) -> Result<RunResult, ExecError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(prog, cfg))) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            let payload = match payload.downcast::<fgdsm_protocol::WireError>() {
+                Ok(we) => return Err(ExecError::Wire(*we)),
+                Err(p) => p,
+            };
+            let msg = match payload.downcast::<String>() {
+                Ok(s) => *s,
+                Err(p) => match p.downcast::<&'static str>() {
+                    Ok(s) => (*s).to_string(),
+                    Err(_) => "non-string panic payload".to_string(),
+                },
+            };
+            Err(ExecError::Panic(msg))
+        }
+    }
 }
 
 /// Execute `prog` under `cfg` and also return the structured event-trace

@@ -5,7 +5,7 @@
 //! reference vs. every backend).
 
 use fgdsm_fuzz::gen::{ArraySpec, FStmt, FuzzSpec, LoopSpec, ReadSpec};
-use fgdsm_fuzz::oracle::check_spec;
+use fgdsm_fuzz::oracle::{check_spec, check_spec_tcp};
 use fgdsm_hpf::InjectConfig;
 use fgdsm_model::{enumerate_sequences, ModelConfig, Op, Proto};
 
@@ -115,6 +115,32 @@ fn model_derived_corpus_passes_the_oracle() {
         "corpus collapsed to {} distinct specs",
         distinct.len()
     );
+}
+
+/// The same 100 model-derived cases replayed over the socket-backed
+/// `tcp` backend: every case runs with each inter-node transfer framed
+/// over loopback sockets to spawned `fgdsm-node` processes, bitwise
+/// against the reference and byte-identical to `sm_opt[full]`'s serial
+/// artifacts. Skips with a notice when the sandbox forbids sockets.
+#[test]
+fn model_derived_corpus_passes_the_tcp_oracle() {
+    if !fgdsm_hpf::tcp_available() {
+        eprintln!(
+            "notice: sandbox forbids sockets; skipping model_derived_corpus_passes_the_tcp_oracle"
+        );
+        return;
+    }
+    let cfg = ModelConfig::small(Proto::Eager).with_depth(4);
+    let seqs = enumerate_sequences(&cfg, 4, false, 50_000);
+    let stride = (seqs.len() / 100).max(1);
+    let picked: Vec<&Vec<Op>> = seqs.iter().step_by(stride).take(100).collect();
+    assert_eq!(picked.len(), 100, "need a full 100-case corpus");
+    for (idx, seq) in picked.iter().enumerate() {
+        let spec = spec_from(seq, idx);
+        if let Err(d) = check_spec_tcp(&spec) {
+            panic!("model-derived case {idx} diverged over tcp: {d:?}\nspec: {spec:?}");
+        }
+    }
 }
 
 /// Determinism: deriving the corpus twice yields identical specs.

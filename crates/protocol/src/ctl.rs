@@ -670,7 +670,7 @@ impl Dsm {
                     corrupt = false;
                 }
             }
-            let frames = w.transport.route(plan.dst, frames);
+            let frames = w.route(plan.dst, frames);
             routed.insert(plan.dst, frames.into());
         }
         let mut decoded = Vec::with_capacity(plans.len());

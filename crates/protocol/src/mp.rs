@@ -445,7 +445,7 @@ fn mp_wire_deliver(d: &mut Dsm, plans: &[MpSendPlan]) -> Option<Vec<Vec<WireMsg>
                 corrupt = false;
             }
         }
-        let frames = w.transport.route(plan.dst, frames);
+        let frames = w.route(plan.dst, frames);
         routed.insert(plan.dst, frames.into());
     }
     let mut decoded = Vec::with_capacity(plans.len());

@@ -123,6 +123,12 @@ pub(crate) struct WireState {
     pub frames: u64,
     /// Total on-wire payload bytes ([`WireMsg::payload_bytes`]).
     pub payload_bytes: u64,
+    /// Host wall-clock spent inside `transport.route`, in ns. Real time
+    /// (like `ClusterReport::wall_ns`), so it is kept out of every
+    /// canonical artifact — it exists so the bench layer can put
+    /// *measured* transport latency next to the *predicted* virtual
+    /// comm clock.
+    pub route_ns: u64,
     /// One-shot marker: the `corrupt_envelope` injection has fired.
     /// Only consulted when the `fault-inject` feature is compiled in.
     #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
@@ -137,7 +143,23 @@ impl WireState {
             words_pool: VecPool::default(),
             frames: 0,
             payload_bytes: 0,
+            route_ns: 0,
             corrupted: false,
+        }
+    }
+
+    /// Carry one batch through the transport, accumulating measured wall
+    /// time. A transport-level failure (peer gone, timeout) unwinds with
+    /// the typed [`crate::wire::WireError`] itself as the panic payload,
+    /// so executors can `catch_unwind` + downcast it back into a typed
+    /// result instead of scraping a message string.
+    pub(crate) fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let t0 = std::time::Instant::now();
+        let routed = self.transport.route(dst, frames);
+        self.route_ns += t0.elapsed().as_nanos() as u64;
+        match routed {
+            Ok(frames) => frames,
+            Err(e) => std::panic::panic_any(e),
         }
     }
 }
@@ -255,6 +277,14 @@ impl Dsm {
             .map_or((0, 0), |w| (w.frames, w.payload_bytes))
     }
 
+    /// Measured host wall-clock spent inside the transport's `route`, in
+    /// ns (`0` on the fast path). Real time, never part of canonical
+    /// artifacts — the bench layer reads it to compare measured transport
+    /// latency against the virtual cost model.
+    pub fn wire_route_ns(&self) -> u64 {
+        self.wire.as_ref().map_or(0, |w| w.route_ns)
+    }
+
     /// Arm (or disarm) the must-catch contract mutations. Compiled only
     /// under the `fault-inject` feature.
     #[cfg(feature = "fault-inject")]
@@ -367,7 +397,7 @@ impl Dsm {
         if corrupt {
             corrupt_frame(&mut buf);
         }
-        let mut frames = w.transport.route(dst, vec![buf]);
+        let mut frames = w.route(dst, vec![buf]);
         let frame = frames.pop().expect("wire: transport dropped a frame");
         let out = match WireMsg::from_bytes(&frame) {
             Ok(m) => m,

@@ -34,13 +34,35 @@
 //! were not built for (no silent best-effort parsing). The golden-bytes
 //! test below pins the v1 layout against accidental breaks.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// First two bytes of every frame.
 pub const WIRE_MAGIC: u16 = 0xFD57;
 /// Current format version; decoders accept exactly this.
 pub const WIRE_VERSION: u16 = 1;
+/// First two bytes of every control (non-data) frame: handshake,
+/// batch markers and teardown between a coordinator and a node process.
+pub const CTRL_MAGIC: u16 = 0xFD58;
+/// Upper bound on a single length-prefixed frame. A prefix above this is
+/// a protocol violation ([`WireError::FrameTooBig`]), rejected *before*
+/// any allocation — the framing layer's analogue of `decode_words`'
+/// lying-length guard.
+pub const MAX_FRAME_BYTES: u64 = 1 << 26;
+
+/// Per-recv deadline for the blocking transports (`chan` worker replies,
+/// socket reads): `FGDSM_NET_TIMEOUT_MS`, default 5000 ms. A peer that
+/// stays silent past this long is reported as [`WireError::Timeout`]
+/// instead of hanging the run.
+pub fn net_timeout() -> Duration {
+    let ms = std::env::var("FGDSM_NET_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(5000)
+        .max(1);
+    Duration::from_millis(ms)
+}
 
 /// On-wire size in bytes of a word-diff message body for `mask`: the
 /// 8-byte dirty mask plus one 8-byte word per set bit. This is the one
@@ -160,6 +182,15 @@ pub enum WireError {
     CountMismatch(&'static str),
     /// Bytes left over after the payload — the frame lies about itself.
     TrailingBytes(usize),
+    /// The peer node is gone: its channel hung up, its process exited, or
+    /// the connection was closed (EOF) mid-conversation.
+    PeerGone(u32),
+    /// The peer stayed silent past the configured recv deadline
+    /// ([`net_timeout`]).
+    Timeout(u32),
+    /// A length prefix above [`MAX_FRAME_BYTES`] — rejected before any
+    /// allocation or read.
+    FrameTooBig(u64),
 }
 
 impl std::fmt::Display for WireError {
@@ -171,6 +202,11 @@ impl std::fmt::Display for WireError {
             WireError::BadKind(k) => write!(f, "unknown kind byte {k}"),
             WireError::CountMismatch(what) => write!(f, "count mismatch: {what}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::PeerGone(p) => write!(f, "peer node {p} gone (disconnected or exited)"),
+            WireError::Timeout(p) => write!(f, "recv from node {p} timed out"),
+            WireError::FrameTooBig(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_BYTES}")
+            }
         }
     }
 }
@@ -444,14 +480,242 @@ fn decode_words(c: &mut Cursor<'_>) -> Result<Vec<u64>, WireError> {
     Ok(words)
 }
 
+// ----------------------------------------------------------------------
+// Length-prefixed framing: how byte-stream transports carry frames
+// ----------------------------------------------------------------------
+
+/// Append `frame` to `out` as a length-prefixed record: a `u32` LE byte
+/// count followed by the frame bytes. The inverse of [`FrameDecoder`].
+///
+/// Panics if the frame exceeds [`MAX_FRAME_BYTES`] — a frame that large
+/// is a caller bug, not traffic.
+pub fn write_frame(out: &mut Vec<u8>, frame: &[u8]) {
+    assert!(
+        frame.len() as u64 <= MAX_FRAME_BYTES,
+        "frame of {} bytes exceeds MAX_FRAME_BYTES",
+        frame.len()
+    );
+    out.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    out.extend_from_slice(frame);
+}
+
+/// Incremental decoder for length-prefixed frames arriving in arbitrary
+/// chunks (partial reads, 1-byte reads, boundaries straddling reads).
+/// Feed bytes with [`FrameDecoder::push`], drain complete frames with
+/// [`FrameDecoder::next_frame`]. Pure — no I/O — so the framing logic is
+/// testable without sockets.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Feed a chunk of received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact consumed space before growing, so a long-lived decoder
+        // does not retain every byte it ever saw.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
+    /// A length prefix above [`MAX_FRAME_BYTES`] is rejected immediately
+    /// — before waiting for (or allocating) the declared bytes.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        if len as u64 > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooBig(len as u64));
+        }
+        let len = len as usize;
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// True when buffered bytes remain that do not (yet) form a complete
+    /// frame — at EOF this means a truncated trailing frame.
+    pub fn has_partial(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Control messages: coordinator ⇄ node-process handshake and teardown
+// ----------------------------------------------------------------------
+
+const CTRL_HELLO: u8 = 0;
+const CTRL_HELLO_ACK: u8 = 1;
+const CTRL_BATCH: u8 = 2;
+const CTRL_BYE: u8 = 3;
+const CTRL_BYE_STATS: u8 = 4;
+const CTRL_ERR: u8 = 5;
+/// Cap on an error detail string — a lying length here must not allocate.
+const CTRL_MAX_DETAIL: usize = 64 * 1024;
+
+/// Control frames framing the socket conversation between the
+/// coordinator and a node process. Same encoding discipline as
+/// [`WireMsg`] — [`CTRL_MAGIC`] + version + kind + fields, total decode,
+/// trailing bytes rejected — under a distinct magic so a data frame can
+/// never be mistaken for control traffic.
+///
+/// Conversation shape (per connection):
+///
+/// ```text
+/// node → coord   Hello { node, version }
+/// coord → node   HelloAck { nprocs, wpb, seg_words }   (shard geometry)
+/// coord → node   Batch { n } + n data frames           (per route call)
+/// node → coord   Batch { n } + n re-encoded frames     (or Err { detail })
+/// coord → node   Bye
+/// node → coord   ByeStats { frames, payload_bytes }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Node introduces itself after connecting.
+    Hello { node: u32, version: u16 },
+    /// Coordinator accepts and ships the shard geometry the node's
+    /// mirror store needs (words per block, segment words).
+    HelloAck {
+        nprocs: u32,
+        wpb: u32,
+        seg_words: u64,
+    },
+    /// `n` data frames follow this control frame.
+    Batch { n: u32 },
+    /// Orderly teardown request.
+    Bye,
+    /// Node's final accounting, confirming teardown.
+    ByeStats { frames: u64, payload_bytes: u64 },
+    /// The node rejected traffic (decode failure, oversized frame…);
+    /// the connection is dead after this.
+    Err { detail: String },
+}
+
+impl CtrlMsg {
+    fn kind(&self) -> u8 {
+        match self {
+            CtrlMsg::Hello { .. } => CTRL_HELLO,
+            CtrlMsg::HelloAck { .. } => CTRL_HELLO_ACK,
+            CtrlMsg::Batch { .. } => CTRL_BATCH,
+            CtrlMsg::Bye => CTRL_BYE,
+            CtrlMsg::ByeStats { .. } => CTRL_BYE_STATS,
+            CtrlMsg::Err { .. } => CTRL_ERR,
+        }
+    }
+
+    /// The encoding as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&CTRL_MAGIC.to_le_bytes());
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.push(self.kind());
+        match self {
+            CtrlMsg::Hello { node, version } => {
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            CtrlMsg::HelloAck {
+                nprocs,
+                wpb,
+                seg_words,
+            } => {
+                out.extend_from_slice(&nprocs.to_le_bytes());
+                out.extend_from_slice(&wpb.to_le_bytes());
+                out.extend_from_slice(&seg_words.to_le_bytes());
+            }
+            CtrlMsg::Batch { n } => out.extend_from_slice(&n.to_le_bytes()),
+            CtrlMsg::Bye => {}
+            CtrlMsg::ByeStats {
+                frames,
+                payload_bytes,
+            } => {
+                out.extend_from_slice(&frames.to_le_bytes());
+                out.extend_from_slice(&payload_bytes.to_le_bytes());
+            }
+            CtrlMsg::Err { detail } => {
+                let bytes = detail.as_bytes();
+                let n = bytes.len().min(CTRL_MAX_DETAIL);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend_from_slice(&bytes[..n]);
+            }
+        }
+        out
+    }
+
+    /// Decode and validate a control frame — same paranoia as
+    /// [`WireMsg::from_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<CtrlMsg, WireError> {
+        let mut c = Cursor { b: bytes, pos: 0 };
+        let magic = c.u16()?;
+        if magic != CTRL_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = c.u16()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let kind = c.u8()?;
+        let msg = match kind {
+            CTRL_HELLO => CtrlMsg::Hello {
+                node: c.u32()?,
+                version: c.u16()?,
+            },
+            CTRL_HELLO_ACK => CtrlMsg::HelloAck {
+                nprocs: c.u32()?,
+                wpb: c.u32()?,
+                seg_words: c.u64()?,
+            },
+            CTRL_BATCH => CtrlMsg::Batch { n: c.u32()? },
+            CTRL_BYE => CtrlMsg::Bye,
+            CTRL_BYE_STATS => CtrlMsg::ByeStats {
+                frames: c.u64()?,
+                payload_bytes: c.u64()?,
+            },
+            CTRL_ERR => {
+                let n = c.u32()? as usize;
+                if n > CTRL_MAX_DETAIL {
+                    return Err(WireError::CountMismatch("err detail length"));
+                }
+                let raw = c.take(n)?;
+                let detail = String::from_utf8(raw.to_vec())
+                    .map_err(|_| WireError::CountMismatch("err detail utf8"))?;
+                CtrlMsg::Err { detail }
+            }
+            k => return Err(WireError::BadKind(k)),
+        };
+        if c.pos != bytes.len() {
+            return Err(WireError::TrailingBytes(bytes.len() - c.pos));
+        }
+        Ok(msg)
+    }
+}
+
 /// Carries encoded frames to their destination node. Implementations
 /// must deliver each batch in order and return exactly the frames that
 /// arrived; they never interpret payloads (the apply stage decodes).
 pub trait WireTransport {
     fn name(&self) -> &'static str;
     /// Route a batch of encoded frames to `dst`, returning the frames
-    /// as delivered (same order).
-    fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>>;
+    /// as delivered (same order). `Err` is a transport-level failure —
+    /// the peer died ([`WireError::PeerGone`]) or went silent past the
+    /// deadline ([`WireError::Timeout`]); a frame the peer *rejected*
+    /// (decode failure) still fails loudly via panic, because dropped
+    /// traffic is a protocol bug, not a transport condition.
+    fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, WireError>;
 }
 
 /// In-process delivery: frames arrive exactly as posted. This is the
@@ -463,8 +727,8 @@ impl WireTransport for Loopback {
     fn name(&self) -> &'static str {
         "loopback"
     }
-    fn route(&mut self, _dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        frames
+    fn route(&mut self, _dst: usize, frames: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, WireError> {
+        Ok(frames)
     }
 }
 
@@ -476,24 +740,45 @@ impl WireTransport for Loopback {
 /// the wire format across a real thread boundary twice; a frame the
 /// decoder rejects is reported back and fails the run loudly.
 pub struct ChanTransport {
-    to_node: Vec<Sender<Vec<Vec<u8>>>>,
+    to_node: Vec<Option<Sender<Cmd>>>,
     from_node: Vec<Receiver<Result<Vec<Vec<u8>>, String>>>,
     workers: Vec<JoinHandle<()>>,
+    timeout: Duration,
+}
+
+/// What a chan worker can be asked to do. `Wedge` is a test hook: the
+/// worker sleeps through its next turn, so the coordinator's deadline
+/// logic can be exercised without a real stuck peer.
+enum Cmd {
+    Batch(Vec<Vec<u8>>),
+    Wedge(Duration),
 }
 
 impl ChanTransport {
     pub fn new(nprocs: usize) -> Self {
+        Self::with_timeout(nprocs, net_timeout())
+    }
+
+    /// Like [`ChanTransport::new`] with an explicit per-recv deadline.
+    pub fn with_timeout(nprocs: usize, timeout: Duration) -> Self {
         let mut to_node = Vec::with_capacity(nprocs);
         let mut from_node = Vec::with_capacity(nprocs);
         let mut workers = Vec::with_capacity(nprocs);
         for node in 0..nprocs {
-            let (tx_in, rx_in) = channel::<Vec<Vec<u8>>>();
+            let (tx_in, rx_in) = channel::<Cmd>();
             let (tx_out, rx_out) = channel::<Result<Vec<Vec<u8>>, String>>();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("fgdsm-chan-{node}"))
                     .spawn(move || {
-                        while let Ok(frames) = rx_in.recv() {
+                        while let Ok(cmd) = rx_in.recv() {
+                            let frames = match cmd {
+                                Cmd::Wedge(d) => {
+                                    std::thread::sleep(d);
+                                    continue;
+                                }
+                                Cmd::Batch(frames) => frames,
+                            };
                             let mut out = Vec::with_capacity(frames.len());
                             let mut err = None;
                             for f in &frames {
@@ -516,13 +801,28 @@ impl ChanTransport {
                     })
                     .expect("spawn chan worker"),
             );
-            to_node.push(tx_in);
+            to_node.push(Some(tx_in));
             from_node.push(rx_out);
         }
         ChanTransport {
             to_node,
             from_node,
             workers,
+            timeout,
+        }
+    }
+
+    /// Test hook: hang up on `node`'s worker, as if the peer process
+    /// died. The next route to it reports [`WireError::PeerGone`].
+    pub fn kill_worker(&mut self, node: usize) {
+        self.to_node[node] = None;
+    }
+
+    /// Test hook: make `node`'s worker sleep through its next turn, so
+    /// a route against a short deadline reports [`WireError::Timeout`].
+    pub fn wedge_worker(&mut self, node: usize, dur: Duration) {
+        if let Some(tx) = self.to_node[node].as_ref() {
+            let _ = tx.send(Cmd::Wedge(dur));
         }
     }
 
@@ -548,14 +848,21 @@ impl WireTransport for ChanTransport {
     fn name(&self) -> &'static str {
         "chan"
     }
-    fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, WireError> {
         if frames.is_empty() {
-            return frames;
+            return Ok(frames);
         }
-        self.to_node[dst].send(frames).expect("chan worker hung up");
-        match self.from_node[dst].recv().expect("chan worker hung up") {
-            Ok(frames) => frames,
-            Err(e) => panic!("wire: envelope decode failed in transit: {e}"),
+        let Some(tx) = self.to_node.get(dst).and_then(Option::as_ref) else {
+            return Err(WireError::PeerGone(dst as u32));
+        };
+        if tx.send(Cmd::Batch(frames)).is_err() {
+            return Err(WireError::PeerGone(dst as u32));
+        }
+        match self.from_node[dst].recv_timeout(self.timeout) {
+            Ok(Ok(frames)) => Ok(frames),
+            Ok(Err(e)) => panic!("wire: envelope decode failed in transit: {e}"),
+            Err(RecvTimeoutError::Timeout) => Err(WireError::Timeout(dst as u32)),
+            Err(RecvTimeoutError::Disconnected) => Err(WireError::PeerGone(dst as u32)),
         }
     }
 }
@@ -708,11 +1015,130 @@ mod tests {
     fn chan_transport_round_trips_and_rejects() {
         let mut t = ChanTransport::new(2);
         let frames = vec![push_msg().to_bytes()];
-        let back = t.route(1, frames.clone());
+        let back = t.route(1, frames.clone()).unwrap();
         assert_eq!(back, frames, "decode + re-encode is the identity");
-        assert!(t.route(0, Vec::new()).is_empty());
+        assert!(t.route(0, Vec::new()).unwrap().is_empty());
         let corrupt = vec![vec![0u8; 4]];
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.route(0, corrupt)));
         assert!(r.is_err(), "corrupt frame must fail the route loudly");
+    }
+
+    /// The satellite fix: a disconnected peer is a typed `PeerGone`
+    /// (with the peer id), a silent one a typed `Timeout` — never a
+    /// forever-blocking recv.
+    #[test]
+    fn dead_or_silent_peers_yield_typed_errors_within_the_deadline() {
+        let mut t = ChanTransport::with_timeout(3, Duration::from_millis(200));
+        let frames = vec![push_msg().to_bytes()];
+
+        t.kill_worker(1);
+        let start = std::time::Instant::now();
+        assert_eq!(
+            t.route(1, frames.clone()),
+            Err(WireError::PeerGone(1)),
+            "route to a dead peer must fail typed, not hang"
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+
+        t.wedge_worker(2, Duration::from_secs(2));
+        let start = std::time::Instant::now();
+        assert_eq!(
+            t.route(2, frames),
+            Err(WireError::Timeout(2)),
+            "route to a wedged peer must time out typed"
+        );
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(200) && waited < Duration::from_secs(5),
+            "timeout must honor the configured deadline, waited {waited:?}"
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn frame_decoder_reassembles_across_arbitrary_splits() {
+        let frames: Vec<Vec<u8>> = vec![vec![], vec![0xAB], (0u8..=255).collect()];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f);
+        }
+        // Worst case: the stream arrives one byte at a time.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(!dec.has_partial());
+    }
+
+    #[test]
+    fn frame_decoder_rejects_oversized_and_flags_truncated() {
+        // A length prefix above the cap fails before any payload arrives.
+        let mut dec = FrameDecoder::new();
+        dec.push(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::FrameTooBig(MAX_FRAME_BYTES + 1))
+        );
+
+        // A truncated trailing frame is visible as a partial at EOF.
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[1, 2, 3, 4]);
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..stream.len() - 1]);
+        assert_eq!(dec.next_frame(), Ok(None));
+        assert!(
+            dec.has_partial(),
+            "truncated trailing frame must be flagged"
+        );
+    }
+
+    #[test]
+    fn ctrl_round_trip_and_rejects() {
+        let msgs = vec![
+            CtrlMsg::Hello {
+                node: 3,
+                version: WIRE_VERSION,
+            },
+            CtrlMsg::HelloAck {
+                nprocs: 8,
+                wpb: 4,
+                seg_words: 4096,
+            },
+            CtrlMsg::Batch { n: 17 },
+            CtrlMsg::Bye,
+            CtrlMsg::ByeStats {
+                frames: 9,
+                payload_bytes: 1234,
+            },
+            CtrlMsg::Err {
+                detail: "frame length 67108865 exceeds cap".into(),
+            },
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(CtrlMsg::from_bytes(&bytes).unwrap(), m);
+            // Data and control magics are disjoint: each decoder rejects
+            // the other's frames.
+            assert!(matches!(
+                WireMsg::from_bytes(&bytes),
+                Err(WireError::BadMagic(CTRL_MAGIC))
+            ));
+            let mut trailing = m.to_bytes();
+            trailing.push(0);
+            assert_eq!(
+                CtrlMsg::from_bytes(&trailing),
+                Err(WireError::TrailingBytes(1))
+            );
+        }
+        assert!(matches!(
+            CtrlMsg::from_bytes(&push_msg().to_bytes()),
+            Err(WireError::BadMagic(WIRE_MAGIC))
+        ));
+        assert_eq!(CtrlMsg::from_bytes(&[]), Err(WireError::Truncated));
     }
 }

@@ -70,7 +70,7 @@ fn drop_after_route_panic_joins_workers() {
     must_finish("drop after route panic", || {
         let mut t = ChanTransport::new(2);
         let r = catch_unwind(AssertUnwindSafe(|| {
-            t.route(1, vec![vec![0xde, 0xad, 0xbe, 0xef]]);
+            let _ = t.route(1, vec![vec![0xde, 0xad, 0xbe, 0xef]]);
         }));
         let msg = *r
             .expect_err("garbage frames must not decode")
@@ -80,6 +80,20 @@ fn drop_after_route_panic_joins_workers() {
             msg.contains("envelope decode failed in transit"),
             "wrong panic: {msg}"
         );
+        drop(t);
+    });
+}
+
+/// A peer whose worker hung up yields a typed `PeerGone` (never a hung
+/// recv), and tearing the transport down afterwards still joins every
+/// remaining worker.
+#[test]
+fn killed_worker_is_typed_peer_gone_and_drop_still_joins() {
+    must_finish("drop after kill_worker", || {
+        let mut t = ChanTransport::new(3);
+        t.kill_worker(2);
+        let r = t.route(2, vec![vec![0u8; 8]]);
+        assert_eq!(r, Err(fgdsm_protocol::WireError::PeerGone(2)));
         drop(t);
     });
 }

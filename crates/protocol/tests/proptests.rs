@@ -445,3 +445,57 @@ fn ctl_contract_random_ranges() {
         }
     });
 }
+
+/// The framing layer must reassemble any sequence of length-prefixed
+/// frames from any split of the byte stream — 1-byte reads, short
+/// writes, frame boundaries straddling read boundaries — and flag a
+/// truncated trailing frame at EOF.
+#[test]
+fn framing_round_trips_over_arbitrary_stream_splits() {
+    use fgdsm_protocol::{write_frame, FrameDecoder};
+    check_cases(256, |rng| {
+        let nframes = rng.range(1, 10);
+        let frames: Vec<Vec<u8>> = rng.vec(nframes, |rng| {
+            let len = rng.below(200) as usize;
+            rng.vec(len, |rng| rng.below(256) as u8)
+        });
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f);
+        }
+        // Deliver the stream in random partial reads (often 1 byte), the
+        // way a socket hands bytes back.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let n = rng.range(1, 8).min(stream.len() - pos);
+            dec.push(&stream[pos..pos + n]);
+            pos += n;
+            while let Some(f) = dec.next_frame().expect("well-formed stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames, "reassembly must be split-invariant");
+        assert!(!dec.has_partial(), "clean stream leaves no partial bytes");
+
+        // Truncate the stream inside the last record: every earlier
+        // frame still decodes, the last is lost, and the fragment is
+        // flagged as partial at EOF.
+        let last_rec = 4 + frames.last().unwrap().len();
+        let start_last = stream.len() - last_rec;
+        let cut = start_last + 1 + rng.below(last_rec as u64 - 1) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..cut]);
+        let mut whole = 0usize;
+        while let Some(f) = dec.next_frame().expect("prefix stays well-formed") {
+            assert_eq!(f, frames[whole]);
+            whole += 1;
+        }
+        assert_eq!(whole, frames.len() - 1, "exactly the last frame is lost");
+        assert!(
+            dec.has_partial(),
+            "truncated trailing frame must be visible at EOF"
+        );
+    });
+}

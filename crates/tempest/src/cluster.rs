@@ -732,6 +732,7 @@ impl Cluster {
             handler_in_comm: self.geom.cfg.cpu == crate::costs::CpuMode::Single,
             makespan_ns: makespan,
             wall_ns: 0,
+            wire_route_ns: 0,
             intervals,
             false_sharing: self.profile.false_sharing.clone(),
             heatmaps: self

@@ -181,6 +181,13 @@ pub struct ClusterReport {
     /// canonical [`ClusterReport::to_json`] encoding (which must be
     /// byte-identical between serial and parallel execution).
     pub wall_ns: u64,
+    /// Host time spent inside the wire transport's `route` calls, in ns
+    /// (0 on the zero-copy fast path). Like [`ClusterReport::wall_ns`]
+    /// this is *real* time — it measures the installed transport (channel
+    /// hop, socket round-trip), varies run to run, and is deliberately
+    /// excluded from the canonical [`ClusterReport::to_json`] encoding so
+    /// socket-backed and in-process runs stay byte-identical.
+    pub wire_route_ns: u64,
     /// Per-superstep interval deltas: one entry per superstep (plus a
     /// trailing catch-all for events outside any superstep), each holding
     /// the per-node stats delta accrued during that superstep. Summing
@@ -402,6 +409,7 @@ mod tests {
         };
         let a = r.to_json();
         r.wall_ns = 55_555; // host time must not perturb the encoding
+        r.wire_route_ns = 7_777; // measured transport time is host time too
         let b = r.to_json();
         assert_eq!(a, b);
         assert!(a.starts_with("{\"makespan_ns\":999,\"handler_in_comm\":true,"));

@@ -15,6 +15,9 @@
 //!   protocol plus the §4.2 compiler-directed primitives and the
 //!   message-passing backend;
 //! * [`section`] — the omega-lite array-section algebra;
+//! * [`net`] — the socket-backed multi-process transport behind the
+//!   `tcp` backend: loopback TCP / Unix-domain links to spawned
+//!   `fgdsm-node` worker processes;
 //! * [`hpf`] — the mini-HPF IR, access-set analysis, planner and
 //!   executors (the paper's contribution);
 //! * [`apps`] — the six-application benchmark suite of Table 2.
@@ -35,6 +38,7 @@
 
 pub use fgdsm_apps as apps;
 pub use fgdsm_hpf as hpf;
+pub use fgdsm_net as net;
 pub use fgdsm_protocol as protocol;
 pub use fgdsm_section as section;
 pub use fgdsm_tempest as tempest;
