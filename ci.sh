@@ -81,12 +81,34 @@ if [ -n "$FGDSM_NET" ]; then
     cargo test -q --test tcp_fault -- --nocapture
     cargo test -q -p fgdsm-bench --test wire_tcp
     cargo test -q -p fgdsm-bench --test determinism tcp_is_byte_identical_to_sm_opt
+    # Telemetry gate: canonical artifacts byte-identical metrics on/off,
+    # and a metered tcp suite populating per-class histograms on both
+    # sides of the socket, conserving payload accounting, and splicing a
+    # merged coordinator+worker Perfetto trace the JSON parser accepts.
+    cargo test -q -p fgdsm-bench --test telemetry
+    # The tcp profile-report smoke additionally self-asserts the
+    # calibration rows (Table-1 predicted vs measured histograms) and the
+    # merged Chrome document; scratch output paths keep the committed
+    # bench-scale calibration.json and the merged-trace export untouched.
     FGDSM_TEST=1 FGDSM_BACKEND=tcp FGDSM_PROFILE_OUT=target/profile_tcp_smoke.json \
+        FGDSM_CALIB_OUT=target/calibration_smoke.json \
+        FGDSM_MERGED_CHROME=target/merged_chrome_smoke.json \
         cargo run --release -q -p fgdsm-bench --bin profile_report -- jacobi \
         > target/profile_tcp_smoke.txt
     grep -q "predicted vs measured wire latency" target/profile_tcp_smoke.txt
+    grep -q "calibration" target/profile_tcp_smoke.txt
     unset FGDSM_NET
 fi
+# Perf-trend tracker: one tiny-scale metered sweep appended to a scratch
+# JSONL (the committed bench-scale trend.jsonl is append-only and only
+# grows at landing time), then schema-validate both the scratch file and
+# the committed history. Runs on chan when the sandbox forbids sockets.
+rm -f target/trend_smoke.jsonl
+FGDSM_TEST=1 FGDSM_TREND_RUNS=1 FGDSM_TREND_OUT=target/trend_smoke.jsonl \
+    cargo run --release -q -p fgdsm-bench --bin perf_trend
+FGDSM_TREND_OUT=target/trend_smoke.jsonl \
+    cargo run --release -q -p fgdsm-bench --bin perf_trend -- check
+cargo run --release -q -p fgdsm-bench --bin perf_trend -- check
 # Bounded model checker: exhaustive small-model closure of the abstract
 # coherence protocol + §4.2 contract (both protocol variants), the
 # must-catch mutation sweep (each seeded bug yields a minimal printed

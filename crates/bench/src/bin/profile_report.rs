@@ -50,9 +50,101 @@ json_row! {
     }
 }
 
+json_row! {
+    struct CalRow {
+        app: &'static str,
+        class: &'static str,
+        frames: u64,
+        payload_bytes: u64,
+        predicted_roundtrip_ns: u64,
+        measured_p50_ns: u64,
+        measured_p90_ns: u64,
+        measured_p99_ns: u64,
+        measured_mean_ns: u64,
+    }
+}
+
+/// Calibration: join the Table-1 cost model's predicted round-trip time
+/// against the measured wall-clock `route.<class>` histograms of a
+/// metered `tcp` run, one row per exercised `WireMsg` class. Predicted
+/// is the simulated network's round-trip for this class's *mean* frame
+/// payload; measured is loopback-socket host time — the table makes the
+/// constant factor between the two worlds explicit per message class.
+fn calibration_rows(app: &'static str, run: &RunResult) -> Vec<CalRow> {
+    let reg = run
+        .metrics()
+        .unwrap_or_else(|| panic!("{app}/tcp: calibration needs a metered run"));
+    let cost = fgdsm_tempest::CostModel::paper_dual_cpu();
+    let mut rows = Vec::new();
+    for kind in 0u8..=4 {
+        let class = fgdsm_tempest::metrics::class_name(kind);
+        let frames = reg.counter(&format!("coord.frames.{class}"));
+        if frames == 0 {
+            continue;
+        }
+        let payload = reg.counter(&format!("coord.payload_bytes.{class}"));
+        let h = reg
+            .hist(&format!("coord.route.{class}"))
+            .unwrap_or_else(|| panic!("{app}/tcp: {frames} {class} frames but no route histogram"));
+        assert_eq!(
+            h.count(),
+            frames,
+            "{app}/tcp: route.{class} histogram must have one sample per frame"
+        );
+        rows.push(CalRow {
+            app,
+            class,
+            frames,
+            payload_bytes: payload,
+            predicted_roundtrip_ns: cost.roundtrip_ns((payload / frames) as usize),
+            measured_p50_ns: h.percentile(0.50),
+            measured_p90_ns: h.percentile(0.90),
+            measured_p99_ns: h.percentile(0.99),
+            measured_mean_ns: h.sum() / h.count(),
+        });
+    }
+    assert!(
+        !rows.is_empty(),
+        "{app}/tcp: no WireMsg class was exercised — calibration would be empty"
+    );
+    rows
+}
+
+/// Render the per-class calibration table.
+fn calibration_table(rows: &[CalRow]) {
+    println!("calibration — Table 1 predicted round-trip vs measured route histograms (tcp)");
+    println!(
+        "{:<10} {:<8} {:>8} {:>11} {:>13} {:>11} {:>11} {:>11} {:>11}",
+        "app",
+        "class",
+        "frames",
+        "payload_B",
+        "predicted_ns",
+        "p50_ns",
+        "p90_ns",
+        "p99_ns",
+        "mean_ns"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:<8} {:>8} {:>11} {:>13} {:>11} {:>11} {:>11} {:>11}",
+            r.app,
+            r.class,
+            r.frames,
+            r.payload_bytes,
+            r.predicted_roundtrip_ns,
+            r.measured_p50_ns,
+            r.measured_p90_ns,
+            r.measured_p99_ns,
+            r.measured_mean_ns,
+        );
+    }
+}
+
 /// Assert the Chrome-trace export is a well-formed JSON array of
-/// complete-span (`X`) and instant (`i`) events, each carrying the
-/// `pid`/`tid`/`ts` fields Perfetto requires.
+/// complete-span (`X`), instant (`i`), and metadata (`M`) events, each
+/// carrying the `pid`/`tid`/`ts` fields Perfetto requires. (`M` only
+/// appears in merged traces — the per-process `process_name` labels.)
 fn validate_chrome(app: &str, backend: &str, chrome: &str) {
     let v = json::parse(chrome)
         .unwrap_or_else(|e| panic!("{app}/{backend}: chrome trace is not JSON: {e}"));
@@ -69,7 +161,7 @@ fn validate_chrome(app: &str, backend: &str, chrome: &str) {
             .and_then(|p| p.as_str())
             .unwrap_or_else(|| panic!("{app}/{backend}: event without ph: {ev:?}"));
         assert!(
-            ph == "X" || ph == "i",
+            ph == "X" || ph == "i" || ph == "M",
             "{app}/{backend}: unexpected phase {ph:?}"
         );
         for key in ["pid", "tid"] {
@@ -109,7 +201,10 @@ fn extra_backends() -> Vec<(&'static str, ExecConfig)> {
                 "FGDSM_BACKEND=tcp but the sandbox forbids sockets \
                  (probe with `fgdsm-node --probe tcp` first)"
             );
-            vec![("tcp", ExecConfig::tcp(NPROCS))]
+            // Metered: the tcp run feeds the calibration table and the
+            // merged Perfetto trace. Telemetry is a side channel, so the
+            // profile rows are byte-identical to an unmetered run.
+            vec![("tcp", ExecConfig::tcp(NPROCS).metered())]
         }
         Some(other) => {
             panic!("FGDSM_BACKEND: unknown backend `{other}` (expected `chan` or `tcp`)")
@@ -348,6 +443,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut latency = Vec::new();
+    let mut calibration = Vec::new();
     let mut ran = 0;
     for spec in suite(scale()) {
         if let Some(f) = &filter {
@@ -382,6 +478,23 @@ fn main() {
                     frames: run.wire_frames,
                     payload_bytes: run.wire_payload_bytes,
                 });
+                // Metered run: the telemetry side channel must conserve
+                // the wire's payload accounting on both sides of the
+                // socket, and the merged Perfetto trace (virtual-clock
+                // coordinator tracks + wall-clock worker pid tracks)
+                // must validate like any other chrome export.
+                run.check_metrics_conservation()
+                    .unwrap_or_else(|e| panic!("{}/tcp: {e}", spec.name));
+                let merged = run.merged_chrome(&chrome);
+                validate_chrome(spec.name, "tcp-merged", &merged);
+                if let Ok(path) = std::env::var("FGDSM_MERGED_CHROME") {
+                    if !path.is_empty() {
+                        if let Err(e) = std::fs::write(&path, &merged) {
+                            eprintln!("FGDSM_MERGED_CHROME: cannot write {path}: {e}");
+                        }
+                    }
+                }
+                calibration.extend(calibration_rows(spec.name, &run));
             }
         }
         println!();
@@ -390,6 +503,21 @@ fn main() {
     if !latency.is_empty() {
         latency_table(&latency);
         println!();
+    }
+    if !calibration.is_empty() {
+        calibration_table(&calibration);
+        println!();
+        // FGDSM_CALIB_OUT redirects to a scratch path, like
+        // FGDSM_PROFILE_OUT below.
+        match std::env::var("FGDSM_CALIB_OUT") {
+            Ok(path) => {
+                use fgdsm_bench::json::ToJson;
+                if let Err(e) = std::fs::write(&path, format!("{}\n", calibration.to_json())) {
+                    eprintln!("FGDSM_CALIB_OUT: cannot write {path}: {e}");
+                }
+            }
+            Err(_) => save_json("calibration", &calibration),
+        }
     }
     if filter.is_none() || filter.as_deref() == Some("jacobi") {
         false_sharing_demo();

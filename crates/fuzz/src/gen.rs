@@ -444,6 +444,11 @@ impl FuzzSpec {
         let _ = writeln!(s, "            misfold_pool: {},", i.misfold_pool);
         let _ = writeln!(s, "            corrupt_envelope: {},", i.corrupt_envelope);
         let _ = writeln!(s, "            corrupt_frame_len: {},", i.corrupt_frame_len);
+        let _ = writeln!(
+            s,
+            "            undercount_metrics: {},",
+            i.undercount_metrics
+        );
         let _ = writeln!(s, "            tcp_node_fault: {:?},", i.tcp_node_fault);
         let _ = writeln!(s, "        }},");
         let _ = writeln!(s, "    }};");

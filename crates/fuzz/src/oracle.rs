@@ -148,11 +148,17 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
             ("threads4", 4),
             ("scoped2", 2),
         ] {
+            // Telemetry is forced on: canonical artifacts are pinned
+            // byte-identical metrics on/off elsewhere, so metering every
+            // oracle run costs nothing observable — and it lets the
+            // per-case conservation invariant below (and its
+            // `undercount_metrics` must-catch) fire on every wire config.
             let cfg = match (mode, workers) {
                 (_, 1) => cfg.clone().serial(),
                 ("scoped2", w) => cfg.clone().threads(w).scoped(),
                 (_, w) => cfg.clone().threads(w).pooled(),
             }
+            .metered()
             .with_inject(spec.inject);
             let label = format!("{name}/{mode}");
             let (r, trace, _chrome) =
@@ -174,6 +180,17 @@ pub fn check_spec(spec: &FuzzSpec) -> Result<(), Divergence> {
                 return Err(Divergence {
                     config: label,
                     detail: format!("profile invariant violated: {e}"),
+                });
+            }
+            // Telemetry double-entry: on a metered wire run, the
+            // per-class `payload_bytes.*` counters across the coordinator
+            // and worker registries must sum exactly to the wire's own
+            // payload total. The only detector for a silently
+            // undercounting telemetry path.
+            if let Err(e) = r.check_metrics_conservation() {
+                return Err(Divergence {
+                    config: label,
+                    detail: format!("metrics conservation violated: {e}"),
                 });
             }
             for ai in 0..prog.arrays.len() {
@@ -290,6 +307,7 @@ pub fn check_spec_tcp(spec: &FuzzSpec) -> Result<(), Divergence> {
         };
     let tcp_cfg = ExecConfig::tcp(spec.nprocs)
         .serial()
+        .metered()
         .with_inject(spec.inject);
     let (r, trace, _) = match catch_unwind(AssertUnwindSafe(|| execute_profiled(&prog, &tcp_cfg))) {
         Err(p) => {
@@ -321,6 +339,15 @@ pub fn check_spec_tcp(spec: &FuzzSpec) -> Result<(), Divergence> {
                 detail: format!("scalar `{k}` diverges: reference {wanted} vs {got:?}"),
             });
         }
+    }
+    // Same telemetry double-entry as `check_spec`, now spanning the
+    // socket: worker registries shipped home in `ByeStats` must conserve
+    // the payload accounting together with the coordinator's.
+    if let Err(e) = r.check_metrics_conservation() {
+        return Err(Divergence {
+            config: "tcp/serial".into(),
+            detail: format!("metrics conservation violated: {e}"),
+        });
     }
     for (what, w, g) in [
         ("report", want.report.to_json(), r.report.to_json()),

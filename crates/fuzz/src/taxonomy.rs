@@ -46,11 +46,18 @@ pub enum Fault {
     /// `send_range` pushes the home's (possibly stale) copy instead of
     /// the recorded exclusive owner's — the §4.3 stale-memo hazard.
     StaleOwnerPush,
+    /// The coordinator's per-class `payload_bytes.*` telemetry counter
+    /// skipped for the first staged envelope. Run results and every
+    /// canonical artifact stay bitwise correct — only the oracle's
+    /// metrics-conservation invariant (Σ payload counters across the
+    /// coordinator and worker registries == the wire's payload total)
+    /// can catch it.
+    UndercountMetrics,
 }
 
 impl Fault {
     /// Every fault, in declaration order.
-    pub const ALL: [Fault; 7] = [
+    pub const ALL: [Fault; 8] = [
         Fault::SkewSendRange,
         Fault::SkipFlushRange,
         Fault::ReorderPlanApply,
@@ -58,6 +65,7 @@ impl Fault {
         Fault::CorruptEnvelope,
         Fault::CorruptFrameLen,
         Fault::StaleOwnerPush,
+        Fault::UndercountMetrics,
     ];
 
     /// Stable display name (matches the `InjectConfig` field).
@@ -70,6 +78,7 @@ impl Fault {
             Fault::CorruptEnvelope => "corrupt_envelope",
             Fault::CorruptFrameLen => "corrupt_frame_len",
             Fault::StaleOwnerPush => "stale_owner_push",
+            Fault::UndercountMetrics => "undercount_metrics",
         }
     }
 
@@ -83,6 +92,7 @@ impl Fault {
             Fault::CorruptEnvelope => inject.corrupt_envelope = true,
             Fault::CorruptFrameLen => inject.corrupt_frame_len = true,
             Fault::StaleOwnerPush => inject.stale_owner_push = true,
+            Fault::UndercountMetrics => inject.undercount_metrics = true,
         }
     }
 
@@ -93,10 +103,14 @@ impl Fault {
     pub fn detected_by(self) -> Detector {
         match self {
             Fault::SkewSendRange | Fault::SkipFlushRange => Detector::Both,
+            // `UndercountMetrics` never changes data movement, so the
+            // model has nothing to observe; the engine oracle's
+            // metrics-conservation invariant is its only detector.
             Fault::ReorderPlanApply
             | Fault::MisfoldPool
             | Fault::CorruptEnvelope
-            | Fault::CorruptFrameLen => Detector::Engine,
+            | Fault::CorruptFrameLen
+            | Fault::UndercountMetrics => Detector::Engine,
             // Engine layouts keep owner == home for pushed ranges, so the
             // symptom needs the model's 3-node third-party-home states.
             Fault::StaleOwnerPush => Detector::Model,

@@ -32,6 +32,7 @@ fn tolerated_perturbations_are_invisible() {
             misfold_pool: false,
             corrupt_envelope: false,
             corrupt_frame_len: false,
+            undercount_metrics: false,
             tcp_node_fault: None,
         };
         if let Err(d) = check_spec(&spec) {
@@ -228,6 +229,30 @@ fn must_catch_corrupt_frame_len() {
     );
 }
 
+/// The same traffic-heavy program as [`skew_victim`], but the
+/// coordinator's telemetry skips the per-class `payload_bytes.*` counter
+/// for the first staged envelope. Data, scalars, and every canonical
+/// artifact stay bitwise correct — the books behind `wire_payload_bytes`
+/// are untouched — so only the oracle's metrics-conservation invariant
+/// can catch it, and only on a config that routes envelopes.
+#[test]
+fn must_catch_undercounted_metrics() {
+    let mut spec = skew_victim();
+    spec.inject = InjectConfig {
+        undercount_metrics: true,
+        ..InjectConfig::default()
+    };
+    let d = check_spec(&spec).expect_err("undercounted telemetry must be detected");
+    assert!(
+        d.config.contains("wire-strict") || d.config.starts_with("chan"),
+        "only envelope paths record wire telemetry, diverged at {d}"
+    );
+    assert!(
+        d.detail.contains("metrics conservation violated"),
+        "must be caught by the conservation invariant, not a data compare: {d}"
+    );
+}
+
 /// A block-distributed 2-D array written under a *cyclic* partition
 /// (`dist_by`): every superstep performs non-owner writes that the
 /// optimized backend must flush home with `flush_range` — which the
@@ -289,9 +314,10 @@ fn must_catch_every_engine_fault_in_taxonomy() {
         match f.detected_by() {
             Detector::Engine | Detector::Both => {
                 let mut spec = match f {
-                    Fault::SkewSendRange | Fault::CorruptEnvelope | Fault::CorruptFrameLen => {
-                        skew_victim()
-                    }
+                    Fault::SkewSendRange
+                    | Fault::CorruptEnvelope
+                    | Fault::CorruptFrameLen
+                    | Fault::UndercountMetrics => skew_victim(),
                     Fault::SkipFlushRange => flush_victim(),
                     Fault::ReorderPlanApply | Fault::MisfoldPool => reorder_victim(),
                     Fault::StaleOwnerPush => unreachable!("model-level fault"),

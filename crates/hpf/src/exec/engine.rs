@@ -158,6 +158,7 @@ impl<'p> EngineCore<'p> {
             reorder_plan_apply: cfg.inject.reorder_plan_apply,
             misfold_pool: cfg.inject.misfold_pool,
             corrupt_envelope: cfg.inject.corrupt_envelope,
+            undercount_metrics: cfg.inject.undercount_metrics,
         });
         #[cfg(not(feature = "fault-inject"))]
         assert!(
@@ -166,7 +167,8 @@ impl<'p> EngineCore<'p> {
                 && !cfg.inject.stale_owner_push
                 && !cfg.inject.reorder_plan_apply
                 && !cfg.inject.misfold_pool
-                && !cfg.inject.corrupt_envelope,
+                && !cfg.inject.corrupt_envelope
+                && !cfg.inject.undercount_metrics,
             "protocol-level fault injection requires the `fault-inject` feature"
         );
         // Strict wire mode: the chan backend always routes envelopes
@@ -187,6 +189,7 @@ impl<'p> EngineCore<'p> {
                 let opts = fgdsm_net::SocketOpts {
                     corrupt_frame_len: cfg.inject.corrupt_frame_len,
                     node_fault: cfg.inject.tcp_node_fault,
+                    metrics: cfg.metrics.enabled(),
                     ..fgdsm_net::SocketOpts::default()
                 };
                 match fgdsm_net::SocketTransport::spawn(geom, opts) {
@@ -202,6 +205,12 @@ impl<'p> EngineCore<'p> {
                 dsm.set_wire(Box::new(fgdsm_protocol::Loopback));
             }
             _ => {}
+        }
+        // Wall-clock telemetry: a side channel over the wire seam only —
+        // virtual-time state never sees it, so canonical artifacts stay
+        // byte-identical with it on or off.
+        if cfg.metrics.enabled() {
+            dsm.enable_wire_metrics();
         }
         EngineCore {
             prog,
@@ -543,6 +552,12 @@ pub(super) fn run(
         panic!("post-run profile invariant violated: {e}");
     }
     let (wire_frames, wire_payload_bytes) = core.dsm.wire_stats();
+    // Orderly wire teardown: collect the peers' `ByeStats`, reconcile
+    // their double-entry books against ours (divergence is a loud, typed
+    // panic), and merge every process's metric registry under node-tagged
+    // keys. Runs with metrics on or off — reconciliation is free and
+    // should always happen on an orderly shutdown.
+    let (metrics, wire_spans) = core.dsm.wire_finish();
     let result = RunResult {
         report,
         scalars: core.scalars,
@@ -554,6 +569,8 @@ pub(super) fn run(
         planned: core.planned,
         wire_frames,
         wire_payload_bytes,
+        metrics,
+        wire_spans,
     };
     (result, trace, chrome)
 }

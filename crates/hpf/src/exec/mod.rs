@@ -66,7 +66,7 @@ use crate::plan::{ArrayMeta, OptLevel};
 use backend::CommBackend;
 use fgdsm_protocol::{CtlStats, ProtocolKind};
 use fgdsm_section::Env;
-use fgdsm_tempest::{CacheModel, ClusterReport, CostModel};
+use fgdsm_tempest::{CacheModel, ClusterReport, CostModel, MetricsRegistry, WireSpan};
 use std::collections::BTreeMap;
 
 /// Which executor to use.
@@ -123,6 +123,35 @@ impl WireMode {
             WireMode::Auto => std::env::var("FGDSM_WIRE")
                 .map(|v| v.trim().eq_ignore_ascii_case("strict"))
                 .unwrap_or(false),
+        }
+    }
+}
+
+/// Whether wall-clock telemetry (the [`fgdsm_tempest::metrics`]
+/// registry: per-`WireMsg`-class encode/route/decode/apply histograms on
+/// the coordinator, recv/apply/re-encode histograms in the workers) is
+/// recorded for a run. Purely a side-channel knob: canonical reports,
+/// traces, and profiles are byte-identical with metrics on or off — the
+/// guard suite holds it to that. Zero-cost when off: no clocks are read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MetricsMode {
+    /// Honor the `FGDSM_METRICS` env var (`1`/`true`/`on` → on); off
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Record wall-clock telemetry.
+    On,
+    /// No telemetry, no clock reads.
+    Off,
+}
+
+impl MetricsMode {
+    /// Resolve to the concrete setting (reads `FGDSM_METRICS` on `Auto`).
+    pub fn enabled(self) -> bool {
+        match self {
+            MetricsMode::On => true,
+            MetricsMode::Off => false,
+            MetricsMode::Auto => fgdsm_tempest::metrics::env_enabled(),
         }
     }
 }
@@ -235,6 +264,11 @@ pub struct ExecConfig {
     /// or strict envelope round-tripping (`FGDSM_WIRE=strict`). The
     /// `chan` backend is always strict regardless of this knob.
     pub wire: WireMode,
+    /// Wall-clock telemetry (`FGDSM_METRICS=1`): per-message-class
+    /// latency histograms on both sides of the wire, merged into
+    /// [`RunResult::metrics`]. Side-channel only — canonical artifacts
+    /// are byte-identical either way.
+    pub metrics: MetricsMode,
     /// Fault-injection knobs for the differential fuzzer (all off by
     /// default; the protocol-level mutations additionally require the
     /// `fault-inject` cargo feature).
@@ -298,6 +332,13 @@ pub struct InjectConfig {
     /// no hang, no partial artifact. Transport-level; no effect on
     /// in-process backends.
     pub tcp_node_fault: Option<(u32, fgdsm_net::NodeFault)>,
+    /// Must-catch: skip the coordinator's per-class `payload_bytes.*`
+    /// metrics counter for the first envelope encoded — the run itself
+    /// and the double-entry books stay correct, so only the telemetry
+    /// conservation invariant ([`RunResult::check_metrics_conservation`])
+    /// can catch the undercount (needs `fault-inject`, metrics on, and
+    /// an envelope path).
+    pub undercount_metrics: bool,
 }
 
 impl ExecConfig {
@@ -315,6 +356,7 @@ impl ExecConfig {
             resolve_parallel: None,
             pool: PoolMode::Auto,
             wire: WireMode::Auto,
+            metrics: MetricsMode::Auto,
             inject: InjectConfig::default(),
         }
     }
@@ -424,6 +466,20 @@ impl ExecConfig {
         self
     }
 
+    /// Record wall-clock telemetry for this run regardless of
+    /// `FGDSM_METRICS`.
+    pub fn metered(mut self) -> Self {
+        self.metrics = MetricsMode::On;
+        self
+    }
+
+    /// Disable wall-clock telemetry for this run regardless of
+    /// `FGDSM_METRICS`.
+    pub fn unmetered(mut self) -> Self {
+        self.metrics = MetricsMode::Off;
+        self
+    }
+
     /// Replace the fault-injection configuration.
     pub fn with_inject(mut self, inject: InjectConfig) -> Self {
         self.inject = inject;
@@ -466,6 +522,14 @@ pub struct RunResult {
     pub wire_frames: u64,
     /// Total on-wire payload bytes carried by those frames.
     pub wire_payload_bytes: u64,
+    /// Merged wall-clock telemetry (`None` when metrics are off):
+    /// coordinator keys under `coord.`, per-worker keys under `node<i>.`
+    /// for the `tcp` backend. Side-channel only — never feeds the
+    /// canonical report.
+    pub metrics: Option<MetricsRegistry>,
+    /// Wall-clock spans of the wire transport's batch round-trips
+    /// (empty when metrics are off), feeding the merged Chrome trace.
+    pub wire_spans: Vec<WireSpan>,
 }
 
 impl RunResult {
@@ -487,6 +551,73 @@ impl RunResult {
     /// report so strict/fast/socket runs stay byte-identical.
     pub fn wire_route_ns(&self) -> u64 {
         self.report.wire_route_ns
+    }
+
+    /// The merged wall-clock metrics registry, if telemetry was on.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// Double-entry conservation over the telemetry side channel: the
+    /// per-class `payload_bytes.*` counters — coordinator's, and each
+    /// worker's when present — must each sum to exactly
+    /// [`RunResult::wire_payload_bytes`]. `Ok(())` when metrics are off
+    /// (nothing to check) or no frames were routed.
+    pub fn check_metrics_conservation(&self) -> Result<(), String> {
+        let Some(reg) = self.metrics.as_ref() else {
+            return Ok(());
+        };
+        let coord: u64 = reg
+            .iter()
+            .filter(|(k, _)| k.starts_with("coord.payload_bytes."))
+            .filter_map(|(_, m)| m.as_counter())
+            .sum();
+        if coord != self.wire_payload_bytes {
+            return Err(format!(
+                "metrics conservation: coordinator per-class payload counters sum to {coord}, \
+                 but the run routed {} payload bytes",
+                self.wire_payload_bytes
+            ));
+        }
+        // Worker registries (tcp backend only): every node that shipped
+        // metrics home must account for the full payload volume it saw.
+        let mut nodes: Vec<&str> = reg
+            .iter()
+            .filter_map(|(k, _)| k.split_once('.').map(|(tag, _)| tag))
+            .filter(|tag| tag.starts_with("node"))
+            .collect();
+        nodes.dedup();
+        let per_node_total: u64 = nodes
+            .iter()
+            .map(|tag| {
+                reg.iter()
+                    .filter(|(k, _)| {
+                        k.strip_prefix(tag)
+                            .and_then(|r| r.strip_prefix('.'))
+                            .is_some_and(|r| r.starts_with("payload_bytes."))
+                    })
+                    .filter_map(|(_, m)| m.as_counter())
+                    .sum::<u64>()
+            })
+            .sum();
+        if !nodes.is_empty() && per_node_total != self.wire_payload_bytes {
+            return Err(format!(
+                "metrics conservation: worker per-class payload counters sum to {per_node_total} \
+                 across {} nodes, but the run routed {} payload bytes",
+                nodes.len(),
+                self.wire_payload_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Splice this run's wall-clock wire spans (and per-process track
+    /// labels) into a canonical Chrome trace, producing one merged
+    /// Perfetto document: the coordinator's virtual-time tracks plus a
+    /// wall-clock pid track per worker process. The canonical `base` is
+    /// never modified — this is a derived, side-channel document.
+    pub fn merged_chrome(&self, base: &str) -> String {
+        fgdsm_tempest::metrics::merge_chrome(base, &self.wire_spans)
     }
 }
 

@@ -41,7 +41,7 @@ pub use contract::{ContractTracker, CtlOp};
 pub use dist::{ArrayDecl, ArrayId, Dist};
 pub use exec::{
     execute, execute_profiled, execute_reference, execute_traced, tcp_available, try_execute,
-    Backend, ExecConfig, ExecError, InjectConfig, ParallelMode, PlannedXfer, PoolMode,
+    Backend, ExecConfig, ExecError, InjectConfig, MetricsMode, ParallelMode, PlannedXfer, PoolMode,
     ReferenceResult, RunResult, WireMode,
 };
 pub use ir::{

@@ -35,9 +35,10 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use fgdsm_protocol::wire::{
-    net_timeout, write_frame, CtrlMsg, FrameDecoder, WireError, WireMsg, WireTransport,
-    WIRE_VERSION,
+    net_timeout, write_frame, CtrlMsg, FrameDecoder, RemoteReport, WireError, WireMsg,
+    WireTransport, WIRE_VERSION,
 };
+use fgdsm_tempest::metrics::{self, MetricsRegistry};
 
 /// Bounded retry budget for transient (`EINTR`) I/O errors.
 const MAX_TRANSIENT_RETRIES: u32 = 100;
@@ -362,6 +363,10 @@ pub struct SocketOpts {
     pub corrupt_frame_len: bool,
     /// Fault injection: arm one node with a [`NodeFault`].
     pub node_fault: Option<(u32, NodeFault)>,
+    /// Enable wall-clock telemetry in the workers: each child is spawned
+    /// with `FGDSM_METRICS` set explicitly (1/0, never inherited), and a
+    /// metrics-enabled node ships its registry home inside `ByeStats`.
+    pub metrics: bool,
 }
 
 impl Default for SocketOpts {
@@ -370,6 +375,7 @@ impl Default for SocketOpts {
             timeout: net_timeout(),
             corrupt_frame_len: false,
             node_fault: None,
+            metrics: false,
         }
     }
 }
@@ -385,6 +391,9 @@ pub struct SocketTransport {
     remote_frames: u64,
     remote_payload_bytes: u64,
     got_bye_stats: usize,
+    /// Per-node teardown reports (counters + optional metrics blob),
+    /// drained by [`WireTransport::finish`].
+    reports: Vec<RemoteReport>,
 }
 
 impl SocketTransport {
@@ -409,6 +418,7 @@ impl SocketTransport {
             cmd.env("FGDSM_NODE_ID", node.to_string())
                 .env("FGDSM_NODE_ADDR", &addr)
                 .env("FGDSM_NET_TIMEOUT_MS", opts.timeout.as_millis().to_string())
+                .env("FGDSM_METRICS", if opts.metrics { "1" } else { "0" })
                 .env_remove("FGDSM_NODE_FAULT")
                 .stdin(Stdio::null())
                 .stdout(Stdio::null());
@@ -491,6 +501,7 @@ impl SocketTransport {
             remote_frames: 0,
             remote_payload_bytes: 0,
             got_bye_stats: 0,
+            reports: Vec::new(),
         })
     }
 
@@ -527,11 +538,18 @@ impl SocketTransport {
                     if let Ok(CtrlMsg::ByeStats {
                         frames,
                         payload_bytes,
+                        metrics,
                     }) = CtrlMsg::from_bytes(&frame)
                     {
                         self.remote_frames += frames;
                         self.remote_payload_bytes += payload_bytes;
                         self.got_bye_stats += 1;
+                        self.reports.push(RemoteReport {
+                            node: i as u32,
+                            frames,
+                            payload_bytes,
+                            metrics,
+                        });
                     }
                 }
             }
@@ -621,6 +639,13 @@ impl WireTransport for SocketTransport {
             }
             other => panic!("wire: node {dst}: unexpected control reply {other:?}"),
         }
+    }
+
+    /// Orderly teardown, then hand the per-node `ByeStats` reports to
+    /// the wire seam for double-entry reconciliation and metric merging.
+    fn finish(&mut self) -> Vec<RemoteReport> {
+        self.shutdown();
+        std::mem::take(&mut self.reports)
     }
 }
 
@@ -820,6 +845,11 @@ pub fn serve(node: u32, addr: &str) -> Result<(), String> {
     let mut frames_served = 0u64;
     let mut payload_bytes = 0u64;
     let mut batches = 0u32;
+    // Wall-clock telemetry, on only when the coordinator armed
+    // `FGDSM_METRICS` for this child: per-class recv (frame in hand →
+    // decoded), apply (payload → mirror), and re-encode histograms plus
+    // the double-entry frame/payload counters, shipped home in ByeStats.
+    let mut reg: Option<MetricsRegistry> = metrics::env_enabled().then(MetricsRegistry::new);
 
     let send_err = |link: &mut Link, detail: String| {
         let mut out = Vec::new();
@@ -869,6 +899,7 @@ pub fn serve(node: u32, addr: &str) -> Result<(), String> {
                         }
                         Err(_) => return Ok(()),
                     };
+                    let t_recv = reg.as_ref().map(|_| Instant::now());
                     let msg = match WireMsg::from_bytes(&frame) {
                         Ok(m) => m,
                         Err(e) => {
@@ -876,11 +907,25 @@ pub fn serve(node: u32, addr: &str) -> Result<(), String> {
                             return Err(e.to_string());
                         }
                     };
+                    let class = metrics::class_name(msg.kind());
+                    if let (Some(reg), Some(t0)) = (reg.as_mut(), t_recv) {
+                        reg.record_ns(&format!("recv.{class}"), t0.elapsed().as_nanos() as u64);
+                        reg.counter_add(&format!("frames.{class}"), 1);
+                        reg.counter_add(&format!("payload_bytes.{class}"), msg.payload_bytes());
+                    }
+                    let t_apply = reg.as_ref().map(|_| Instant::now());
                     let addrs = apply_msg(&mut mirror, &msg, wpb);
+                    if let (Some(reg), Some(t0)) = (reg.as_mut(), t_apply) {
+                        reg.record_ns(&format!("apply.{class}"), t0.elapsed().as_nanos() as u64);
+                    }
+                    let t_re = reg.as_ref().map(|_| Instant::now());
                     let out = reencode_from_mirror(&mirror, msg, &addrs);
                     frames_served += 1;
                     payload_bytes += out.payload_bytes();
                     write_frame(&mut reply, &out.to_bytes());
+                    if let (Some(reg), Some(t0)) = (reg.as_mut(), t_re) {
+                        reg.record_ns(&format!("reencode.{class}"), t0.elapsed().as_nanos() as u64);
+                    }
                 }
                 if link.send(&reply, node).is_err() {
                     return Ok(());
@@ -893,6 +938,7 @@ pub fn serve(node: u32, addr: &str) -> Result<(), String> {
                     &CtrlMsg::ByeStats {
                         frames: frames_served,
                         payload_bytes,
+                        metrics: reg.take().map(|r| r.to_bytes()).unwrap_or_default(),
                     }
                     .to_bytes(),
                 );

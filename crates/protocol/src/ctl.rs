@@ -603,6 +603,7 @@ impl Dsm {
         if self.wire.is_none() {
             return;
         }
+        let mut undercount = self.take_undercount_token();
         for plan in plans {
             let ctx = self.cluster.node_trace(plan.src).context();
             for p in &plan.payloads {
@@ -638,9 +639,16 @@ impl Dsm {
                 };
                 let w = self.wire.as_mut().unwrap();
                 let mut buf = w.mailbox.take_buf();
+                let t_enc = w.stopwatch();
                 msg.encode(&mut buf);
-                w.frames += 1;
-                w.payload_bytes += msg.payload_bytes();
+                let encode_ns = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                w.note_encoded(
+                    msg.kind(),
+                    plan.dst,
+                    msg.payload_bytes(),
+                    encode_ns,
+                    std::mem::take(&mut undercount),
+                );
                 w.words_pool.put(msg.into_words());
                 w.mailbox.post(plan.dst, buf);
             }
@@ -679,8 +687,15 @@ impl Dsm {
             let mut msgs = Vec::with_capacity(plan.payloads.len());
             for _ in 0..plan.payloads.len() {
                 let frame = q.pop_front().expect("wire: frame for planned payload");
+                let t_dec = w.stopwatch();
                 match WireMsg::from_bytes(&frame) {
-                    Ok(m) => msgs.push(m),
+                    Ok(m) => {
+                        w.lap(
+                            &format!("decode.{}", fgdsm_tempest::metrics::class_name(m.kind())),
+                            t_dec,
+                        );
+                        msgs.push(m);
+                    }
                     Err(e) => panic!("wire: envelope decode failed at node {}: {e}", plan.dst),
                 }
                 w.mailbox.recycle_buf(frame);

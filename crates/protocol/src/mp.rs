@@ -296,6 +296,7 @@ impl MpRuntime {
                 };
                 match d.wire_route_one(msg) {
                     WireMsg::Strided { words, .. } => {
+                        let t_apply = d.wire.as_ref().unwrap().stopwatch();
                         let mem = d.cluster.node_mem_mut(dst);
                         for i in 0..count {
                             let s = base + i * stride;
@@ -305,7 +306,9 @@ impl MpRuntime {
                                 mem[s + t] = f64::from_bits(*bits);
                             }
                         }
-                        d.wire.as_mut().unwrap().words_pool.put(words);
+                        let w = d.wire.as_mut().unwrap();
+                        w.lap("apply.strided", t_apply);
+                        w.words_pool.put(words);
                     }
                     other => {
                         panic!("wire: expected Strided envelope, got kind {}", other.kind())
@@ -401,6 +404,7 @@ impl MpRuntime {
 fn mp_wire_deliver(d: &mut Dsm, plans: &[MpSendPlan]) -> Option<Vec<Vec<WireMsg>>> {
     use std::collections::{BTreeMap, VecDeque};
     d.wire.as_ref()?;
+    let mut undercount = d.take_undercount_token();
     for plan in plans {
         let ctx = d.cluster.node_trace(plan.src).context();
         for &(base, run_len, stride, count) in &plan.sections {
@@ -424,9 +428,16 @@ fn mp_wire_deliver(d: &mut Dsm, plans: &[MpSendPlan]) -> Option<Vec<Vec<WireMsg>
             };
             let w = d.wire.as_mut().unwrap();
             let mut buf = w.mailbox.take_buf();
+            let t_enc = w.stopwatch();
             msg.encode(&mut buf);
-            w.frames += 1;
-            w.payload_bytes += msg.payload_bytes();
+            let encode_ns = t_enc.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+            w.note_encoded(
+                msg.kind(),
+                plan.dst,
+                msg.payload_bytes(),
+                encode_ns,
+                std::mem::take(&mut undercount),
+            );
             w.words_pool.put(msg.into_words());
             w.mailbox.post(plan.dst, buf);
         }
@@ -454,8 +465,13 @@ fn mp_wire_deliver(d: &mut Dsm, plans: &[MpSendPlan]) -> Option<Vec<Vec<WireMsg>
         let mut msgs = Vec::with_capacity(plan.sections.len());
         for _ in 0..plan.sections.len() {
             let frame = q.pop_front().expect("wire: frame for planned section");
+            let t_dec = w.stopwatch();
             match WireMsg::from_bytes(&frame) {
-                Ok(m) => msgs.push(m),
+                Ok(m) => {
+                    let class = fgdsm_tempest::metrics::class_name(m.kind());
+                    w.lap(&format!("decode.{class}"), t_dec);
+                    msgs.push(m);
+                }
                 Err(e) => panic!("wire: envelope decode failed at node {}: {e}", plan.dst),
             }
             w.mailbox.recycle_buf(frame);

@@ -13,7 +13,8 @@
 use crate::dir::DirState;
 use crate::eager::EagerInvalidate;
 use crate::update::WriteUpdate;
-use crate::wire::{WireHeader, WireMsg, WireTransport};
+use crate::wire::{reconcile_stats, WireHeader, WireMsg, WireTransport};
+use fgdsm_tempest::metrics::{class_name, MetricsRegistry, WireSpan};
 use fgdsm_tempest::{Access, Cluster, Mailbox, NodeId, VecPool, NO_ARRAY};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -133,6 +134,38 @@ pub(crate) struct WireState {
     /// Only consulted when the `fault-inject` feature is compiled in.
     #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
     pub corrupted: bool,
+    /// Coordinator-side double-entry book, per destination node: frames
+    /// and payload bytes staged toward each peer. Always maintained (two
+    /// adds per frame), reconciled against each remote's `ByeStats` at
+    /// [`Dsm::wire_finish`].
+    pub dst_frames: Vec<u64>,
+    pub dst_payload: Vec<u64>,
+    /// Wall-clock telemetry, present only when enabled — `None` costs
+    /// nothing on the hot path and keeps canonical artifacts untouched.
+    pub metrics: Option<WireMetrics>,
+}
+
+/// The coordinator's wall-clock telemetry state: per-class histograms
+/// and counters, the epoch every span timestamp is relative to, and the
+/// socket-batch spans for the merged Chrome trace.
+pub(crate) struct WireMetrics {
+    pub reg: MetricsRegistry,
+    pub epoch: std::time::Instant,
+    pub spans: Vec<WireSpan>,
+    /// One-shot marker: the `undercount_metrics` injection has fired.
+    #[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+    pub undercounted: bool,
+}
+
+impl WireMetrics {
+    fn new() -> Self {
+        WireMetrics {
+            reg: MetricsRegistry::new(),
+            epoch: std::time::Instant::now(),
+            spans: Vec::new(),
+            undercounted: false,
+        }
+    }
 }
 
 impl WireState {
@@ -145,6 +178,50 @@ impl WireState {
             payload_bytes: 0,
             route_ns: 0,
             corrupted: false,
+            dst_frames: vec![0; nprocs],
+            dst_payload: vec![0; nprocs],
+            metrics: None,
+        }
+    }
+
+    /// Book one staged envelope: the global and per-destination counters
+    /// (always), plus the per-class counters and encode histogram when
+    /// telemetry is on. `undercount` is the armed `undercount_metrics`
+    /// injection token — it skips the per-class payload counter exactly
+    /// once, which the fuzz oracle's conservation invariant must catch.
+    pub(crate) fn note_encoded(
+        &mut self,
+        kind: u8,
+        dst: usize,
+        payload: u64,
+        encode_ns: u64,
+        undercount: bool,
+    ) {
+        self.frames += 1;
+        self.payload_bytes += payload;
+        self.dst_frames[dst] += 1;
+        self.dst_payload[dst] += payload;
+        if let Some(m) = self.metrics.as_mut() {
+            let class = class_name(kind);
+            m.reg.counter_add(&format!("frames.{class}"), 1);
+            if !undercount {
+                m.reg
+                    .counter_add(&format!("payload_bytes.{class}"), payload);
+            }
+            m.reg.record_ns(&format!("encode.{class}"), encode_ns);
+        }
+    }
+
+    /// Start an encode/decode stopwatch — `None` (no clock read at all)
+    /// when telemetry is off.
+    pub(crate) fn stopwatch(&self) -> Option<std::time::Instant> {
+        self.metrics.as_ref().map(|_| std::time::Instant::now())
+    }
+
+    /// Record a histogram sample against a started stopwatch.
+    pub(crate) fn lap(&mut self, name: &str, t0: Option<std::time::Instant>) {
+        if let (Some(m), Some(t0)) = (self.metrics.as_mut(), t0) {
+            m.reg.record_ns(name, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -153,10 +230,39 @@ impl WireState {
     /// the typed [`crate::wire::WireError`] itself as the panic payload,
     /// so executors can `catch_unwind` + downcast it back into a typed
     /// result instead of scraping a message string.
+    ///
+    /// With telemetry on, each non-empty batch additionally records a
+    /// [`WireSpan`] (for the merged Chrome trace) and the batch's
+    /// round-trip duration into `route.<class>` for every frame it
+    /// carried — the class read by peeking each frame's kind byte
+    /// (offset 4, after magic + version) without decoding.
     pub(crate) fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        let pre = self.metrics.as_ref().map(|m| {
+            let kinds: Vec<u8> = frames
+                .iter()
+                .map(|f| f.get(4).copied().unwrap_or(u8::MAX))
+                .collect();
+            let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+            (kinds, bytes, m.epoch.elapsed().as_nanos() as u64)
+        });
         let t0 = std::time::Instant::now();
         let routed = self.transport.route(dst, frames);
-        self.route_ns += t0.elapsed().as_nanos() as u64;
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.route_ns += dur_ns;
+        if let (Some(m), Some((kinds, bytes, start_ns))) = (self.metrics.as_mut(), pre) {
+            if !kinds.is_empty() {
+                m.spans.push(WireSpan {
+                    dst: dst as u32,
+                    start_ns,
+                    dur_ns,
+                    frames: kinds.len() as u32,
+                    bytes,
+                });
+                for k in kinds {
+                    m.reg.record_ns(&format!("route.{}", class_name(k)), dur_ns);
+                }
+            }
+        }
         match routed {
             Ok(frames) => frames,
             Err(e) => std::panic::panic_any(e),
@@ -209,6 +315,12 @@ pub struct Injection {
     /// loudly, proving decode validation has teeth (a vacuous decoder
     /// would apply the payload anyway and diverge from nothing).
     pub corrupt_envelope: bool,
+    /// Skip the telemetry registry's per-class `payload_bytes` counter
+    /// for the first staged envelope (the double-entry counters and the
+    /// run itself stay correct): the fuzz oracle's metrics-conservation
+    /// invariant — Σ per-class payload counters == `wire_payload_bytes`
+    /// — must catch the shortfall, proving the invariant has teeth.
+    pub undercount_metrics: bool,
 }
 
 impl Dsm {
@@ -266,6 +378,58 @@ impl Dsm {
     /// Whether strict wire mode is active.
     pub fn wire_strict(&self) -> bool {
         self.wire.is_some()
+    }
+
+    /// Switch on wall-clock telemetry for the active wire transport:
+    /// per-class encode/route/decode/apply histograms and socket-batch
+    /// spans. No-op on the fast path (no wire, nothing to time); costs
+    /// nothing when never called.
+    pub fn enable_wire_metrics(&mut self) {
+        if let Some(w) = self.wire.as_mut() {
+            w.metrics = Some(WireMetrics::new());
+        }
+    }
+
+    /// Whether wall-clock telemetry is recording.
+    pub fn wire_metrics_on(&self) -> bool {
+        self.wire.as_ref().is_some_and(|w| w.metrics.is_some())
+    }
+
+    /// End-of-run telemetry harvest: tear down the transport's remote
+    /// peers, reconcile each node's `ByeStats` book against the
+    /// coordinator's per-destination counters (panicking with a typed
+    /// [`crate::wire::WireError::StatsMismatch`] naming the diverging
+    /// counter), then merge every process's registry under node-tagged
+    /// keys (`coord.*`, `node<i>.*`). Returns the merged registry (None
+    /// when telemetry was off) and the recorded socket-batch spans.
+    pub fn wire_finish(&mut self) -> (Option<MetricsRegistry>, Vec<WireSpan>) {
+        let Some(w) = self.wire.as_mut() else {
+            return (None, Vec::new());
+        };
+        let reports = w.transport.finish();
+        for r in &reports {
+            let node = r.node as usize;
+            let local_frames = w.dst_frames.get(node).copied().unwrap_or(0);
+            let local_payload = w.dst_payload.get(node).copied().unwrap_or(0);
+            if let Err(e) = reconcile_stats(r.node, local_frames, local_payload, r) {
+                std::panic::panic_any(e);
+            }
+        }
+        let Some(m) = w.metrics.take() else {
+            return (None, Vec::new());
+        };
+        let mut merged = MetricsRegistry::new();
+        merged.merge_tagged("coord", &m.reg);
+        for r in &reports {
+            if r.metrics.is_empty() {
+                continue;
+            }
+            match MetricsRegistry::from_bytes(&r.metrics) {
+                Ok(reg) => merged.merge_tagged(&format!("node{}", r.node), &reg),
+                Err(e) => panic!("wire: node {} shipped a bad metrics blob: {e}", r.node),
+            }
+        }
+        (Some(merged), m.spans)
     }
 
     /// `(frames routed, payload bytes)` so far; `(0, 0)` on the fast
@@ -377,6 +541,24 @@ impl Dsm {
         false
     }
 
+    /// Consume the one-shot `undercount_metrics` token: true exactly
+    /// once per run, for the first staged envelope, when the injection
+    /// is armed and telemetry is recording.
+    pub(crate) fn take_undercount_token(&mut self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        {
+            if self.injection.undercount_metrics {
+                if let Some(m) = self.wire.as_mut().and_then(|w| w.metrics.as_mut()) {
+                    if !m.undercounted {
+                        m.undercounted = true;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
     // ------------------------------------------------------------------
     // Strict wire mode: envelope encode / route / decode / apply
     // ------------------------------------------------------------------
@@ -387,22 +569,26 @@ impl Dsm {
     /// never papered over).
     pub(crate) fn wire_route_one(&mut self, msg: WireMsg) -> WireMsg {
         let corrupt = self.take_corrupt_token();
+        let undercount = self.take_undercount_token();
         let w = self.wire.as_mut().expect("wire_route_one: strict mode off");
-        let dst = msg.hdr().dst as usize;
+        let (kind, dst, payload) = (msg.kind(), msg.hdr().dst as usize, msg.payload_bytes());
         let mut buf = w.mailbox.take_buf();
+        let t_enc = w.stopwatch();
         msg.encode(&mut buf);
-        w.frames += 1;
-        w.payload_bytes += msg.payload_bytes();
+        let encode_ns = t_enc.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        w.note_encoded(kind, dst, payload, encode_ns, undercount);
         w.words_pool.put(msg.into_words());
         if corrupt {
             corrupt_frame(&mut buf);
         }
         let mut frames = w.route(dst, vec![buf]);
         let frame = frames.pop().expect("wire: transport dropped a frame");
+        let t_dec = w.stopwatch();
         let out = match WireMsg::from_bytes(&frame) {
             Ok(m) => m,
             Err(e) => panic!("wire: envelope decode failed at node {dst}: {e}"),
         };
+        w.lap(&format!("decode.{}", class_name(out.kind())), t_dec);
         w.mailbox.recycle_buf(frame);
         out
     }
@@ -439,12 +625,15 @@ impl Dsm {
             WireMsg::Copy {
                 start_word, words, ..
             } => {
+                let t_apply = self.wire.as_ref().unwrap().stopwatch();
                 let s = start_word as usize;
                 let mem = self.cluster.node_mem_mut(dst);
                 for (i, bits) in words.iter().enumerate() {
                     mem[s + i] = f64::from_bits(*bits);
                 }
-                self.wire.as_mut().unwrap().words_pool.put(words);
+                let w = self.wire.as_mut().unwrap();
+                w.lap("apply.copy", t_apply);
+                w.words_pool.put(words);
             }
             other => panic!("wire: expected Copy envelope, got kind {}", other.kind()),
         }
@@ -482,6 +671,7 @@ impl Dsm {
             WireMsg::Diff {
                 block, mask, words, ..
             } => {
+                let t_apply = self.wire.as_ref().unwrap().stopwatch();
                 let (s, _) = self.cluster.block_words(block as usize);
                 let mem = self.cluster.node_mem_mut(dst);
                 let mut i = 0;
@@ -491,7 +681,9 @@ impl Dsm {
                         i += 1;
                     }
                 }
-                self.wire.as_mut().unwrap().words_pool.put(words);
+                let w = self.wire.as_mut().unwrap();
+                w.lap("apply.diff", t_apply);
+                w.words_pool.put(words);
             }
             other => panic!("wire: expected Diff envelope, got kind {}", other.kind()),
         }

@@ -191,6 +191,17 @@ pub enum WireError {
     /// A length prefix above [`MAX_FRAME_BYTES`] — rejected before any
     /// allocation or read.
     FrameTooBig(u64),
+    /// Double-entry reconciliation failure at teardown: a node's
+    /// [`CtrlMsg::ByeStats`] accounting disagrees with the coordinator's
+    /// book for that node. Reports *which* counter diverged and both
+    /// sides' values, so a lost or double-applied frame is attributable
+    /// from the error alone.
+    StatsMismatch {
+        node: u32,
+        counter: &'static str,
+        local: u64,
+        remote: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -207,6 +218,15 @@ impl std::fmt::Display for WireError {
             WireError::FrameTooBig(n) => {
                 write!(f, "frame length {n} exceeds cap {MAX_FRAME_BYTES}")
             }
+            WireError::StatsMismatch {
+                node,
+                counter,
+                local,
+                remote,
+            } => write!(
+                f,
+                "node {node} {counter} counter diverged: coordinator {local} vs node {remote}"
+            ),
         }
     }
 }
@@ -566,6 +586,9 @@ const CTRL_BYE_STATS: u8 = 4;
 const CTRL_ERR: u8 = 5;
 /// Cap on an error detail string — a lying length here must not allocate.
 const CTRL_MAX_DETAIL: usize = 64 * 1024;
+/// Cap on a `ByeStats` metrics blob: a worker's telemetry registry is a
+/// few dozen histograms (kilobytes), so anything near this is corrupt.
+const CTRL_MAX_METRICS: usize = 1 << 20;
 
 /// Control frames framing the socket conversation between the
 /// coordinator and a node process. Same encoding discipline as
@@ -581,8 +604,13 @@ const CTRL_MAX_DETAIL: usize = 64 * 1024;
 /// coord → node   Batch { n } + n data frames           (per route call)
 /// node → coord   Batch { n } + n re-encoded frames     (or Err { detail })
 /// coord → node   Bye
-/// node → coord   ByeStats { frames, payload_bytes }
+/// node → coord   ByeStats { frames, payload_bytes, metrics }
 /// ```
+///
+/// Control frames reuse [`WIRE_VERSION`] and are only ever exchanged
+/// between a coordinator and the `fgdsm-node` binary it spawned from the
+/// same build — there is no cross-version control peer, so extending
+/// `ByeStats` (the metrics blob) rides the existing version.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CtrlMsg {
     /// Node introduces itself after connecting.
@@ -598,8 +626,15 @@ pub enum CtrlMsg {
     Batch { n: u32 },
     /// Orderly teardown request.
     Bye,
-    /// Node's final accounting, confirming teardown.
-    ByeStats { frames: u64, payload_bytes: u64 },
+    /// Node's final accounting, confirming teardown. `metrics` is the
+    /// node's serialized telemetry registry
+    /// (`fgdsm_tempest::metrics::MetricsRegistry::to_bytes`) — empty
+    /// when wall-clock telemetry is disabled.
+    ByeStats {
+        frames: u64,
+        payload_bytes: u64,
+        metrics: Vec<u8>,
+    },
     /// The node rejected traffic (decode failure, oversized frame…);
     /// the connection is dead after this.
     Err { detail: String },
@@ -642,9 +677,17 @@ impl CtrlMsg {
             CtrlMsg::ByeStats {
                 frames,
                 payload_bytes,
+                metrics,
             } => {
+                assert!(
+                    metrics.len() <= CTRL_MAX_METRICS,
+                    "metrics blob of {} bytes exceeds cap",
+                    metrics.len()
+                );
                 out.extend_from_slice(&frames.to_le_bytes());
                 out.extend_from_slice(&payload_bytes.to_le_bytes());
+                out.extend_from_slice(&(metrics.len() as u32).to_le_bytes());
+                out.extend_from_slice(metrics);
             }
             CtrlMsg::Err { detail } => {
                 let bytes = detail.as_bytes();
@@ -681,10 +724,20 @@ impl CtrlMsg {
             },
             CTRL_BATCH => CtrlMsg::Batch { n: c.u32()? },
             CTRL_BYE => CtrlMsg::Bye,
-            CTRL_BYE_STATS => CtrlMsg::ByeStats {
-                frames: c.u64()?,
-                payload_bytes: c.u64()?,
-            },
+            CTRL_BYE_STATS => {
+                let frames = c.u64()?;
+                let payload_bytes = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > CTRL_MAX_METRICS {
+                    return Err(WireError::CountMismatch("bye-stats metrics length"));
+                }
+                let metrics = c.take(n)?.to_vec();
+                CtrlMsg::ByeStats {
+                    frames,
+                    payload_bytes,
+                    metrics,
+                }
+            }
             CTRL_ERR => {
                 let n = c.u32()? as usize;
                 if n > CTRL_MAX_DETAIL {
@@ -704,6 +757,47 @@ impl CtrlMsg {
     }
 }
 
+/// One remote process's end-of-run accounting, as delivered in its
+/// [`CtrlMsg::ByeStats`]: the counters to reconcile against the
+/// coordinator's book plus the node's serialized telemetry registry
+/// (empty when telemetry is off).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteReport {
+    pub node: u32,
+    pub frames: u64,
+    pub payload_bytes: u64,
+    pub metrics: Vec<u8>,
+}
+
+/// Double-entry reconciliation of one node's counters against the
+/// coordinator's per-node book. Reports the *first* diverging counter as
+/// a typed [`WireError::StatsMismatch`] naming the node, the counter and
+/// both values — never a bare "mismatch" panic.
+pub fn reconcile_stats(
+    node: u32,
+    local_frames: u64,
+    local_payload: u64,
+    remote: &RemoteReport,
+) -> Result<(), WireError> {
+    if local_frames != remote.frames {
+        return Err(WireError::StatsMismatch {
+            node,
+            counter: "frames",
+            local: local_frames,
+            remote: remote.frames,
+        });
+    }
+    if local_payload != remote.payload_bytes {
+        return Err(WireError::StatsMismatch {
+            node,
+            counter: "payload_bytes",
+            local: local_payload,
+            remote: remote.payload_bytes,
+        });
+    }
+    Ok(())
+}
+
 /// Carries encoded frames to their destination node. Implementations
 /// must deliver each batch in order and return exactly the frames that
 /// arrived; they never interpret payloads (the apply stage decodes).
@@ -716,6 +810,12 @@ pub trait WireTransport {
     /// (decode failure) still fails loudly via panic, because dropped
     /// traffic is a protocol bug, not a transport condition.
     fn route(&mut self, dst: usize, frames: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, WireError>;
+    /// Orderly end-of-run: tear down remote peers and collect their
+    /// final per-process accounting ([`RemoteReport`]). In-process
+    /// transports have no remote book, so the default returns nothing.
+    fn finish(&mut self) -> Vec<RemoteReport> {
+        Vec::new()
+    }
 }
 
 /// In-process delivery: frames arrive exactly as posted. This is the
@@ -1114,6 +1214,12 @@ mod tests {
             CtrlMsg::ByeStats {
                 frames: 9,
                 payload_bytes: 1234,
+                metrics: Vec::new(),
+            },
+            CtrlMsg::ByeStats {
+                frames: 2,
+                payload_bytes: 64,
+                metrics: vec![0xAA; 37],
             },
             CtrlMsg::Err {
                 detail: "frame length 67108865 exceeds cap".into(),
@@ -1140,5 +1246,72 @@ mod tests {
             Err(WireError::BadMagic(WIRE_MAGIC))
         ));
         assert_eq!(CtrlMsg::from_bytes(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bye_stats_rejects_lying_metrics_length() {
+        let bytes = CtrlMsg::ByeStats {
+            frames: 1,
+            payload_bytes: 8,
+            metrics: vec![1, 2, 3],
+        }
+        .to_bytes();
+        // Inflate the metrics length prefix past the frame end.
+        let len_off = bytes.len() - 3 - 4;
+        let mut bad = bytes.clone();
+        bad[len_off..len_off + 4].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(CtrlMsg::from_bytes(&bad), Err(WireError::Truncated));
+        // A length above the cap is rejected before any allocation.
+        let mut bad = bytes;
+        bad[len_off..len_off + 4].copy_from_slice(&(CTRL_MAX_METRICS as u32 + 1).to_le_bytes());
+        assert_eq!(
+            CtrlMsg::from_bytes(&bad),
+            Err(WireError::CountMismatch("bye-stats metrics length"))
+        );
+    }
+
+    /// The satellite fix: reconciliation failures name the node, the
+    /// diverging counter, and both sides' values.
+    #[test]
+    fn reconcile_stats_reports_which_counter_diverged() {
+        let remote = RemoteReport {
+            node: 2,
+            frames: 10,
+            payload_bytes: 800,
+            metrics: Vec::new(),
+        };
+        assert_eq!(reconcile_stats(2, 10, 800, &remote), Ok(()));
+        let frames_err = reconcile_stats(2, 9, 800, &remote).unwrap_err();
+        assert_eq!(
+            frames_err,
+            WireError::StatsMismatch {
+                node: 2,
+                counter: "frames",
+                local: 9,
+                remote: 10,
+            }
+        );
+        assert_eq!(
+            frames_err.to_string(),
+            "node 2 frames counter diverged: coordinator 9 vs node 10"
+        );
+        // Frames agreeing but payload diverging blames payload_bytes.
+        assert_eq!(
+            reconcile_stats(2, 10, 792, &remote),
+            Err(WireError::StatsMismatch {
+                node: 2,
+                counter: "payload_bytes",
+                local: 792,
+                remote: 800,
+            })
+        );
+    }
+
+    #[test]
+    fn transport_finish_defaults_to_no_remote_reports() {
+        assert!(Loopback.finish().is_empty());
+        let mut t = ChanTransport::new(2);
+        assert!(t.finish().is_empty());
+        t.shutdown();
     }
 }

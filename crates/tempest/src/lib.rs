@@ -39,6 +39,7 @@ pub mod cache;
 pub mod cluster;
 pub mod costs;
 pub mod mailbox;
+pub mod metrics;
 pub mod pool;
 pub mod profile;
 pub mod scratch;
@@ -50,6 +51,7 @@ pub use cache::CacheModel;
 pub use cluster::{Access, ChargeKind, Cluster, HomePolicy, NodeId, ReduceOp, SegmentLayout};
 pub use costs::{CostModel, CpuMode};
 pub use mailbox::Mailbox;
+pub use metrics::{Histogram, Metric, MetricsRegistry, WireSpan};
 pub use pool::{Job, WorkerPool};
 pub use profile::{FalseSharingFlag, LoopRow, NodeHeatmap, StepInterval};
 pub use scratch::{CacheAligned, VecPool, CACHE_LINE_BYTES};
